@@ -1,0 +1,495 @@
+//! The two-pass assembler.
+
+use crate::layout::{DATA_BASE, EXT_BASE, RODATA_BASE, SIZING_DUMMY, TEXT_BASE};
+use hgl_elf::{Binary, Builder, SegmentFlags};
+use hgl_x86::{encode, Cond, EncodeError, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// The underlying encoder rejected an instruction.
+    Encode(EncodeError),
+    /// No entry label was set.
+    NoEntry,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+            AsmError::NoEntry => write!(f, "no entry label set"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// No label references.
+    None,
+    /// Operand 0 is a direct branch target: patch with the label's
+    /// absolute address.
+    Branch(String),
+    /// Patch the immediate operand at this index with the label's
+    /// absolute address plus a byte offset.
+    ImmAddr(usize, String, i64),
+    /// Patch the displacement of the memory operand at this index with
+    /// the label's absolute address (added to any existing offset).
+    MemDisp(usize, String),
+}
+
+#[derive(Debug, Clone)]
+enum TextItem {
+    Label(String),
+    Ins(Instr, Fixup),
+}
+
+#[derive(Debug, Clone)]
+enum DataItem {
+    Bytes(Vec<u8>),
+    /// A table of 8-byte absolute code addresses (a jump table).
+    AddrTable(Vec<String>),
+}
+
+/// The program builder. See the [crate docs](crate) for an example.
+#[derive(Default)]
+pub struct Asm {
+    text: Vec<TextItem>,
+    rodata: Vec<(String, DataItem)>,
+    data: Vec<(String, DataItem)>,
+    externals: Vec<String>,
+    exports: Vec<(String, String)>,
+    entry: Option<String>,
+}
+
+impl Asm {
+    /// A new, empty program.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Define a label at the current text position.
+    pub fn label(&mut self, name: &str) -> &mut Asm {
+        self.text.push(TextItem::Label(name.to_string()));
+        self
+    }
+
+    /// Append a fully resolved instruction.
+    pub fn ins(&mut self, i: Instr) -> &mut Asm {
+        self.text.push(TextItem::Ins(i, Fixup::None));
+        self
+    }
+
+    /// Append an instruction whose immediate operand `op_index` should
+    /// hold the absolute address of `label` (e.g. `movabs rdi, table`).
+    pub fn ins_imm_label(&mut self, i: Instr, op_index: usize, label: &str) -> &mut Asm {
+        self.ins_imm_label_off(i, op_index, label, 0)
+    }
+
+    /// Like [`Asm::ins_imm_label`], with a byte offset added to the
+    /// label address (e.g. to target the middle of an instruction when
+    /// constructing weird-edge test cases).
+    pub fn ins_imm_label_off(&mut self, i: Instr, op_index: usize, label: &str, off: i64) -> &mut Asm {
+        self.text.push(TextItem::Ins(i, Fixup::ImmAddr(op_index, label.to_string(), off)));
+        self
+    }
+
+    /// Append an instruction whose memory operand `op_index` gets the
+    /// absolute address of `label` added to its displacement
+    /// (e.g. `mov eax, [table + rax*4]`).
+    pub fn ins_mem_label(&mut self, i: Instr, op_index: usize, label: &str) -> &mut Asm {
+        self.text.push(TextItem::Ins(i, Fixup::MemDisp(op_index, label.to_string())));
+        self
+    }
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Asm {
+        let i = Instr::new(Mnemonic::Jmp, vec![Operand::Imm(0)], Width::B8);
+        self.text.push(TextItem::Ins(i, Fixup::Branch(label.to_string())));
+        self
+    }
+
+    /// `jcc label`.
+    pub fn jcc(&mut self, cond: Cond, label: &str) -> &mut Asm {
+        let i = Instr::new(Mnemonic::Jcc(cond), vec![Operand::Imm(0)], Width::B8);
+        self.text.push(TextItem::Ins(i, Fixup::Branch(label.to_string())));
+        self
+    }
+
+    /// `call label` (an internal function).
+    pub fn call(&mut self, label: &str) -> &mut Asm {
+        let i = Instr::new(Mnemonic::Call, vec![Operand::Imm(0)], Width::B8);
+        self.text.push(TextItem::Ins(i, Fixup::Branch(label.to_string())));
+        self
+    }
+
+    /// `call <external>`: calls the stub slot allocated for `name`.
+    pub fn call_ext(&mut self, name: &str) -> &mut Asm {
+        let idx = match self.externals.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.externals.push(name.to_string());
+                self.externals.len() - 1
+            }
+        };
+        let stub = EXT_BASE + 8 * idx as u64;
+        self.ins(Instr::new(Mnemonic::Call, vec![Operand::Imm(stub as i64)], Width::B8))
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.ins(Instr::new(Mnemonic::Ret, vec![], Width::B8))
+    }
+
+    /// `push r64`.
+    pub fn push(&mut self, r: Reg) -> &mut Asm {
+        self.ins(Instr::new(Mnemonic::Push, vec![Operand::reg64(r)], Width::B8))
+    }
+
+    /// `pop r64`.
+    pub fn pop(&mut self, r: Reg) -> &mut Asm {
+        self.ins(Instr::new(Mnemonic::Pop, vec![Operand::reg64(r)], Width::B8))
+    }
+
+    /// `mov dst, src` at 64-bit width.
+    pub fn mov(&mut self, dst: Operand, src: Operand) -> &mut Asm {
+        self.ins(Instr::new(Mnemonic::Mov, vec![dst, src], Width::B8))
+    }
+
+    /// `movabs r64, <address of label>`.
+    pub fn movabs_label(&mut self, r: Reg, label: &str) -> &mut Asm {
+        let i = Instr::new(Mnemonic::Movabs, vec![Operand::reg64(r), Operand::Imm(0)], Width::B8);
+        self.ins_imm_label(i, 1, label)
+    }
+
+    /// Add raw bytes to `.rodata` under `label`.
+    pub fn rodata(&mut self, label: &str, bytes: Vec<u8>) -> &mut Asm {
+        self.rodata.push((label.to_string(), DataItem::Bytes(bytes)));
+        self
+    }
+
+    /// Add a jump table of 8-byte code addresses to `.rodata`.
+    pub fn jump_table(&mut self, label: &str, targets: &[&str]) -> &mut Asm {
+        let t = targets.iter().map(|s| s.to_string()).collect();
+        self.rodata.push((label.to_string(), DataItem::AddrTable(t)));
+        self
+    }
+
+    /// Add raw bytes to `.data` under `label`.
+    pub fn data(&mut self, label: &str, bytes: Vec<u8>) -> &mut Asm {
+        self.data.push((label.to_string(), DataItem::Bytes(bytes)));
+        self
+    }
+
+    /// Set the entry point to `label`.
+    pub fn entry(&mut self, label: &str) -> &mut Asm {
+        self.entry = Some(label.to_string());
+        self
+    }
+
+    /// Export `label` as function symbol `name` (for shared-object
+    /// style lifting of individual functions).
+    pub fn export(&mut self, label: &str, name: &str) -> &mut Asm {
+        self.exports.push((label.to_string(), name.to_string()));
+        self
+    }
+
+    /// Names of the external functions referenced so far.
+    pub fn external_names(&self) -> &[String] {
+        &self.externals
+    }
+
+    fn data_addresses(
+        items: &[(String, DataItem)],
+        base: u64,
+        labels: &mut BTreeMap<String, u64>,
+    ) -> Result<u64, AsmError> {
+        let mut addr = base;
+        for (label, item) in items {
+            if labels.insert(label.clone(), addr).is_some() {
+                return Err(AsmError::DuplicateLabel(label.clone()));
+            }
+            addr += match item {
+                DataItem::Bytes(b) => b.len() as u64,
+                DataItem::AddrTable(t) => 8 * t.len() as u64,
+            };
+        }
+        Ok(addr)
+    }
+
+    /// Resolve all labels and produce the loaded [`Binary`] view.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or duplicate labels, missing entry, or
+    /// unencodable instructions.
+    pub fn assemble(&self) -> Result<Binary, AsmError> {
+        Ok(self.builder()?.to_binary())
+    }
+
+    /// Resolve all labels and serialise to an ELF executable image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Asm::assemble`].
+    pub fn assemble_elf(&self) -> Result<Vec<u8>, AsmError> {
+        Ok(self.builder()?.build())
+    }
+
+    fn builder(&self) -> Result<Builder, AsmError> {
+        let mut labels: BTreeMap<String, u64> = BTreeMap::new();
+        Self::data_addresses(&self.rodata, RODATA_BASE, &mut labels)?;
+        Self::data_addresses(&self.data, DATA_BASE, &mut labels)?;
+
+        // Pass 1: sizes with dummy label values.
+        let mut addr = TEXT_BASE;
+        for item in &self.text {
+            match item {
+                TextItem::Label(l) => {
+                    if labels.insert(l.clone(), addr).is_some() {
+                        return Err(AsmError::DuplicateLabel(l.clone()));
+                    }
+                }
+                TextItem::Ins(i, fixup) => {
+                    let mut sized = i.clone();
+                    sized.addr = addr;
+                    apply_fixup(&mut sized, fixup, &|_| Some(SIZING_DUMMY as u64))
+                        .expect("dummy resolver is total");
+                    let bytes = encode(&sized)?;
+                    addr += bytes.len() as u64;
+                }
+            }
+        }
+        let text_end = addr;
+
+        // Pass 2: encode with real addresses.
+        let resolve = |l: &str| labels.get(l).copied();
+        let mut text_bytes = Vec::with_capacity((text_end - TEXT_BASE) as usize);
+        let mut addr = TEXT_BASE;
+        for item in &self.text {
+            if let TextItem::Ins(i, fixup) = item {
+                let mut real = i.clone();
+                real.addr = addr;
+                apply_fixup(&mut real, fixup, &resolve)?;
+                let bytes = encode(&real)?;
+                addr += bytes.len() as u64;
+                text_bytes.extend_from_slice(&bytes);
+            }
+        }
+
+        // Data payloads.
+        let emit = |items: &[(String, DataItem)]| -> Result<Vec<u8>, AsmError> {
+            let mut out = Vec::new();
+            for (_, item) in items {
+                match item {
+                    DataItem::Bytes(b) => out.extend_from_slice(b),
+                    DataItem::AddrTable(targets) => {
+                        for t in targets {
+                            let a = resolve(t).ok_or_else(|| AsmError::UnknownLabel(t.clone()))?;
+                            out.extend_from_slice(&a.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        };
+        let rodata_bytes = emit(&self.rodata)?;
+        let data_bytes = emit(&self.data)?;
+
+        let entry_label = self.entry.as_ref().ok_or(AsmError::NoEntry)?;
+        let entry = resolve(entry_label).ok_or_else(|| AsmError::UnknownLabel(entry_label.clone()))?;
+
+        let mut b = Builder::new().entry(entry).section(".text", TEXT_BASE, text_bytes, SegmentFlags::RX);
+        if !self.externals.is_empty() {
+            // One 8-byte hlt-padded stub per external.
+            let stub_bytes: Vec<u8> = self.externals.iter().flat_map(|_| [0xf4u8; 8]).collect();
+            b = b.section(".plt.ext", EXT_BASE, stub_bytes, SegmentFlags::RX);
+            for (i, name) in self.externals.iter().enumerate() {
+                b = b.external(EXT_BASE + 8 * i as u64, name);
+            }
+        }
+        if !rodata_bytes.is_empty() {
+            b = b.section(".rodata", RODATA_BASE, rodata_bytes, SegmentFlags::RO);
+        }
+        if !data_bytes.is_empty() {
+            b = b.section(".data", DATA_BASE, data_bytes, SegmentFlags::RW);
+        }
+        for (label, name) in &self.exports {
+            let a = resolve(label).ok_or_else(|| AsmError::UnknownLabel(label.clone()))?;
+            b = b.symbol(a, name);
+        }
+        Ok(b)
+    }
+}
+
+fn apply_fixup(
+    i: &mut Instr,
+    fixup: &Fixup,
+    resolve: &dyn Fn(&str) -> Option<u64>,
+) -> Result<(), AsmError> {
+    match fixup {
+        Fixup::None => Ok(()),
+        Fixup::Branch(l) => {
+            let a = resolve(l).ok_or_else(|| AsmError::UnknownLabel(l.clone()))?;
+            i.operands[0] = Operand::Imm(a as i64);
+            Ok(())
+        }
+        Fixup::ImmAddr(idx, l, off) => {
+            let a = resolve(l).ok_or_else(|| AsmError::UnknownLabel(l.clone()))?;
+            i.operands[*idx] = Operand::Imm(a as i64 + off);
+            Ok(())
+        }
+        Fixup::MemDisp(idx, l) => {
+            let a = resolve(l).ok_or_else(|| AsmError::UnknownLabel(l.clone()))?;
+            match &mut i.operands[*idx] {
+                Operand::Mem(MemOperand { disp, .. }) => {
+                    *disp = disp.wrapping_add(a as i64);
+                    Ok(())
+                }
+                _ => Err(AsmError::UnknownLabel(format!("operand {idx} of `{i}` is not mem"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_x86::decode;
+
+    #[test]
+    fn simple_function_assembles() {
+        let mut asm = Asm::new();
+        asm.label("main");
+        asm.push(Reg::Rbp);
+        asm.mov(Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp));
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(0)],
+            Width::B4,
+        ));
+        asm.pop(Reg::Rbp);
+        asm.ret();
+        let bin = asm.entry("main").assemble().expect("assembles");
+        assert_eq!(bin.entry, TEXT_BASE);
+        // Decode the first instruction back.
+        let i = decode(bin.fetch_window(TEXT_BASE).expect("code"), TEXT_BASE).expect("decodes");
+        assert_eq!(i.mnemonic, Mnemonic::Push);
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut asm = Asm::new();
+        asm.label("start");
+        asm.jcc(Cond::E, "end");
+        asm.jmp("start");
+        asm.label("end");
+        asm.ret();
+        let bin = asm.entry("start").assemble().expect("assembles");
+        let je = decode(bin.fetch_window(TEXT_BASE).expect("w"), TEXT_BASE).expect("d");
+        let jmp_addr = TEXT_BASE + je.len as u64;
+        let jmp = decode(bin.fetch_window(jmp_addr).expect("w"), jmp_addr).expect("d");
+        assert_eq!(jmp.direct_target(), Some(TEXT_BASE));
+        assert_eq!(je.direct_target(), Some(jmp_addr + jmp.len as u64));
+    }
+
+    #[test]
+    fn jump_table_resolves_targets() {
+        let mut asm = Asm::new();
+        asm.label("a").ret();
+        asm.label("b").ret();
+        asm.jump_table("table", &["a", "b"]);
+        let bin = asm.entry("a").assemble().expect("assembles");
+        let t0 = bin.read_int(RODATA_BASE, 8).expect("entry 0");
+        let t1 = bin.read_int(RODATA_BASE + 8, 8).expect("entry 1");
+        assert_eq!(t0, TEXT_BASE);
+        assert_eq!(t1, TEXT_BASE + 1);
+    }
+
+    #[test]
+    fn externals_allocated_and_deduped() {
+        let mut asm = Asm::new();
+        asm.label("f");
+        asm.call_ext("memset");
+        asm.call_ext("exit");
+        asm.call_ext("memset");
+        asm.ret();
+        let bin = asm.entry("f").assemble().expect("assembles");
+        assert_eq!(bin.externals.len(), 2);
+        assert_eq!(bin.external_at(EXT_BASE), Some("memset"));
+        assert_eq!(bin.external_at(EXT_BASE + 8), Some("exit"));
+        // First and third call go to the same stub.
+        let c1 = decode(bin.fetch_window(TEXT_BASE).expect("w"), TEXT_BASE).expect("d");
+        assert_eq!(c1.direct_target(), Some(EXT_BASE));
+    }
+
+    #[test]
+    fn errors() {
+        let mut asm = Asm::new();
+        asm.label("f").jmp("nowhere").ret();
+        assert_eq!(
+            asm.entry("f").assemble(),
+            Err(AsmError::UnknownLabel("nowhere".to_string()))
+        );
+        let mut dup = Asm::new();
+        dup.label("x").label("x").ret();
+        assert_eq!(dup.entry("x").assemble(), Err(AsmError::DuplicateLabel("x".to_string())));
+        let mut noentry = Asm::new();
+        noentry.label("f").ret();
+        assert_eq!(noentry.assemble(), Err(AsmError::NoEntry));
+    }
+
+    #[test]
+    fn elf_roundtrip_preserves_program() {
+        let mut asm = Asm::new();
+        asm.label("main");
+        asm.call_ext("puts");
+        asm.ret();
+        asm.jump_table("t", &["main"]);
+        asm.data("counter", vec![0; 8]);
+        asm.export("main", "main");
+        asm.entry("main");
+        let direct = asm.assemble().expect("assembles");
+        let parsed = Binary::parse(&asm.assemble_elf().expect("elf")).expect("parses");
+        assert_eq!(direct, parsed);
+    }
+
+    #[test]
+    fn mem_label_fixup() {
+        let mut asm = Asm::new();
+        asm.label("f");
+        // mov rax, [table + rdi*8]
+        let i = Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rax),
+                Operand::Mem(MemOperand::sib(None, Reg::Rdi, 8, 0, Width::B8)),
+            ],
+            Width::B8,
+        );
+        asm.ins_mem_label(i, 1, "table");
+        asm.ret();
+        asm.jump_table("table", &["f"]);
+        let bin = asm.entry("f").assemble().expect("assembles");
+        let decoded = decode(bin.fetch_window(TEXT_BASE).expect("w"), TEXT_BASE).expect("d");
+        match &decoded.operands[1] {
+            Operand::Mem(m) => assert_eq!(m.disp, RODATA_BASE as i64),
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixed address-space layout for synthesized binaries.
+
+/// Base address of external-function stubs (one 8-byte slot each).
+pub const EXT_BASE: u64 = 0x40_0800;
+
+/// Base address of the `.text` section.
+pub const TEXT_BASE: u64 = 0x40_1000;
+
+/// Base address of the read-only data section (jump tables, strings).
+pub const RODATA_BASE: u64 = 0x50_0000;
+
+/// Base address of the writable data section.
+pub const DATA_BASE: u64 = 0x60_1000;
+
+/// Dummy displacement used during the sizing pass; large enough that
+/// the encoder always selects the disp32/imm32 forms that real label
+/// addresses will need.
+pub const SIZING_DUMMY: i64 = 0x7fff_0000;

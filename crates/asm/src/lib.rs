@@ -1,0 +1,34 @@
+//! # hgl-asm: program builder for synthesizing x86-64 ELF binaries
+//!
+//! The paper evaluates on COTS binaries (Xen, CoreUtils). Those are not
+//! available offline, so the evaluation corpus is *synthesized*: this
+//! crate provides a small two-pass assembler that builds realistic
+//! function bodies — stack frames, jump tables, internal and external
+//! calls, callbacks — and emits them as ELF executables via `hgl-elf`.
+//!
+//! Label references are resolved in the second pass; since the encoder
+//! always uses rel32 branch forms and label addresses exceed the disp8
+//! range, instruction sizes are identical across passes and no
+//! relaxation loop is needed.
+//!
+//! ```
+//! use hgl_asm::Asm;
+//! use hgl_x86::{Mnemonic, Operand, Reg, Width, Instr};
+//!
+//! let mut asm = Asm::new();
+//! asm.label("main");
+//! asm.ins(Instr::new(Mnemonic::Mov,
+//!     vec![Operand::reg64(Reg::Rax), Operand::Imm(0)], Width::B8));
+//! asm.ret();
+//! let binary = asm.entry("main").assemble()?;
+//! assert!(binary.is_code(binary.entry));
+//! # Ok::<(), hgl_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod layout;
+
+pub use asm::{Asm, AsmError};
+pub use layout::{DATA_BASE, EXT_BASE, RODATA_BASE, TEXT_BASE};

@@ -1,0 +1,54 @@
+//! Decoder/encoder throughput over the synthesized corpus text.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hgl_corpus::coreutils;
+use hgl_x86::{decode, encode};
+
+fn bench_decoder(c: &mut Criterion) {
+    let (_, bin) = coreutils::build_all(1).into_iter().find(|(s, _)| s.name == "tar").expect("tar");
+    let (start, end) = *bin
+        .text_ranges()
+        .iter()
+        .find(|(s, e)| *s <= bin.entry && bin.entry < *e)
+        .expect("text");
+
+    // Pre-decode for the encode benchmark.
+    let mut instrs = Vec::new();
+    let mut a = start;
+    while a < end {
+        match decode(bin.fetch_window(a).expect("window"), a) {
+            Ok(i) => {
+                a += i.len as u64;
+                instrs.push(i);
+            }
+            Err(_) => a += 1,
+        }
+    }
+    let bytes: u64 = instrs.iter().map(|i| i.len as u64).sum();
+
+    let mut group = c.benchmark_group("decoder");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("decode_linear", |b| {
+        b.iter(|| {
+            let mut a = start;
+            let mut n = 0usize;
+            while a < end {
+                match decode(bin.fetch_window(a).expect("window"), a) {
+                    Ok(i) => {
+                        a += i.len as u64;
+                        n += 1;
+                    }
+                    Err(_) => a += 1,
+                }
+            }
+            n
+        })
+    });
+    group.bench_function("encode_all", |b| {
+        b.iter(|| instrs.iter().map(|i| encode(i).map(|v| v.len()).unwrap_or(0)).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoder);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 3 benchmark: lifting time as a function of function size.
+//! The paper's point is that the two correlate only weakly; this bench
+//! produces the size series (the `fig3` binary prints the scatter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgl_corpus::gen::{GenOptions, ProgramGen};
+use hgl_core::lift::{lift, LiftConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(segments: usize, fork_heavy: bool) -> hgl_elf::Binary {
+    let mut rng = SmallRng::seed_from_u64(segments as u64);
+    let mut pg = ProgramGen::new();
+    let opts = GenOptions {
+        segments,
+        p_jump_table: 0.0,
+        p_callback: 0.0,
+        p_wild_jump: 0.0,
+        p_param_write: if fork_heavy { 0.5 } else { 0.0 },
+        ..GenOptions::default()
+    };
+    pg.gen_function("f", &mut rng, &opts);
+    pg.asm.entry("f");
+    pg.asm.assemble().expect("assembles")
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let config = LiftConfig::default();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for segments in [4usize, 8, 16, 32] {
+        let bin = build(segments, false);
+        group.bench_with_input(BenchmarkId::new("simple", segments), &bin, |b, bin| {
+            b.iter(|| lift(bin, &config))
+        });
+        // Same size, fork-heavy: the paper's "little correlation" —
+        // time is dominated by join/fork behaviour, not size.
+        let heavy = build(segments, true);
+        group.bench_with_input(BenchmarkId::new("fork_heavy", segments), &heavy, |b, bin| {
+            b.iter(|| lift(bin, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Solver query latency: the three Definition-3.6 relation shapes the
+//! lifter issues on every memory access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgl_expr::{Clause, Expr, Rel, Sym};
+use hgl_solver::{decide, Ctx, Layout, Region};
+use hgl_x86::Reg;
+
+fn bench_solver(c: &mut Criterion) {
+    let empty = Ctx::new();
+    let mut group = c.benchmark_group("solver");
+
+    // Same-base offset arithmetic (the hot path: frame slot vs frame slot).
+    let a = Region::stack(-0x28, 8);
+    let b = Region::stack(-0x10, 8);
+    group.bench_function("same_base_separate", |bch| bch.iter(|| decide(&empty, &a, &b)));
+
+    // Provenance-based separation (caller pointer vs return slot).
+    let p = Region::new(Expr::sym(Sym::Init(Reg::Rdi)), 8);
+    let ret = Region::return_address_slot();
+    group.bench_function("provenance_param_vs_stack", |bch| bch.iter(|| decide(&empty, &p, &ret)));
+
+    // Bounded jump-table interval reasoning.
+    let clause = Clause::new(Expr::sym(Sym::Init(Reg::Rax)), Rel::Lt, Expr::imm(0xc3));
+    let ctx = Ctx::from_clauses([&clause], Layout::default());
+    let entry = Region::new(
+        Expr::imm(0x500000).add(Expr::sym(Sym::Init(Reg::Rax)).mul(Expr::imm(8))),
+        8,
+    );
+    let past = Region::global(0x500000 + 0xc3 * 8, 8);
+    group.bench_function("interval_jump_table", |bch| bch.iter(|| decide(&ctx, &entry, &past)));
+
+    // Context construction from clauses (done once per step).
+    let clauses: Vec<Clause> = (0..16)
+        .map(|i| Clause::new(Expr::sym(Sym::Fresh(i)), Rel::Lt, Expr::imm(100 + i)))
+        .collect();
+    group.bench_function("ctx_from_16_clauses", |bch| {
+        bch.iter(|| Ctx::from_clauses(clauses.iter(), Layout::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

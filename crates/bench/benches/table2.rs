@@ -1,0 +1,35 @@
+//! Table 2 benchmark: the full Step-1 + Step-2 pipeline per
+//! CoreUtils-like binary — lift, Isabelle export, executable
+//! validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgl_core::lift::{lift, LiftConfig};
+use hgl_corpus::coreutils;
+use hgl_export::{export_theory, validate_lift, ValidateConfig};
+
+fn bench_table2(c: &mut Criterion) {
+    let built = coreutils::build_all(1);
+    let config = LiftConfig::default();
+    let vconfig = ValidateConfig { samples_per_edge: 4, ..ValidateConfig::default() };
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (spec, bin) in &built {
+        group.bench_function(format!("lift/{}", spec.name), |b| b.iter(|| lift(bin, &config)));
+    }
+    // Export + validation on the smallest and largest binaries.
+    for name in ["wc", "tar"] {
+        let (_, bin) = built.iter().find(|(s, _)| s.name == name).expect("exists");
+        let lifted = lift(bin, &config);
+        group.bench_function(format!("export/{name}"), |b| {
+            b.iter(|| export_theory(&lifted, name))
+        });
+        group.bench_function(format!("validate/{name}"), |b| {
+            b.iter(|| validate_lift(bin, &lifted, &vconfig))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,353 @@
+//! Algorithm 1: Hoare-Graph extraction by worklist exploration with
+//! joining, plus the §4.2 function-call extensions.
+
+use crate::diag::Diagnostics;
+use crate::graph::{HoareGraph, VertexId};
+use crate::pred::SymState;
+use crate::tau::{step, StepConfig, StepCtx, Successor};
+use crate::VerificationError;
+use hgl_elf::Binary;
+use hgl_expr::Expr;
+use hgl_solver::Layout;
+use hgl_x86::{decode, Instr};
+use std::collections::BTreeMap;
+
+/// An entry in the exploration bag.
+#[derive(Debug, Clone)]
+pub struct BagItem {
+    /// Instruction address of the state.
+    pub addr: u64,
+    /// The symbolic state.
+    pub state: SymState,
+    /// Edge that produced the state (source vertex and instruction).
+    pub from: Option<(VertexId, Instr)>,
+}
+
+/// A pending internal call discovered during exploration (§4.2.2):
+/// the return site becomes reachable only once the callee provably
+/// returns.
+#[derive(Debug, Clone)]
+pub struct PendingReturn {
+    /// Callee entry address.
+    pub callee: u64,
+    /// The call-site vertex and instruction (for the edge).
+    pub from: (VertexId, Instr),
+    /// Return-site address.
+    pub return_site: u64,
+    /// Caller state at the return site.
+    pub after: SymState,
+}
+
+/// Exploration state of a single function.
+pub struct FnExploration {
+    /// Function entry address.
+    pub entry: u64,
+    /// The Hoare Graph under construction.
+    pub graph: HoareGraph,
+    /// Diagnostics gathered so far.
+    pub diags: Diagnostics,
+    /// The bag of unexplored states.
+    pub bag: Vec<BagItem>,
+    /// Pending internal calls awaiting callee-return proof.
+    pub pending: Vec<PendingReturn>,
+    /// True once some path provably returns.
+    pub returns: bool,
+    /// Set when the function is rejected.
+    pub rejected: Option<VerificationError>,
+    /// Join counts per vertex, to trigger widening.
+    join_counts: BTreeMap<VertexId, u32>,
+    /// Next variant index per address.
+    variants: BTreeMap<u64, u32>,
+    /// Steps executed (budget accounting).
+    pub steps: usize,
+}
+
+/// Per-function exploration limits.
+#[derive(Debug, Clone)]
+pub struct ExploreLimits {
+    /// Maximum number of symbolic states per function.
+    pub max_states: usize,
+    /// Joins at one vertex before switching to widening.
+    pub widen_after: u32,
+    /// Keep states with differing immediate code pointers apart
+    /// (the §4 second extension).
+    pub code_pointer_refinement: bool,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> ExploreLimits {
+        ExploreLimits { max_states: 20_000, widen_after: 8, code_pointer_refinement: true }
+    }
+}
+
+impl FnExploration {
+    /// Begin exploring the function at `entry`: the bag starts with the
+    /// entry state (Algorithm 1's initialisation).
+    pub fn new(entry: u64) -> FnExploration {
+        FnExploration {
+            entry,
+            graph: HoareGraph::new(),
+            diags: Diagnostics::default(),
+            bag: vec![BagItem { addr: entry, state: SymState::function_entry(entry), from: None }],
+            pending: Vec::new(),
+            returns: false,
+            rejected: None,
+            join_counts: BTreeMap::new(),
+            variants: BTreeMap::new(),
+            steps: 0,
+        }
+    }
+
+    /// Are two states compatible (Definition 4.3 plus the immediate
+    /// code-pointer refinement of §4)?
+    fn compatible(&self, binary: &Binary, a: &SymState, b: &SymState, refine: bool) -> bool {
+        if !refine {
+            return true;
+        }
+        let code_imm = |e: &Expr| e.as_imm().filter(|v| binary.is_code(*v));
+        // A state part holding an immediate code pointer on either side
+        // must hold the *same* code pointer on the other — joining
+        // would otherwise lose a value that will likely decide future
+        // control flow (§4, second extension).
+        let clash = |va: Option<&Expr>, vb: Option<&Expr>| -> bool {
+            let ca = va.and_then(code_imm);
+            let cb = vb.and_then(code_imm);
+            match (ca, cb) {
+                (Some(x), Some(y)) => x != y,
+                (Some(_), None) | (None, Some(_)) => true,
+                (None, None) => false,
+            }
+        };
+        for r in a.pred.regs.keys().chain(b.pred.regs.keys()) {
+            if clash(a.pred.regs.get(r), b.pred.regs.get(r)) {
+                return false;
+            }
+        }
+        for region in a.pred.mem.keys().chain(b.pred.mem.keys()) {
+            if clash(a.pred.mem.get(region), b.pred.mem.get(region)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run exploration until the bag empties, the state budget is
+    /// exhausted, or the function is rejected. Returns `true` if any
+    /// work was done.
+    pub fn run(
+        &mut self,
+        binary: &Binary,
+        layout: &Layout,
+        step_config: &StepConfig,
+        limits: &ExploreLimits,
+        fresh: &mut u64,
+        deadline: Option<std::time::Instant>,
+    ) -> bool {
+        let mut worked = false;
+        while let Some(item) = self.bag.pop() {
+            worked = true;
+            if let Some(deadline) = deadline {
+                if std::time::Instant::now() > deadline {
+                    self.bag.push(item);
+                    return worked;
+                }
+            }
+            if self.graph.state_count() > limits.max_states {
+                // State explosion: give up on this function (counted as
+                // a timeout in the study).
+                self.bag.clear();
+                self.rejected = Some(VerificationError::Undecodable {
+                    addr: self.entry,
+                    message: "state budget exhausted".to_string(),
+                });
+                return worked;
+            }
+            if self.rejected.is_some() {
+                self.bag.clear();
+                return worked;
+            }
+            self.explore_item(binary, layout, step_config, limits, fresh, item);
+        }
+        worked
+    }
+
+    /// One iteration of Algorithm 1's `explore`.
+    fn explore_item(
+        &mut self,
+        binary: &Binary,
+        layout: &Layout,
+        step_config: &StepConfig,
+        limits: &ExploreLimits,
+        fresh: &mut u64,
+        item: BagItem,
+    ) {
+        let BagItem { addr, state, from } = item;
+
+        // Lines 3–9: find a compatible vertex, join or create.
+        let mut target_vid = None;
+        for vid in self.graph.vertices_at(addr) {
+            let existing = &self.graph.vertices[&vid];
+            if self.compatible(binary, &state, &existing.state, limits.code_pointer_refinement) {
+                target_vid = Some(vid);
+                break;
+            }
+        }
+        let (vid, to_explore) = match target_vid {
+            Some(vid) => {
+                let existing = self.graph.vertices[&vid].state.clone();
+                if let Some((src, instr)) = &from {
+                    self.graph.add_edge(*src, vid, instr.clone());
+                }
+                if state.leq(&existing) {
+                    // Line 4: already covered.
+                    (vid, None)
+                } else {
+                    let joins = self.join_counts.entry(vid).or_insert(0);
+                    *joins += 1;
+                    let widen = *joins > limits.widen_after;
+                    let joined = state.join(&existing, widen);
+                    self.graph.add_vertex(vid, joined.clone(), true);
+                    (vid, Some(joined))
+                }
+            }
+            None => {
+                let variant = self.variants.entry(addr).or_insert(0);
+                let vid = VertexId::At(addr, *variant);
+                *variant += 1;
+                self.graph.add_vertex(vid, state.clone(), true);
+                if let Some((src, instr)) = &from {
+                    self.graph.add_edge(*src, vid, instr.clone());
+                }
+                (vid, Some(state))
+            }
+        };
+        let Some(state) = to_explore else { return };
+
+        // Vacuous states (contradictory path clauses) represent no
+        // concrete states; exploring them wastes effort and can poison
+        // interval reasoning. Prune.
+        let sat_check = hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout.clone());
+        if sat_check.is_unsat() {
+            return;
+        }
+
+        // Fetch and decode (the paper's `fetch`).
+        let Some(window) = binary.fetch_window(addr) else {
+            self.rejected = Some(VerificationError::JumpOutsideText { addr, target: addr });
+            return;
+        };
+        let instr = match decode(window, addr) {
+            Ok(i) => i,
+            Err(e) => {
+                self.rejected =
+                    Some(VerificationError::Undecodable { addr, message: e.to_string() });
+                return;
+            }
+        };
+
+        // Lines 10–17: step and push successors.
+        self.steps += 1;
+        let mut ctx = StepCtx {
+            binary,
+            layout: layout.clone(),
+            config: step_config.clone(),
+            fresh,
+            diags: &mut self.diags,
+        };
+        let successors = match step(&mut ctx, &state, &instr, self.entry) {
+            Ok(s) => s,
+            Err(e) => {
+                self.rejected = Some(e);
+                return;
+            }
+        };
+        // Push in reverse so the LIFO bag explores successors in
+        // production order: structured memory-model forks (alias,
+        // separate) resolve their control flow *before* the destroy
+        // fallback joins in and weakens the vertex invariant. Edges
+        // found early persist across later joins (Algorithm 1 line 6
+        // replaces states, never edges).
+        for succ in successors.into_iter().rev() {
+            match succ {
+                Successor::At(a, s) => {
+                    self.bag.push(BagItem { addr: a, state: s, from: Some((vid, instr.clone())) });
+                }
+                Successor::Return(s) => {
+                    // All return paths share the Exit vertex: join.
+                    let joined = match self.graph.vertices.get(&VertexId::Exit) {
+                        Some(v) => s.join(&v.state, false),
+                        None => s,
+                    };
+                    self.graph.add_vertex(VertexId::Exit, joined, true);
+                    self.graph.add_edge(vid, VertexId::Exit, instr.clone());
+                    self.returns = true;
+                }
+                Successor::CallInternal { callee, return_site, after } => {
+                    self.pending.push(PendingReturn {
+                        callee,
+                        from: (vid, instr.clone()),
+                        return_site,
+                        after,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Activate the return site of a pending call once `callee` is
+    /// known to return (the reachability marking of §4.2.2).
+    pub fn activate_returns_from(&mut self, callee: u64) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].callee == callee {
+                let p = self.pending.remove(i);
+                self.bag.push(BagItem { addr: p.return_site, state: p.after, from: Some(p.from) });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Callee entries still awaiting a return proof.
+    pub fn pending_callees(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending.iter().map(|p| p.callee).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_exploration_has_entry_in_bag() {
+        let e = FnExploration::new(0x401000);
+        assert_eq!(e.bag.len(), 1);
+        assert_eq!(e.bag[0].addr, 0x401000);
+        assert!(!e.returns);
+    }
+
+    #[test]
+    fn activate_moves_pending_to_bag() {
+        let mut e = FnExploration::new(0x401000);
+        e.bag.clear();
+        e.pending.push(PendingReturn {
+            callee: 0x402000,
+            from: (VertexId::At(0x401000, 0), {
+                let mut i = Instr::new(hgl_x86::Mnemonic::Call, vec![hgl_x86::Operand::Imm(0x402000)], hgl_x86::Width::B8);
+                i.addr = 0x401000;
+                i.len = 5;
+                i
+            }),
+            return_site: 0x401005,
+            after: SymState::function_entry(0x401000),
+        });
+        assert_eq!(e.pending_callees(), vec![0x402000]);
+        e.activate_returns_from(0x402000);
+        assert!(e.pending.is_empty());
+        assert_eq!(e.bag.len(), 1);
+        assert_eq!(e.bag[0].addr, 0x401005);
+    }
+}

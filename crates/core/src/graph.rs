@@ -1,0 +1,181 @@
+//! The Hoare Graph (Definition 3.2).
+
+use crate::pred::SymState;
+use hgl_x86::Instr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a vertex of the Hoare Graph.
+///
+/// Vertices are *mostly* one-per-instruction-address, but the §4 join
+/// refinement keeps states with different control-flow-relevant code
+/// pointers apart, so an address may carry several variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VertexId {
+    /// A state at a concrete instruction address (address, variant).
+    At(u64, u32),
+    /// The exit state: `rip` equals the function's symbolic return
+    /// address.
+    Exit,
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexId::At(a, 0) => write!(f, "{a:#x}"),
+            VertexId::At(a, v) => write!(f, "{a:#x}.{v}"),
+            VertexId::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// A vertex: a symbolic state (predicate × memory model).
+#[derive(Debug, Clone)]
+pub struct Vertex {
+    /// The invariant at this program point.
+    pub state: SymState,
+    /// Whether the vertex is known reachable (§4.2.2's reachability
+    /// marking; return sites of calls become reachable only once the
+    /// callee provably returns).
+    pub reachable: bool,
+}
+
+/// An edge: a Hoare triple `{pre} instr {post}` where `pre`/`post` are
+/// the states at `from`/`to`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Source vertex.
+    pub from: VertexId,
+    /// Destination vertex.
+    pub to: VertexId,
+    /// The disassembled instruction labelling this edge.
+    pub instr: Instr,
+}
+
+/// An extracted Hoare Graph for one function.
+#[derive(Debug, Clone, Default)]
+pub struct HoareGraph {
+    /// Vertices by id.
+    pub vertices: BTreeMap<VertexId, Vertex>,
+    /// Edges (may contain several per source for forks).
+    pub edges: Vec<Edge>,
+}
+
+impl HoareGraph {
+    /// An empty graph.
+    pub fn new() -> HoareGraph {
+        HoareGraph::default()
+    }
+
+    /// All vertex ids at instruction address `addr`.
+    pub fn vertices_at(&self, addr: u64) -> Vec<VertexId> {
+        self.vertices
+            .keys()
+            .filter(|id| matches!(id, VertexId::At(a, _) if *a == addr))
+            .copied()
+            .collect()
+    }
+
+    /// Number of distinct instruction addresses in the graph (the
+    /// "Instrs." column of Table 1). Includes vertices without
+    /// outgoing edges (e.g. a terminating `call exit`).
+    pub fn instruction_count(&self) -> usize {
+        let mut addrs: Vec<u64> = self.edges.iter().map(|e| e.instr.addr).collect();
+        addrs.extend(self.vertices.keys().filter_map(|id| match id {
+            VertexId::At(a, _) => Some(*a),
+            VertexId::Exit => None,
+        }));
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs.len()
+    }
+
+    /// Number of symbolic states (the "Symbolic States" column).
+    pub fn state_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn successors(&self, id: VertexId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// The distinct instructions labelling edges, by address.
+    pub fn instructions(&self) -> BTreeMap<u64, &Instr> {
+        let mut out = BTreeMap::new();
+        for e in &self.edges {
+            out.entry(e.instr.addr).or_insert(&e.instr);
+        }
+        out
+    }
+
+    /// Add (or fetch) a vertex, returning its id.
+    pub fn add_vertex(&mut self, id: VertexId, state: SymState, reachable: bool) {
+        self.vertices.insert(id, Vertex { state, reachable });
+    }
+
+    /// Add an edge.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, instr: Instr) {
+        // Dedup identical edges (re-exploration after joins).
+        if !self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.instr == instr)
+        {
+            self.edges.push(Edge { from, to, instr });
+        }
+    }
+}
+
+impl fmt::Display for HoareGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Hoare Graph: {} states, {} edges", self.state_count(), self.edges.len())?;
+        for e in &self.edges {
+            writeln!(f, "  {} --[{}]--> {}", e.from, e.instr, e.to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_x86::{Mnemonic, Width};
+
+    fn nop_at(addr: u64) -> Instr {
+        let mut i = Instr::new(Mnemonic::Nop, vec![], Width::B8);
+        i.addr = addr;
+        i.len = 1;
+        i
+    }
+
+    #[test]
+    fn counts() {
+        let mut g = HoareGraph::new();
+        g.add_vertex(VertexId::At(0x10, 0), SymState::function_entry(0x10), true);
+        g.add_vertex(VertexId::At(0x11, 0), SymState::function_entry(0x10), true);
+        g.add_vertex(VertexId::At(0x11, 1), SymState::function_entry(0x10), true);
+        g.add_edge(VertexId::At(0x10, 0), VertexId::At(0x11, 0), nop_at(0x10));
+        g.add_edge(VertexId::At(0x10, 0), VertexId::At(0x11, 1), nop_at(0x10));
+        // 0x10 has an outgoing edge; 0x11's vertices also count.
+        assert_eq!(g.instruction_count(), 2);
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.vertices_at(0x11).len(), 2);
+        assert_eq!(g.successors(VertexId::At(0x10, 0)).count(), 2);
+    }
+
+    #[test]
+    fn edge_dedup() {
+        let mut g = HoareGraph::new();
+        g.add_edge(VertexId::At(0, 0), VertexId::Exit, nop_at(0));
+        g.add_edge(VertexId::At(0, 0), VertexId::Exit, nop_at(0));
+        assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn vertex_id_display() {
+        assert_eq!(VertexId::At(0x401000, 0).to_string(), "0x401000");
+        assert_eq!(VertexId::At(0x401000, 2).to_string(), "0x401000.2");
+        assert_eq!(VertexId::Exit.to_string(), "exit");
+    }
+}

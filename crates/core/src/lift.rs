@@ -1,0 +1,298 @@
+//! The top-level lifting driver.
+//!
+//! [`lift`] starts from a binary's entry point (the "Binaries" mode of
+//! Table 1); [`lift_function`] starts from an arbitrary function
+//! address (the "Library functions" mode used for shared objects).
+//! Either way, internal calls are handled compositionally: every
+//! function is explored exactly once from a fresh context-free state
+//! (§4.2.2), and return sites become reachable only when their callee
+//! provably returns.
+
+use crate::diag::{Annotation, ProofObligation, VerificationError};
+use crate::explore::{ExploreLimits, FnExploration};
+use crate::graph::HoareGraph;
+use crate::tau::StepConfig;
+use hgl_elf::Binary;
+use hgl_solver::{Assumption, Layout};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Lifting configuration.
+#[derive(Debug, Clone)]
+pub struct LiftConfig {
+    /// Wall-clock budget for one lift (the paper used 4 h per unit;
+    /// scale to taste).
+    pub timeout: Duration,
+    /// Stepping tunables.
+    pub step: StepConfig,
+    /// Exploration limits.
+    pub limits: ExploreLimits,
+}
+
+impl Default for LiftConfig {
+    fn default() -> LiftConfig {
+        LiftConfig {
+            timeout: Duration::from_secs(60),
+            step: StepConfig::default(),
+            limits: ExploreLimits::default(),
+        }
+    }
+}
+
+/// Why a unit (binary or function) was not lifted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A sanity property could not be proven.
+    Verification(VerificationError),
+    /// The binary uses threading primitives (out of scope, §1).
+    Concurrency,
+    /// The time budget expired.
+    Timeout,
+    /// A reachable callee was rejected.
+    CalleeRejected(u64),
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Verification(e) => write!(f, "verification error: {e}"),
+            RejectReason::Concurrency => write!(f, "concurrency (pthread) out of scope"),
+            RejectReason::Timeout => write!(f, "timeout"),
+            RejectReason::CalleeRejected(a) => write!(f, "reachable callee {a:#x} rejected"),
+        }
+    }
+}
+
+/// The lifted artefacts of one function.
+#[derive(Debug, Clone)]
+pub struct FnLift {
+    /// Entry address.
+    pub entry: u64,
+    /// The extracted Hoare Graph.
+    pub graph: HoareGraph,
+    /// Unsoundness annotations (columns B/C of Table 1).
+    pub annotations: Vec<Annotation>,
+    /// External-call proof obligations (§5.3).
+    pub obligations: Vec<ProofObligation>,
+    /// Memory-space assumptions used by the solver.
+    pub assumptions: Vec<Assumption>,
+    /// Fatal errors (the function is rejected if non-empty).
+    pub verification_errors: Vec<VerificationError>,
+    /// Successfully bounded indirections (column A).
+    pub resolved_indirections: usize,
+    /// Whether some path provably returns.
+    pub returns: bool,
+    /// Rejection verdict, if any.
+    pub reject: Option<RejectReason>,
+}
+
+impl FnLift {
+    /// True if the function lifted cleanly (it may still carry
+    /// annotations — those mark unexplored indirections, not errors).
+    pub fn is_lifted(&self) -> bool {
+        self.reject.is_none()
+    }
+}
+
+/// The result of lifting a binary or function.
+#[derive(Debug, Clone, Default)]
+pub struct LiftResult {
+    /// Per-function results, keyed by entry address.
+    pub functions: BTreeMap<u64, FnLift>,
+    /// Binary-level rejection (concurrency or timeout), if any.
+    pub binary_reject: Option<RejectReason>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl LiftResult {
+    /// Total number of distinct instruction addresses lifted.
+    pub fn instruction_count(&self) -> usize {
+        let mut addrs: Vec<u64> = self
+            .functions
+            .values()
+            .flat_map(|f| f.graph.instructions().keys().copied().collect::<Vec<_>>())
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs.len()
+    }
+
+    /// Total number of symbolic states.
+    pub fn state_count(&self) -> usize {
+        self.functions.values().map(|f| f.graph.state_count()).sum()
+    }
+
+    /// Totals of (resolved, unresolved-jump, unresolved-call)
+    /// indirections — columns A/B/C of Table 1.
+    pub fn indirection_counts(&self) -> (usize, usize, usize) {
+        let mut a = 0;
+        let mut b = 0;
+        let mut c = 0;
+        for f in self.functions.values() {
+            a += f.resolved_indirections;
+            for ann in &f.annotations {
+                match ann {
+                    Annotation::UnresolvedJump { .. } => b += 1,
+                    Annotation::UnresolvedCall { .. } => c += 1,
+                }
+            }
+        }
+        (a, b, c)
+    }
+
+    /// True if every reached function lifted and no binary-level
+    /// rejection occurred.
+    pub fn is_lifted(&self) -> bool {
+        self.binary_reject.is_none() && self.functions.values().all(FnLift::is_lifted)
+    }
+
+    /// The first rejection, if any.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        if let Some(r) = &self.binary_reject {
+            return Some(r.clone());
+        }
+        self.functions.values().find_map(|f| f.reject.clone())
+    }
+}
+
+fn layout_of(binary: &Binary) -> Layout {
+    Layout { text: binary.text_ranges(), data: binary.data_ranges() }
+}
+
+/// Lift a binary from its entry point.
+pub fn lift(binary: &Binary, config: &LiftConfig) -> LiftResult {
+    lift_from(binary, binary.entry, config)
+}
+
+/// Lift starting from a specific function address (library mode).
+pub fn lift_function(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
+    lift_from(binary, entry, config)
+}
+
+fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
+    let start = Instant::now();
+    let mut result = LiftResult::default();
+
+    // Concurrency scope check (§1): binaries calling pthread_* are out
+    // of scope.
+    if binary
+        .externals
+        .values()
+        .any(|n| n.starts_with("pthread_") && n != "pthread_exit")
+    {
+        result.binary_reject = Some(RejectReason::Concurrency);
+        result.elapsed = start.elapsed();
+        return result;
+    }
+
+    let layout = layout_of(binary);
+    let deadline = Instant::now() + config.timeout;
+    let mut fresh: u64 = 0;
+
+    let mut explorations: BTreeMap<u64, FnExploration> = BTreeMap::new();
+    explorations.insert(entry, FnExploration::new(entry));
+    // Functions whose return has been proven and propagated.
+    let mut returns_propagated: Vec<u64> = Vec::new();
+
+    loop {
+        if Instant::now() > deadline {
+            result.binary_reject = Some(RejectReason::Timeout);
+            break;
+        }
+        // Run one function with work available.
+        let runnable = explorations
+            .iter()
+            .find(|(_, e)| !e.bag.is_empty() && e.rejected.is_none())
+            .map(|(k, _)| *k);
+        let Some(addr) = runnable else {
+            // No bag work: discover new callees, activate pendings on
+            // already-proven callees, or propagate newly proven returns.
+            let mut new_callees = Vec::new();
+            for e in explorations.values() {
+                for c in e.pending_callees() {
+                    if !explorations.contains_key(&c) {
+                        new_callees.push(c);
+                    }
+                }
+            }
+            if !new_callees.is_empty() {
+                for c in new_callees {
+                    explorations.entry(c).or_insert_with(|| FnExploration::new(c));
+                }
+                continue;
+            }
+            // Pendings created *after* their callee's return was first
+            // propagated still need activation.
+            let mut activated = false;
+            for callee in returns_propagated.clone() {
+                for e in explorations.values_mut() {
+                    let before = e.bag.len();
+                    e.activate_returns_from(callee);
+                    activated |= e.bag.len() != before;
+                }
+            }
+            if activated {
+                continue;
+            }
+            // Propagate newly proven returns.
+            let newly: Vec<u64> = explorations
+                .iter()
+                .filter(|(a, e)| e.returns && !returns_propagated.contains(a))
+                .map(|(a, _)| *a)
+                .collect();
+            if newly.is_empty() {
+                break; // fixpoint
+            }
+            for callee in newly {
+                returns_propagated.push(callee);
+                for e in explorations.values_mut() {
+                    e.activate_returns_from(callee);
+                }
+            }
+            continue;
+        };
+        let e = explorations.get_mut(&addr).expect("exists");
+        e.run(binary, &layout, &config.step, &config.limits, &mut fresh, Some(deadline));
+        // Immediately propagate a newly proven return so callers wake up.
+        if e.returns && !returns_propagated.contains(&addr) {
+            returns_propagated.push(addr);
+            for e2 in explorations.values_mut() {
+                e2.activate_returns_from(addr);
+            }
+        }
+    }
+
+    // Assemble per-function results; propagate callee rejection.
+    let rejected_fns: Vec<u64> = explorations
+        .iter()
+        .filter(|(_, e)| e.rejected.is_some())
+        .map(|(a, _)| *a)
+        .collect();
+    for (addr, e) in explorations {
+        let reject = match &e.rejected {
+            Some(err) => Some(RejectReason::Verification(err.clone())),
+            None => e
+                .pending_callees()
+                .iter()
+                .find(|c| rejected_fns.contains(c))
+                .map(|c| RejectReason::CalleeRejected(*c)),
+        };
+        result.functions.insert(
+            addr,
+            FnLift {
+                entry: addr,
+                graph: e.graph,
+                annotations: e.diags.annotations,
+                obligations: e.diags.obligations,
+                assumptions: e.diags.assumptions,
+                verification_errors: e.rejected.iter().cloned().collect(),
+                resolved_indirections: e.diags.resolved_indirections,
+                returns: e.returns,
+                reject,
+            },
+        );
+    }
+    result.elapsed = start.elapsed();
+    result
+}

@@ -1,0 +1,198 @@
+//! Property tests for the join semilattice (§3): joining only loses
+//! information, never invents it. Concretely: any machine state
+//! satisfying `P` (or `Q`) also satisfies `P ⊔ Q` — the soundness
+//! criterion `s ⊢ P ∨ Q ⟹ s ⊢ P ⊔ Q` stated in §3 and Lemma 3.14.
+
+use hgl_core::memmodel::{MemModel, MemTree};
+use hgl_core::pred::{Pred, SymState};
+use hgl_expr::{Clause, Expr, Rel, Sym};
+use hgl_solver::Region;
+use hgl_x86::Reg;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A concrete environment for the symbols we use.
+fn env_of(vals: &BTreeMap<Sym, u64>) -> impl Fn(Sym) -> u64 + '_ {
+    move |s| *vals.get(&s).unwrap_or(&0)
+}
+
+/// Does the concrete state satisfy the predicate's clause set and
+/// memory entries? (Register satisfaction is definitional in our
+/// representation: the predicate *maps* registers to value terms.)
+fn clauses_sat(p: &Pred, vals: &BTreeMap<Sym, u64>, mem: &BTreeMap<u64, u64>) -> Option<bool> {
+    let env = env_of(vals);
+    let oracle = |a: u64, _sz: u8| mem.get(&a).copied();
+    p.clauses_hold(&env, &oracle)
+}
+
+fn arb_sym() -> impl Strategy<Value = Sym> {
+    prop_oneof![
+        Just(Sym::Init(Reg::Rax)),
+        Just(Sym::Init(Reg::Rdi)),
+        Just(Sym::Fresh(1)),
+        Just(Sym::Fresh(2)),
+    ]
+}
+
+fn arb_clause() -> impl Strategy<Value = Clause> {
+    (arb_sym(), 0u64..64, prop_oneof![Just(Rel::Eq), Just(Rel::Lt), Just(Rel::Ge), Just(Rel::Ne)])
+        .prop_map(|(s, v, rel)| Clause::new(Expr::sym(s), rel, Expr::imm(v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Clause-level join soundness: an env satisfying P's clauses
+    /// satisfies (P ⊔ Q)'s clauses.
+    #[test]
+    fn clause_join_sound(
+        ca in proptest::collection::vec(arb_clause(), 0..5),
+        cb in proptest::collection::vec(arb_clause(), 0..5),
+        vals in proptest::collection::btree_map(arb_sym(), 0u64..64, 0..4),
+        widen in any::<bool>(),
+    ) {
+        let mut p = Pred::function_entry(0);
+        p.mem.clear();
+        p.clauses.extend(ca);
+        let mut q = Pred::function_entry(0);
+        q.mem.clear();
+        q.clauses.extend(cb);
+        let j = p.join(&q, widen);
+        let mem = BTreeMap::new();
+        for side in [&p, &q] {
+            if clauses_sat(side, &vals, &mem) == Some(true) {
+                prop_assert_eq!(
+                    clauses_sat(&j, &vals, &mem), Some(true),
+                    "state satisfying a side must satisfy the join"
+                );
+            }
+        }
+    }
+
+    /// Register join soundness: if a register's joined value term
+    /// evaluates, it equals the side's value whenever the side's term
+    /// evaluates (fresh symbols matched by the unifier pick the
+    /// satisfying binding).
+    #[test]
+    fn reg_join_keeps_only_common_values(
+        va in 0u64..8,
+        vb in 0u64..8,
+        same in any::<bool>(),
+    ) {
+        let mut p = Pred::function_entry(0);
+        let mut q = Pred::function_entry(0);
+        p.set_reg(Reg::Rax, Expr::imm(va));
+        q.set_reg(Reg::Rax, Expr::imm(if same { va } else { vb }));
+        let j = p.join(&q, false);
+        if same || va == vb {
+            prop_assert_eq!(j.reg(Reg::Rax), Expr::imm(va));
+        } else {
+            prop_assert!(j.reg(Reg::Rax).is_bottom());
+        }
+    }
+
+    /// Memory-model join soundness on concrete layouts (Lemma 3.14):
+    /// an environment in which M0 holds also makes M0 ⊔ M1 hold.
+    #[test]
+    fn model_join_sound(
+        a0 in 0u64..4u64,
+        a1 in 0u64..4u64,
+        b0 in 0u64..4u64,
+        share in any::<bool>(),
+    ) {
+        // Two-region models over two pointer symbols with random
+        // concrete placements (scaled so regions may or may not
+        // overlap).
+        let pa = Expr::sym(Sym::Init(Reg::Rdi));
+        let pb = Expr::sym(Sym::Init(Reg::Rsi));
+        let ra = Region::new(pa.clone(), 8);
+        let rb = Region::new(pb.clone(), 8);
+        let m0 = MemModel { trees: vec![MemTree::leaf(ra.clone()), MemTree::leaf(rb.clone())] };
+        let m1 = if share {
+            m0.clone()
+        } else {
+            MemModel { trees: vec![MemTree::leaf(ra.clone())] }
+        };
+        let j = m0.join(&m1);
+        let env = move |s: Sym| match s {
+            Sym::Init(Reg::Rdi) => 0x1000 + a0 * 8 + a1,
+            Sym::Init(Reg::Rsi) => 0x1000 + b0 * 8,
+            _ => 0,
+        };
+        for m in [&m0, &m1] {
+            if m.holds_in(&env) == Some(true) {
+                prop_assert_eq!(j.holds_in(&env), Some(true), "join weaker than both sides");
+            }
+        }
+    }
+
+    /// `leq` is a partial order compatible with join: σ ⊑ σ⊔τ and
+    /// τ ⊑ σ⊔τ … up to the unifier's greedy renaming.
+    #[test]
+    fn join_is_upper_bound(
+        va in 0u64..8,
+        vb in 0u64..8,
+        clause_v in 0u64..16,
+    ) {
+        let mut s1 = SymState::function_entry(0x1000);
+        s1.pred.set_reg(Reg::Rax, Expr::imm(va));
+        s1.pred.clauses.insert(Clause::new(
+            Expr::sym(Sym::Init(Reg::Rdi)), Rel::Lt, Expr::imm(clause_v + 1),
+        ));
+        let mut s2 = SymState::function_entry(0x1000);
+        s2.pred.set_reg(Reg::Rax, Expr::imm(vb));
+        let j = s1.join(&s2, false);
+        prop_assert!(s1.leq(&j), "s1 ⊑ s1⊔s2");
+        prop_assert!(s2.leq(&j), "s2 ⊑ s1⊔s2");
+        // Idempotence.
+        prop_assert_eq!(&j.join(&j, false), &j);
+    }
+
+    /// Joining with unified fresh symbols preserves sharing: the
+    /// central property behind call-havoc convergence.
+    #[test]
+    fn unifier_preserves_sharing(id_a in 10u64..20, id_b in 20u64..30) {
+        let mut s1 = SymState::function_entry(0x1000);
+        s1.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(id_a)));
+        s1.pred.set_mem(Region::stack(-8, 8), Expr::sym(Sym::Fresh(id_a)));
+        let mut s2 = SymState::function_entry(0x1000);
+        s2.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(id_b)));
+        s2.pred.set_mem(Region::stack(-8, 8), Expr::sym(Sym::Fresh(id_b)));
+        let j = s1.join(&s2, false);
+        // The join keeps rax == *[rsp0-8] with a single symbol.
+        let r = j.pred.reg(Reg::Rax);
+        prop_assert!(matches!(r, Expr::Sym(Sym::Fresh(_))));
+        prop_assert_eq!(j.pred.mem_value(&Region::stack(-8, 8)), Some(&r));
+        // And the re-join is a fixpoint.
+        prop_assert!(s2.leq(&j));
+        prop_assert!(s1.leq(&j));
+    }
+
+    /// Mismatched sharing degrades instead of lying.
+    #[test]
+    fn unifier_rejects_inconsistent_sharing(id_a in 10u64..20, id_b in 20u64..30, id_c in 30u64..40) {
+        let mut s1 = SymState::function_entry(0x1000);
+        s1.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(id_a)));
+        s1.pred.set_reg(Reg::Rbx, Expr::sym(Sym::Fresh(id_a))); // rax == rbx
+        let mut s2 = SymState::function_entry(0x1000);
+        s2.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(id_b)));
+        s2.pred.set_reg(Reg::Rbx, Expr::sym(Sym::Fresh(id_c))); // rax != rbx possible
+        let j = s1.join(&s2, false);
+        // The join must NOT claim rax == rbx.
+        let (ra, rb) = (j.pred.reg(Reg::Rax), j.pred.reg(Reg::Rbx));
+        prop_assert!(ra.is_bottom() || rb.is_bottom() || ra != rb,
+            "join invented sharing: rax={ra} rbx={rb}");
+    }
+}
+
+/// `join` of the reg map respects the documented name-stability: the
+/// surviving names come from the `other` (existing-vertex) side.
+#[test]
+fn join_keeps_existing_names() {
+    let mut incoming = SymState::function_entry(0);
+    incoming.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(99)));
+    let mut existing = SymState::function_entry(0);
+    existing.pred.set_reg(Reg::Rax, Expr::sym(Sym::Fresh(7)));
+    let j = incoming.join(&existing, false);
+    assert_eq!(j.pred.reg(Reg::Rax), Expr::sym(Sym::Fresh(7)));
+}

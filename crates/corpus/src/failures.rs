@@ -1,0 +1,158 @@
+//! The §5.3 failure-case binaries, reproduced as synthesized ELFs.
+
+use hgl_asm::Asm;
+use hgl_elf::Binary;
+use hgl_x86::{Instr, MemOperand, Mnemonic, Operand, Reg, Width};
+
+fn ins(m: Mnemonic, ops: Vec<Operand>, w: Width) -> Instr {
+    Instr::new(m, ops, w)
+}
+
+fn mem(base: Reg, disp: i64, size: Width) -> Operand {
+    Operand::Mem(MemOperand::base_disp(base, disp, size))
+}
+
+/// The ROP-emporium `ret2win` shape (§5.3): `main` passes a pointer to
+/// a 32-byte stack buffer to external `memset` with a 48-byte length.
+/// The lifter cannot see the length, so it emits a proof obligation
+/// that `memset` preserves `[RSP0-8, RSP0+8]` — the negation of which
+/// is the exploit.
+pub fn ret2win() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("main");
+    asm.push(Reg::Rbp);
+    asm.mov(Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp));
+    asm.ins(ins(Mnemonic::Sub, vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x20)], Width::B8));
+    // lea rdi, [rbp-0x20] ; mov esi, 0 ; mov edx, 48 ; call memset
+    asm.ins(ins(
+        Mnemonic::Lea,
+        vec![Operand::reg64(Reg::Rdi), mem(Reg::Rbp, -0x20, Width::B8)],
+        Width::B8,
+    ));
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg(Reg::Rsi, Width::B4), Operand::Imm(0)], Width::B4));
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg(Reg::Rdx, Width::B4), Operand::Imm(48)], Width::B4));
+    asm.call_ext("memset");
+    asm.ins(ins(Mnemonic::Leave, vec![], Width::B8));
+    asm.ret();
+    // The hidden win function the exploit would pivot to.
+    asm.label("ret2win");
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg(Reg::Rdi, Width::B4), Operand::Imm(0)], Width::B4));
+    asm.call_ext("system");
+    asm.ret();
+    asm.entry("main").assemble().expect("ret2win assembles")
+}
+
+/// The `/usr/bin/zip` stack-probing shape (§5.3): an internal call
+/// whose callee's effect on `rax` is unknown, followed by
+/// `sub rsp, rax`.
+pub fn stack_probe() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("caller");
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(0x1400)], Width::B4));
+    asm.call("probe");
+    asm.ins(ins(Mnemonic::Sub, vec![Operand::reg64(Reg::Rsp), Operand::reg64(Reg::Rax)], Width::B8));
+    asm.ins(ins(Mnemonic::Mov, vec![mem(Reg::Rsp, 0, Width::B8), Operand::Imm(0)], Width::B8));
+    asm.ins(ins(Mnemonic::Add, vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x1400)], Width::B8));
+    asm.ret();
+    // The probing routine: touches guard pages below rsp.
+    asm.label("probe");
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg64(Reg::Rcx), Operand::reg64(Reg::Rax)], Width::B8));
+    asm.ret();
+    asm.entry("caller").assemble().expect("stack probe assembles")
+}
+
+/// The `/usr/bin/ssh` non-standard stack-pointer restoration (§5.3):
+/// `rsp` is reloaded from a computed memory location before `ret`.
+pub fn nonstandard_rsp() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("f");
+    // rsp := *[(rsp - (48 - ((-4 - r9) * 8))) & -400 + ...] — we keep
+    // the shape simple: rsp loaded through a pointer parameter.
+    asm.ins(ins(
+        Mnemonic::Lea,
+        vec![
+            Operand::reg64(Reg::Rax),
+            Operand::Mem(MemOperand::sib(Some(Reg::Rdi), Reg::R9, 8, -48, Width::B8)),
+        ],
+        Width::B8,
+    ));
+    asm.ins(ins(Mnemonic::And, vec![Operand::reg64(Reg::Rax), Operand::Imm(-400)], Width::B8));
+    asm.mov(Operand::reg64(Reg::Rsp), mem(Reg::Rax, 8, Width::B8));
+    asm.ins(ins(Mnemonic::Add, vec![Operand::reg64(Reg::Rsp), Operand::Imm(56)], Width::B8));
+    asm.ret();
+    asm.entry("f").assemble().expect("nonstandard rsp assembles")
+}
+
+/// The §5.1 induced buffer overflow: no Hoare Graph may be produced.
+pub fn induced_overflow() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("vuln");
+    asm.ins(ins(
+        Mnemonic::Mov,
+        vec![Operand::reg(Reg::Rax, Width::B4), Operand::reg(Reg::Rdi, Width::B4)],
+        Width::B4,
+    ));
+    asm.ins(ins(
+        Mnemonic::Mov,
+        vec![
+            Operand::Mem(MemOperand::sib(Some(Reg::Rsp), Reg::Rax, 1, -0x40, Width::B1)),
+            Operand::Imm(0x41),
+        ],
+        Width::B1,
+    ));
+    asm.ret();
+    asm.entry("vuln").assemble().expect("overflow assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_core::lift::{lift, LiftConfig, RejectReason};
+    use hgl_core::VerificationError;
+
+    #[test]
+    fn ret2win_lifts_with_obligation() {
+        let bin = ret2win();
+        let result = lift(&bin, &LiftConfig::default());
+        assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
+        let f = &result.functions[&bin.entry];
+        let ob = f.obligations.iter().find(|o| o.callee == "memset").expect("obligation");
+        let s = ob.to_string();
+        assert!(s.contains("memset(RDI := (rsp0 + -0x28))"), "{s}");
+        assert!(s.contains("MUST PRESERVE [(rsp0 + -0x8), 16]"), "{s}");
+    }
+
+    #[test]
+    fn stack_probe_rejected() {
+        let result = lift(&stack_probe(), &LiftConfig::default());
+        assert!(!result.is_lifted());
+        assert!(matches!(
+            result.reject_reason(),
+            Some(RejectReason::Verification(
+                VerificationError::ReturnAddressClobbered { .. }
+                    | VerificationError::NonStandardStackRestore { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn nonstandard_rsp_rejected() {
+        let result = lift(&nonstandard_rsp(), &LiftConfig::default());
+        assert!(!result.is_lifted());
+        match result.reject_reason() {
+            Some(RejectReason::Verification(VerificationError::NonStandardStackRestore {
+                rsp, ..
+            })) => {
+                // The reported symbolic rsp involves the loaded value.
+                assert!(!rsp.is_bottom());
+            }
+            other => panic!("expected NonStandardStackRestore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induced_overflow_rejected() {
+        let result = lift(&induced_overflow(), &LiftConfig::default());
+        assert!(!result.is_lifted());
+    }
+}

@@ -1,0 +1,31 @@
+//! # hgl-corpus: synthetic evaluation corpora
+//!
+//! The paper evaluates on the Xen 4.12 hypervisor (63 binaries, 2151
+//! library functions, ~400 K instructions), several CoreUtils binaries
+//! and hand-picked failure cases. Those binaries are not available
+//! offline, so this crate *synthesizes* corpora that reproduce the
+//! phenomena the evaluation measures (see `DESIGN.md`,
+//! *Substitutions*):
+//!
+//! - [`gen`]: a seeded generator of realistic C-compiler-shaped
+//!   functions — stack frames, saved registers, diamonds, loops,
+//!   bounded jump tables, internal/external calls, callbacks through
+//!   function-pointer globals;
+//! - [`xen`]: the Table-1 study — directories of binaries and library
+//!   functions with the paper's mix of liftable units, unprovable
+//!   return addresses, concurrency rejections and timeouts;
+//! - [`coreutils`]: six CoreUtils-like binaries (Table 2) sized
+//!   proportionally to the paper's `hexdump`, `od`, `wc`, `tar`, `du`
+//!   and `gzip`;
+//! - [`failures`]: the §5.3 case studies — the ret2win stack overflow,
+//!   stack probing, and non-standard stack-pointer restoration.
+
+#![warn(missing_docs)]
+
+pub mod coreutils;
+pub mod failures;
+pub mod gen;
+pub mod xen;
+
+pub use gen::{FunctionSpec, GenOptions, ProgramGen};
+pub use xen::{CorpusUnit, ExpectedOutcome, StudySpec, UnitKind, XenStudy};

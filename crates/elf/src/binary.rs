@@ -1,0 +1,151 @@
+//! The loaded-binary view consumed by the lifter.
+
+use crate::types::SegmentFlags;
+use std::collections::BTreeMap;
+
+/// A loadable segment with its bytes mapped at a virtual address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u64,
+    /// Mapped bytes (`memsz` long; file bytes zero-padded).
+    pub bytes: Vec<u8>,
+    /// Access flags.
+    pub flags: SegmentFlags,
+}
+
+impl Segment {
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.vaddr + self.bytes.len() as u64
+    }
+
+    /// True if `[addr, addr+len)` lies within this segment.
+    pub fn covers(&self, addr: u64, len: u64) -> bool {
+        addr >= self.vaddr && addr.checked_add(len).is_some_and(|e| e <= self.end())
+    }
+}
+
+/// A loaded x86-64 binary: the lifter's model of Definition 3.1.
+///
+/// Produced by [`Binary::parse`] (from ELF bytes) or by the `hgl-asm`
+/// builder directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binary {
+    /// Entry point `a_e`.
+    pub entry: u64,
+    /// Loaded segments, sorted by address.
+    pub segments: Vec<Segment>,
+    /// External-function stubs: stub address → symbol name.
+    pub externals: BTreeMap<u64, String>,
+    /// Defined function symbols (empty for stripped binaries): address
+    /// → name. Shared objects use these as lift entry points.
+    pub symbols: BTreeMap<u64, String>,
+}
+
+impl Binary {
+    /// `[start, end)` ranges of executable segments.
+    pub fn text_ranges(&self) -> Vec<(u64, u64)> {
+        self.segments.iter().filter(|s| s.flags.x).map(|s| (s.vaddr, s.end())).collect()
+    }
+
+    /// `[start, end)` ranges of non-executable segments.
+    pub fn data_ranges(&self) -> Vec<(u64, u64)> {
+        self.segments.iter().filter(|s| !s.flags.x).map(|s| (s.vaddr, s.end())).collect()
+    }
+
+    /// True if `addr` lies in an executable segment (an *immediate
+    /// pointer to an instruction* in the sense of §4's join
+    /// refinement).
+    pub fn is_code(&self, addr: u64) -> bool {
+        self.segments.iter().any(|s| s.flags.x && s.covers(addr, 1))
+    }
+
+    /// Read `len` bytes at virtual address `addr`.
+    pub fn read(&self, addr: u64, len: u64) -> Option<&[u8]> {
+        let seg = self.segments.iter().find(|s| s.covers(addr, len))?;
+        let off = (addr - seg.vaddr) as usize;
+        Some(&seg.bytes[off..off + len as usize])
+    }
+
+    /// Read a little-endian value of `size` bytes (1, 2, 4 or 8).
+    pub fn read_int(&self, addr: u64, size: u8) -> Option<u64> {
+        let b = self.read(addr, size as u64)?;
+        let mut v = 0u64;
+        for (i, byte) in b.iter().enumerate() {
+            v |= (*byte as u64) << (8 * i);
+        }
+        Some(v)
+    }
+
+    /// Read a little-endian value of `size` bytes, but only from a
+    /// non-writable segment (whose contents are load-time constants).
+    pub fn read_int_ro(&self, addr: u64, size: u8) -> Option<u64> {
+        let seg = self.segments.iter().find(|s| s.covers(addr, size as u64))?;
+        if seg.flags.w {
+            return None;
+        }
+        self.read_int(addr, size)
+    }
+
+    /// The byte window for the instruction decoder: up to 15 bytes at
+    /// `addr`, clipped to the containing executable segment.
+    pub fn fetch_window(&self, addr: u64) -> Option<&[u8]> {
+        let seg = self.segments.iter().find(|s| s.flags.x && s.covers(addr, 1))?;
+        let off = (addr - seg.vaddr) as usize;
+        let end = seg.bytes.len().min(off + 15);
+        Some(&seg.bytes[off..end])
+    }
+
+    /// Is this address an external-function stub?
+    pub fn external_at(&self, addr: u64) -> Option<&str> {
+        self.externals.get(&addr).map(String::as_str)
+    }
+
+    /// Total number of mapped bytes.
+    pub fn mapped_len(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin() -> Binary {
+        Binary {
+            entry: 0x401000,
+            segments: vec![
+                Segment { vaddr: 0x401000, bytes: vec![0xc3; 16], flags: SegmentFlags::RX },
+                Segment { vaddr: 0x601000, bytes: vec![0xaa; 8], flags: SegmentFlags::RW },
+            ],
+            externals: BTreeMap::new(),
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn ranges() {
+        let b = bin();
+        assert_eq!(b.text_ranges(), vec![(0x401000, 0x401010)]);
+        assert_eq!(b.data_ranges(), vec![(0x601000, 0x601008)]);
+        assert!(b.is_code(0x401000));
+        assert!(!b.is_code(0x601000));
+    }
+
+    #[test]
+    fn reads() {
+        let b = bin();
+        assert_eq!(b.read(0x601000, 8), Some(&[0xaa; 8][..]));
+        assert_eq!(b.read(0x601004, 8), None, "crosses segment end");
+        assert_eq!(b.read_int(0x601000, 4), Some(0xaaaa_aaaa));
+    }
+
+    #[test]
+    fn fetch_window_clips() {
+        let b = bin();
+        assert_eq!(b.fetch_window(0x401000).map(<[u8]>::len), Some(15));
+        assert_eq!(b.fetch_window(0x40100e).map(<[u8]>::len), Some(2));
+        assert_eq!(b.fetch_window(0x601000), None, "data is not fetchable");
+    }
+}

@@ -1,0 +1,246 @@
+//! ELF64 parser.
+
+use crate::types::*;
+use crate::{Binary, Segment, SegmentFlags};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by [`Binary::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The file does not start with the ELF magic.
+    NotElf,
+    /// Not a little-endian 64-bit x86-64 image.
+    UnsupportedFormat(&'static str),
+    /// A header or table points outside the file.
+    Truncated(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotElf => write!(f, "not an ELF file"),
+            ParseError::UnsupportedFormat(what) => write!(f, "unsupported ELF format: {what}"),
+            ParseError::Truncated(what) => write!(f, "truncated ELF file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn get<'a>(bytes: &'a [u8], off: usize, len: usize, what: &'static str) -> Result<&'a [u8], ParseError> {
+    bytes.get(off..off + len).ok_or(ParseError::Truncated(what))
+}
+
+fn u16le(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn u64le(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+impl Binary {
+    /// Parse an ELF64 image into the loaded view.
+    ///
+    /// Stripped binaries parse fine (`symbols` stays empty); the
+    /// `.extmap` section, if present, populates [`Binary::externals`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] for non-ELF input, non-x86-64 images, or
+    /// tables pointing outside the file.
+    pub fn parse(bytes: &[u8]) -> Result<Binary, ParseError> {
+        let ident = get(bytes, 0, 16, "e_ident")?;
+        if ident[..4] != MAGIC {
+            return Err(ParseError::NotElf);
+        }
+        if ident[4] != ELFCLASS64 {
+            return Err(ParseError::UnsupportedFormat("not 64-bit"));
+        }
+        if ident[5] != ELFDATA2LSB {
+            return Err(ParseError::UnsupportedFormat("not little-endian"));
+        }
+        let hdr = get(bytes, 0, EHDR_SIZE as usize, "ELF header")?;
+        let e_type = u16le(&hdr[16..]);
+        if e_type != ET_EXEC && e_type != ET_DYN {
+            return Err(ParseError::UnsupportedFormat("not an executable or shared object"));
+        }
+        if u16le(&hdr[18..]) != EM_X86_64 {
+            return Err(ParseError::UnsupportedFormat("not x86-64"));
+        }
+        let entry = u64le(&hdr[24..]);
+        let phoff = u64le(&hdr[32..]) as usize;
+        let shoff = u64le(&hdr[40..]) as usize;
+        let phentsize = u16le(&hdr[54..]) as usize;
+        let phnum = u16le(&hdr[56..]) as usize;
+        let shentsize = u16le(&hdr[58..]) as usize;
+        let shnum = u16le(&hdr[60..]) as usize;
+        let shstrndx = u16le(&hdr[62..]) as usize;
+
+        // Program headers → segments.
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let ph = get(bytes, phoff + i * phentsize, PHDR_SIZE as usize, "program header")?;
+            if u32le(&ph[0..]) != PT_LOAD {
+                continue;
+            }
+            let flags = SegmentFlags::from_p_flags(u32le(&ph[4..]));
+            let off = u64le(&ph[8..]) as usize;
+            let vaddr = u64le(&ph[16..]);
+            let filesz = u64le(&ph[32..]) as usize;
+            let memsz = u64le(&ph[40..]) as usize;
+            if memsz == 0 {
+                continue;
+            }
+            let mut seg_bytes = get(bytes, off, filesz, "segment contents")?.to_vec();
+            seg_bytes.resize(memsz, 0);
+            segments.push(Segment { vaddr, bytes: seg_bytes, flags });
+        }
+        segments.sort_by_key(|s| s.vaddr);
+
+        // Section headers: look for .extmap and .symtab.
+        let mut externals = BTreeMap::new();
+        let mut symbols = BTreeMap::new();
+        if shoff != 0 && shnum != 0 && shstrndx < shnum {
+            let sh = |i: usize| get(bytes, shoff + i * shentsize, SHDR_SIZE as usize, "section header");
+            let shstr_hdr = sh(shstrndx)?;
+            let shstr_off = u64le(&shstr_hdr[24..]) as usize;
+            let shstr_size = u64le(&shstr_hdr[32..]) as usize;
+            let shstr = get(bytes, shstr_off, shstr_size, "shstrtab")?;
+            let sec_name = |name_off: usize| -> &str {
+                let rest = &shstr[name_off.min(shstr.len())..];
+                let end = rest.iter().position(|&b| b == 0).unwrap_or(0);
+                std::str::from_utf8(&rest[..end]).unwrap_or("")
+            };
+            for i in 0..shnum {
+                let h = sh(i)?;
+                let name = sec_name(u32le(&h[0..]) as usize);
+                let sh_type = u32le(&h[4..]);
+                let off = u64le(&h[24..]) as usize;
+                let size = u64le(&h[32..]) as usize;
+                match (name, sh_type) {
+                    (".extmap", _) => {
+                        let data = get(bytes, off, size, ".extmap")?;
+                        externals = parse_extmap(data)?;
+                    }
+                    (_, SHT_SYMTAB) => {
+                        let link = u32le(&h[40..]) as usize;
+                        if link >= shnum {
+                            continue;
+                        }
+                        let strh = sh(link)?;
+                        let str_off = u64le(&strh[24..]) as usize;
+                        let str_size = u64le(&strh[32..]) as usize;
+                        let strtab = get(bytes, str_off, str_size, ".strtab")?;
+                        let data = get(bytes, off, size, ".symtab")?;
+                        symbols = parse_symtab(data, strtab);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        Ok(Binary { entry, segments, externals, symbols })
+    }
+}
+
+fn parse_extmap(data: &[u8]) -> Result<BTreeMap<u64, String>, ParseError> {
+    let mut out = BTreeMap::new();
+    let mut pos = 0;
+    while pos + 10 <= data.len() {
+        let addr = u64le(&data[pos..]);
+        let len = u16le(&data[pos + 8..]) as usize;
+        pos += 10;
+        let name = data.get(pos..pos + len).ok_or(ParseError::Truncated(".extmap entry"))?;
+        pos += len;
+        out.insert(addr, String::from_utf8_lossy(name).into_owned());
+    }
+    Ok(out)
+}
+
+fn parse_symtab(data: &[u8], strtab: &[u8]) -> BTreeMap<u64, String> {
+    let mut out = BTreeMap::new();
+    for chunk in data.chunks_exact(SYM_SIZE as usize).skip(1) {
+        let name_off = u32le(&chunk[0..]) as usize;
+        let info = chunk[4];
+        let shndx = u16le(&chunk[6..]);
+        let value = u64le(&chunk[8..]);
+        if info & 0xf != 2 || shndx == 0 {
+            continue; // not a defined function
+        }
+        let rest = &strtab[name_off.min(strtab.len())..];
+        let end = rest.iter().position(|&b| b == 0).unwrap_or(0);
+        if let Ok(name) = std::str::from_utf8(&rest[..end]) {
+            if !name.is_empty() {
+                out.insert(value, name.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn roundtrip_through_elf() {
+        let elf = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0x48, 0x89, 0xe5, 0xc3], SegmentFlags::RX)
+            .section(".rodata", 0x402000, vec![9; 32], SegmentFlags::RO)
+            .section(".data", 0x601000, vec![1, 2, 3, 4], SegmentFlags::RW)
+            .external(0x400800, "memset")
+            .external(0x400808, "exit")
+            .symbol(0x401000, "main")
+            .build();
+        let bin = Binary::parse(&elf).expect("parses");
+        assert_eq!(bin.entry, 0x401000);
+        assert_eq!(bin.segments.len(), 3);
+        assert_eq!(bin.read(0x401000, 4), Some(&[0x48, 0x89, 0xe5, 0xc3][..]));
+        assert_eq!(bin.read(0x601000, 4), Some(&[1, 2, 3, 4][..]));
+        assert_eq!(bin.external_at(0x400800), Some("memset"));
+        assert_eq!(bin.external_at(0x400808), Some("exit"));
+        assert_eq!(bin.symbols.get(&0x401000).map(String::as_str), Some("main"));
+        assert!(bin.is_code(0x401003));
+        assert!(!bin.is_code(0x402000));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Binary::parse(&[0; 3]), Err(ParseError::Truncated("e_ident")));
+        assert_eq!(Binary::parse(&[0; 64]), Err(ParseError::NotElf));
+        let mut bogus = vec![0u8; 64];
+        bogus[..4].copy_from_slice(&MAGIC);
+        bogus[4] = 1; // 32-bit
+        assert_eq!(Binary::parse(&bogus), Err(ParseError::UnsupportedFormat("not 64-bit")));
+    }
+
+    #[test]
+    fn builder_binary_equals_parsed() {
+        let b = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3; 7], SegmentFlags::RX)
+            .external(0x400800, "puts");
+        let direct = b.to_binary();
+        let parsed = Binary::parse(&b.build()).expect("parses");
+        assert_eq!(direct, parsed);
+    }
+
+    #[test]
+    fn stripped_binary_has_no_symbols() {
+        let elf = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3], SegmentFlags::RX)
+            .build();
+        let bin = Binary::parse(&elf).expect("parses");
+        assert!(bin.symbols.is_empty());
+        assert!(bin.externals.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! ELF64 constants and small shared types.
+
+/// Page size used for segment alignment.
+pub const PAGE: u64 = 0x1000;
+
+/// `e_ident` magic.
+pub const MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+
+/// 64-bit class.
+pub const ELFCLASS64: u8 = 2;
+/// Little-endian data.
+pub const ELFDATA2LSB: u8 = 1;
+/// Current version.
+pub const EV_CURRENT: u8 = 1;
+/// Executable file type.
+pub const ET_EXEC: u16 = 2;
+/// Shared object file type.
+pub const ET_DYN: u16 = 3;
+/// x86-64 machine.
+pub const EM_X86_64: u16 = 0x3e;
+
+/// Loadable program header type.
+pub const PT_LOAD: u32 = 1;
+
+/// Program-header flag: executable.
+pub const PF_X: u32 = 1;
+/// Program-header flag: writable.
+pub const PF_W: u32 = 2;
+/// Program-header flag: readable.
+pub const PF_R: u32 = 4;
+
+/// Section type: program data.
+pub const SHT_PROGBITS: u32 = 1;
+/// Section type: symbol table.
+pub const SHT_SYMTAB: u32 = 2;
+/// Section type: string table.
+pub const SHT_STRTAB: u32 = 3;
+
+/// Section flag: occupies memory at run time.
+pub const SHF_ALLOC: u64 = 2;
+/// Section flag: executable.
+pub const SHF_EXECINSTR: u64 = 4;
+/// Section flag: writable.
+pub const SHF_WRITE: u64 = 1;
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: u64 = 64;
+/// Size of one program header.
+pub const PHDR_SIZE: u64 = 56;
+/// Size of one section header.
+pub const SHDR_SIZE: u64 = 64;
+/// Size of one symbol-table entry.
+pub const SYM_SIZE: u64 = 24;
+
+/// Symbol binding GLOBAL, type FUNC (`st_info`).
+pub const STB_GLOBAL_FUNC: u8 = 0x12;
+
+/// Access permissions of a loaded segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentFlags {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl SegmentFlags {
+    /// Read + execute.
+    pub const RX: SegmentFlags = SegmentFlags { r: true, w: false, x: true };
+    /// Read + write.
+    pub const RW: SegmentFlags = SegmentFlags { r: true, w: true, x: false };
+    /// Read-only.
+    pub const RO: SegmentFlags = SegmentFlags { r: true, w: false, x: false };
+
+    /// Convert to ELF `p_flags` bits.
+    pub fn to_p_flags(self) -> u32 {
+        (if self.r { PF_R } else { 0 }) | (if self.w { PF_W } else { 0 }) | (if self.x { PF_X } else { 0 })
+    }
+
+    /// Convert from ELF `p_flags` bits.
+    pub fn from_p_flags(f: u32) -> SegmentFlags {
+        SegmentFlags { r: f & PF_R != 0, w: f & PF_W != 0, x: f & PF_X != 0 }
+    }
+}

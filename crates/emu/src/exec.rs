@@ -1,0 +1,965 @@
+//! The instruction interpreter.
+
+use crate::Machine;
+use hgl_x86::{decode, Cond, DecodeError, Instr, Mnemonic, Operand, Reg, RegRef, RepPrefix, Width};
+use std::fmt;
+
+/// Outcome of a successful step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Execution continues at the new `rip`.
+    Normal,
+    /// `hlt`, `ud2` or `int3`: execution stops.
+    Halt,
+    /// `syscall` was executed; `rax` holds the call number. `rip` has
+    /// advanced past the instruction.
+    Syscall,
+}
+
+/// Errors during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The bytes at `rip` did not decode.
+    Decode {
+        /// Address of the faulting fetch.
+        rip: u64,
+        /// Underlying decode failure.
+        err: DecodeError,
+    },
+    /// Division by zero or quotient overflow (`#DE`).
+    DivideError,
+    /// A `rep`-prefixed instruction exceeded the iteration cap.
+    RepTooLong,
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Decode { rip, err } => write!(f, "decode fault at {rip:#x}: {err}"),
+            EmuError::DivideError => write!(f, "divide error (#DE)"),
+            EmuError::RepTooLong => write!(f, "rep iteration cap exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+const REP_CAP: u64 = 1 << 24;
+
+impl Machine {
+    fn read_operand(&mut self, op: &Operand, w: Width, next_rip: u64) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg_ref(*r),
+            Operand::Imm(v) => w.trunc(*v as u64),
+            Operand::Mem(m) => {
+                let ea = self.effective_addr(m, next_rip);
+                self.mem.read(ea, m.size.bytes())
+            }
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, v: u64, next_rip: u64) {
+        match op {
+            Operand::Reg(r) => self.set_reg(*r, v),
+            Operand::Mem(m) => {
+                let ea = self.effective_addr(m, next_rip);
+                self.mem.write(ea, m.size.bytes(), v);
+            }
+            Operand::Imm(_) => unreachable!("immediate as destination"),
+        }
+    }
+
+    fn eval_cond(&self, c: Cond) -> bool {
+        let f = &self.flags;
+        c.eval(f.cf, f.pf, f.zf, f.sf, f.of)
+    }
+
+    /// Execute one instruction at `rip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on decode faults, divide errors, or
+    /// runaway `rep` loops.
+    pub fn step(&mut self) -> Result<Event, EmuError> {
+        let rip = self.rip;
+        let mut window = [0u8; 15];
+        for (i, b) in window.iter_mut().enumerate() {
+            *b = self.mem.read_u8(rip.wrapping_add(i as u64));
+        }
+        let instr = decode(&window, rip).map_err(|err| EmuError::Decode { rip, err })?;
+        self.exec(&instr)
+    }
+
+    /// Execute an already-decoded instruction (its `addr`/`len` must be
+    /// correct for RIP-relative semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::step`].
+    pub fn exec(&mut self, instr: &Instr) -> Result<Event, EmuError> {
+        let next = instr.next_addr();
+        self.rip = next;
+        self.tsc = self.tsc.wrapping_add(1);
+        let w = instr.width;
+        let ops = &instr.operands;
+
+        match instr.mnemonic {
+            Mnemonic::Mov | Mnemonic::Movabs => {
+                let v = self.read_operand(&ops[1], w, next);
+                self.write_operand(&ops[0], v, next);
+            }
+            Mnemonic::Movzx => {
+                let v = self.read_operand(&ops[1], w, next);
+                self.write_operand(&ops[0], v, next);
+            }
+            Mnemonic::Movsx | Mnemonic::Movsxd => {
+                let srcw = ops[1].width().unwrap_or(Width::B4);
+                let v = self.read_operand(&ops[1], srcw, next);
+                self.write_operand(&ops[0], w.trunc(srcw.sext(v)), next);
+            }
+            Mnemonic::Lea => {
+                if let Operand::Mem(m) = &ops[1] {
+                    let ea = self.effective_addr(m, next);
+                    self.write_operand(&ops[0], w.trunc(ea), next);
+                }
+            }
+            Mnemonic::Xchg => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                self.write_operand(&ops[0], b, next);
+                self.write_operand(&ops[1], a, next);
+            }
+            Mnemonic::Cmovcc(c) => {
+                let v = if self.eval_cond(c) {
+                    self.read_operand(&ops[1], w, next)
+                } else {
+                    self.read_operand(&ops[0], w, next)
+                };
+                // cmov always writes (zero-extending at 32 bits).
+                self.write_operand(&ops[0], v, next);
+            }
+            Mnemonic::Setcc(c) => {
+                let v = self.eval_cond(c) as u64;
+                self.write_operand(&ops[0], v, next);
+            }
+            Mnemonic::Push => {
+                let v = self.read_operand(&ops[0], Width::B8, next);
+                let v = if let Operand::Imm(i) = ops[0] { i as u64 } else { v };
+                let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
+                self.set_reg(RegRef::full(Reg::Rsp), rsp);
+                self.mem.write(rsp, 8, v);
+            }
+            Mnemonic::Pop => {
+                let rsp = self.reg(Reg::Rsp);
+                let v = self.mem.read(rsp, 8);
+                self.set_reg(RegRef::full(Reg::Rsp), rsp.wrapping_add(8));
+                self.write_operand(&ops[0], v, next);
+            }
+            Mnemonic::Add | Mnemonic::Adc => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                let cin = (instr.mnemonic == Mnemonic::Adc && self.flags.cf) as u64;
+                let r = self.add_with_flags(w, a, b, cin);
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Sub | Mnemonic::Sbb => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                let bin = (instr.mnemonic == Mnemonic::Sbb && self.flags.cf) as u64;
+                let r = self.sub_with_flags(w, a, b, bin);
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Cmp => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                let _ = self.sub_with_flags(w, a, b, 0);
+            }
+            Mnemonic::Inc | Mnemonic::Dec => {
+                let a = self.read_operand(&ops[0], w, next);
+                let cf = self.flags.cf;
+                let r = if instr.mnemonic == Mnemonic::Inc {
+                    self.add_with_flags(w, a, 1, 0)
+                } else {
+                    self.sub_with_flags(w, a, 1, 0)
+                };
+                self.flags.cf = cf; // inc/dec preserve CF
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Neg => {
+                let a = w.trunc(self.read_operand(&ops[0], w, next));
+                let r = self.sub_with_flags(w, 0, a, 0);
+                self.flags.cf = a != 0;
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Not => {
+                let a = self.read_operand(&ops[0], w, next);
+                self.write_operand(&ops[0], w.trunc(!a), next);
+            }
+            Mnemonic::And | Mnemonic::Or | Mnemonic::Xor | Mnemonic::Test => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                let r = w.trunc(match instr.mnemonic {
+                    Mnemonic::And | Mnemonic::Test => a & b,
+                    Mnemonic::Or => a | b,
+                    _ => a ^ b,
+                });
+                self.flags.cf = false;
+                self.flags.of = false;
+                self.flags.set_result(w, r);
+                if instr.mnemonic != Mnemonic::Test {
+                    self.write_operand(&ops[0], r, next);
+                }
+            }
+            Mnemonic::Shl | Mnemonic::Shr | Mnemonic::Sar => {
+                let a = w.trunc(self.read_operand(&ops[0], w, next));
+                let count = self.read_operand(&ops[1], Width::B1, next)
+                    & if w == Width::B8 { 63 } else { 31 };
+                if count != 0 {
+                    let bits = w.bits() as u64;
+                    let r = match instr.mnemonic {
+                        Mnemonic::Shl => {
+                            self.flags.cf = count <= bits && (a >> (bits - count)) & 1 == 1;
+                            w.trunc(a.checked_shl(count as u32).unwrap_or(0))
+                        }
+                        Mnemonic::Shr => {
+                            self.flags.cf = (a >> (count - 1)) & 1 == 1;
+                            a.checked_shr(count as u32).unwrap_or(0)
+                        }
+                        _ => {
+                            let sa = w.sext(a) as i64;
+                            self.flags.cf = (sa >> (count - 1).min(63)) & 1 == 1;
+                            w.trunc((sa >> count.min(63)) as u64)
+                        }
+                    };
+                    self.flags.of = match instr.mnemonic {
+                        Mnemonic::Shl => w.sign_bit(r) != self.flags.cf,
+                        Mnemonic::Shr => w.sign_bit(a),
+                        _ => false,
+                    };
+                    self.flags.set_result(w, r);
+                    self.write_operand(&ops[0], r, next);
+                } else {
+                    // Count 0: no flag updates, but the (unchanged)
+                    // result is still written for 32-bit zero-extension.
+                    self.write_operand(&ops[0], a, next);
+                }
+            }
+            Mnemonic::Rol | Mnemonic::Ror | Mnemonic::Rcl | Mnemonic::Rcr => {
+                let a = w.trunc(self.read_operand(&ops[0], w, next));
+                let bits = w.bits() as u64;
+                let raw = self.read_operand(&ops[1], Width::B1, next)
+                    & if w == Width::B8 { 63 } else { 31 };
+                let r = match instr.mnemonic {
+                    Mnemonic::Rol => {
+                        let c = raw % bits;
+                        let r = if c == 0 { a } else { w.trunc(a << c | a >> (bits - c)) };
+                        if raw != 0 {
+                            self.flags.cf = r & 1 == 1;
+                        }
+                        r
+                    }
+                    Mnemonic::Ror => {
+                        let c = raw % bits;
+                        let r = if c == 0 { a } else { w.trunc(a >> c | a << (bits - c)) };
+                        if raw != 0 {
+                            self.flags.cf = w.sign_bit(r);
+                        }
+                        r
+                    }
+                    _ => {
+                        // Rotate through carry: bits+1 wide rotation.
+                        let c = raw % (bits + 1);
+                        let wide = a | (self.flags.cf as u64) << bits; // bits+1 bits
+                        let r = if c == 0 {
+                            wide
+                        } else if instr.mnemonic == Mnemonic::Rcl {
+                            ((wide << c) | (wide >> (bits + 1 - c)))
+                                & ((1u128 << (bits + 1)) - 1) as u64
+                        } else {
+                            ((wide >> c) | (wide << (bits + 1 - c)))
+                                & ((1u128 << (bits + 1)) - 1) as u64
+                        };
+                        self.flags.cf = (r >> bits) & 1 == 1;
+                        w.trunc(r)
+                    }
+                };
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Shld | Mnemonic::Shrd => {
+                let a = w.trunc(self.read_operand(&ops[0], w, next));
+                let b = w.trunc(self.read_operand(&ops[1], w, next));
+                let bits = w.bits() as u64;
+                let count = self.read_operand(&ops[2], Width::B1, next)
+                    & if w == Width::B8 { 63 } else { 31 };
+                if count != 0 && count < bits {
+                    let r = if instr.mnemonic == Mnemonic::Shld {
+                        self.flags.cf = (a >> (bits - count)) & 1 == 1;
+                        w.trunc(a << count | b >> (bits - count))
+                    } else {
+                        self.flags.cf = (a >> (count - 1)) & 1 == 1;
+                        w.trunc(a >> count | b << (bits - count))
+                    };
+                    self.flags.set_result(w, r);
+                    self.write_operand(&ops[0], r, next);
+                } else if count == 0 {
+                    self.write_operand(&ops[0], a, next);
+                } else {
+                    // count >= bits: result undefined; write 0 deterministically.
+                    self.write_operand(&ops[0], 0, next);
+                }
+            }
+            Mnemonic::Bt | Mnemonic::Bts | Mnemonic::Btr | Mnemonic::Btc => {
+                let idx = self.read_operand(&ops[1], w, next);
+                match &ops[0] {
+                    Operand::Mem(m) => {
+                        let sidx = w.sext(idx) as i64;
+                        let byte = self
+                            .effective_addr(m, next)
+                            .wrapping_add(sidx.div_euclid(8) as u64);
+                        let bit = sidx.rem_euclid(8) as u32;
+                        let old = self.mem.read_u8(byte);
+                        self.flags.cf = (old >> bit) & 1 == 1;
+                        let new = match instr.mnemonic {
+                            Mnemonic::Bts => old | 1 << bit,
+                            Mnemonic::Btr => old & !(1 << bit),
+                            Mnemonic::Btc => old ^ 1 << bit,
+                            _ => old,
+                        };
+                        if instr.mnemonic != Mnemonic::Bt {
+                            self.mem.write_u8(byte, new);
+                        }
+                    }
+                    _ => {
+                        let bit = (idx % w.bits() as u64) as u32;
+                        let a = self.read_operand(&ops[0], w, next);
+                        self.flags.cf = (a >> bit) & 1 == 1;
+                        let new = match instr.mnemonic {
+                            Mnemonic::Bts => a | 1 << bit,
+                            Mnemonic::Btr => a & !(1u64 << bit),
+                            Mnemonic::Btc => a ^ 1 << bit,
+                            _ => a,
+                        };
+                        if instr.mnemonic != Mnemonic::Bt {
+                            self.write_operand(&ops[0], w.trunc(new), next);
+                        }
+                    }
+                }
+            }
+            Mnemonic::Bsf | Mnemonic::Bsr | Mnemonic::Tzcnt | Mnemonic::Popcnt => {
+                let a = w.trunc(self.read_operand(&ops[1], w, next));
+                match instr.mnemonic {
+                    Mnemonic::Popcnt => {
+                        let r = a.count_ones() as u64;
+                        self.flags.cf = false;
+                        self.flags.of = false;
+                        self.flags.set_result(w, r);
+                        self.write_operand(&ops[0], r, next);
+                    }
+                    Mnemonic::Tzcnt => {
+                        let r = if a == 0 { w.bits() as u64 } else { a.trailing_zeros() as u64 };
+                        self.flags.cf = a == 0;
+                        self.flags.zf = r == 0;
+                        self.write_operand(&ops[0], r, next);
+                    }
+                    _ => {
+                        self.flags.zf = a == 0;
+                        if a != 0 {
+                            let r = if instr.mnemonic == Mnemonic::Bsf {
+                                a.trailing_zeros() as u64
+                            } else {
+                                63 - a.leading_zeros() as u64
+                            };
+                            self.write_operand(&ops[0], r, next);
+                        }
+                        // a == 0: destination undefined; left unchanged.
+                    }
+                }
+            }
+            Mnemonic::Cbw | Mnemonic::Cwde | Mnemonic::Cdqe => {
+                let (from, to) = match instr.mnemonic {
+                    Mnemonic::Cbw => (Width::B1, Width::B2),
+                    Mnemonic::Cwde => (Width::B2, Width::B4),
+                    _ => (Width::B4, Width::B8),
+                };
+                let a = self.reg_ref(RegRef::new(Reg::Rax, from));
+                self.set_reg(RegRef::new(Reg::Rax, to), to.trunc(from.sext(a)));
+            }
+            Mnemonic::Cwd | Mnemonic::Cdq | Mnemonic::Cqo => {
+                let wd = match instr.mnemonic {
+                    Mnemonic::Cwd => Width::B2,
+                    Mnemonic::Cdq => Width::B4,
+                    _ => Width::B8,
+                };
+                let a = self.reg_ref(RegRef::new(Reg::Rax, wd));
+                let hi = if wd.sign_bit(a) { wd.mask() } else { 0 };
+                self.set_reg(RegRef::new(Reg::Rdx, wd), hi);
+            }
+            Mnemonic::Mul => {
+                let a = w.trunc(self.reg_ref(RegRef::new(Reg::Rax, w)));
+                let b = w.trunc(self.read_operand(&ops[0], w, next));
+                let prod = (a as u128) * (b as u128);
+                let lo = w.trunc(prod as u64);
+                let hi = w.trunc((prod >> w.bits()) as u64);
+                self.write_mul_result(w, lo, hi);
+                let over = hi != 0;
+                self.flags.cf = over;
+                self.flags.of = over;
+            }
+            Mnemonic::Imul => match ops.len() {
+                1 => {
+                    let a = w.sext(self.reg_ref(RegRef::new(Reg::Rax, w))) as i64 as i128;
+                    let b = w.sext(w.trunc(self.read_operand(&ops[0], w, next))) as i64 as i128;
+                    let prod = a * b;
+                    let lo = w.trunc(prod as u64);
+                    let hi = w.trunc((prod >> w.bits()) as u64);
+                    self.write_mul_result(w, lo, hi);
+                    let over = prod != w.sext(lo) as i64 as i128;
+                    self.flags.cf = over;
+                    self.flags.of = over;
+                }
+                n => {
+                    let a = w.sext(w.trunc(self.read_operand(&ops[1], w, next))) as i64 as i128;
+                    let b = if n == 3 {
+                        w.sext(w.trunc(self.read_operand(&ops[2], w, next))) as i64 as i128
+                    } else {
+                        w.sext(w.trunc(self.read_operand(&ops[0], w, next))) as i64 as i128
+                    };
+                    let prod = a * b;
+                    let r = w.trunc(prod as u64);
+                    let over = prod != w.sext(r) as i64 as i128;
+                    self.flags.cf = over;
+                    self.flags.of = over;
+                    self.write_operand(&ops[0], r, next);
+                }
+            },
+            Mnemonic::Div => {
+                let d = w.trunc(self.read_operand(&ops[0], w, next));
+                if d == 0 {
+                    return Err(EmuError::DivideError);
+                }
+                let lo = w.trunc(self.reg_ref(RegRef::new(Reg::Rax, w))) as u128;
+                let hi = w.trunc(self.reg_ref(RegRef::new(Reg::Rdx, w))) as u128;
+                let n = (hi << w.bits()) | lo;
+                let q = n / d as u128;
+                if q > w.mask() as u128 {
+                    return Err(EmuError::DivideError);
+                }
+                let r = (n % d as u128) as u64;
+                self.write_div_result(w, q as u64, r);
+            }
+            Mnemonic::Idiv => {
+                let d = w.sext(w.trunc(self.read_operand(&ops[0], w, next))) as i64 as i128;
+                if d == 0 {
+                    return Err(EmuError::DivideError);
+                }
+                let lo = w.trunc(self.reg_ref(RegRef::new(Reg::Rax, w))) as u128;
+                let hi = w.trunc(self.reg_ref(RegRef::new(Reg::Rdx, w))) as u128;
+                let raw = (hi << w.bits()) | lo;
+                // Sign-extend the 2w-bit value.
+                let shift = 128 - 2 * w.bits();
+                let n = ((raw << shift) as i128) >> shift;
+                let q = n / d;
+                let min = -((w.mask() as i128 + 1) / 2);
+                let max = (w.mask() as i128) / 2;
+                if q < min || q > max {
+                    return Err(EmuError::DivideError);
+                }
+                let r = (n % d) as u64;
+                self.write_div_result(w, q as u64, w.trunc(r));
+            }
+            Mnemonic::Jmp => {
+                self.rip = self.branch_target(&ops[0], next);
+            }
+            Mnemonic::Bswap => {
+                let v = w.trunc(self.read_operand(&ops[0], w, next));
+                let r = match w {
+                    Width::B8 => v.swap_bytes(),
+                    _ => (v as u32).swap_bytes() as u64,
+                };
+                self.write_operand(&ops[0], r, next);
+            }
+            Mnemonic::Jrcxz => {
+                if self.reg(Reg::Rcx) == 0 {
+                    self.rip = self.branch_target(&ops[0], next);
+                }
+            }
+            Mnemonic::Loop | Mnemonic::Loope | Mnemonic::Loopne => {
+                let rcx = self.reg(Reg::Rcx).wrapping_sub(1);
+                self.set_reg(RegRef::full(Reg::Rcx), rcx);
+                let zf_ok = match instr.mnemonic {
+                    Mnemonic::Loope => self.flags.zf,
+                    Mnemonic::Loopne => !self.flags.zf,
+                    _ => true,
+                };
+                if rcx != 0 && zf_ok {
+                    self.rip = self.branch_target(&ops[0], next);
+                }
+            }
+            Mnemonic::Jcc(c) => {
+                if self.eval_cond(c) {
+                    self.rip = self.branch_target(&ops[0], next);
+                }
+            }
+            Mnemonic::Call => {
+                let target = self.branch_target(&ops[0], next);
+                let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
+                self.set_reg(RegRef::full(Reg::Rsp), rsp);
+                self.mem.write(rsp, 8, next);
+                self.rip = target;
+            }
+            Mnemonic::Ret => {
+                let rsp = self.reg(Reg::Rsp);
+                let ra = self.mem.read(rsp, 8);
+                let extra = if let Some(Operand::Imm(i)) = ops.first() { *i as u64 } else { 0 };
+                self.set_reg(RegRef::full(Reg::Rsp), rsp.wrapping_add(8).wrapping_add(extra));
+                self.rip = ra;
+            }
+            Mnemonic::Leave => {
+                let rbp = self.reg(Reg::Rbp);
+                let v = self.mem.read(rbp, 8);
+                self.set_reg(RegRef::full(Reg::Rsp), rbp.wrapping_add(8));
+                self.set_reg(RegRef::full(Reg::Rbp), v);
+            }
+            Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods | Mnemonic::Scas | Mnemonic::Cmps => {
+                self.exec_string(instr)?;
+            }
+            Mnemonic::Stc => self.flags.cf = true,
+            Mnemonic::Clc => self.flags.cf = false,
+            Mnemonic::Cmc => self.flags.cf = !self.flags.cf,
+            Mnemonic::Std => self.flags.df = true,
+            Mnemonic::Cld => self.flags.df = false,
+            Mnemonic::Nop | Mnemonic::Endbr64 => {}
+            Mnemonic::Ud2 | Mnemonic::Int3 | Mnemonic::Hlt => return Ok(Event::Halt),
+            Mnemonic::Syscall => {
+                // ABI: rcx := next rip, r11 := rflags.
+                self.set_reg(RegRef::full(Reg::Rcx), next);
+                self.set_reg(RegRef::full(Reg::R11), 0x202);
+                return Ok(Event::Syscall);
+            }
+            Mnemonic::Cpuid => {
+                // Deterministic model values.
+                self.set_reg(RegRef::new(Reg::Rax, Width::B4), 0);
+                self.set_reg(RegRef::new(Reg::Rbx, Width::B4), 0x756e_6547);
+                self.set_reg(RegRef::new(Reg::Rcx, Width::B4), 0x6c65_746e);
+                self.set_reg(RegRef::new(Reg::Rdx, Width::B4), 0x4965_6e69);
+            }
+            Mnemonic::Rdtsc => {
+                self.set_reg(RegRef::new(Reg::Rax, Width::B4), self.tsc & 0xffff_ffff);
+                self.set_reg(RegRef::new(Reg::Rdx, Width::B4), self.tsc >> 32);
+            }
+            Mnemonic::Cmpxchg => {
+                let dst = w.trunc(self.read_operand(&ops[0], w, next));
+                let acc = w.trunc(self.reg_ref(RegRef::new(Reg::Rax, w)));
+                let _ = self.sub_with_flags(w, acc, dst, 0);
+                if acc == dst {
+                    let src = self.read_operand(&ops[1], w, next);
+                    self.write_operand(&ops[0], w.trunc(src), next);
+                } else {
+                    self.set_reg(RegRef::new(Reg::Rax, w), dst);
+                }
+            }
+            Mnemonic::Xadd => {
+                let a = self.read_operand(&ops[0], w, next);
+                let b = self.read_operand(&ops[1], w, next);
+                let r = self.add_with_flags(w, a, b, 0);
+                self.write_operand(&ops[1], w.trunc(a), next);
+                self.write_operand(&ops[0], r, next);
+            }
+        }
+        Ok(Event::Normal)
+    }
+
+    fn branch_target(&mut self, op: &Operand, next: u64) -> u64 {
+        match op {
+            Operand::Imm(t) => *t as u64,
+            other => self.read_operand(other, Width::B8, next),
+        }
+    }
+
+    fn write_mul_result(&mut self, w: Width, lo: u64, hi: u64) {
+        if w == Width::B1 {
+            // ax = al * src
+            self.set_reg(RegRef::new(Reg::Rax, Width::B2), lo | hi << 8);
+        } else {
+            self.set_reg(RegRef::new(Reg::Rax, w), lo);
+            self.set_reg(RegRef::new(Reg::Rdx, w), hi);
+        }
+    }
+
+    fn write_div_result(&mut self, w: Width, q: u64, r: u64) {
+        if w == Width::B1 {
+            self.set_reg(RegRef::new(Reg::Rax, Width::B2), (q & 0xff) | (r & 0xff) << 8);
+        } else {
+            self.set_reg(RegRef::new(Reg::Rax, w), q);
+            self.set_reg(RegRef::new(Reg::Rdx, w), r);
+        }
+    }
+
+    fn add_with_flags(&mut self, w: Width, a: u64, b: u64, cin: u64) -> u64 {
+        let (a, b) = (w.trunc(a), w.trunc(b));
+        let full = a as u128 + b as u128 + cin as u128;
+        let r = w.trunc(full as u64);
+        self.flags.cf = full > w.mask() as u128;
+        let (sa, sb, sr) = (w.sign_bit(a), w.sign_bit(b), w.sign_bit(r));
+        self.flags.of = sa == sb && sr != sa;
+        self.flags.af = ((a ^ b ^ r) >> 4) & 1 == 1;
+        self.flags.set_result(w, r);
+        r
+    }
+
+    fn sub_with_flags(&mut self, w: Width, a: u64, b: u64, bin: u64) -> u64 {
+        let (a, b) = (w.trunc(a), w.trunc(b));
+        let r = w.trunc(a.wrapping_sub(b).wrapping_sub(bin));
+        self.flags.cf = (a as u128) < b as u128 + bin as u128;
+        let (sa, sb, sr) = (w.sign_bit(a), w.sign_bit(b), w.sign_bit(r));
+        self.flags.of = sa != sb && sr != sa;
+        self.flags.af = ((a ^ b ^ r) >> 4) & 1 == 1;
+        self.flags.set_result(w, r);
+        r
+    }
+
+    fn exec_string(&mut self, instr: &Instr) -> Result<Event, EmuError> {
+        let w = instr.width;
+        let sz = w.bytes() as u64;
+        let step = |df: bool| if df { sz.wrapping_neg() } else { sz };
+        let mut iterations = 0u64;
+        loop {
+            if instr.rep.is_some() && self.reg(Reg::Rcx) == 0 {
+                break;
+            }
+            iterations += 1;
+            if iterations > REP_CAP {
+                return Err(EmuError::RepTooLong);
+            }
+            let d = step(self.flags.df);
+            let (rsi, rdi) = (self.reg(Reg::Rsi), self.reg(Reg::Rdi));
+            match instr.mnemonic {
+                Mnemonic::Movs => {
+                    let v = self.mem.read(rsi, w.bytes());
+                    self.mem.write(rdi, w.bytes(), v);
+                    self.set_reg(RegRef::full(Reg::Rsi), rsi.wrapping_add(d));
+                    self.set_reg(RegRef::full(Reg::Rdi), rdi.wrapping_add(d));
+                }
+                Mnemonic::Stos => {
+                    let v = self.reg_ref(RegRef::new(Reg::Rax, w));
+                    self.mem.write(rdi, w.bytes(), v);
+                    self.set_reg(RegRef::full(Reg::Rdi), rdi.wrapping_add(d));
+                }
+                Mnemonic::Lods => {
+                    let v = self.mem.read(rsi, w.bytes());
+                    self.set_reg(RegRef::new(Reg::Rax, w), v);
+                    self.set_reg(RegRef::full(Reg::Rsi), rsi.wrapping_add(d));
+                }
+                Mnemonic::Scas => {
+                    let a = self.reg_ref(RegRef::new(Reg::Rax, w));
+                    let b = self.mem.read(rdi, w.bytes());
+                    let _ = self.sub_with_flags(w, a, b, 0);
+                    self.set_reg(RegRef::full(Reg::Rdi), rdi.wrapping_add(d));
+                }
+                Mnemonic::Cmps => {
+                    let a = self.mem.read(rsi, w.bytes());
+                    let b = self.mem.read(rdi, w.bytes());
+                    let _ = self.sub_with_flags(w, a, b, 0);
+                    self.set_reg(RegRef::full(Reg::Rsi), rsi.wrapping_add(d));
+                    self.set_reg(RegRef::full(Reg::Rdi), rdi.wrapping_add(d));
+                }
+                _ => unreachable!("not a string op"),
+            }
+            match instr.rep {
+                None => break,
+                Some(rep) => {
+                    let rcx = self.reg(Reg::Rcx).wrapping_sub(1);
+                    self.set_reg(RegRef::full(Reg::Rcx), rcx);
+                    let scan = matches!(instr.mnemonic, Mnemonic::Scas | Mnemonic::Cmps);
+                    if scan {
+                        match rep {
+                            RepPrefix::Rep if !self.flags.zf => break,
+                            RepPrefix::Repne if self.flags.zf => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Event::Normal)
+    }
+
+    /// Run until a halt/syscall event, an error, or `max_steps`.
+    ///
+    /// Returns the event and the number of executed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EmuError`]; exceeding `max_steps` returns
+    /// `Ok((Event::Normal, max_steps))`.
+    pub fn run(&mut self, max_steps: u64) -> Result<(Event, u64), EmuError> {
+        for n in 0..max_steps {
+            match self.step()? {
+                Event::Normal => {}
+                ev => return Ok((ev, n + 1)),
+            }
+        }
+        Ok((Event::Normal, max_steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mem;
+
+    fn machine_with(code: &[u8], at: u64) -> Machine {
+        let mut m = Machine::new(Mem::default());
+        m.mem.load(at, code);
+        m.rip = at;
+        m
+    }
+
+    #[test]
+    fn add_sets_flags() {
+        // add rax, rbx
+        let mut m = machine_with(&[0x48, 0x01, 0xd8], 0x1000);
+        m.set_reg(RegRef::full(Reg::Rax), u64::MAX);
+        m.set_reg(RegRef::full(Reg::Rbx), 1);
+        m.step().expect("steps");
+        assert_eq!(m.reg(Reg::Rax), 0);
+        assert!(m.flags.cf && m.flags.zf && !m.flags.of);
+    }
+
+    #[test]
+    fn signed_overflow() {
+        // add eax, ebx with INT_MAX + 1
+        let mut m = machine_with(&[0x01, 0xd8], 0x1000);
+        m.set_reg(RegRef::full(Reg::Rax), 0x7fff_ffff);
+        m.set_reg(RegRef::full(Reg::Rbx), 1);
+        m.step().expect("steps");
+        assert_eq!(m.reg(Reg::Rax), 0x8000_0000);
+        assert!(m.flags.of && m.flags.sf && !m.flags.cf);
+    }
+
+    #[test]
+    fn cmp_ja_flow() {
+        // cmp eax, 0xc3 ; ja +0x18  (the §2 prologue)
+        let mut m = machine_with(&[0x3d, 0xc3, 0x00, 0x00, 0x00, 0x0f, 0x87, 0x18, 0x00, 0x00, 0x00], 0);
+        m.set_reg(RegRef::full(Reg::Rax), 0x10);
+        m.step().expect("cmp");
+        m.step().expect("ja");
+        assert_eq!(m.rip, 11, "not taken for 0x10 <= 0xc3");
+
+        let mut m2 = machine_with(&[0x3d, 0xc3, 0x00, 0x00, 0x00, 0x0f, 0x87, 0x18, 0x00, 0x00, 0x00], 0);
+        m2.set_reg(RegRef::full(Reg::Rax), 0x200);
+        m2.step().expect("cmp");
+        m2.step().expect("ja");
+        assert_eq!(m2.rip, 11 + 0x18, "taken for 0x200 > 0xc3");
+    }
+
+    #[test]
+    fn push_pop_call_ret() {
+        // call +0 ; (fall into) pop rax
+        let mut m = machine_with(&[0xe8, 0x00, 0x00, 0x00, 0x00, 0x58], 0x1000);
+        m.set_reg(RegRef::full(Reg::Rsp), 0x8000);
+        m.step().expect("call");
+        assert_eq!(m.rip, 0x1005);
+        assert_eq!(m.reg(Reg::Rsp), 0x7ff8);
+        m.step().expect("pop");
+        assert_eq!(m.reg(Reg::Rax), 0x1005);
+        assert_eq!(m.reg(Reg::Rsp), 0x8000);
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        // div rcx with rcx = 0
+        let mut m = machine_with(&[0x48, 0xf7, 0xf1], 0);
+        assert_eq!(m.step(), Err(EmuError::DivideError));
+    }
+
+    #[test]
+    fn div_quotient() {
+        let mut m = machine_with(&[0x48, 0xf7, 0xf1], 0);
+        m.set_reg(RegRef::full(Reg::Rax), 100);
+        m.set_reg(RegRef::full(Reg::Rdx), 0);
+        m.set_reg(RegRef::full(Reg::Rcx), 7);
+        m.step().expect("div");
+        assert_eq!(m.reg(Reg::Rax), 14);
+        assert_eq!(m.reg(Reg::Rdx), 2);
+    }
+
+    #[test]
+    fn idiv_negative() {
+        // idiv rcx: -100 / 7 = -14 rem -2
+        let mut m = machine_with(&[0x48, 0xf7, 0xf9], 0);
+        m.set_reg(RegRef::full(Reg::Rax), (-100i64) as u64);
+        m.set_reg(RegRef::full(Reg::Rdx), u64::MAX);
+        m.set_reg(RegRef::full(Reg::Rcx), 7);
+        m.step().expect("idiv");
+        assert_eq!(m.reg(Reg::Rax) as i64, -14);
+        assert_eq!(m.reg(Reg::Rdx) as i64, -2);
+    }
+
+    #[test]
+    fn rep_stosq_fills() {
+        // rep stosq
+        let mut m = machine_with(&[0xf3, 0x48, 0xab], 0);
+        m.set_reg(RegRef::full(Reg::Rdi), 0x2000);
+        m.set_reg(RegRef::full(Reg::Rcx), 4);
+        m.set_reg(RegRef::full(Reg::Rax), 0xdead_beef);
+        m.step().expect("rep stosq");
+        assert_eq!(m.reg(Reg::Rcx), 0);
+        assert_eq!(m.reg(Reg::Rdi), 0x2020);
+        for i in 0..4 {
+            assert_eq!(m.mem.read(0x2000 + 8 * i, 8), 0xdead_beef);
+        }
+    }
+
+    #[test]
+    fn repne_scasb_strlen() {
+        // repne scasb over "abc\0"
+        let mut m = machine_with(&[0xf2, 0xae], 0);
+        m.mem.load(0x3000, b"abc\0");
+        m.set_reg(RegRef::full(Reg::Rdi), 0x3000);
+        m.set_reg(RegRef::full(Reg::Rcx), u64::MAX);
+        m.set_reg(RegRef::full(Reg::Rax), 0);
+        m.step().expect("repne scasb");
+        // rdi stops one past the NUL.
+        assert_eq!(m.reg(Reg::Rdi), 0x3004);
+    }
+
+    #[test]
+    fn weird_edge_concrete_execution() {
+        // The §2 example, 64-bit: when rdi == rsi the jmp lands on
+        // address 1 (mid-instruction), executing 0xc3 = ret.
+        // 0x0: cmp eax, 0xc3           3d c3 00 00 00
+        // 0x5: ja  0x25                0f 87 1b 00 00 00  (wherever)
+        // 0xb: mov rax, [rax*8+0x5000] 48 8b 04 c5 00 50 00 00
+        // 0x13: mov [rdi], rax         48 89 07
+        // 0x16: mov qword [rsi], 1     48 c7 06 01 00 00 00
+        // 0x1d: jmp [rdi]              ff 27
+        let code = [
+            0x3d, 0xc3, 0x00, 0x00, 0x00, //
+            0x0f, 0x87, 0x1b, 0x00, 0x00, 0x00, //
+            0x48, 0x8b, 0x04, 0xc5, 0x00, 0x50, 0x00, 0x00, //
+            0x48, 0x89, 0x07, //
+            0x48, 0xc7, 0x06, 0x01, 0x00, 0x00, 0x00, //
+            0xff, 0x27,
+        ];
+        let mut m = machine_with(&code, 0x0);
+        m.mem.write(0x5000, 8, 0x100); // jump table entry 0 -> 0x100
+        m.set_reg(RegRef::full(Reg::Rax), 0);
+        m.set_reg(RegRef::full(Reg::Rdi), 0x9000);
+        m.set_reg(RegRef::full(Reg::Rsi), 0x9000); // ALIAS!
+        for _ in 0..5 {
+            m.step().expect("step");
+        }
+        // jmp [rdi] reads 1, not 0x100: the weird edge.
+        m.step().expect("jmp");
+        assert_eq!(m.rip, 1);
+
+        // Without aliasing the intended target is reached.
+        let mut m2 = machine_with(&code, 0x0);
+        m2.mem.write(0x5000, 8, 0x100);
+        m2.set_reg(RegRef::full(Reg::Rax), 0);
+        m2.set_reg(RegRef::full(Reg::Rdi), 0x9000);
+        m2.set_reg(RegRef::full(Reg::Rsi), 0xa000);
+        for _ in 0..6 {
+            m2.step().expect("step");
+        }
+        assert_eq!(m2.rip, 0x100);
+    }
+
+    #[test]
+    fn leave_unwinds_frame() {
+        // push rbp; mov rbp, rsp; sub rsp, 0x20; leave; ret
+        let code = [0x55, 0x48, 0x89, 0xe5, 0x48, 0x83, 0xec, 0x20, 0xc9, 0xc3];
+        let mut m = machine_with(&code, 0x1000);
+        m.set_reg(RegRef::full(Reg::Rsp), 0x8000);
+        m.mem.write(0x8000, 8, 0xdead); // return address
+        m.set_reg(RegRef::full(Reg::Rbp), 0x1234_5678);
+        for _ in 0..4 {
+            m.step().expect("step");
+        }
+        assert_eq!(m.reg(Reg::Rsp), 0x8000);
+        assert_eq!(m.reg(Reg::Rbp), 0x1234_5678);
+        m.step().expect("ret");
+        assert_eq!(m.rip, 0xdead);
+    }
+
+    #[test]
+    fn run_until_halt() {
+        // inc rax ; hlt
+        let mut m = machine_with(&[0x48, 0xff, 0xc0, 0xf4], 0);
+        let (ev, steps) = m.run(100).expect("runs");
+        assert_eq!(ev, Event::Halt);
+        assert_eq!(steps, 2);
+        assert_eq!(m.reg(Reg::Rax), 1);
+    }
+
+    #[test]
+    fn setcc_cmovcc() {
+        // cmp rax, rbx; sete cl; cmove rdx, rbx
+        let code = [0x48, 0x39, 0xd8, 0x0f, 0x94, 0xc1, 0x48, 0x0f, 0x44, 0xd3];
+        let mut m = machine_with(&code, 0);
+        m.set_reg(RegRef::full(Reg::Rax), 5);
+        m.set_reg(RegRef::full(Reg::Rbx), 5);
+        m.set_reg(RegRef::full(Reg::Rdx), 99);
+        for _ in 0..3 {
+            m.step().expect("step");
+        }
+        assert_eq!(m.reg_ref(RegRef::new(Reg::Rcx, Width::B1)), 1);
+        assert_eq!(m.reg(Reg::Rdx), 5);
+    }
+}
+
+#[cfg(test)]
+mod loop_tests {
+    use super::*;
+    use crate::Mem;
+
+    #[test]
+    fn bswap_swaps() {
+        // bswap rax
+        let mut m = Machine::new(Mem::default());
+        m.mem.load(0, &[0x48, 0x0f, 0xc8]);
+        m.set_reg(RegRef::full(Reg::Rax), 0x1122334455667788);
+        m.step().expect("steps");
+        assert_eq!(m.reg(Reg::Rax), 0x8877665544332211);
+        // bswap eax zero-extends.
+        let mut m2 = Machine::new(Mem::default());
+        m2.mem.load(0, &[0x0f, 0xc8]);
+        m2.set_reg(RegRef::full(Reg::Rax), 0xffff_ffff_1234_5678);
+        m2.step().expect("steps");
+        assert_eq!(m2.reg(Reg::Rax), 0x7856_3412);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        // mov ecx, 3 ; loop self  — loops twice then falls through.
+        let code = [0xb9, 0x03, 0x00, 0x00, 0x00, 0xe2, 0xfe, 0x90];
+        let mut m = Machine::new(Mem::default());
+        m.mem.load(0, &code);
+        m.step().expect("mov");
+        let mut iterations = 0;
+        while m.rip == 5 {
+            m.step().expect("loop");
+            iterations += 1;
+            assert!(iterations < 10);
+        }
+        assert_eq!(m.reg(Reg::Rcx), 0);
+        assert_eq!(m.rip, 7);
+        assert_eq!(iterations, 3, "taken twice, fall-through once");
+    }
+
+    #[test]
+    fn jrcxz_takes_on_zero() {
+        let code = [0xe3, 0x10];
+        let mut m = Machine::new(Mem::default());
+        m.mem.load(0, &code);
+        m.set_reg(RegRef::full(Reg::Rcx), 0);
+        m.step().expect("jrcxz");
+        assert_eq!(m.rip, 0x12);
+        let mut m2 = Machine::new(Mem::default());
+        m2.mem.load(0, &code);
+        m2.set_reg(RegRef::full(Reg::Rcx), 5);
+        m2.step().expect("jrcxz");
+        assert_eq!(m2.rip, 2);
+    }
+}

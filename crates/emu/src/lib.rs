@@ -1,0 +1,53 @@
+//! # hgl-emu: concrete x86-64 interpreter
+//!
+//! A byte-level, little-endian interpreter for the instruction subset
+//! modelled by `hgl-x86`. It plays the role of the paper's *formal
+//! instruction semantics* (§5.2: "a formal model of the semantics of
+//! roughly 120 different x86-64 assembly instructions... register
+//! aliasing and a byte-level little-endian memory model"):
+//!
+//! 1. it is the ground truth against which the lifter's symbolic
+//!    transformer `τ` is differentially tested, and
+//! 2. the Step-2 validator executes it on randomized concrete states to
+//!    check each exported Hoare triple.
+//!
+//! The implementation is deliberately *independent* of `hgl-core`'s
+//! symbolic semantics — the two were written against the ISA manual
+//! separately, so agreement between them is evidence of correctness
+//! rather than tautology.
+//!
+//! ```
+//! use hgl_emu::Machine;
+//! use hgl_x86::Reg;
+//! use hgl_asm::Asm;
+//!
+//! let mut asm = Asm::new();
+//! asm.label("main");
+//! asm.ins(hgl_x86::Instr::new(
+//!     hgl_x86::Mnemonic::Mov,
+//!     vec![hgl_x86::Operand::reg64(Reg::Rax), hgl_x86::Operand::Imm(41)],
+//!     hgl_x86::Width::B8));
+//! asm.ins(hgl_x86::Instr::new(
+//!     hgl_x86::Mnemonic::Inc,
+//!     vec![hgl_x86::Operand::reg64(Reg::Rax)],
+//!     hgl_x86::Width::B8));
+//! asm.ret();
+//! let bin = asm.entry("main").assemble()?;
+//!
+//! let mut m = Machine::from_binary(&bin);
+//! m.push_return_address(0xdead_beef);
+//! m.step()?;
+//! m.step()?;
+//! assert_eq!(m.reg(Reg::Rax), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod machine;
+mod mem;
+
+pub use exec::{EmuError, Event};
+pub use machine::{Flags, Machine};
+pub use mem::{FillPolicy, Mem};

@@ -1,0 +1,191 @@
+//! Machine state: registers, flags, memory.
+
+use crate::mem::{FillPolicy, Mem};
+use hgl_elf::Binary;
+use hgl_x86::{Flag, MemOperand, Reg, RegRef, Width};
+
+/// Concrete flag state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct Flags {
+    pub cf: bool,
+    pub pf: bool,
+    pub af: bool,
+    pub zf: bool,
+    pub sf: bool,
+    pub of: bool,
+    pub df: bool,
+}
+
+impl Flags {
+    /// Read a flag by name.
+    pub fn get(&self, f: Flag) -> bool {
+        match f {
+            Flag::Cf => self.cf,
+            Flag::Pf => self.pf,
+            Flag::Af => self.af,
+            Flag::Zf => self.zf,
+            Flag::Sf => self.sf,
+            Flag::Of => self.of,
+            Flag::Df => self.df,
+        }
+    }
+
+    /// Set a flag by name.
+    pub fn set(&mut self, f: Flag, v: bool) {
+        match f {
+            Flag::Cf => self.cf = v,
+            Flag::Pf => self.pf = v,
+            Flag::Af => self.af = v,
+            Flag::Zf => self.zf = v,
+            Flag::Sf => self.sf = v,
+            Flag::Of => self.of = v,
+            Flag::Df => self.df = v,
+        }
+    }
+
+    /// Set ZF/SF/PF from a result at the given width (the common
+    /// "result flags").
+    pub fn set_result(&mut self, w: Width, result: u64) {
+        let r = w.trunc(result);
+        self.zf = r == 0;
+        self.sf = w.sign_bit(r);
+        self.pf = (r as u8).count_ones() % 2 == 0;
+    }
+}
+
+/// A concrete x86-64 machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flag state.
+    pub flags: Flags,
+    /// Byte-level memory.
+    pub mem: Mem,
+    /// Deterministic time-stamp counter (for `rdtsc`).
+    pub tsc: u64,
+}
+
+impl Machine {
+    /// A machine with zeroed registers and the given memory.
+    pub fn new(mem: Mem) -> Machine {
+        Machine { regs: [0; 16], rip: 0, flags: Flags::default(), mem, tsc: 0 }
+    }
+
+    /// Load a binary's segments and set `rip` to its entry point.
+    /// The stack pointer is initialised to a conventional location.
+    pub fn from_binary(bin: &Binary) -> Machine {
+        let mut mem = Mem::new(FillPolicy::Zero);
+        for seg in &bin.segments {
+            mem.load(seg.vaddr, &seg.bytes);
+        }
+        let mut m = Machine::new(mem);
+        m.rip = bin.entry;
+        m.set_reg(RegRef::full(Reg::Rsp), 0x7fff_ff00_0000);
+        m
+    }
+
+    /// Push `addr` as the return address (simulating the `call` that
+    /// entered the current function).
+    pub fn push_return_address(&mut self, addr: u64) {
+        let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
+        self.set_reg(RegRef::full(Reg::Rsp), rsp);
+        self.mem.write(rsp, 8, addr);
+    }
+
+    /// Read a full 64-bit register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Read a register view.
+    pub fn reg_ref(&self, r: RegRef) -> u64 {
+        let v = self.regs[r.reg.number() as usize];
+        if r.high8 {
+            (v >> 8) & 0xff
+        } else {
+            r.width.trunc(v)
+        }
+    }
+
+    /// Write a register view with x86 aliasing semantics: 32-bit writes
+    /// zero the upper half; 16/8-bit writes preserve other bits.
+    pub fn set_reg(&mut self, r: RegRef, v: u64) {
+        let slot = &mut self.regs[r.reg.number() as usize];
+        match (r.width, r.high8) {
+            (Width::B8, _) => *slot = v,
+            (Width::B4, _) => *slot = v & 0xffff_ffff,
+            (Width::B2, _) => *slot = (*slot & !0xffff) | (v & 0xffff),
+            (Width::B1, false) => *slot = (*slot & !0xff) | (v & 0xff),
+            (Width::B1, true) => *slot = (*slot & !0xff00) | ((v & 0xff) << 8),
+        }
+    }
+
+    /// Effective address of a memory operand, given the address of the
+    /// *next* instruction (for RIP-relative operands).
+    pub fn effective_addr(&self, m: &MemOperand, next_rip: u64) -> u64 {
+        if m.rip_relative {
+            return next_rip.wrapping_add(m.disp as u64);
+        }
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.reg(b));
+        }
+        if let Some(i) = m.index {
+            a = a.wrapping_add(self.reg(i).wrapping_mul(m.scale as u64));
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_aliasing() {
+        let mut m = Machine::new(Mem::default());
+        m.set_reg(RegRef::full(Reg::Rax), 0x1122_3344_5566_7788);
+        assert_eq!(m.reg_ref(RegRef::new(Reg::Rax, Width::B4)), 0x5566_7788);
+        assert_eq!(m.reg_ref(RegRef::new(Reg::Rax, Width::B2)), 0x7788);
+        assert_eq!(m.reg_ref(RegRef::new(Reg::Rax, Width::B1)), 0x88);
+        assert_eq!(m.reg_ref(RegRef::high(Reg::Rax)), 0x77);
+
+        // 32-bit write zeroes the top half.
+        m.set_reg(RegRef::new(Reg::Rax, Width::B4), 0xffff_ffff_0000_0001);
+        assert_eq!(m.reg(Reg::Rax), 1);
+
+        // 16-bit and 8-bit writes preserve the rest.
+        m.set_reg(RegRef::full(Reg::Rbx), 0xaaaa_bbbb_cccc_dddd);
+        m.set_reg(RegRef::new(Reg::Rbx, Width::B2), 0x1234);
+        assert_eq!(m.reg(Reg::Rbx), 0xaaaa_bbbb_cccc_1234);
+        m.set_reg(RegRef::high(Reg::Rbx), 0x56);
+        assert_eq!(m.reg(Reg::Rbx), 0xaaaa_bbbb_cccc_5634);
+    }
+
+    #[test]
+    fn effective_addresses() {
+        let mut m = Machine::new(Mem::default());
+        m.set_reg(RegRef::full(Reg::Rax), 0x1000);
+        m.set_reg(RegRef::full(Reg::Rcx), 3);
+        let op = MemOperand::sib(Some(Reg::Rax), Reg::Rcx, 8, -8, Width::B8);
+        assert_eq!(m.effective_addr(&op, 0), 0x1000 + 24 - 8);
+        let rip = MemOperand::rip_rel(0x20, Width::B8);
+        assert_eq!(m.effective_addr(&rip, 0x400000), 0x400020);
+    }
+
+    #[test]
+    fn result_flags() {
+        let mut f = Flags::default();
+        f.set_result(Width::B1, 0);
+        assert!(f.zf && !f.sf && f.pf);
+        f.set_result(Width::B1, 0x80);
+        assert!(!f.zf && f.sf);
+        f.set_result(Width::B4, 0x3); // two bits set: even parity
+        assert!(f.pf);
+        f.set_result(Width::B4, 0x7); // three bits: odd parity
+        assert!(!f.pf);
+    }
+}

@@ -1,0 +1,133 @@
+//! Sparse byte-addressed memory.
+
+use std::collections::BTreeMap;
+
+/// What a read of a never-written address yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Unmapped bytes read as zero.
+    Zero,
+    /// Unmapped bytes read as a deterministic pseudo-random function of
+    /// their address (materialised on first read, so subsequent reads
+    /// agree). Used by the validator to model arbitrary-but-fixed
+    /// memory contents.
+    Hash(u64),
+}
+
+/// A sparse, byte-granular, little-endian memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mem {
+    bytes: BTreeMap<u64, u8>,
+    fill: FillPolicy,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Default for Mem {
+    fn default() -> Mem {
+        Mem::new(FillPolicy::Zero)
+    }
+}
+
+impl Mem {
+    /// Empty memory with the given fill policy.
+    pub fn new(fill: FillPolicy) -> Mem {
+        Mem { bytes: BTreeMap::new(), fill }
+    }
+
+    /// Read one byte (materialising fill bytes).
+    pub fn read_u8(&mut self, addr: u64) -> u8 {
+        if let Some(b) = self.bytes.get(&addr) {
+            return *b;
+        }
+        let v = match self.fill {
+            FillPolicy::Zero => 0,
+            FillPolicy::Hash(seed) => (splitmix64(addr ^ seed) & 0xff) as u8,
+        };
+        self.bytes.insert(addr, v);
+        v
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.bytes.insert(addr, v);
+    }
+
+    /// Read `size` bytes little-endian (size ≤ 8).
+    pub fn read(&mut self, addr: u64, size: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= (self.read_u8(addr.wrapping_add(i as u64)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `size` bytes of `v` little-endian.
+    pub fn write(&mut self, addr: u64, size: u8, v: u64) {
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i as u64), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Load a block of bytes at `addr`.
+    pub fn load(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.bytes.insert(addr + i as u64, *b);
+        }
+    }
+
+    /// Number of materialised bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if no bytes are materialised.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Mem::default();
+        m.write(0x1000, 8, 0x0102_0304_0506_0708);
+        assert_eq!(m.read(0x1000, 8), 0x0102_0304_0506_0708);
+        assert_eq!(m.read(0x1000, 4), 0x0506_0708);
+        assert_eq!(m.read_u8(0x1007), 0x01);
+    }
+
+    #[test]
+    fn hash_fill_is_consistent() {
+        let mut m = Mem::new(FillPolicy::Hash(42));
+        let a = m.read(0x5000, 8);
+        let b = m.read(0x5000, 8);
+        assert_eq!(a, b);
+        let mut m2 = Mem::new(FillPolicy::Hash(42));
+        assert_eq!(m2.read(0x5000, 8), a, "same seed, same contents");
+        let mut m3 = Mem::new(FillPolicy::Hash(43));
+        assert_ne!(m3.read(0x5000, 8), a, "different seed, different contents");
+    }
+
+    #[test]
+    fn zero_fill() {
+        let mut m = Mem::default();
+        assert_eq!(m.read(0xffff_ffff_0000, 8), 0);
+    }
+
+    #[test]
+    fn wrapping_addresses() {
+        let mut m = Mem::default();
+        m.write(u64::MAX, 2, 0xbeef);
+        assert_eq!(m.read_u8(u64::MAX), 0xef);
+        assert_eq!(m.read_u8(0), 0xbe);
+    }
+}

@@ -1,0 +1,143 @@
+//! Predicate clauses `E □ C` (§3.1).
+
+use crate::{Expr, Sym};
+use std::fmt;
+
+/// The six clause relations of §3.1; subscript-`s` relations are
+/// signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rel {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<` (unsigned)
+    Lt,
+    /// `<ₛ` (signed)
+    SLt,
+    /// `≥` (unsigned)
+    Ge,
+    /// `≥ₛ` (signed)
+    SGe,
+}
+
+impl Rel {
+    /// Evaluate the relation on concrete values.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Rel::Eq => lhs == rhs,
+            Rel::Ne => lhs != rhs,
+            Rel::Lt => lhs < rhs,
+            Rel::SLt => (lhs as i64) < rhs as i64,
+            Rel::Ge => lhs >= rhs,
+            Rel::SGe => lhs as i64 >= rhs as i64,
+        }
+    }
+
+    /// The relation that holds exactly when `self` does not.
+    pub fn negate(self) -> Rel {
+        match self {
+            Rel::Eq => Rel::Ne,
+            Rel::Ne => Rel::Eq,
+            Rel::Lt => Rel::Ge,
+            Rel::Ge => Rel::Lt,
+            Rel::SLt => Rel::SGe,
+            Rel::SGe => Rel::SLt,
+        }
+    }
+
+    /// Notation used in clause display.
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            Rel::Eq => "==",
+            Rel::Ne => "!=",
+            Rel::Lt => "<",
+            Rel::SLt => "<s",
+            Rel::Ge => ">=",
+            Rel::SGe => ">=s",
+        }
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A clause `lhs □ rhs` over constant expressions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Clause {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Clause {
+    /// Construct a clause.
+    pub fn new(lhs: Expr, rel: Rel, rhs: Expr) -> Clause {
+        Clause { lhs, rel, rhs }
+    }
+
+    /// The clause that holds exactly when this one does not.
+    pub fn negate(&self) -> Clause {
+        Clause { lhs: self.lhs.clone(), rel: self.rel.negate(), rhs: self.rhs.clone() }
+    }
+
+    /// Evaluate concretely; `None` if either side contains ⊥ or an
+    /// unresolvable read.
+    pub fn eval<F, M>(&self, env: &F, mem: &M) -> Option<bool>
+    where
+        F: Fn(Sym) -> u64,
+        M: Fn(u64, u8) -> Option<u64>,
+    {
+        Some(self.rel.eval(self.lhs.eval(env, mem)?, self.rhs.eval(env, mem)?))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.rel, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_x86::Reg;
+
+    #[test]
+    fn rel_eval_signed_vs_unsigned() {
+        assert!(Rel::Lt.eval(1, u64::MAX));
+        assert!(!Rel::SLt.eval(1, u64::MAX)); // -1 signed
+        assert!(Rel::SGe.eval(1, u64::MAX));
+    }
+
+    #[test]
+    fn negate_partitions() {
+        for rel in [Rel::Eq, Rel::Ne, Rel::Lt, Rel::SLt, Rel::Ge, Rel::SGe] {
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 3), (5, 5)] {
+                assert_ne!(rel.eval(a, b), rel.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause::new(Expr::sym(Sym::Init(Reg::Rax)), Rel::Lt, Expr::imm(0xc3));
+        let nomem = |_: u64, _: u8| None;
+        assert_eq!(c.eval(&|_| 0x10, &nomem), Some(true));
+        assert_eq!(c.eval(&|_| 0xc3, &nomem), Some(false));
+        let b = Clause::new(Expr::bottom(), Rel::Eq, Expr::imm(0));
+        assert_eq!(b.eval(&|_| 0, &nomem), None);
+    }
+
+    #[test]
+    fn display() {
+        let c = Clause::new(Expr::sym(Sym::Init(Reg::Rax)), Rel::Lt, Expr::imm(0xc3));
+        assert_eq!(c.to_string(), "rax0 < 0xc3");
+    }
+}

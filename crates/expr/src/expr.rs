@@ -1,0 +1,622 @@
+//! The symbolic expression AST and its simplifying constructors.
+
+use crate::{Linear, Sym};
+use hgl_x86::Width;
+use std::fmt;
+
+/// Operator kinds. All operate on 64-bit values; narrower instruction
+/// widths are expressed with explicit [`OpKind::Trunc`] /
+/// [`OpKind::SExt`] nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    URem,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Not,
+    Neg,
+    Shl,
+    Shr,
+    Sar,
+    Rol(Width),
+    Ror(Width),
+    /// Zero-extend from the low bits of the given width (equivalently:
+    /// truncate to the width, then view as a 64-bit value).
+    Trunc(Width),
+    /// Sign-extend from the given width to 64 bits.
+    SExt(Width),
+    Popcnt,
+    Tzcnt,
+    Bsf,
+    Bsr,
+}
+
+/// A symbolic expression (the paper's `E`, §3.1).
+///
+/// Constructed through the simplifying methods ([`Expr::add`],
+/// [`Expr::and`], …) which constant-fold and normalise linear pointer
+/// arithmetic, so that equal addresses usually normalise to identical
+/// terms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A 64-bit immediate.
+    Imm(u64),
+    /// A symbol (unknown-but-fixed value).
+    Sym(Sym),
+    /// The value read from memory region `[addr, size]` — used when a
+    /// read cannot be resolved against the memory model but the
+    /// expression must still be reported (e.g. the non-standard stack
+    /// pointer of §5.3).
+    Deref {
+        /// Address expression.
+        addr: Box<Expr>,
+        /// Region size in bytes.
+        size: u8,
+    },
+    /// Operator application.
+    Op {
+        /// The operator.
+        op: OpKind,
+        /// Operands (1 or 2).
+        args: Vec<Expr>,
+    },
+    /// The unknown constant expression ⊥ (any value).
+    Bottom,
+}
+
+impl Expr {
+    /// An immediate.
+    pub fn imm(v: u64) -> Expr {
+        Expr::Imm(v)
+    }
+
+    /// A symbol.
+    pub fn sym(s: Sym) -> Expr {
+        Expr::Sym(s)
+    }
+
+    /// The unknown expression ⊥.
+    pub fn bottom() -> Expr {
+        Expr::Bottom
+    }
+
+    /// A symbolic memory read `*[addr, size]`.
+    pub fn read(addr: Expr, size: u8) -> Expr {
+        if addr.is_bottom() {
+            return Expr::Bottom;
+        }
+        Expr::Deref { addr: Box::new(addr), size }
+    }
+
+    /// True if this is ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Expr::Bottom)
+    }
+
+    /// The immediate value, if this expression is a constant.
+    pub fn as_imm(&self) -> Option<u64> {
+        match self {
+            Expr::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn binop(op: OpKind, a: Expr, b: Expr) -> Expr {
+        Expr::Op { op, args: vec![a, b] }
+    }
+
+    fn unop(op: OpKind, a: Expr) -> Expr {
+        Expr::Op { op, args: vec![a] }
+    }
+
+    /// Addition with linear normalisation.
+    pub fn add(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_add(*b)),
+            (_, Expr::Imm(0)) => return self,
+            (Expr::Imm(0), _) => return rhs,
+            _ => {}
+        }
+        Linear::of_expr(&Expr::binop(OpKind::Add, self, rhs)).to_expr()
+    }
+
+    /// Subtraction with linear normalisation.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_sub(*b)),
+            (_, Expr::Imm(0)) => return self,
+            _ => {}
+        }
+        if self == rhs {
+            return Expr::Imm(0);
+        }
+        Linear::of_expr(&Expr::binop(OpKind::Sub, self, rhs)).to_expr()
+    }
+
+    /// Multiplication with linear normalisation (constant scaling).
+    pub fn mul(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_mul(*b)),
+            (_, Expr::Imm(1)) => return self,
+            (Expr::Imm(1), _) => return rhs,
+            (_, Expr::Imm(0)) | (Expr::Imm(0), _) => return Expr::Imm(0),
+            _ => {}
+        }
+        if self.as_imm().is_some() || rhs.as_imm().is_some() {
+            Linear::of_expr(&Expr::binop(OpKind::Mul, self, rhs)).to_expr()
+        } else {
+            Expr::binop(OpKind::Mul, self, rhs)
+        }
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> Expr {
+        match &self {
+            Expr::Bottom => Expr::Bottom,
+            Expr::Imm(a) => Expr::Imm(a.wrapping_neg()),
+            _ => Linear::of_expr(&Expr::unop(OpKind::Neg, self)).to_expr(),
+        }
+    }
+
+    /// Bitwise and.
+    pub fn and(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a & b),
+            (_, Expr::Imm(0)) | (Expr::Imm(0), _) => Expr::Imm(0),
+            (_, Expr::Imm(u64::MAX)) => self,
+            (Expr::Imm(u64::MAX), _) => rhs,
+            _ if self == rhs => self,
+            _ => Expr::binop(OpKind::And, self, rhs),
+        }
+    }
+
+    /// Bitwise or.
+    pub fn or(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a | b),
+            (_, Expr::Imm(0)) => self,
+            (Expr::Imm(0), _) => rhs,
+            _ if self == rhs => self,
+            _ => Expr::binop(OpKind::Or, self, rhs),
+        }
+    }
+
+    /// Bitwise exclusive or.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a ^ b),
+            (_, Expr::Imm(0)) => self,
+            (Expr::Imm(0), _) => rhs,
+            _ if self == rhs => Expr::Imm(0),
+            _ => Expr::binop(OpKind::Xor, self, rhs),
+        }
+    }
+
+    /// Bitwise not.
+    pub fn not(self) -> Expr {
+        match &self {
+            Expr::Bottom => Expr::Bottom,
+            Expr::Imm(a) => Expr::Imm(!a),
+            _ => Expr::unop(OpKind::Not, self),
+        }
+    }
+
+    /// Left shift. Constant shifts become multiplications so that
+    /// scaled jump-table indexing (`shl rax, 3`) stays linear.
+    pub fn shl(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (_, Expr::Imm(c)) if *c < 64 => self.mul(Expr::Imm(1u64 << c)),
+            (_, Expr::Imm(_)) => Expr::Imm(0),
+            _ => Expr::binop(OpKind::Shl, self, rhs),
+        }
+    }
+
+    /// Logical right shift.
+    pub fn shr(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(c)) if *c < 64 => Expr::Imm(a >> c),
+            (_, Expr::Imm(c)) if *c >= 64 => Expr::Imm(0),
+            (_, Expr::Imm(0)) => self,
+            _ => Expr::binop(OpKind::Shr, self, rhs),
+        }
+    }
+
+    /// Arithmetic right shift.
+    pub fn sar(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(c)) if *c < 64 => Expr::Imm(((*a as i64) >> c) as u64),
+            (_, Expr::Imm(0)) => self,
+            _ => Expr::binop(OpKind::Sar, self, rhs),
+        }
+    }
+
+    /// Unsigned division.
+    pub fn udiv(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 => Expr::Imm(a / b),
+            (_, Expr::Imm(1)) => self,
+            _ => Expr::binop(OpKind::UDiv, self, rhs),
+        }
+    }
+
+    /// Unsigned remainder.
+    pub fn urem(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 => Expr::Imm(a % b),
+            _ => Expr::binop(OpKind::URem, self, rhs),
+        }
+    }
+
+    /// Signed division.
+    pub fn sdiv(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) => {
+                Expr::Imm((*a as i64).wrapping_div(*b as i64) as u64)
+            }
+            _ => Expr::binop(OpKind::SDiv, self, rhs),
+        }
+    }
+
+    /// Signed remainder.
+    pub fn srem(self, rhs: Expr) -> Expr {
+        match (&self, &rhs) {
+            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
+            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) => {
+                Expr::Imm((*a as i64).wrapping_rem(*b as i64) as u64)
+            }
+            _ => Expr::binop(OpKind::SRem, self, rhs),
+        }
+    }
+
+    /// Zero-extend from `w` (truncate to `w` bits, view as 64-bit).
+    pub fn trunc(self, w: Width) -> Expr {
+        if w == Width::B8 {
+            return self;
+        }
+        match &self {
+            Expr::Bottom => Expr::Bottom,
+            Expr::Imm(a) => Expr::Imm(w.trunc(*a)),
+            Expr::Op { op: OpKind::Trunc(w2), args } if *w2 <= w => {
+                Expr::unop(OpKind::Trunc(*w2), args[0].clone())
+            }
+            _ => Expr::unop(OpKind::Trunc(w), self),
+        }
+    }
+
+    /// Sign-extend from `w` to 64 bits.
+    pub fn sext(self, w: Width) -> Expr {
+        if w == Width::B8 {
+            return self;
+        }
+        match &self {
+            Expr::Bottom => Expr::Bottom,
+            Expr::Imm(a) => Expr::Imm(w.sext(*a)),
+            _ => Expr::unop(OpKind::SExt(w), self),
+        }
+    }
+
+    /// Apply a unary operator with constant folding.
+    pub fn apply_un(op: OpKind, a: Expr) -> Expr {
+        if a.is_bottom() {
+            return Expr::Bottom;
+        }
+        match (op, a.as_imm()) {
+            (OpKind::Popcnt, Some(v)) => Expr::Imm(v.count_ones() as u64),
+            (OpKind::Tzcnt, Some(v)) => Expr::Imm(v.trailing_zeros() as u64),
+            (OpKind::Not, _) => a.not(),
+            (OpKind::Neg, _) => a.neg(),
+            (OpKind::Trunc(w), _) => a.trunc(w),
+            (OpKind::SExt(w), _) => a.sext(w),
+            _ => Expr::unop(op, a),
+        }
+    }
+
+    /// Number of AST nodes, used to bound expression growth.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Imm(_) | Expr::Sym(_) | Expr::Bottom => 1,
+            Expr::Deref { addr, .. } => 1 + addr.node_count(),
+            Expr::Op { args, .. } => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+        }
+    }
+
+    /// All symbols occurring in the expression.
+    pub fn syms(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_syms(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_syms(&self, out: &mut Vec<Sym>) {
+        match self {
+            Expr::Sym(s) => out.push(*s),
+            Expr::Deref { addr, .. } => addr.collect_syms(out),
+            Expr::Op { args, .. } => {
+                for a in args {
+                    a.collect_syms(out);
+                }
+            }
+            Expr::Imm(_) | Expr::Bottom => {}
+        }
+    }
+
+    /// Concretely evaluate against a symbol environment and a memory
+    /// oracle for [`Expr::Deref`] nodes.
+    ///
+    /// Returns `None` for ⊥ or when `mem` cannot resolve a read.
+    pub fn eval<F, M>(&self, env: &F, mem: &M) -> Option<u64>
+    where
+        F: Fn(Sym) -> u64,
+        M: Fn(u64, u8) -> Option<u64>,
+    {
+        match self {
+            Expr::Imm(v) => Some(*v),
+            Expr::Sym(s) => Some(env(*s)),
+            Expr::Bottom => None,
+            Expr::Deref { addr, size } => {
+                let a = addr.eval(env, mem)?;
+                mem(a, *size)
+            }
+            Expr::Op { op, args } => {
+                let a = args[0].eval(env, mem)?;
+                if args.len() == 1 {
+                    return Some(match op {
+                        OpKind::Not => !a,
+                        OpKind::Neg => a.wrapping_neg(),
+                        OpKind::Trunc(w) => w.trunc(a),
+                        OpKind::SExt(w) => w.sext(w.trunc(a)),
+                        OpKind::Popcnt => a.count_ones() as u64,
+                        OpKind::Tzcnt => a.trailing_zeros() as u64,
+                        OpKind::Bsf => {
+                            if a == 0 {
+                                return None; // undefined result
+                            }
+                            a.trailing_zeros() as u64
+                        }
+                        OpKind::Bsr => {
+                            if a == 0 {
+                                return None;
+                            }
+                            (63 - a.leading_zeros()) as u64
+                        }
+                        _ => return None,
+                    });
+                }
+                let b = args[1].eval(env, mem)?;
+                Some(match op {
+                    OpKind::Add => a.wrapping_add(b),
+                    OpKind::Sub => a.wrapping_sub(b),
+                    OpKind::Mul => a.wrapping_mul(b),
+                    OpKind::UDiv => a.checked_div(b)?,
+                    OpKind::URem => a.checked_rem(b)?,
+                    OpKind::SDiv => (a as i64).checked_div(b as i64)? as u64,
+                    OpKind::SRem => (a as i64).checked_rem(b as i64)? as u64,
+                    OpKind::And => a & b,
+                    OpKind::Or => a | b,
+                    OpKind::Xor => a ^ b,
+                    OpKind::Shl => a.checked_shl(b as u32).unwrap_or(0),
+                    OpKind::Shr => a.checked_shr(b as u32).unwrap_or(0),
+                    OpKind::Sar => {
+                        let sh = (b as u32).min(63);
+                        ((a as i64) >> sh) as u64
+                    }
+                    OpKind::Rol(w) => {
+                        let bits = w.bits();
+                        let v = w.trunc(a);
+                        let s = (b as u32) % bits;
+                        w.trunc(v << s | v >> (bits - s) % bits)
+                    }
+                    OpKind::Ror(w) => {
+                        let bits = w.bits();
+                        let v = w.trunc(a);
+                        let s = (b as u32) % bits;
+                        w.trunc(v >> s | v << (bits - s) % bits)
+                    }
+                    _ => return None,
+                })
+            }
+        }
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Expr {
+        Expr::Imm(v)
+    }
+}
+
+impl From<Sym> for Expr {
+    fn from(s: Sym) -> Expr {
+        Expr::Sym(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Imm(v) => {
+                if *v < 10 {
+                    write!(f, "{v}")
+                } else if (*v as i64) < 0 && (*v as i64) > -0x1_0000_0000 {
+                    write!(f, "-{:#x}", (*v as i64).unsigned_abs())
+                } else {
+                    write!(f, "{v:#x}")
+                }
+            }
+            Expr::Sym(s) => write!(f, "{s}"),
+            Expr::Bottom => write!(f, "⊥"),
+            Expr::Deref { addr, size } => write!(f, "*[{addr}, {size}]"),
+            Expr::Op { op, args } => {
+                if args.len() == 1 {
+                    let name = match op {
+                        OpKind::Not => "~",
+                        OpKind::Neg => "-",
+                        OpKind::Trunc(w) => return write!(f, "trunc{}({})", w.bits(), args[0]),
+                        OpKind::SExt(w) => return write!(f, "sext{}({})", w.bits(), args[0]),
+                        OpKind::Popcnt => return write!(f, "popcnt({})", args[0]),
+                        OpKind::Tzcnt => return write!(f, "tzcnt({})", args[0]),
+                        OpKind::Bsf => return write!(f, "bsf({})", args[0]),
+                        OpKind::Bsr => return write!(f, "bsr({})", args[0]),
+                        _ => "?",
+                    };
+                    write!(f, "{name}({})", args[0])
+                } else {
+                    let name = match op {
+                        OpKind::Add => "+",
+                        OpKind::Sub => "-",
+                        OpKind::Mul => "*",
+                        OpKind::UDiv => "udiv",
+                        OpKind::URem => "urem",
+                        OpKind::SDiv => "sdiv",
+                        OpKind::SRem => "srem",
+                        OpKind::And => "&",
+                        OpKind::Or => "|",
+                        OpKind::Xor => "^",
+                        OpKind::Shl => "<<",
+                        OpKind::Shr => ">>",
+                        OpKind::Sar => ">>s",
+                        OpKind::Rol(_) => "rol",
+                        OpKind::Ror(_) => "ror",
+                        _ => "?",
+                    };
+                    if name.chars().next().is_some_and(|c| c.is_alphabetic()) {
+                        write!(f, "{name}({}, {})", args[0], args[1])
+                    } else {
+                        write!(f, "({} {name} {})", args[0], args[1])
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_x86::Reg;
+
+    fn rdi0() -> Expr {
+        Expr::sym(Sym::Init(Reg::Rdi))
+    }
+
+    fn rsi0() -> Expr {
+        Expr::sym(Sym::Init(Reg::Rsi))
+    }
+
+    #[test]
+    fn add_normalises() {
+        let e = rdi0().add(Expr::imm(8)).add(Expr::imm(8));
+        assert_eq!(e, rdi0().add(Expr::imm(16)));
+        let e2 = Expr::imm(8).add(rdi0()).add(Expr::imm(8));
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn sub_cancels() {
+        let e = rdi0().add(Expr::imm(8)).sub(rdi0());
+        assert_eq!(e, Expr::imm(8));
+        assert_eq!(rdi0().sub(rdi0()), Expr::imm(0));
+    }
+
+    #[test]
+    fn mixed_linear() {
+        // rdi0 + rsi0*4 - rsi0*4 == rdi0
+        let e = rdi0().add(rsi0().mul(Expr::imm(4))).sub(rsi0().mul(Expr::imm(4)));
+        assert_eq!(e, rdi0());
+    }
+
+    #[test]
+    fn shl_becomes_mul() {
+        let e = rdi0().shl(Expr::imm(3));
+        assert_eq!(e, rdi0().mul(Expr::imm(8)));
+    }
+
+    #[test]
+    fn bottom_propagates() {
+        assert!(rdi0().add(Expr::bottom()).is_bottom());
+        assert!(Expr::bottom().and(Expr::imm(1)).is_bottom());
+        assert!(Expr::read(Expr::bottom(), 8).is_bottom());
+    }
+
+    #[test]
+    fn xor_self_is_zero() {
+        assert_eq!(rdi0().xor(rdi0()), Expr::imm(0));
+    }
+
+    #[test]
+    fn trunc_sext_fold() {
+        assert_eq!(Expr::imm(0x1ff).trunc(Width::B1), Expr::imm(0xff));
+        assert_eq!(Expr::imm(0x80).sext(Width::B1), Expr::imm(0xffff_ffff_ffff_ff80));
+        assert_eq!(rdi0().trunc(Width::B8), rdi0());
+    }
+
+    #[test]
+    fn eval_linear() {
+        let env = |s: Sym| match s {
+            Sym::Init(Reg::Rdi) => 100,
+            Sym::Init(Reg::Rsi) => 7,
+            _ => 0,
+        };
+        let nomem = |_: u64, _: u8| None;
+        let e = rdi0().add(rsi0().mul(Expr::imm(4))).add(Expr::imm(2));
+        assert_eq!(e.eval(&env, &nomem), Some(130));
+    }
+
+    #[test]
+    fn eval_matches_wrapping_semantics() {
+        let env = |_: Sym| u64::MAX;
+        let nomem = |_: u64, _: u8| None;
+        let e = rdi0().add(Expr::imm(1));
+        assert_eq!(e.eval(&env, &nomem), Some(0));
+    }
+
+    #[test]
+    fn eval_deref() {
+        let env = |_: Sym| 0x1000;
+        let mem = |a: u64, sz: u8| (a == 0x1008 && sz == 8).then_some(42);
+        let e = Expr::read(rdi0().add(Expr::imm(8)), 8);
+        assert_eq!(e.eval(&env, &mem), Some(42));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(rdi0().add(Expr::imm(16)).to_string(), "(rdi0 + 0x10)");
+        assert_eq!(Expr::read(rdi0(), 8).to_string(), "*[rdi0, 8]");
+        assert_eq!(Expr::bottom().to_string(), "⊥");
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(rdi0().node_count(), 1);
+        assert_eq!(rdi0().add(Expr::imm(1)).node_count(), 3);
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = Expr::imm(4).udiv(Expr::imm(0));
+        assert!(matches!(e, Expr::Op { .. }));
+        let nomem = |_: u64, _: u8| None;
+        assert_eq!(e.eval(&|_| 0, &nomem), None);
+    }
+}

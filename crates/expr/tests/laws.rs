@@ -1,0 +1,152 @@
+//! Algebraic property tests: the simplifying constructors and linear
+//! normal forms must preserve concrete 64-bit wrapping semantics.
+
+use hgl_expr::{Expr, Interval, Linear, Sym};
+use hgl_x86::{Reg, Width};
+use proptest::prelude::*;
+
+fn arb_sym() -> impl Strategy<Value = Sym> {
+    prop_oneof![
+        (0u8..16).prop_map(|n| Sym::Init(Reg::from_number(n))),
+        (0u64..8).prop_map(Sym::Fresh),
+        Just(Sym::RetAddr),
+    ]
+}
+
+/// A small random expression tree.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<u64>().prop_map(Expr::imm),
+        arb_sym().prop_map(Expr::sym),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), any::<u8>()).prop_map(|(a, c)| a.mul(Expr::imm(c as u64))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), 0u64..64).prop_map(|(a, c)| a.shl(Expr::imm(c))),
+            (inner.clone(), 0u64..64).prop_map(|(a, c)| a.shr(Expr::imm(c))),
+            inner.clone().prop_map(Expr::neg),
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)])
+                .prop_map(|(a, w)| a.trunc(w)),
+            (inner, prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)])
+                .prop_map(|(a, w)| a.sext(w)),
+        ]
+    })
+}
+
+fn env_from(vals: &[u64]) -> impl Fn(Sym) -> u64 + '_ {
+    move |s: Sym| {
+        let idx = match s {
+            Sym::Init(r) => r.number() as usize,
+            Sym::Fresh(n) => 16 + (n as usize % 8),
+            _ => 24,
+        };
+        vals[idx % vals.len()]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Constructor simplifications never change concrete meaning:
+    /// (a + b) evaluates to eval(a) + eval(b), etc.
+    #[test]
+    fn add_matches_wrapping_add(a in arb_expr(), b in arb_expr(), vals in proptest::collection::vec(any::<u64>(), 25)) {
+        let env = env_from(&vals);
+        let nomem = |_: u64, _: u8| None;
+        if let (Some(va), Some(vb)) = (a.eval(&env, &nomem), b.eval(&env, &nomem)) {
+            let sum = a.clone().add(b.clone());
+            if let Some(vs) = sum.eval(&env, &nomem) {
+                prop_assert_eq!(vs, va.wrapping_add(vb), "a={} b={} sum={}", a, b, sum);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub(a in arb_expr(), b in arb_expr(), vals in proptest::collection::vec(any::<u64>(), 25)) {
+        let env = env_from(&vals);
+        let nomem = |_: u64, _: u8| None;
+        if let (Some(va), Some(vb)) = (a.eval(&env, &nomem), b.eval(&env, &nomem)) {
+            let d = a.clone().sub(b.clone());
+            if let Some(vd) = d.eval(&env, &nomem) {
+                prop_assert_eq!(vd, va.wrapping_sub(vb));
+            }
+        }
+    }
+
+    /// Linear normalisation round-trips concrete evaluation.
+    #[test]
+    fn linear_roundtrip_preserves_eval(e in arb_expr(), vals in proptest::collection::vec(any::<u64>(), 25)) {
+        let env = env_from(&vals);
+        let nomem = |_: u64, _: u8| None;
+        let lin = Linear::of_expr(&e);
+        let back = lin.to_expr();
+        match (e.eval(&env, &nomem), back.eval(&env, &nomem)) {
+            (Some(v1), Some(v2)) => prop_assert_eq!(v1, v2, "e={} normalised={}", e, back),
+            (None, _) | (_, None) => {} // ⊥ / undefined stays undefined
+        }
+    }
+
+    /// `diff` is evaluation-compatible subtraction.
+    #[test]
+    fn linear_diff_matches_eval(a in arb_expr(), b in arb_expr(), vals in proptest::collection::vec(any::<u64>(), 25)) {
+        let env = env_from(&vals);
+        let nomem = |_: u64, _: u8| None;
+        let la = Linear::of_expr(&a);
+        let lb = Linear::of_expr(&b);
+        let d = la.diff(&lb).to_expr();
+        if let (Some(va), Some(vb), Some(vd)) =
+            (a.eval(&env, &nomem), b.eval(&env, &nomem), d.eval(&env, &nomem))
+        {
+            prop_assert_eq!(vd, va.wrapping_sub(vb));
+        }
+    }
+
+    /// trunc/sext agree with the machine definitions.
+    #[test]
+    fn trunc_sext_machine_semantics(v in any::<u64>(), w in prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)]) {
+        let nomem = |_: u64, _: u8| None;
+        let e = Expr::imm(v);
+        prop_assert_eq!(e.clone().trunc(w).eval(&|_| 0, &nomem), Some(w.trunc(v)));
+        prop_assert_eq!(e.sext(w).eval(&|_| 0, &nomem), Some(w.sext(w.trunc(v))));
+    }
+
+    /// Interval join is an upper bound; meet is exact intersection.
+    #[test]
+    fn interval_lattice_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), d in any::<u64>(), probe in any::<u64>()) {
+        let i1 = Interval::new(a.min(b), a.max(b));
+        let i2 = Interval::new(c.min(d), c.max(d));
+        let j = i1.join(i2);
+        prop_assert!(j.contains(i1.lo) && j.contains(i1.hi));
+        prop_assert!(j.contains(i2.lo) && j.contains(i2.hi));
+        match i1.meet(i2) {
+            Some(m) => {
+                prop_assert_eq!(m.contains(probe), i1.contains(probe) && i2.contains(probe));
+            }
+            None => prop_assert!(!(i1.contains(probe) && i2.contains(probe))),
+        }
+    }
+
+    /// Expression node counts never grow through linear normalisation
+    /// of already-linear terms (no size blowup from the constructors).
+    #[test]
+    fn linear_terms_stay_compact(
+        coeffs in proptest::collection::vec(1u64..16, 1..6),
+        k in any::<u32>(),
+    ) {
+        let mut e = Expr::imm(k as u64);
+        for (i, c) in coeffs.iter().enumerate() {
+            let s = Expr::sym(Sym::Init(Reg::from_number((i % 16) as u8)));
+            e = e.add(s.mul(Expr::imm(*c)));
+        }
+        // Re-adding zero and re-normalising is idempotent.
+        let e2 = e.clone().add(Expr::imm(0));
+        prop_assert_eq!(&e, &e2);
+        prop_assert!(e.node_count() <= 4 * coeffs.len() + 2);
+    }
+}

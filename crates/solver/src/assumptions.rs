@@ -1,0 +1,93 @@
+//! Explicit assumptions generated when a relation is proven from
+//! memory-space provenance rather than arithmetic.
+//!
+//! The paper (§5.2): *"The informal algorithm can implicitly make
+//! assumptions that, e.g., regions in the global memory space are not
+//! overlapping with regions from the stack frame. A formal proof must
+//! explicitly assume that."* Each provenance-based separation verdict
+//! therefore carries an [`Assumption`] that is propagated into the
+//! lifted output and the Isabelle export.
+
+use crate::Region;
+use std::fmt;
+
+/// The kind of memory-space disjointness that was assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AssumptionKind {
+    /// The caller's stack frame does not overlap the global/data space.
+    StackVsGlobal,
+    /// The caller's stack frame does not overlap the heap.
+    StackVsHeap,
+    /// The global/data space does not overlap the heap.
+    GlobalVsHeap,
+    /// Two distinct heap allocations (fresh pointer symbols) are
+    /// disjoint.
+    DistinctAllocations,
+    /// A caller-supplied pointer (initial register value) does not
+    /// point into the callee's local stack frame. Violations of this
+    /// assumption are exactly the §5.3 ret2win scenario, so it is
+    /// surfaced as a proof obligation on the lifted output.
+    CallerVsFrame,
+    /// A caller-supplied pointer does not point into the global/data
+    /// space of the binary.
+    CallerVsGlobal,
+    /// A caller-supplied pointer cannot point into an allocation that
+    /// was made after function entry (freshness).
+    CallerVsFreshAllocation,
+}
+
+impl fmt::Display for AssumptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssumptionKind::StackVsGlobal => "stack frame separate from global space",
+            AssumptionKind::StackVsHeap => "stack frame separate from heap",
+            AssumptionKind::GlobalVsHeap => "global space separate from heap",
+            AssumptionKind::DistinctAllocations => "distinct allocations are disjoint",
+            AssumptionKind::CallerVsFrame => "caller pointer separate from local stack frame",
+            AssumptionKind::CallerVsGlobal => "caller pointer separate from global space",
+            AssumptionKind::CallerVsFreshAllocation => "caller pointer predates fresh allocation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An assumption used to justify a separation verdict.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assumption {
+    /// The disjointness class that was assumed.
+    pub kind: AssumptionKind,
+    /// First region.
+    pub r0: Region,
+    /// Second region.
+    pub r1: Region,
+}
+
+impl Assumption {
+    /// Construct an assumption over two regions.
+    pub fn new(kind: AssumptionKind, r0: Region, r1: Region) -> Assumption {
+        Assumption { kind, r0, r1 }
+    }
+}
+
+impl fmt::Display for Assumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ASSUME {} ⊲⊳ {} ({})", self.r0, self.r1, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let a = Assumption::new(
+            AssumptionKind::StackVsGlobal,
+            Region::stack(-8, 8),
+            Region::global(0x601000, 8),
+        );
+        let s = a.to_string();
+        assert!(s.contains("ASSUME"), "{s}");
+        assert!(s.contains("stack frame separate from global space"), "{s}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # hgl-solver: pointer-relation decision procedures
+//!
+//! The paper uses the Z3 SMT solver to establish whether the
+//! *necessarily*-relations of Definition 3.6 — aliasing `≡`, separation
+//! `⊲⊳` and enclosure `⪯` — hold between two symbolic memory regions
+//! under the current predicate. This crate is the offline substitute
+//! (see `DESIGN.md`, *Substitutions*): a bespoke decision procedure
+//! over the linear normal forms of `hgl-expr`, with
+//!
+//! - exact offset reasoning when two addresses share a symbolic base
+//!   (`rsp0 - 0x28` vs `rsp0 - 0x10`),
+//! - interval reasoning from predicate clauses (a jump-table access
+//!   `a + i*8` with `i < 0xc3` is separate from `a + 0x618`),
+//! - provenance-class reasoning between the stack frame, the
+//!   global/data space, the heap and distinct allocations — each use of
+//!   which is recorded as an explicit [`Assumption`], mirroring the
+//!   paper's generation of implicit-assumption proof obligations
+//!   (§5.2).
+//!
+//! The procedure is deliberately *incomplete*: when nothing can be
+//! proven it answers [`RegionRel::Unknown`], and the caller (the memory
+//! model's `ins` function) falls back to the paper's
+//! destroy-overlapping-regions rule. Incompleteness costs precision,
+//! never soundness.
+
+#![warn(missing_docs)]
+
+mod assumptions;
+mod ctx;
+mod region;
+mod relation;
+
+pub use assumptions::{Assumption, AssumptionKind};
+pub use ctx::{Ctx, Layout, Provenance};
+pub use region::Region;
+pub use relation::{decide, Answer, RegionRel};

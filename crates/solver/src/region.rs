@@ -1,0 +1,76 @@
+//! Memory regions `[address, size]`.
+
+use hgl_expr::{Expr, Linear, Sym};
+use hgl_x86::Reg;
+use std::fmt;
+
+/// A memory region: a symbolic address expression and a byte size
+/// (the `E × N` of the paper's expression grammar).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region {
+    /// Start address (a constant expression).
+    pub addr: Expr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    /// Construct a region.
+    pub fn new(addr: Expr, size: u64) -> Region {
+        Region { addr, size }
+    }
+
+    /// The region `[rsp0 + offset, size]` in the caller's frame.
+    pub fn stack(offset: i64, size: u64) -> Region {
+        let rsp0 = Expr::sym(Sym::Init(Reg::Rsp));
+        let addr = if offset >= 0 {
+            rsp0.add(Expr::imm(offset as u64))
+        } else {
+            rsp0.sub(Expr::imm(offset.unsigned_abs()))
+        };
+        Region { addr, size }
+    }
+
+    /// The return-address slot `[rsp0, 8]`.
+    pub fn return_address_slot() -> Region {
+        Region::stack(0, 8)
+    }
+
+    /// A region at a concrete (global) address.
+    pub fn global(addr: u64, size: u64) -> Region {
+        Region { addr: Expr::imm(addr), size }
+    }
+
+    /// The linear form of the start address.
+    pub fn linear(&self) -> Linear {
+        Linear::of_expr(&self.addr)
+    }
+
+    /// True if the address contains ⊥.
+    pub fn is_unknown(&self) -> bool {
+        self.addr.is_bottom() || self.linear().has_bottom
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_constructor() {
+        assert_eq!(Region::stack(-8, 8).to_string(), "[(rsp0 + -0x8), 8]");
+        assert_eq!(Region::return_address_slot().to_string(), "[rsp0, 8]");
+    }
+
+    #[test]
+    fn global_constructor() {
+        let r = Region::global(0x601000, 4);
+        assert_eq!(r.addr.as_imm(), Some(0x601000));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests: every *definite* verdict of the decision procedure
+//! must hold in every concrete state satisfying the clause context.
+//!
+//! For random regions and bounds we draw random symbol assignments that
+//! satisfy the mined clauses, evaluate both regions concretely, and
+//! check the claimed relation — aliasing, separation or enclosure —
+//! against the arithmetic truth. (Assumption-based verdicts are
+//! excluded: they are sound *under* the recorded assumption, which is
+//! exactly why the lifter surfaces them.)
+
+use hgl_expr::{Clause, Expr, Rel, Sym};
+use hgl_solver::{decide, Ctx, Layout, Region, RegionRel};
+use hgl_x86::Reg;
+use proptest::prelude::*;
+
+/// Concretely evaluate a region.
+fn concrete(r: &Region, env: &dyn Fn(Sym) -> u64) -> Option<(u64, u64)> {
+    let nomem = |_: u64, _: u8| None;
+    Some((r.addr.eval(&|s| env(s), &nomem)?, r.size))
+}
+
+fn rel_holds(rel: RegionRel, a: (u64, u64), b: (u64, u64)) -> bool {
+    let (a0, n0) = a;
+    let (b0, n1) = b;
+    match rel {
+        RegionRel::Alias => a0 == b0 && n0 == n1,
+        RegionRel::Separate => a0.wrapping_add(n0) <= b0 || b0.wrapping_add(n1) <= a0,
+        RegionRel::Enclosed => a0 >= b0 && a0.wrapping_add(n0) <= b0.wrapping_add(n1),
+        RegionRel::Encloses => b0 >= a0 && b0.wrapping_add(n1) <= a0.wrapping_add(n0),
+        RegionRel::Overlap => {
+            // Definitely overlapping but not nested: at least overlap.
+            !(a0.wrapping_add(n0) <= b0 || b0.wrapping_add(n1) <= a0)
+        }
+        RegionRel::Unknown => true,
+    }
+}
+
+fn arb_offset() -> impl Strategy<Value = i64> {
+    prop_oneof![(-0x80i64..0x80), (-0x4000i64..0x4000), Just(0i64)]
+}
+
+fn arb_size() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(1u64), Just(2), Just(4), Just(8), Just(16), (1u64..64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Same-base regions: arithmetic verdicts are exact.
+    #[test]
+    fn same_base_verdicts_sound(
+        off0 in arb_offset(),
+        off1 in arb_offset(),
+        n0 in arb_size(),
+        n1 in arb_size(),
+        base in any::<u64>(),
+    ) {
+        let r0 = Region::stack(off0, n0);
+        let r1 = Region::stack(off1, n1);
+        let ans = decide(&Ctx::new(), &r0, &r1);
+        prop_assume!(ans.assumptions.is_empty());
+        // Keep the base away from wraparound (the lifter's documented
+        // no-wrap guard).
+        let base = 0x1000_0000 + (base % 0x1_0000_0000);
+        let env = move |s: Sym| if s == Sym::Init(Reg::Rsp) { base } else { 0 };
+        let a = concrete(&r0, &env).expect("evaluates");
+        let b = concrete(&r1, &env).expect("evaluates");
+        prop_assert!(
+            rel_holds(ans.rel, a, b),
+            "verdict {:?} wrong for [{:#x},{}] vs [{:#x},{}]",
+            ans.rel, a.0, a.1, b.0, b.1
+        );
+    }
+
+    /// Bounded-index verdicts hold for every index in the bound.
+    #[test]
+    fn bounded_index_verdicts_sound(
+        table in 0x50_0000u64..0x52_0000,
+        bound in 1u64..0x200,
+        stride in prop_oneof![Just(1u64), Just(4), Just(8)],
+        probe_off in -0x100i64..0x4000,
+        n0 in prop_oneof![Just(4u64), Just(8)],
+        n1 in prop_oneof![Just(4u64), Just(8)],
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let idx_sym = Sym::Init(Reg::Rax);
+        let clause = Clause::new(Expr::sym(idx_sym), Rel::Lt, Expr::imm(bound));
+        let layout = Layout { text: vec![], data: vec![(0x50_0000, 0x60_0000)] };
+        let ctx = Ctx::from_clauses([&clause], layout);
+        let entry = Region::new(
+            Expr::imm(table).add(Expr::sym(idx_sym).mul(Expr::imm(stride))),
+            n0,
+        );
+        let probe = Region::global(table.wrapping_add_signed(probe_off), n1);
+        let ans = decide(&ctx, &entry, &probe);
+        prop_assume!(ans.assumptions.is_empty());
+        // Check every feasible index... sampled.
+        let idx = ((bound - 1) as f64 * idx_frac) as u64;
+        let env = move |s: Sym| if s == idx_sym { idx } else { 0 };
+        let a = concrete(&entry, &env).expect("evaluates");
+        let b = concrete(&probe, &env).expect("evaluates");
+        prop_assert!(
+            rel_holds(ans.rel, a, b),
+            "verdict {:?} wrong at idx {idx}: [{:#x},{}] vs [{:#x},{}]",
+            ans.rel, a.0, a.1, b.0, b.1
+        );
+    }
+
+    /// Equal-bound checks: Eq clauses give exact points.
+    #[test]
+    fn point_bound_verdicts_sound(
+        point in 0u64..0x100,
+        off in -0x40i64..0x40,
+        n in prop_oneof![Just(1u64), Just(4), Just(8)],
+    ) {
+        let s = Sym::Init(Reg::Rcx);
+        let clause = Clause::new(Expr::sym(s), Rel::Eq, Expr::imm(point));
+        let ctx = Ctx::from_clauses([&clause], Layout::default());
+        let base = Expr::imm(0x9000);
+        let r0 = Region::new(base.clone().add(Expr::sym(s)), n);
+        let r1 = Region::new(base.add(Expr::imm(point).add(Expr::imm(off as u64))), n);
+        let ans = decide(&ctx, &r0, &r1);
+        prop_assume!(ans.assumptions.is_empty());
+        let env = move |sym: Sym| if sym == s { point } else { 0 };
+        let a = concrete(&r0, &env).expect("evaluates");
+        let b = concrete(&r1, &env).expect("evaluates");
+        prop_assert!(rel_holds(ans.rel, a, b), "verdict {:?} at point {point} off {off}", ans.rel);
+    }
+
+    /// Interval mining from random clause sets never produces a bound
+    /// excluding a satisfying value.
+    #[test]
+    fn mined_bounds_contain_satisfying_values(
+        lo in 0u64..1000,
+        width in 1u64..1000,
+        v_frac in 0.0f64..1.0,
+    ) {
+        let hi = lo + width;
+        let s = Sym::Init(Reg::Rdx);
+        let c1 = Clause::new(Expr::sym(s), Rel::Ge, Expr::imm(lo));
+        let c2 = Clause::new(Expr::sym(s), Rel::Lt, Expr::imm(hi));
+        let ctx = Ctx::from_clauses([&c1, &c2], Layout::default());
+        prop_assert!(!ctx.is_unsat());
+        let v = lo + ((width - 1) as f64 * v_frac) as u64;
+        let iv = ctx.bound_of(&hgl_expr::Atom::Sym(s)).expect("mined");
+        prop_assert!(iv.contains(v), "{iv} must contain {v}");
+    }
+
+    /// Contradictory bounds are flagged unsat.
+    #[test]
+    fn contradictions_detected(a in 0u64..1000, gap in 1u64..1000) {
+        let s = Sym::Init(Reg::Rdx);
+        // s < a  and  s >= a + gap: unsatisfiable.
+        let c1 = Clause::new(Expr::sym(s), Rel::Lt, Expr::imm(a.max(1)));
+        let c2 = Clause::new(Expr::sym(s), Rel::Ge, Expr::imm(a.max(1) + gap));
+        let ctx = Ctx::from_clauses([&c1, &c2], Layout::default());
+        prop_assert!(ctx.is_unsat());
+    }
+}
+
+/// Assumption-based verdicts list the regions they constrain.
+#[test]
+fn assumption_verdicts_name_their_regions() {
+    let ctx = Ctx::new();
+    let p = Region::new(Expr::sym(Sym::Init(Reg::Rdi)), 8);
+    let s = Region::return_address_slot();
+    let ans = decide(&ctx, &p, &s);
+    assert_eq!(ans.rel, RegionRel::Separate);
+    assert_eq!(ans.assumptions.len(), 1);
+    let a = &ans.assumptions[0];
+    assert!((a.r0 == p && a.r1 == s) || (a.r0 == s && a.r1 == p));
+}

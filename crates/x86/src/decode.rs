@@ -1,0 +1,941 @@
+//! x86-64 instruction decoder.
+//!
+//! Implements the paper's `fetch : W64 → I` (Definition 3.1): given the
+//! bytes at an address, soundly retrieve a single instruction. The
+//! decoder is total over the supported subset and returns a
+//! [`DecodeError`] otherwise — the lifter treats undecodable bytes as a
+//! verification failure rather than guessing.
+
+use crate::instr::RepPrefix;
+use crate::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, RegRef, Width};
+use std::fmt;
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte buffer ended before the instruction did.
+    Truncated,
+    /// Instruction exceeded the architectural 15-byte limit.
+    TooLong,
+    /// An opcode outside the supported subset.
+    UnknownOpcode {
+        /// The offending opcode byte(s), including a 0x0F escape.
+        opcode: Vec<u8>,
+    },
+    /// A valid opcode with an unsupported ModRM `/r` extension.
+    UnknownExtension {
+        /// The opcode byte.
+        opcode: u8,
+        /// The `reg` field of the ModRM byte.
+        ext: u8,
+    },
+    /// A prefix the model does not support (e.g. address-size override).
+    UnsupportedPrefix(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction truncated"),
+            DecodeError::TooLong => write!(f, "instruction longer than 15 bytes"),
+            DecodeError::UnknownOpcode { opcode } => {
+                write!(f, "unknown opcode {:02x?}", opcode)
+            }
+            DecodeError::UnknownExtension { opcode, ext } => {
+                write!(f, "unknown extension /{ext} for opcode {opcode:#04x}")
+            }
+            DecodeError::UnsupportedPrefix(p) => write!(f, "unsupported prefix {p:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes([self.u8()?, self.u8()?, self.u8()?, self.u8()?]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let lo = self.u32()? as u64;
+        let hi = self.u32()? as u64;
+        Ok(lo | hi << 32)
+    }
+
+    /// Read an immediate of `width` (but at most 4 bytes, per the ISA's
+    /// imm32 rule), sign-extended to 64 bits.
+    fn imm(&mut self, width: Width) -> Result<i64, DecodeError> {
+        Ok(match width {
+            Width::B1 => self.u8()? as i8 as i64,
+            Width::B2 => self.u16()? as i16 as i64,
+            Width::B4 | Width::B8 => self.u32()? as i32 as i64,
+        })
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    present: bool,
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+struct Prefixes {
+    rex: Rex,
+    opsize: bool,
+    f2: bool,
+    f3: bool,
+}
+
+impl Prefixes {
+    fn width(&self) -> Width {
+        if self.rex.w {
+            Width::B8
+        } else if self.opsize {
+            Width::B2
+        } else {
+            Width::B4
+        }
+    }
+}
+
+fn reg_ref(number: u8, width: Width, rex_present: bool) -> RegRef {
+    if width == Width::B1 && !rex_present && (4..8).contains(&number) {
+        RegRef::high(Reg::from_number(number - 4))
+    } else {
+        RegRef::new(Reg::from_number(number), width)
+    }
+}
+
+/// Decoded ModRM information.
+struct ModRm {
+    /// The `reg` field (with REX.R applied).
+    reg: u8,
+    /// The register-or-memory operand.
+    rm: Operand,
+}
+
+fn parse_modrm(cur: &mut Cursor<'_>, pfx: &Prefixes, width: Width) -> Result<ModRm, DecodeError> {
+    let modrm = cur.u8()?;
+    let md = modrm >> 6;
+    let reg = (modrm >> 3 & 7) | if pfx.rex.r { 8 } else { 0 };
+    let rm_bits = modrm & 7;
+
+    if md == 3 {
+        let num = rm_bits | if pfx.rex.b { 8 } else { 0 };
+        return Ok(ModRm { reg, rm: Operand::Reg(reg_ref(num, width, pfx.rex.present)) });
+    }
+
+    let mut base = None;
+    let mut index = None;
+    let mut scale = 1u8;
+    let mut rip_relative = false;
+    let mut disp: i64;
+
+    if rm_bits == 4 {
+        // SIB byte.
+        let sib = cur.u8()?;
+        let sib_scale = 1u8 << (sib >> 6);
+        let idx_num = (sib >> 3 & 7) | if pfx.rex.x { 8 } else { 0 };
+        let base_num = (sib & 7) | if pfx.rex.b { 8 } else { 0 };
+        if idx_num != 4 {
+            index = Some(Reg::from_number(idx_num));
+            scale = sib_scale;
+        }
+        if sib & 7 == 5 && md == 0 {
+            // No base, disp32 follows.
+            disp = cur.u32()? as i32 as i64;
+        } else {
+            base = Some(Reg::from_number(base_num));
+            disp = match md {
+                0 => 0,
+                1 => cur.u8()? as i8 as i64,
+                _ => cur.u32()? as i32 as i64,
+            };
+        }
+    } else if rm_bits == 5 && md == 0 {
+        // RIP-relative.
+        rip_relative = true;
+        disp = cur.u32()? as i32 as i64;
+    } else {
+        base = Some(Reg::from_number(rm_bits | if pfx.rex.b { 8 } else { 0 }));
+        disp = match md {
+            0 => 0,
+            1 => cur.u8()? as i8 as i64,
+            _ => cur.u32()? as i32 as i64,
+        };
+    }
+    let _ = &mut disp;
+    Ok(ModRm {
+        reg,
+        rm: Operand::Mem(MemOperand { base, index, scale, disp, size: width, rip_relative }),
+    })
+}
+
+/// Resize the memory-operand access size of `op` (register operands are
+/// re-viewed at `w`; used when the ModRM was parsed at a different width
+/// than the operand it describes, e.g. `movzx r32, r/m8`).
+fn resize(op: Operand, w: Width, rex_present: bool) -> Operand {
+    match op {
+        Operand::Mem(mut m) => {
+            m.size = w;
+            Operand::Mem(m)
+        }
+        Operand::Reg(r) => {
+            if r.width == w {
+                Operand::Reg(r)
+            } else {
+                Operand::Reg(reg_ref(r.reg.number(), w, rex_present || !r.high8))
+            }
+        }
+        imm => imm,
+    }
+}
+
+/// Decode a single instruction from `bytes` located at virtual address
+/// `addr`.
+///
+/// Relative branch displacements are resolved into absolute targets.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated, exceed 15
+/// bytes, or use an opcode/prefix outside the supported subset.
+///
+/// ```
+/// let i = hgl_x86::decode(&[0xc3], 0x401000)?;
+/// assert_eq!(i.mnemonic, hgl_x86::Mnemonic::Ret);
+/// # Ok::<(), hgl_x86::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8], addr: u64) -> Result<Instr, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let mut pfx = Prefixes { rex: Rex::default(), opsize: false, f2: false, f3: false };
+
+    // Prefix loop. REX must be the final prefix before the opcode.
+    let opcode = loop {
+        let b = cur.u8()?;
+        match b {
+            0x66 => pfx.opsize = true,
+            0xf2 => pfx.f2 = true,
+            0xf3 => pfx.f3 = true,
+            0x2e | 0x3e | 0x26 | 0x36 | 0x64 | 0x65 => {} // segment prefixes: ignored hints
+            0xf0 => {} // lock: ignored (single-threaded model, §1 scope)
+            0x67 => return Err(DecodeError::UnsupportedPrefix(0x67)),
+            0x40..=0x4f => {
+                pfx.rex = Rex {
+                    present: true,
+                    w: b & 8 != 0,
+                    r: b & 4 != 0,
+                    x: b & 2 != 0,
+                    b: b & 1 != 0,
+                };
+                break cur.u8()?;
+            }
+            _ => break b,
+        }
+        if cur.pos > 14 {
+            return Err(DecodeError::TooLong);
+        }
+    };
+
+    let mut instr = decode_opcode(&mut cur, &pfx, opcode, addr)?;
+    if cur.pos > 15 {
+        return Err(DecodeError::TooLong);
+    }
+    instr.addr = addr;
+    instr.len = cur.pos as u8;
+    if instr.rep.is_none() {
+        instr.rep = if pfx.f3 && is_string_op(instr.mnemonic) {
+            Some(RepPrefix::Rep)
+        } else if pfx.f2 && is_string_op(instr.mnemonic) {
+            Some(RepPrefix::Repne)
+        } else {
+            None
+        };
+    }
+    Ok(instr)
+}
+
+fn is_string_op(m: Mnemonic) -> bool {
+    matches!(m, Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods | Mnemonic::Scas | Mnemonic::Cmps)
+}
+
+const GRP1: [Mnemonic; 8] = [
+    Mnemonic::Add,
+    Mnemonic::Or,
+    Mnemonic::Adc,
+    Mnemonic::Sbb,
+    Mnemonic::And,
+    Mnemonic::Sub,
+    Mnemonic::Xor,
+    Mnemonic::Cmp,
+];
+
+const SHIFT_GRP: [Option<Mnemonic>; 8] = [
+    Some(Mnemonic::Rol),
+    Some(Mnemonic::Ror),
+    Some(Mnemonic::Rcl),
+    Some(Mnemonic::Rcr),
+    Some(Mnemonic::Shl),
+    Some(Mnemonic::Shr),
+    Some(Mnemonic::Shl), // /6 is an alias of sal/shl
+    Some(Mnemonic::Sar),
+];
+
+fn decode_opcode(
+    cur: &mut Cursor<'_>,
+    pfx: &Prefixes,
+    opcode: u8,
+    addr: u64,
+) -> Result<Instr, DecodeError> {
+    let w = pfx.width();
+    let mk = |m, ops, width| Instr::new(m, ops, width);
+
+    match opcode {
+        // ALU block 0x00-0x3f: add/or/adc/sbb/and/sub/xor/cmp.
+        0x00..=0x3f if opcode & 7 <= 5 => {
+            let m = GRP1[(opcode >> 3) as usize & 7];
+            match opcode & 7 {
+                0 => {
+                    let mr = parse_modrm(cur, pfx, Width::B1)?;
+                    Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present))], Width::B1))
+                }
+                1 => {
+                    let mr = parse_modrm(cur, pfx, w)?;
+                    Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
+                }
+                2 => {
+                    let mr = parse_modrm(cur, pfx, Width::B1)?;
+                    Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present)), mr.rm], Width::B1))
+                }
+                3 => {
+                    let mr = parse_modrm(cur, pfx, w)?;
+                    Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
+                }
+                4 => {
+                    let imm = cur.imm(Width::B1)?;
+                    Ok(mk(m, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
+                }
+                5 => {
+                    let imm = cur.imm(w)?;
+                    Ok(mk(m, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
+                }
+                _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
+            }
+        }
+        0x0f => decode_0f(cur, pfx, addr),
+        0x50..=0x57 => {
+            let r = (opcode - 0x50) | if pfx.rex.b { 8 } else { 0 };
+            Ok(mk(Mnemonic::Push, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
+        }
+        0x58..=0x5f => {
+            let r = (opcode - 0x58) | if pfx.rex.b { 8 } else { 0 };
+            Ok(mk(Mnemonic::Pop, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
+        }
+        0x63 => {
+            let mr = parse_modrm(cur, pfx, Width::B4)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, Width::B8, pfx.rex.present));
+            Ok(mk(Mnemonic::Movsxd, vec![dst, mr.rm], Width::B8))
+        }
+        0x68 => {
+            let imm = cur.imm(Width::B4)?;
+            Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
+        }
+        0x69 | 0x6b => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let imm = if opcode == 0x69 { cur.imm(w)? } else { cur.imm(Width::B1)? };
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            Ok(mk(Mnemonic::Imul, vec![dst, mr.rm, Operand::Imm(imm)], w))
+        }
+        0x6a => {
+            let imm = cur.imm(Width::B1)?;
+            Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
+        }
+        0x70..=0x7f => {
+            let rel = cur.imm(Width::B1)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            Ok(mk(Mnemonic::Jcc(Cond::from_number(opcode & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0x80 | 0x81 | 0x83 => {
+            let opw = if opcode == 0x80 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            let imm = match opcode {
+                0x80 | 0x83 => cur.imm(Width::B1)?,
+                _ => cur.imm(opw)?,
+            };
+            let m = GRP1[(mr.reg & 7) as usize];
+            Ok(mk(m, vec![mr.rm, Operand::Imm(imm)], opw))
+        }
+        0x84 | 0x85 => {
+            let opw = if opcode == 0x84 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+        }
+        0x86 | 0x87 => {
+            let opw = if opcode == 0x86 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Xchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+        }
+        0x88 | 0x89 => {
+            let opw = if opcode == 0x88 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+        }
+        0x8a | 0x8b => {
+            let opw = if opcode == 0x8a { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present)), mr.rm], opw))
+        }
+        0x8d => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            if !mr.rm.is_mem() {
+                return Err(DecodeError::UnknownOpcode { opcode: vec![opcode] });
+            }
+            Ok(mk(Mnemonic::Lea, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
+        }
+        0x8f => {
+            let mr = parse_modrm(cur, pfx, Width::B8)?;
+            if mr.reg & 7 != 0 {
+                return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+            }
+            Ok(mk(Mnemonic::Pop, vec![mr.rm], Width::B8))
+        }
+        0x90 => Ok(mk(Mnemonic::Nop, vec![], Width::B8)),
+        0x91..=0x97 => {
+            let r = (opcode - 0x90) | if pfx.rex.b { 8 } else { 0 };
+            Ok(mk(
+                Mnemonic::Xchg,
+                vec![Operand::reg(Reg::Rax, w), Operand::Reg(reg_ref(r, w, pfx.rex.present))],
+                w,
+            ))
+        }
+        0x98 => Ok(match w {
+            Width::B2 => mk(Mnemonic::Cbw, vec![], Width::B2),
+            Width::B8 => mk(Mnemonic::Cdqe, vec![], Width::B8),
+            _ => mk(Mnemonic::Cwde, vec![], Width::B4),
+        }),
+        0x99 => Ok(match w {
+            Width::B2 => mk(Mnemonic::Cwd, vec![], Width::B2),
+            Width::B8 => mk(Mnemonic::Cqo, vec![], Width::B8),
+            _ => mk(Mnemonic::Cdq, vec![], Width::B4),
+        }),
+        0xa4 => Ok(mk(Mnemonic::Movs, vec![], Width::B1)),
+        0xa5 => Ok(mk(Mnemonic::Movs, vec![], w)),
+        0xa6 => Ok(mk(Mnemonic::Cmps, vec![], Width::B1)),
+        0xa7 => Ok(mk(Mnemonic::Cmps, vec![], w)),
+        0xa8 => {
+            let imm = cur.imm(Width::B1)?;
+            Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
+        }
+        0xa9 => {
+            let imm = cur.imm(w)?;
+            Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
+        }
+        0xaa => Ok(mk(Mnemonic::Stos, vec![], Width::B1)),
+        0xab => Ok(mk(Mnemonic::Stos, vec![], w)),
+        0xac => Ok(mk(Mnemonic::Lods, vec![], Width::B1)),
+        0xad => Ok(mk(Mnemonic::Lods, vec![], w)),
+        0xae => Ok(mk(Mnemonic::Scas, vec![], Width::B1)),
+        0xaf => Ok(mk(Mnemonic::Scas, vec![], w)),
+        0xb0..=0xb7 => {
+            let r = (opcode - 0xb0) | if pfx.rex.b { 8 } else { 0 };
+            let imm = cur.imm(Width::B1)?;
+            Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, Width::B1, pfx.rex.present)), Operand::Imm(imm)], Width::B1))
+        }
+        0xb8..=0xbf => {
+            let r = (opcode - 0xb8) | if pfx.rex.b { 8 } else { 0 };
+            if pfx.rex.w {
+                let imm = cur.u64()? as i64;
+                Ok(mk(Mnemonic::Movabs, vec![Operand::reg64(Reg::from_number(r)), Operand::Imm(imm)], Width::B8))
+            } else {
+                let imm = match w {
+                    Width::B2 => cur.u16()? as i64,
+                    _ => cur.u32()? as i64, // mov r32, imm32 zero-extends
+                };
+                Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, w, pfx.rex.present)), Operand::Imm(imm)], w))
+            }
+        }
+        0xc0 | 0xc1 | 0xd0 | 0xd1 | 0xd2 | 0xd3 => {
+            let opw = if opcode & 1 == 0 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            let m = SHIFT_GRP[(mr.reg & 7) as usize]
+                .ok_or(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 })?;
+            let amount = match opcode {
+                0xc0 | 0xc1 => Operand::Imm(cur.imm(Width::B1)? & 0xff),
+                0xd0 | 0xd1 => Operand::Imm(1),
+                _ => Operand::reg(Reg::Rcx, Width::B1),
+            };
+            Ok(mk(m, vec![mr.rm, amount], opw))
+        }
+        0xc2 => {
+            let imm = cur.u16()? as i64;
+            Ok(mk(Mnemonic::Ret, vec![Operand::Imm(imm)], Width::B8))
+        }
+        0xc3 => Ok(mk(Mnemonic::Ret, vec![], Width::B8)),
+        0xc6 | 0xc7 => {
+            let opw = if opcode == 0xc6 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            if mr.reg & 7 != 0 {
+                return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+            }
+            let imm = cur.imm(opw)?;
+            Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Imm(imm)], opw))
+        }
+        0xc9 => Ok(mk(Mnemonic::Leave, vec![], Width::B8)),
+        0xcc => Ok(mk(Mnemonic::Int3, vec![], Width::B8)),
+        0xe0 | 0xe1 | 0xe2 | 0xe3 => {
+            let rel = cur.imm(Width::B1)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            let m = match opcode {
+                0xe0 => Mnemonic::Loopne,
+                0xe1 => Mnemonic::Loope,
+                0xe2 => Mnemonic::Loop,
+                _ => Mnemonic::Jrcxz,
+            };
+            Ok(mk(m, vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0xe8 => {
+            let rel = cur.imm(Width::B4)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            Ok(mk(Mnemonic::Call, vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0xe9 => {
+            let rel = cur.imm(Width::B4)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0xeb => {
+            let rel = cur.imm(Width::B1)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0xf4 => Ok(mk(Mnemonic::Hlt, vec![], Width::B8)),
+        0xf5 => Ok(mk(Mnemonic::Cmc, vec![], Width::B8)),
+        0xf6 | 0xf7 => {
+            let opw = if opcode == 0xf6 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            match mr.reg & 7 {
+                0 | 1 => {
+                    let imm = if opcode == 0xf6 { cur.imm(Width::B1)? } else { cur.imm(opw)? };
+                    Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Imm(imm)], opw))
+                }
+                2 => Ok(mk(Mnemonic::Not, vec![mr.rm], opw)),
+                3 => Ok(mk(Mnemonic::Neg, vec![mr.rm], opw)),
+                4 => Ok(mk(Mnemonic::Mul, vec![mr.rm], opw)),
+                5 => Ok(mk(Mnemonic::Imul, vec![mr.rm], opw)),
+                6 => Ok(mk(Mnemonic::Div, vec![mr.rm], opw)),
+                _ => Ok(mk(Mnemonic::Idiv, vec![mr.rm], opw)),
+            }
+        }
+        0xf8 => Ok(mk(Mnemonic::Clc, vec![], Width::B8)),
+        0xf9 => Ok(mk(Mnemonic::Stc, vec![], Width::B8)),
+        0xfc => Ok(mk(Mnemonic::Cld, vec![], Width::B8)),
+        0xfd => Ok(mk(Mnemonic::Std, vec![], Width::B8)),
+        0xfe => {
+            let mr = parse_modrm(cur, pfx, Width::B1)?;
+            match mr.reg & 7 {
+                0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], Width::B1)),
+                1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], Width::B1)),
+                e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+            }
+        }
+        0xff => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            match mr.reg & 7 {
+                0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], w)),
+                1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], w)),
+                2 => Ok(mk(Mnemonic::Call, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                4 => Ok(mk(Mnemonic::Jmp, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                6 => Ok(mk(Mnemonic::Push, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+            }
+        }
+        _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
+    }
+}
+
+fn decode_0f(cur: &mut Cursor<'_>, pfx: &Prefixes, addr: u64) -> Result<Instr, DecodeError> {
+    let w = pfx.width();
+    let op2 = cur.u8()?;
+    let mk = |m, ops, width| Instr::new(m, ops, width);
+
+    match op2 {
+        0x05 => Ok(mk(Mnemonic::Syscall, vec![], Width::B8)),
+        0x0b => Ok(mk(Mnemonic::Ud2, vec![], Width::B8)),
+        0x1e if pfx.f3 && cur.peek() == Some(0xfa) => {
+            cur.u8()?;
+            Ok(mk(Mnemonic::Endbr64, vec![], Width::B8))
+        }
+        0x1f => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let _ = mr;
+            Ok(mk(Mnemonic::Nop, vec![], w))
+        }
+        0x31 => Ok(mk(Mnemonic::Rdtsc, vec![], Width::B8)),
+        0x40..=0x4f => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            Ok(mk(Mnemonic::Cmovcc(Cond::from_number(op2 & 0xf)), vec![dst, mr.rm], w))
+        }
+        0x80..=0x8f => {
+            let rel = cur.imm(Width::B4)?;
+            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+            Ok(mk(Mnemonic::Jcc(Cond::from_number(op2 & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
+        }
+        0x90..=0x9f => {
+            let mr = parse_modrm(cur, pfx, Width::B1)?;
+            Ok(mk(Mnemonic::Setcc(Cond::from_number(op2 & 0xf)), vec![mr.rm], Width::B1))
+        }
+        0xa2 => Ok(mk(Mnemonic::Cpuid, vec![], Width::B8)),
+        0xa3 | 0xab | 0xb3 | 0xbb => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let m = match op2 {
+                0xa3 => Mnemonic::Bt,
+                0xab => Mnemonic::Bts,
+                0xb3 => Mnemonic::Btr,
+                _ => Mnemonic::Btc,
+            };
+            Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
+        }
+        0xa4 | 0xac => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let imm = cur.imm(Width::B1)?;
+            let m = if op2 == 0xa4 { Mnemonic::Shld } else { Mnemonic::Shrd };
+            Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), Operand::Imm(imm)], w))
+        }
+        0xa5 | 0xad => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let m = if op2 == 0xa5 { Mnemonic::Shld } else { Mnemonic::Shrd };
+            Ok(mk(
+                m,
+                vec![
+                    mr.rm,
+                    Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)),
+                    Operand::reg(Reg::Rcx, Width::B1),
+                ],
+                w,
+            ))
+        }
+        0xaf => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            Ok(mk(Mnemonic::Imul, vec![dst, mr.rm], w))
+        }
+        0xb0 | 0xb1 => {
+            let opw = if op2 == 0xb0 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Cmpxchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+        }
+        0xb6 | 0xb7 | 0xbe | 0xbf => {
+            let srcw = if op2 & 1 == 0 { Width::B1 } else { Width::B2 };
+            let mr = parse_modrm(cur, pfx, srcw)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            let m = if op2 < 0xbe { Mnemonic::Movzx } else { Mnemonic::Movsx };
+            Ok(mk(m, vec![dst, mr.rm], w))
+        }
+        0xb8 if pfx.f3 => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            Ok(mk(Mnemonic::Popcnt, vec![dst, mr.rm], w))
+        }
+        0xba => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let m = match mr.reg & 7 {
+                4 => Mnemonic::Bt,
+                5 => Mnemonic::Bts,
+                6 => Mnemonic::Btr,
+                7 => Mnemonic::Btc,
+                e => return Err(DecodeError::UnknownExtension { opcode: 0xba, ext: e }),
+            };
+            let imm = cur.imm(Width::B1)?;
+            Ok(mk(m, vec![mr.rm, Operand::Imm(imm & 0xff)], w))
+        }
+        0xbc => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            let m = if pfx.f3 { Mnemonic::Tzcnt } else { Mnemonic::Bsf };
+            Ok(mk(m, vec![dst, mr.rm], w))
+        }
+        0xbd => {
+            let mr = parse_modrm(cur, pfx, w)?;
+            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+            Ok(mk(Mnemonic::Bsr, vec![dst, mr.rm], w))
+        }
+        0xc0 | 0xc1 => {
+            let opw = if op2 == 0xc0 { Width::B1 } else { w };
+            let mr = parse_modrm(cur, pfx, opw)?;
+            Ok(mk(Mnemonic::Xadd, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+        }
+        0xc8..=0xcf => {
+            // bswap r32/r64.
+            let r = (op2 - 0xc8) | if pfx.rex.b { 8 } else { 0 };
+            let bw = if pfx.rex.w { Width::B8 } else { Width::B4 };
+            Ok(mk(Mnemonic::Bswap, vec![Operand::Reg(reg_ref(r, bw, pfx.rex.present))], bw))
+        }
+        _ => Err(DecodeError::UnknownOpcode { opcode: vec![0x0f, op2] }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bytes: &[u8]) -> Instr {
+        decode(bytes, 0x1000).expect("decodes")
+    }
+
+    #[test]
+    fn mov_reg_reg() {
+        let i = d(&[0x48, 0x89, 0xe5]);
+        assert_eq!(i.mnemonic, Mnemonic::Mov);
+        assert_eq!(i.len, 3);
+        assert_eq!(i.operands, vec![Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp)]);
+    }
+
+    #[test]
+    fn mov_r32_clears_width() {
+        // 89 d8 = mov eax, ebx
+        let i = d(&[0x89, 0xd8]);
+        assert_eq!(i.width, Width::B4);
+        assert_eq!(i.operands[0], Operand::reg(Reg::Rax, Width::B4));
+    }
+
+    #[test]
+    fn rex_extended_regs() {
+        // 4d 89 c8 = mov r8, r9
+        let i = d(&[0x4d, 0x89, 0xc8]);
+        assert_eq!(i.operands, vec![Operand::reg64(Reg::R8), Operand::reg64(Reg::R9)]);
+    }
+
+    #[test]
+    fn high_byte_regs_without_rex() {
+        // 88 e0 = mov al, ah
+        let i = d(&[0x88, 0xe0]);
+        assert_eq!(i.operands[0], Operand::reg(Reg::Rax, Width::B1));
+        assert_eq!(i.operands[1], Operand::Reg(RegRef::high(Reg::Rax)));
+    }
+
+    #[test]
+    fn spl_with_rex() {
+        // 40 88 e0 = mov al, spl
+        let i = d(&[0x40, 0x88, 0xe0]);
+        assert_eq!(i.operands[1], Operand::reg(Reg::Rsp, Width::B1));
+    }
+
+    #[test]
+    fn sib_with_scale() {
+        // 8b 04 8d 00 100000 = mov eax, [rcx*4 + 0x1000]
+        let i = d(&[0x8b, 0x04, 0x8d, 0x00, 0x10, 0x00, 0x00]);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, None);
+                assert_eq!(m.index, Some(Reg::Rcx));
+                assert_eq!(m.scale, 4);
+                assert_eq!(m.disp, 0x1000);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rip_relative() {
+        // 48 8b 05 10 00 00 00 = mov rax, [rip+0x10]
+        let i = d(&[0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00]);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert!(m.rip_relative);
+                assert_eq!(m.disp, 0x10);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jcc_target_resolution() {
+        // at 0x1000: 74 05 = je 0x1007
+        let i = d(&[0x74, 0x05]);
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::E));
+        assert_eq!(i.direct_target(), Some(0x1007));
+        // backward: eb fe = jmp self
+        let j = d(&[0xeb, 0xfe]);
+        assert_eq!(j.direct_target(), Some(0x1000));
+    }
+
+    #[test]
+    fn call_rel32() {
+        // e8 fb 00 00 00 at 0x1000 -> call 0x1100
+        let i = d(&[0xe8, 0xfb, 0x00, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Call);
+        assert_eq!(i.direct_target(), Some(0x1100));
+    }
+
+    #[test]
+    fn indirect_jmp_through_mem() {
+        // ff 27 = jmp qword [rdi]  (the §2 example's final instruction)
+        let i = d(&[0xff, 0x27]);
+        assert_eq!(i.mnemonic, Mnemonic::Jmp);
+        assert!(i.is_indirect_branch());
+        match &i.operands[0] {
+            Operand::Mem(m) => assert_eq!(m.size, Width::B8),
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn movabs() {
+        let i = d(&[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(i.mnemonic, Mnemonic::Movabs);
+        assert_eq!(i.operands[1], Operand::Imm(0x0807060504030201));
+        assert_eq!(i.len, 10);
+    }
+
+    #[test]
+    fn group1_imm8_sext() {
+        // 48 83 ec 28 = sub rsp, 0x28
+        let i = d(&[0x48, 0x83, 0xec, 0x28]);
+        assert_eq!(i.mnemonic, Mnemonic::Sub);
+        assert_eq!(i.operands, vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x28)]);
+        // 48 83 c0 ff = add rax, -1
+        let j = d(&[0x48, 0x83, 0xc0, 0xff]);
+        assert_eq!(j.operands[1], Operand::Imm(-1));
+    }
+
+    #[test]
+    fn movzx_widths() {
+        // 0f b6 c0 = movzx eax, al
+        let i = d(&[0x0f, 0xb6, 0xc0]);
+        assert_eq!(i.mnemonic, Mnemonic::Movzx);
+        assert_eq!(i.operands[0], Operand::reg(Reg::Rax, Width::B4));
+        assert_eq!(i.operands[1], Operand::reg(Reg::Rax, Width::B1));
+    }
+
+    #[test]
+    fn endbr64() {
+        let i = d(&[0xf3, 0x0f, 0x1e, 0xfa]);
+        assert_eq!(i.mnemonic, Mnemonic::Endbr64);
+        assert_eq!(i.len, 4);
+    }
+
+    #[test]
+    fn rep_stosq() {
+        let i = d(&[0xf3, 0x48, 0xab]);
+        assert_eq!(i.mnemonic, Mnemonic::Stos);
+        assert_eq!(i.width, Width::B8);
+        assert_eq!(i.rep, Some(RepPrefix::Rep));
+    }
+
+    #[test]
+    fn ret_is_c3() {
+        let i = d(&[0xc3]);
+        assert_eq!(i.mnemonic, Mnemonic::Ret);
+        assert_eq!(i.len, 1);
+    }
+
+    #[test]
+    fn shift_group() {
+        // 48 c1 e0 04 = shl rax, 4
+        let i = d(&[0x48, 0xc1, 0xe0, 0x04]);
+        assert_eq!(i.mnemonic, Mnemonic::Shl);
+        assert_eq!(i.operands[1], Operand::Imm(4));
+        // 48 d3 f8 = sar rax, cl
+        let j = d(&[0x48, 0xd3, 0xf8]);
+        assert_eq!(j.mnemonic, Mnemonic::Sar);
+        assert_eq!(j.operands[1], Operand::reg(Reg::Rcx, Width::B1));
+    }
+
+    #[test]
+    fn leave_and_multibyte_nop() {
+        assert_eq!(d(&[0xc9]).mnemonic, Mnemonic::Leave);
+        let nop = d(&[0x0f, 0x1f, 0x44, 0x00, 0x00]);
+        assert_eq!(nop.mnemonic, Mnemonic::Nop);
+        assert_eq!(nop.len, 5);
+    }
+
+    #[test]
+    fn truncated_and_unknown() {
+        assert_eq!(decode(&[0x48], 0), Err(DecodeError::Truncated));
+        assert!(matches!(decode(&[0x0f, 0xff], 0), Err(DecodeError::UnknownOpcode { .. })));
+        assert_eq!(decode(&[0x67, 0x8b, 0x00], 0), Err(DecodeError::UnsupportedPrefix(0x67)));
+    }
+
+    #[test]
+    fn mov_mem_imm_sizes() {
+        // c7 06 01 00 00 00 = mov dword [rsi], 1   (the §2 example's 4th instr)
+        let i = d(&[0xc7, 0x06, 0x01, 0x00, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Mov);
+        assert_eq!(i.width, Width::B4);
+        match &i.operands[0] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, Some(Reg::Rsi));
+                assert_eq!(m.size, Width::B4);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+        assert_eq!(i.operands[1], Operand::Imm(1));
+    }
+
+    #[test]
+    fn group3_div() {
+        // 48 f7 f1 = div rcx
+        let i = d(&[0x48, 0xf7, 0xf1]);
+        assert_eq!(i.mnemonic, Mnemonic::Div);
+        assert_eq!(i.operands, vec![Operand::reg64(Reg::Rcx)]);
+    }
+
+    #[test]
+    fn rbp_base_needs_disp() {
+        // 8b 45 00 = mov eax, [rbp+0]
+        let i = d(&[0x8b, 0x45, 0x00]);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, Some(Reg::Rbp));
+                assert_eq!(m.disp, 0);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r12_base_uses_sib() {
+        // 49 8b 04 24 = mov rax, [r12]
+        let i = d(&[0x49, 0x8b, 0x04, 0x24]);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, Some(Reg::R12));
+                assert_eq!(m.index, None);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r13_base_mod0_is_disp() {
+        // 49 8b 45 00 = mov rax, [r13+0]
+        let i = d(&[0x49, 0x8b, 0x45, 0x00]);
+        match &i.operands[1] {
+            Operand::Mem(m) => assert_eq!(m.base, Some(Reg::R13)),
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,936 @@
+//! x86-64 instruction encoder.
+//!
+//! The inverse of [`decode`](crate::decode): used by `hgl-asm` to
+//! synthesize ELF test binaries, and round-trip-tested against the
+//! decoder. Branches always use their rel32 forms, so encoded lengths
+//! are deterministic given the instruction alone (two-pass layout in
+//! the assembler needs no relaxation).
+
+use crate::instr::RepPrefix;
+use crate::{Instr, MemOperand, Mnemonic, Operand, Reg, RegRef, Width};
+use std::fmt;
+
+/// Errors produced by [`encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The operand combination has no encoding in the supported subset.
+    BadOperands(&'static str),
+    /// An immediate does not fit the encodable range.
+    ImmediateOutOfRange,
+    /// A branch displacement does not fit in rel32.
+    BranchOutOfRange,
+    /// A high-byte register (`ah`…`bh`) was combined with an operand
+    /// that requires a REX prefix.
+    RexConflict,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::BadOperands(ctx) => write!(f, "unencodable operand combination: {ctx}"),
+            EncodeError::ImmediateOutOfRange => write!(f, "immediate out of range"),
+            EncodeError::BranchOutOfRange => write!(f, "branch displacement exceeds rel32"),
+            EncodeError::RexConflict => write!(f, "high-byte register requires no REX prefix"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[derive(Default)]
+struct Enc {
+    rep: Option<RepPrefix>,
+    f3: bool,
+    opsize: bool,
+    rex_w: bool,
+    rex_r: bool,
+    rex_x: bool,
+    rex_b: bool,
+    /// Low-byte register 4–7 used (spl/bpl/sil/dil): REX required.
+    force_rex: bool,
+    /// High-byte register used: REX forbidden.
+    forbid_rex: bool,
+    opcode: Vec<u8>,
+    modrm: Option<u8>,
+    sib: Option<u8>,
+    disp: Vec<u8>,
+    imm: Vec<u8>,
+}
+
+impl Enc {
+    fn width(&mut self, w: Width) {
+        match w {
+            Width::B2 => self.opsize = true,
+            Width::B8 => self.rex_w = true,
+            _ => {}
+        }
+    }
+
+    /// Register number for the ModRM `reg` field (or opcode+r), noting
+    /// REX requirements.
+    fn reg_bits(&mut self, r: RegRef) -> u8 {
+        if r.high8 {
+            self.forbid_rex = true;
+            return r.reg.number() + 4;
+        }
+        if r.width == Width::B1 && (4..8).contains(&r.reg.number()) {
+            self.force_rex = true;
+        }
+        r.reg.number()
+    }
+
+    fn set_rm(&mut self, rm: &Operand, reg_field: u8) -> Result<(), EncodeError> {
+        if reg_field >= 8 {
+            self.rex_r = true;
+        }
+        let reg_field = reg_field & 7;
+        match rm {
+            Operand::Reg(r) => {
+                let n = self.reg_bits(*r);
+                if n >= 8 {
+                    self.rex_b = true;
+                }
+                self.modrm = Some(0xc0 | reg_field << 3 | (n & 7));
+                Ok(())
+            }
+            Operand::Mem(m) => self.set_mem(m, reg_field),
+            Operand::Imm(_) => Err(EncodeError::BadOperands("immediate in r/m position")),
+        }
+    }
+
+    fn set_mem(&mut self, m: &MemOperand, reg_field: u8) -> Result<(), EncodeError> {
+        if m.rip_relative {
+            self.modrm = Some(reg_field << 3 | 5);
+            let d = i32::try_from(m.disp).map_err(|_| EncodeError::ImmediateOutOfRange)?;
+            self.disp = d.to_le_bytes().to_vec();
+            return Ok(());
+        }
+        let disp32 = || -> Result<Vec<u8>, EncodeError> {
+            let d = i32::try_from(m.disp).map_err(|_| EncodeError::ImmediateOutOfRange)?;
+            Ok(d.to_le_bytes().to_vec())
+        };
+        match (m.base, m.index) {
+            (None, None) => {
+                // [disp32] — SIB form with no base, no index.
+                self.modrm = Some(reg_field << 3 | 4);
+                self.sib = Some(0x25);
+                self.disp = disp32()?;
+                Ok(())
+            }
+            (base, Some(idx)) => {
+                if idx == Reg::Rsp {
+                    return Err(EncodeError::BadOperands("rsp as index"));
+                }
+                let scale_bits = match m.scale {
+                    1 => 0u8,
+                    2 => 1,
+                    4 => 2,
+                    8 => 3,
+                    _ => return Err(EncodeError::BadOperands("scale")),
+                };
+                let idx_n = idx.number();
+                if idx_n >= 8 {
+                    self.rex_x = true;
+                }
+                match base {
+                    None => {
+                        self.modrm = Some(reg_field << 3 | 4);
+                        self.sib = Some(scale_bits << 6 | (idx_n & 7) << 3 | 5);
+                        self.disp = disp32()?;
+                    }
+                    Some(b) => {
+                        let b_n = b.number();
+                        if b_n >= 8 {
+                            self.rex_b = true;
+                        }
+                        let (md, disp) = self.disp_mode(m.disp, b_n)?;
+                        self.modrm = Some(md << 6 | reg_field << 3 | 4);
+                        self.sib = Some(scale_bits << 6 | (idx_n & 7) << 3 | (b_n & 7));
+                        self.disp = disp;
+                    }
+                }
+                Ok(())
+            }
+            (Some(b), None) => {
+                let b_n = b.number();
+                if b_n >= 8 {
+                    self.rex_b = true;
+                }
+                if b_n & 7 == 4 {
+                    // rsp/r12 base needs a SIB byte.
+                    let (md, disp) = self.disp_mode(m.disp, b_n)?;
+                    self.modrm = Some(md << 6 | reg_field << 3 | 4);
+                    self.sib = Some(0x20 | (b_n & 7));
+                    self.disp = disp;
+                } else {
+                    let (md, disp) = self.disp_mode(m.disp, b_n)?;
+                    self.modrm = Some(md << 6 | reg_field << 3 | (b_n & 7));
+                    self.disp = disp;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Choose the shortest mod/displacement encoding for a based access.
+    fn disp_mode(&self, disp: i64, base_n: u8) -> Result<(u8, Vec<u8>), EncodeError> {
+        if disp == 0 && base_n & 7 != 5 {
+            Ok((0, vec![]))
+        } else if let Ok(d8) = i8::try_from(disp) {
+            Ok((1, vec![d8 as u8]))
+        } else {
+            let d = i32::try_from(disp).map_err(|_| EncodeError::ImmediateOutOfRange)?;
+            Ok((2, d.to_le_bytes().to_vec()))
+        }
+    }
+
+    fn finish(self) -> Result<Vec<u8>, EncodeError> {
+        let mut out = Vec::with_capacity(15);
+        match self.rep {
+            Some(RepPrefix::Rep) => out.push(0xf3),
+            Some(RepPrefix::Repne) => out.push(0xf2),
+            None => {}
+        }
+        if self.f3 {
+            out.push(0xf3);
+        }
+        if self.opsize {
+            out.push(0x66);
+        }
+        let rex_bits = (self.rex_w as u8) << 3 | (self.rex_r as u8) << 2 | (self.rex_x as u8) << 1 | self.rex_b as u8;
+        let need_rex = rex_bits != 0 || self.force_rex;
+        if need_rex {
+            if self.forbid_rex {
+                return Err(EncodeError::RexConflict);
+            }
+            out.push(0x40 | rex_bits);
+        }
+        out.extend_from_slice(&self.opcode);
+        if let Some(m) = self.modrm {
+            out.push(m);
+        }
+        if let Some(s) = self.sib {
+            out.push(s);
+        }
+        out.extend_from_slice(&self.disp);
+        out.extend_from_slice(&self.imm);
+        Ok(out)
+    }
+}
+
+fn expect_reg(op: &Operand, ctx: &'static str) -> Result<RegRef, EncodeError> {
+    match op {
+        Operand::Reg(r) => Ok(*r),
+        _ => Err(EncodeError::BadOperands(ctx)),
+    }
+}
+
+fn expect_imm(op: &Operand, ctx: &'static str) -> Result<i64, EncodeError> {
+    match op {
+        Operand::Imm(i) => Ok(*i),
+        _ => Err(EncodeError::BadOperands(ctx)),
+    }
+}
+
+fn imm_bytes(v: i64, w: Width) -> Result<Vec<u8>, EncodeError> {
+    Ok(match w {
+        Width::B1 => vec![v as u8],
+        Width::B2 => (v as i16).to_le_bytes().to_vec(),
+        Width::B4 | Width::B8 => i32::try_from(v)
+            .map(|d| d.to_le_bytes().to_vec())
+            .or_else(|_| {
+                // mov r32, imm32 zero-extends: allow 0..=u32::MAX too.
+                if w == Width::B4 && (0..=u32::MAX as i64).contains(&v) {
+                    Ok((v as u32).to_le_bytes().to_vec())
+                } else {
+                    Err(EncodeError::ImmediateOutOfRange)
+                }
+            })?,
+    })
+}
+
+/// Group-1 ALU base opcodes (the `op << 3` row of the one-byte map).
+fn group1_index(m: Mnemonic) -> Option<u8> {
+    Some(match m {
+        Mnemonic::Add => 0,
+        Mnemonic::Or => 1,
+        Mnemonic::Adc => 2,
+        Mnemonic::Sbb => 3,
+        Mnemonic::And => 4,
+        Mnemonic::Sub => 5,
+        Mnemonic::Xor => 6,
+        Mnemonic::Cmp => 7,
+        _ => return None,
+    })
+}
+
+fn shift_index(m: Mnemonic) -> Option<u8> {
+    Some(match m {
+        Mnemonic::Rol => 0,
+        Mnemonic::Ror => 1,
+        Mnemonic::Rcl => 2,
+        Mnemonic::Rcr => 3,
+        Mnemonic::Shl => 4,
+        Mnemonic::Shr => 5,
+        Mnemonic::Sar => 7,
+        _ => return None,
+    })
+}
+
+/// Encode `instr` (whose `addr` must be set for direct branches, since
+/// targets are stored absolute).
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if the operand combination is not
+/// encodable, an immediate or branch displacement is out of range, or a
+/// high-byte register conflicts with a REX prefix.
+///
+/// ```
+/// use hgl_x86::{encode, decode, Instr, Mnemonic, Operand, Reg, Width};
+/// let mut mov = Instr::new(
+///     Mnemonic::Mov,
+///     vec![Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp)],
+///     Width::B8,
+/// );
+/// let bytes = encode(&mov)?;
+/// mov.len = bytes.len() as u8;
+/// assert_eq!(decode(&bytes, 0)?, mov);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(instr: &Instr) -> Result<Vec<u8>, EncodeError> {
+    let mut e = Enc { rep: instr.rep, ..Enc::default() };
+    let ops = &instr.operands;
+    let w = instr.width;
+
+    // Length of everything already queued plus `extra` upcoming bytes,
+    // for rel32 computation. REX presence must be decided before this
+    // is called, so branches (no register operands needing REX) are safe.
+    let rel32 = |e: &Enc, instr: &Instr, opcode_len: usize| -> Result<Vec<u8>, EncodeError> {
+        let target = expect_imm(&instr.operands[0], "branch target")? as u64;
+        let len = opcode_len + 4 + e.opsize as usize;
+        let next = instr.addr.wrapping_add(len as u64);
+        let rel = target.wrapping_sub(next) as i64;
+        let rel = (rel as i64) as i64;
+        let r32 = i32::try_from((rel << 32) >> 32).map_err(|_| EncodeError::BranchOutOfRange)?;
+        if (r32 as i64 as u64).wrapping_add(next) != target {
+            return Err(EncodeError::BranchOutOfRange);
+        }
+        Ok(r32.to_le_bytes().to_vec())
+    };
+
+    match instr.mnemonic {
+        m if group1_index(m).is_some() => {
+            let base = group1_index(m).unwrap() << 3;
+            e.width(w);
+            match (&ops[0], &ops[1]) {
+                (rm, Operand::Reg(src)) if !matches!(rm, Operand::Imm(_)) => {
+                    let reg = e.reg_bits(*src);
+                    e.opcode = vec![base | if w == Width::B1 { 0x00 } else { 0x01 }];
+                    e.set_rm(rm, reg)?;
+                }
+                (Operand::Reg(dst), rm @ Operand::Mem(_)) => {
+                    let reg = e.reg_bits(*dst);
+                    e.opcode = vec![base | if w == Width::B1 { 0x02 } else { 0x03 }];
+                    e.set_rm(rm, reg)?;
+                }
+                (rm, Operand::Imm(v)) => {
+                    if w == Width::B1 {
+                        e.opcode = vec![0x80];
+                        e.set_rm(rm, base >> 3)?;
+                        e.imm = imm_bytes(*v, Width::B1)?;
+                    } else if i8::try_from(*v).is_ok() {
+                        e.opcode = vec![0x83];
+                        e.set_rm(rm, base >> 3)?;
+                        e.imm = vec![*v as u8];
+                    } else {
+                        e.opcode = vec![0x81];
+                        e.set_rm(rm, base >> 3)?;
+                        e.imm = imm_bytes(*v, w)?;
+                    }
+                }
+                _ => return Err(EncodeError::BadOperands("group1")),
+            }
+        }
+        Mnemonic::Mov => {
+            e.width(w);
+            match (&ops[0], &ops[1]) {
+                (rm, Operand::Reg(src)) if !matches!(rm, Operand::Imm(_)) => {
+                    let reg = e.reg_bits(*src);
+                    e.opcode = vec![if w == Width::B1 { 0x88 } else { 0x89 }];
+                    e.set_rm(rm, reg)?;
+                }
+                (Operand::Reg(dst), rm @ Operand::Mem(_)) => {
+                    let reg = e.reg_bits(*dst);
+                    e.opcode = vec![if w == Width::B1 { 0x8a } else { 0x8b }];
+                    e.set_rm(rm, reg)?;
+                }
+                (Operand::Reg(dst), Operand::Imm(v)) if w == Width::B4 || w == Width::B2 || w == Width::B1 => {
+                    // B0+r / B8+r short forms.
+                    let n = e.reg_bits(*dst);
+                    if n >= 8 {
+                        e.rex_b = true;
+                    }
+                    e.opcode = vec![if w == Width::B1 { 0xb0 } else { 0xb8 } + (n & 7)];
+                    e.imm = imm_bytes(*v, w)?;
+                }
+                (rm, Operand::Imm(v)) => {
+                    e.opcode = vec![if w == Width::B1 { 0xc6 } else { 0xc7 }];
+                    e.set_rm(rm, 0)?;
+                    e.imm = imm_bytes(*v, w)?;
+                }
+                _ => return Err(EncodeError::BadOperands("mov")),
+            }
+        }
+        Mnemonic::Movabs => {
+            let dst = expect_reg(&ops[0], "movabs dest")?;
+            let v = expect_imm(&ops[1], "movabs imm")?;
+            e.rex_w = true;
+            let n = dst.reg.number();
+            if n >= 8 {
+                e.rex_b = true;
+            }
+            e.opcode = vec![0xb8 + (n & 7)];
+            e.imm = v.to_le_bytes().to_vec();
+        }
+        Mnemonic::Movzx | Mnemonic::Movsx => {
+            let dst = expect_reg(&ops[0], "movzx/movsx dest")?;
+            let srcw = ops[1].width().ok_or(EncodeError::BadOperands("movzx src"))?;
+            e.width(w);
+            let reg = e.reg_bits(dst);
+            let base = if instr.mnemonic == Mnemonic::Movzx { 0xb6 } else { 0xbe };
+            e.opcode = vec![0x0f, base + u8::from(srcw == Width::B2)];
+            e.set_rm(&ops[1], reg)?;
+        }
+        Mnemonic::Movsxd => {
+            let dst = expect_reg(&ops[0], "movsxd dest")?;
+            e.rex_w = true;
+            let reg = e.reg_bits(dst);
+            e.opcode = vec![0x63];
+            e.set_rm(&ops[1], reg)?;
+        }
+        Mnemonic::Lea => {
+            let dst = expect_reg(&ops[0], "lea dest")?;
+            e.width(w);
+            let reg = e.reg_bits(dst);
+            e.opcode = vec![0x8d];
+            e.set_rm(&ops[1], reg)?;
+        }
+        Mnemonic::Xchg => {
+            let src = expect_reg(&ops[1], "xchg src")?;
+            e.width(w);
+            let reg = e.reg_bits(src);
+            e.opcode = vec![if w == Width::B1 { 0x86 } else { 0x87 }];
+            e.set_rm(&ops[0], reg)?;
+        }
+        Mnemonic::Cmovcc(c) => {
+            let dst = expect_reg(&ops[0], "cmov dest")?;
+            e.width(w);
+            let reg = e.reg_bits(dst);
+            e.opcode = vec![0x0f, 0x40 | c.number()];
+            e.set_rm(&ops[1], reg)?;
+        }
+        Mnemonic::Setcc(c) => {
+            e.opcode = vec![0x0f, 0x90 | c.number()];
+            e.set_rm(&ops[0], 0)?;
+        }
+        Mnemonic::Push => match &ops[0] {
+            Operand::Reg(r) => {
+                let n = r.reg.number();
+                if n >= 8 {
+                    e.rex_b = true;
+                }
+                e.opcode = vec![0x50 + (n & 7)];
+            }
+            Operand::Imm(v) => {
+                if let Ok(v8) = i8::try_from(*v) {
+                    e.opcode = vec![0x6a];
+                    e.imm = vec![v8 as u8];
+                } else {
+                    e.opcode = vec![0x68];
+                    e.imm = imm_bytes(*v, Width::B4)?;
+                }
+            }
+            rm @ Operand::Mem(_) => {
+                e.opcode = vec![0xff];
+                e.set_rm(rm, 6)?;
+            }
+        },
+        Mnemonic::Pop => match &ops[0] {
+            Operand::Reg(r) => {
+                let n = r.reg.number();
+                if n >= 8 {
+                    e.rex_b = true;
+                }
+                e.opcode = vec![0x58 + (n & 7)];
+            }
+            rm @ Operand::Mem(_) => {
+                e.opcode = vec![0x8f];
+                e.set_rm(rm, 0)?;
+            }
+            Operand::Imm(_) => return Err(EncodeError::BadOperands("pop imm")),
+        },
+        Mnemonic::Inc | Mnemonic::Dec => {
+            e.width(w);
+            e.opcode = vec![if w == Width::B1 { 0xfe } else { 0xff }];
+            e.set_rm(&ops[0], u8::from(instr.mnemonic == Mnemonic::Dec))?;
+        }
+        Mnemonic::Not | Mnemonic::Neg | Mnemonic::Mul | Mnemonic::Div | Mnemonic::Idiv => {
+            e.width(w);
+            e.opcode = vec![if w == Width::B1 { 0xf6 } else { 0xf7 }];
+            let ext = match instr.mnemonic {
+                Mnemonic::Not => 2,
+                Mnemonic::Neg => 3,
+                Mnemonic::Mul => 4,
+                Mnemonic::Div => 6,
+                _ => 7,
+            };
+            e.set_rm(&ops[0], ext)?;
+        }
+        Mnemonic::Imul => {
+            e.width(w);
+            match ops.len() {
+                1 => {
+                    e.opcode = vec![if w == Width::B1 { 0xf6 } else { 0xf7 }];
+                    e.set_rm(&ops[0], 5)?;
+                }
+                2 => {
+                    let dst = expect_reg(&ops[0], "imul dest")?;
+                    let reg = e.reg_bits(dst);
+                    e.opcode = vec![0x0f, 0xaf];
+                    e.set_rm(&ops[1], reg)?;
+                }
+                _ => {
+                    let dst = expect_reg(&ops[0], "imul dest")?;
+                    let v = expect_imm(&ops[2], "imul imm")?;
+                    let reg = e.reg_bits(dst);
+                    if let Ok(v8) = i8::try_from(v) {
+                        e.opcode = vec![0x6b];
+                        e.set_rm(&ops[1], reg)?;
+                        e.imm = vec![v8 as u8];
+                    } else {
+                        e.opcode = vec![0x69];
+                        e.set_rm(&ops[1], reg)?;
+                        e.imm = imm_bytes(v, w)?;
+                    }
+                }
+            }
+        }
+        Mnemonic::Test => {
+            e.width(w);
+            match (&ops[0], &ops[1]) {
+                (rm, Operand::Reg(src)) => {
+                    let reg = e.reg_bits(*src);
+                    e.opcode = vec![if w == Width::B1 { 0x84 } else { 0x85 }];
+                    e.set_rm(rm, reg)?;
+                }
+                (rm, Operand::Imm(v)) => {
+                    e.opcode = vec![if w == Width::B1 { 0xf6 } else { 0xf7 }];
+                    e.set_rm(rm, 0)?;
+                    e.imm = imm_bytes(*v, w)?;
+                }
+                _ => return Err(EncodeError::BadOperands("test")),
+            }
+        }
+        m if shift_index(m).is_some() => {
+            let ext = shift_index(m).unwrap();
+            e.width(w);
+            match &ops[1] {
+                Operand::Imm(1) => {
+                    e.opcode = vec![if w == Width::B1 { 0xd0 } else { 0xd1 }];
+                    e.set_rm(&ops[0], ext)?;
+                }
+                Operand::Imm(v) => {
+                    e.opcode = vec![if w == Width::B1 { 0xc0 } else { 0xc1 }];
+                    e.set_rm(&ops[0], ext)?;
+                    e.imm = vec![*v as u8];
+                }
+                Operand::Reg(r) if r.reg == Reg::Rcx && r.width == Width::B1 => {
+                    e.opcode = vec![if w == Width::B1 { 0xd2 } else { 0xd3 }];
+                    e.set_rm(&ops[0], ext)?;
+                }
+                _ => return Err(EncodeError::BadOperands("shift amount")),
+            }
+        }
+        Mnemonic::Shld | Mnemonic::Shrd => {
+            let src = expect_reg(&ops[1], "shld src")?;
+            e.width(w);
+            let reg = e.reg_bits(src);
+            let base = if instr.mnemonic == Mnemonic::Shld { 0xa4 } else { 0xac };
+            match &ops[2] {
+                Operand::Imm(v) => {
+                    e.opcode = vec![0x0f, base];
+                    e.set_rm(&ops[0], reg)?;
+                    e.imm = vec![*v as u8];
+                }
+                Operand::Reg(r) if r.reg == Reg::Rcx => {
+                    e.opcode = vec![0x0f, base + 1];
+                    e.set_rm(&ops[0], reg)?;
+                }
+                _ => return Err(EncodeError::BadOperands("shld amount")),
+            }
+        }
+        Mnemonic::Bt | Mnemonic::Bts | Mnemonic::Btr | Mnemonic::Btc => {
+            e.width(w);
+            let (reg_op, ext) = match instr.mnemonic {
+                Mnemonic::Bt => (0xa3, 4),
+                Mnemonic::Bts => (0xab, 5),
+                Mnemonic::Btr => (0xb3, 6),
+                _ => (0xbb, 7),
+            };
+            match &ops[1] {
+                Operand::Reg(src) => {
+                    let reg = e.reg_bits(*src);
+                    e.opcode = vec![0x0f, reg_op];
+                    e.set_rm(&ops[0], reg)?;
+                }
+                Operand::Imm(v) => {
+                    e.opcode = vec![0x0f, 0xba];
+                    e.set_rm(&ops[0], ext)?;
+                    e.imm = vec![*v as u8];
+                }
+                _ => return Err(EncodeError::BadOperands("bt source")),
+            }
+        }
+        Mnemonic::Bsf | Mnemonic::Bsr | Mnemonic::Tzcnt | Mnemonic::Popcnt => {
+            let dst = expect_reg(&ops[0], "bitscan dest")?;
+            e.width(w);
+            let reg = e.reg_bits(dst);
+            match instr.mnemonic {
+                Mnemonic::Bsf => e.opcode = vec![0x0f, 0xbc],
+                Mnemonic::Bsr => e.opcode = vec![0x0f, 0xbd],
+                Mnemonic::Tzcnt => {
+                    e.f3 = true;
+                    e.opcode = vec![0x0f, 0xbc];
+                }
+                _ => {
+                    e.f3 = true;
+                    e.opcode = vec![0x0f, 0xb8];
+                }
+            }
+            e.set_rm(&ops[1], reg)?;
+        }
+        Mnemonic::Cbw | Mnemonic::Cwde | Mnemonic::Cdqe => {
+            e.width(match instr.mnemonic {
+                Mnemonic::Cbw => Width::B2,
+                Mnemonic::Cdqe => Width::B8,
+                _ => Width::B4,
+            });
+            e.opcode = vec![0x98];
+        }
+        Mnemonic::Cwd | Mnemonic::Cdq | Mnemonic::Cqo => {
+            e.width(match instr.mnemonic {
+                Mnemonic::Cwd => Width::B2,
+                Mnemonic::Cqo => Width::B8,
+                _ => Width::B4,
+            });
+            e.opcode = vec![0x99];
+        }
+        Mnemonic::Jmp => match &ops[0] {
+            Operand::Imm(_) => {
+                e.opcode = vec![0xe9];
+                e.imm = rel32(&e, instr, 1)?;
+            }
+            rm => {
+                e.opcode = vec![0xff];
+                e.set_rm(rm, 4)?;
+            }
+        },
+        Mnemonic::Jcc(c) => {
+            e.opcode = vec![0x0f, 0x80 | c.number()];
+            e.imm = rel32(&e, instr, 2)?;
+        }
+        Mnemonic::Jrcxz | Mnemonic::Loop | Mnemonic::Loope | Mnemonic::Loopne => {
+            // rel8-only forms.
+            let target = expect_imm(&instr.operands[0], "loop target")? as u64;
+            let next = instr.addr.wrapping_add(2);
+            let rel = target.wrapping_sub(next) as i64;
+            let r8 = i8::try_from((rel << 56) >> 56).map_err(|_| EncodeError::BranchOutOfRange)?;
+            if (r8 as i64 as u64).wrapping_add(next) != target {
+                return Err(EncodeError::BranchOutOfRange);
+            }
+            e.opcode = vec![match instr.mnemonic {
+                Mnemonic::Loopne => 0xe0,
+                Mnemonic::Loope => 0xe1,
+                Mnemonic::Loop => 0xe2,
+                _ => 0xe3,
+            }];
+            e.imm = vec![r8 as u8];
+        }
+        Mnemonic::Call => match &ops[0] {
+            Operand::Imm(_) => {
+                e.opcode = vec![0xe8];
+                e.imm = rel32(&e, instr, 1)?;
+            }
+            rm => {
+                e.opcode = vec![0xff];
+                e.set_rm(rm, 2)?;
+            }
+        },
+        Mnemonic::Ret => {
+            if let Some(Operand::Imm(v)) = ops.first() {
+                e.opcode = vec![0xc2];
+                e.imm = (*v as u16).to_le_bytes().to_vec();
+            } else {
+                e.opcode = vec![0xc3];
+            }
+        }
+        Mnemonic::Leave => e.opcode = vec![0xc9],
+        Mnemonic::Nop => e.opcode = vec![0x90],
+        Mnemonic::Endbr64 => {
+            e.f3 = true;
+            e.opcode = vec![0x0f, 0x1e, 0xfa];
+        }
+        Mnemonic::Ud2 => e.opcode = vec![0x0f, 0x0b],
+        Mnemonic::Int3 => e.opcode = vec![0xcc],
+        Mnemonic::Hlt => e.opcode = vec![0xf4],
+        Mnemonic::Syscall => e.opcode = vec![0x0f, 0x05],
+        Mnemonic::Cpuid => e.opcode = vec![0x0f, 0xa2],
+        Mnemonic::Rdtsc => e.opcode = vec![0x0f, 0x31],
+        Mnemonic::Stc => e.opcode = vec![0xf9],
+        Mnemonic::Clc => e.opcode = vec![0xf8],
+        Mnemonic::Cmc => e.opcode = vec![0xf5],
+        Mnemonic::Std => e.opcode = vec![0xfd],
+        Mnemonic::Cld => e.opcode = vec![0xfc],
+        Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods | Mnemonic::Scas | Mnemonic::Cmps => {
+            let base = match instr.mnemonic {
+                Mnemonic::Movs => 0xa4,
+                Mnemonic::Cmps => 0xa6,
+                Mnemonic::Stos => 0xaa,
+                Mnemonic::Lods => 0xac,
+                _ => 0xae,
+            };
+            if w == Width::B1 {
+                e.opcode = vec![base];
+            } else {
+                e.width(w);
+                e.opcode = vec![base + 1];
+            }
+        }
+        Mnemonic::Bswap => {
+            let r = expect_reg(&ops[0], "bswap reg")?;
+            e.width(instr.width);
+            let n = r.reg.number();
+            if n >= 8 {
+                e.rex_b = true;
+            }
+            e.opcode = vec![0x0f, 0xc8 + (n & 7)];
+        }
+        Mnemonic::Cmpxchg | Mnemonic::Xadd => {
+            let src = expect_reg(&ops[1], "cmpxchg/xadd src")?;
+            e.width(w);
+            let reg = e.reg_bits(src);
+            let base = if instr.mnemonic == Mnemonic::Cmpxchg { 0xb0 } else { 0xc0 };
+            e.opcode = vec![0x0f, base + u8::from(w != Width::B1)];
+            e.set_rm(&ops[0], reg)?;
+        }
+        _ => return Err(EncodeError::BadOperands("unsupported mnemonic")),
+    }
+
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    fn roundtrip(instr: &Instr) {
+        let bytes = encode(instr).expect("encodes");
+        let mut expected = instr.clone();
+        expected.len = bytes.len() as u8;
+        let decoded = decode(&bytes, instr.addr).expect("decodes");
+        assert_eq!(decoded, expected, "bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn mov_forms() {
+        roundtrip(&Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp)],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::Mem(MemOperand::base_disp(Reg::Rdi, -8, Width::B4)),
+                Operand::Imm(7),
+            ],
+            Width::B4,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::reg(Reg::R10, Width::B4), Operand::Imm(0x1234)],
+            Width::B4,
+        ));
+    }
+
+    #[test]
+    fn movabs_roundtrip() {
+        roundtrip(&Instr::new(
+            Mnemonic::Movabs,
+            vec![Operand::reg64(Reg::R15), Operand::Imm(0x1122334455667788u64 as i64)],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn stack_ops() {
+        for r in Reg::ALL {
+            roundtrip(&Instr::new(Mnemonic::Push, vec![Operand::reg64(r)], Width::B8));
+            roundtrip(&Instr::new(Mnemonic::Pop, vec![Operand::reg64(r)], Width::B8));
+        }
+        roundtrip(&Instr::new(Mnemonic::Push, vec![Operand::Imm(5)], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Push, vec![Operand::Imm(0x1000)], Width::B8));
+    }
+
+    #[test]
+    fn branches() {
+        let mut jmp = Instr::new(Mnemonic::Jmp, vec![Operand::Imm(0x2000)], Width::B8);
+        jmp.addr = 0x1000;
+        roundtrip(&jmp);
+        let mut je = Instr::new(Mnemonic::Jcc(crate::Cond::E), vec![Operand::Imm(0x900)], Width::B8);
+        je.addr = 0x1000;
+        roundtrip(&je);
+        let mut call = Instr::new(Mnemonic::Call, vec![Operand::Imm(0x5000)], Width::B8);
+        call.addr = 0x1000;
+        roundtrip(&call);
+    }
+
+    #[test]
+    fn indirect_branches() {
+        roundtrip(&Instr::new(Mnemonic::Jmp, vec![Operand::reg64(Reg::Rax)], Width::B8));
+        roundtrip(&Instr::new(
+            Mnemonic::Jmp,
+            vec![Operand::Mem(MemOperand::base_disp(Reg::Rdi, 0, Width::B8))],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Call,
+            vec![Operand::Mem(MemOperand::sib(Some(Reg::Rax), Reg::Rcx, 8, 0x40, Width::B8))],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn group1_all_widths() {
+        for (m, v) in [
+            (Mnemonic::Add, 0x12i64),
+            (Mnemonic::Sub, -0x200),
+            (Mnemonic::And, 0xff),
+            (Mnemonic::Cmp, 0xc3),
+        ] {
+            for w in [Width::B2, Width::B4, Width::B8] {
+                roundtrip(&Instr::new(m, vec![Operand::reg(Reg::Rdx, w), Operand::Imm(v)], w));
+            }
+        }
+    }
+
+    #[test]
+    fn sib_addressing() {
+        roundtrip(&Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg(Reg::Rax, Width::B4),
+                Operand::Mem(MemOperand::sib(None, Reg::Rax, 4, 0x1000, Width::B4)),
+            ],
+            Width::B4,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Lea,
+            vec![
+                Operand::reg64(Reg::Rbx),
+                Operand::Mem(MemOperand::sib(Some(Reg::R12), Reg::R13, 2, -4, Width::B8)),
+            ],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn rip_relative_roundtrip() {
+        roundtrip(&Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::reg64(Reg::Rax), Operand::Mem(MemOperand::rip_rel(0x123, Width::B8))],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn rex_conflict_detected() {
+        // mov ah, r8b is unencodable.
+        let i = Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::Reg(RegRef::high(Reg::Rax)), Operand::reg(Reg::R8, Width::B1)],
+            Width::B1,
+        );
+        assert_eq!(encode(&i), Err(EncodeError::RexConflict));
+    }
+
+    #[test]
+    fn string_ops_with_rep() {
+        let mut stos = Instr::new(Mnemonic::Stos, vec![], Width::B8);
+        stos.rep = Some(RepPrefix::Rep);
+        roundtrip(&stos);
+        let movsb = Instr::new(Mnemonic::Movs, vec![], Width::B1);
+        roundtrip(&movsb);
+    }
+
+    #[test]
+    fn setcc_and_cmov() {
+        roundtrip(&Instr::new(
+            Mnemonic::Setcc(crate::Cond::A),
+            vec![Operand::reg(Reg::Rdx, Width::B1)],
+            Width::B1,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Cmovcc(crate::Cond::L),
+            vec![Operand::reg64(Reg::Rax), Operand::reg64(Reg::Rbx)],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn leave_ret_nop() {
+        roundtrip(&Instr::new(Mnemonic::Leave, vec![], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Ret, vec![], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Ret, vec![Operand::Imm(16)], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Nop, vec![], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Endbr64, vec![], Width::B8));
+    }
+
+    #[test]
+    fn shifts() {
+        roundtrip(&Instr::new(
+            Mnemonic::Shl,
+            vec![Operand::reg64(Reg::Rax), Operand::Imm(4)],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Sar,
+            vec![Operand::reg64(Reg::Rax), Operand::Imm(1)],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Shr,
+            vec![Operand::reg64(Reg::Rax), Operand::reg(Reg::Rcx, Width::B1)],
+            Width::B8,
+        ));
+    }
+
+    #[test]
+    fn wide_mul_div() {
+        roundtrip(&Instr::new(Mnemonic::Div, vec![Operand::reg64(Reg::Rcx)], Width::B8));
+        roundtrip(&Instr::new(Mnemonic::Imul, vec![Operand::reg64(Reg::Rsi)], Width::B8));
+        roundtrip(&Instr::new(
+            Mnemonic::Imul,
+            vec![Operand::reg64(Reg::Rax), Operand::reg64(Reg::Rbx)],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(
+            Mnemonic::Imul,
+            vec![Operand::reg64(Reg::Rax), Operand::reg64(Reg::Rbx), Operand::Imm(100)],
+            Width::B8,
+        ));
+        roundtrip(&Instr::new(Mnemonic::Cqo, vec![], Width::B8));
+    }
+}

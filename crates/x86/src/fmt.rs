@@ -1,0 +1,114 @@
+//! Intel-syntax pretty printing.
+
+use crate::instr::RepPrefix;
+use crate::{Instr, MemOperand, Mnemonic, Operand, Width};
+use std::fmt;
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ptr [", self.size)?;
+        let mut first = true;
+        if self.rip_relative {
+            write!(f, "rip")?;
+            first = false;
+        }
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}")?;
+            if self.scale != 1 {
+                write!(f, "*{}", self.scale)?;
+            }
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "{:#x}", self.disp)?;
+            } else if self.disp < 0 {
+                write!(f, " - {:#x}", -self.disp)?;
+            } else {
+                write!(f, " + {:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => {
+                if *i < 0 {
+                    write!(f, "-{:#x}", -i)
+                } else {
+                    write!(f, "{i:#x}")
+                }
+            }
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(rep) = self.rep {
+            match rep {
+                RepPrefix::Rep => write!(f, "rep ")?,
+                RepPrefix::Repne => write!(f, "repne ")?,
+            }
+        }
+        write!(f, "{}", self.mnemonic)?;
+        // String ops carry their width as a suffix (movsb, stosq, …).
+        if matches!(
+            self.mnemonic,
+            Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods | Mnemonic::Scas | Mnemonic::Cmps
+        ) {
+            let suffix = match self.width {
+                Width::B1 => "b",
+                Width::B2 => "w",
+                Width::B4 => "d",
+                Width::B8 => "q",
+            };
+            write!(f, "{suffix}")?;
+        }
+        for (i, op) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " ")?;
+            } else {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::decode;
+
+    fn disp(bytes: &[u8]) -> String {
+        decode(bytes, 0x1000).expect("decodes").to_string()
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(disp(&[0x48, 0x89, 0xe5]), "mov rbp, rsp");
+        assert_eq!(disp(&[0x48, 0x83, 0xec, 0x28]), "sub rsp, 0x28");
+        assert_eq!(disp(&[0xc3]), "ret");
+        assert_eq!(disp(&[0xff, 0x27]), "jmp qword ptr [rdi]");
+        assert_eq!(disp(&[0x74, 0x05]), "je 0x1007");
+        assert_eq!(
+            disp(&[0x8b, 0x04, 0x8d, 0x00, 0x10, 0x00, 0x00]),
+            "mov eax, dword ptr [rcx*4 + 0x1000]"
+        );
+        assert_eq!(disp(&[0xf3, 0x48, 0xab]), "rep stosq");
+        assert_eq!(disp(&[0x48, 0x8b, 0x45, 0xf8]), "mov rax, qword ptr [rbp - 0x8]");
+    }
+}

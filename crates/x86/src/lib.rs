@@ -1,0 +1,47 @@
+//! # hgl-x86: x86-64 instruction-set model
+//!
+//! A from-scratch model of the x86-64 instruction subset used by the
+//! Hoare-Graph lifter: register and flag definitions, an [`Instr`]
+//! representation, a byte [`decode`]r (the paper's `fetch` function,
+//! Definition 3.1), an [`encode`]r (used by `hgl-asm` to synthesize test
+//! binaries), and an Intel-syntax pretty printer.
+//!
+//! The supported instruction families mirror §5.2 of the paper: moves
+//! (including conditional moves and sign/zero extension), arithmetic,
+//! logical and bit-vector operations, shifts, multiplication/division,
+//! stack operations, (conditional) jumps, `call`/`ret`, string operations
+//! with `rep` prefixes, and miscellaneous control instructions — roughly
+//! 130 mnemonic/condition combinations.
+//!
+//! Decoding and encoding are mutually inverse and are exercised by
+//! round-trip property tests: for every encodable instruction `i`,
+//! `decode(encode(i)) == i`.
+//!
+//! ```
+//! use hgl_x86::{decode, Mnemonic};
+//!
+//! // 48 89 e5  =  mov rbp, rsp
+//! let instr = decode(&[0x48, 0x89, 0xe5], 0x1000)?;
+//! assert_eq!(instr.mnemonic, Mnemonic::Mov);
+//! assert_eq!(instr.to_string(), "mov rbp, rsp");
+//! # Ok::<(), hgl_x86::DecodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cond;
+mod decode;
+mod encode;
+mod fmt;
+mod instr;
+mod mnemonic;
+mod operand;
+mod reg;
+
+pub use cond::Cond;
+pub use decode::{decode, DecodeError};
+pub use encode::{encode, EncodeError};
+pub use instr::{Instr, RepPrefix};
+pub use mnemonic::Mnemonic;
+pub use operand::{MemOperand, Operand};
+pub use reg::{Flag, Reg, RegRef, Width};

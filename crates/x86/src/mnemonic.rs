@@ -1,0 +1,255 @@
+//! Instruction mnemonics.
+
+use crate::Cond;
+use std::fmt;
+
+/// An instruction mnemonic.
+///
+/// Condition-code families (`jcc`, `setcc`, `cmovcc`) carry their
+/// [`Cond`] payload, so e.g. `je` is `Mnemonic::Jcc(Cond::E)`. Counting
+/// each condition variant separately, the model covers ≈130 concrete
+/// mnemonics — the same order of magnitude as the formal model in §5.2
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Mnemonic {
+    // Data movement
+    Mov,
+    Movabs,
+    Movzx,
+    Movsx,
+    Movsxd,
+    Lea,
+    Xchg,
+    Cmovcc(Cond),
+    Setcc(Cond),
+    Push,
+    Pop,
+    // Integer arithmetic
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    Cmp,
+    Inc,
+    Dec,
+    Neg,
+    Mul,
+    Imul,
+    Div,
+    Idiv,
+    // Logic / bit manipulation
+    And,
+    Or,
+    Xor,
+    Not,
+    Test,
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+    Rcl,
+    Rcr,
+    Shld,
+    Shrd,
+    Bt,
+    Bts,
+    Btr,
+    Btc,
+    Bsf,
+    Bsr,
+    Tzcnt,
+    Popcnt,
+    Bswap,
+    // Width conversion
+    Cbw,
+    Cwde,
+    Cdqe,
+    Cwd,
+    Cdq,
+    Cqo,
+    // Control flow
+    Jmp,
+    Jcc(Cond),
+    Jrcxz,
+    Loop,
+    Loope,
+    Loopne,
+    Call,
+    Ret,
+    Leave,
+    // String operations (width is carried by the operand-size suffix)
+    Movs,
+    Stos,
+    Lods,
+    Scas,
+    Cmps,
+    // Flag manipulation
+    Stc,
+    Clc,
+    Cmc,
+    Std,
+    Cld,
+    // Misc / system
+    Nop,
+    Endbr64,
+    Ud2,
+    Int3,
+    Hlt,
+    Syscall,
+    Cpuid,
+    Rdtsc,
+    Cmpxchg,
+    Xadd,
+}
+
+impl Mnemonic {
+    /// True for instructions that transfer control (jumps, calls,
+    /// returns, and the halting instructions).
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Mnemonic::Jmp
+                | Mnemonic::Jcc(_)
+                | Mnemonic::Jrcxz
+                | Mnemonic::Loop
+                | Mnemonic::Loope
+                | Mnemonic::Loopne
+                | Mnemonic::Call
+                | Mnemonic::Ret
+                | Mnemonic::Ud2
+                | Mnemonic::Int3
+                | Mnemonic::Hlt
+        )
+    }
+
+    /// True if execution never falls through to the next instruction.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Mnemonic::Jmp | Mnemonic::Ret | Mnemonic::Ud2 | Mnemonic::Int3 | Mnemonic::Hlt)
+    }
+
+    /// Intel-syntax name, without operand-size suffixes.
+    pub fn name(self) -> String {
+        match self {
+            Mnemonic::Cmovcc(c) => format!("cmov{c}"),
+            Mnemonic::Setcc(c) => format!("set{c}"),
+            Mnemonic::Jcc(c) => format!("j{c}"),
+            other => {
+                let s = match other {
+                    Mnemonic::Mov => "mov",
+                    Mnemonic::Movabs => "movabs",
+                    Mnemonic::Movzx => "movzx",
+                    Mnemonic::Movsx => "movsx",
+                    Mnemonic::Movsxd => "movsxd",
+                    Mnemonic::Lea => "lea",
+                    Mnemonic::Xchg => "xchg",
+                    Mnemonic::Push => "push",
+                    Mnemonic::Pop => "pop",
+                    Mnemonic::Add => "add",
+                    Mnemonic::Adc => "adc",
+                    Mnemonic::Sub => "sub",
+                    Mnemonic::Sbb => "sbb",
+                    Mnemonic::Cmp => "cmp",
+                    Mnemonic::Inc => "inc",
+                    Mnemonic::Dec => "dec",
+                    Mnemonic::Neg => "neg",
+                    Mnemonic::Mul => "mul",
+                    Mnemonic::Imul => "imul",
+                    Mnemonic::Div => "div",
+                    Mnemonic::Idiv => "idiv",
+                    Mnemonic::And => "and",
+                    Mnemonic::Or => "or",
+                    Mnemonic::Xor => "xor",
+                    Mnemonic::Not => "not",
+                    Mnemonic::Test => "test",
+                    Mnemonic::Shl => "shl",
+                    Mnemonic::Shr => "shr",
+                    Mnemonic::Sar => "sar",
+                    Mnemonic::Rol => "rol",
+                    Mnemonic::Ror => "ror",
+                    Mnemonic::Rcl => "rcl",
+                    Mnemonic::Rcr => "rcr",
+                    Mnemonic::Shld => "shld",
+                    Mnemonic::Shrd => "shrd",
+                    Mnemonic::Bt => "bt",
+                    Mnemonic::Bts => "bts",
+                    Mnemonic::Btr => "btr",
+                    Mnemonic::Btc => "btc",
+                    Mnemonic::Bsf => "bsf",
+                    Mnemonic::Bsr => "bsr",
+                    Mnemonic::Tzcnt => "tzcnt",
+                    Mnemonic::Popcnt => "popcnt",
+                    Mnemonic::Bswap => "bswap",
+                    Mnemonic::Cbw => "cbw",
+                    Mnemonic::Cwde => "cwde",
+                    Mnemonic::Cdqe => "cdqe",
+                    Mnemonic::Cwd => "cwd",
+                    Mnemonic::Cdq => "cdq",
+                    Mnemonic::Cqo => "cqo",
+                    Mnemonic::Jmp => "jmp",
+                    Mnemonic::Jrcxz => "jrcxz",
+                    Mnemonic::Loop => "loop",
+                    Mnemonic::Loope => "loope",
+                    Mnemonic::Loopne => "loopne",
+                    Mnemonic::Call => "call",
+                    Mnemonic::Ret => "ret",
+                    Mnemonic::Leave => "leave",
+                    Mnemonic::Movs => "movs",
+                    Mnemonic::Stos => "stos",
+                    Mnemonic::Lods => "lods",
+                    Mnemonic::Scas => "scas",
+                    Mnemonic::Cmps => "cmps",
+                    Mnemonic::Stc => "stc",
+                    Mnemonic::Clc => "clc",
+                    Mnemonic::Cmc => "cmc",
+                    Mnemonic::Std => "std",
+                    Mnemonic::Cld => "cld",
+                    Mnemonic::Nop => "nop",
+                    Mnemonic::Endbr64 => "endbr64",
+                    Mnemonic::Ud2 => "ud2",
+                    Mnemonic::Int3 => "int3",
+                    Mnemonic::Hlt => "hlt",
+                    Mnemonic::Syscall => "syscall",
+                    Mnemonic::Cpuid => "cpuid",
+                    Mnemonic::Rdtsc => "rdtsc",
+                    Mnemonic::Cmpxchg => "cmpxchg",
+                    Mnemonic::Xadd => "xadd",
+                    Mnemonic::Cmovcc(_) | Mnemonic::Setcc(_) | Mnemonic::Jcc(_) => unreachable!(),
+                };
+                s.to_string()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Mnemonic::Jcc(Cond::Ne).name(), "jne");
+        assert_eq!(Mnemonic::Setcc(Cond::A).name(), "seta");
+        assert_eq!(Mnemonic::Cmovcc(Cond::L).name(), "cmovl");
+        assert_eq!(Mnemonic::Endbr64.name(), "endbr64");
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Mnemonic::Jmp.is_control_flow());
+        assert!(Mnemonic::Jmp.is_terminator());
+        assert!(Mnemonic::Jcc(Cond::E).is_control_flow());
+        assert!(!Mnemonic::Jcc(Cond::E).is_terminator());
+        assert!(Mnemonic::Call.is_control_flow());
+        assert!(!Mnemonic::Call.is_terminator());
+        assert!(Mnemonic::Ret.is_terminator());
+        assert!(!Mnemonic::Mov.is_control_flow());
+    }
+}

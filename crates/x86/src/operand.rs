@@ -1,0 +1,142 @@
+//! Instruction operands.
+
+use crate::{Reg, RegRef, Width};
+
+/// A memory operand: `[base + index*scale + disp]` of a given access
+/// size, or a RIP-relative reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOperand {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any (never `rsp`).
+    pub index: Option<Reg>,
+    /// Scale applied to the index register: 1, 2, 4 or 8.
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i64,
+    /// Access size in bytes.
+    pub size: Width,
+    /// RIP-relative addressing (`[rip + disp]`); `base`/`index` are then
+    /// `None` and the effective address is `next_instruction + disp`.
+    pub rip_relative: bool,
+}
+
+impl MemOperand {
+    /// `[base + disp]` with access size `size`.
+    pub fn base_disp(base: Reg, disp: i64, size: Width) -> MemOperand {
+        MemOperand { base: Some(base), index: None, scale: 1, disp, size, rip_relative: false }
+    }
+
+    /// `[base + index*scale + disp]` with access size `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8, or if `index` is `rsp`
+    /// (unencodable on x86-64).
+    pub fn sib(base: Option<Reg>, index: Reg, scale: u8, disp: i64, size: Width) -> MemOperand {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        MemOperand { base, index: Some(index), scale, disp, size, rip_relative: false }
+    }
+
+    /// Absolute address `[disp]` with access size `size`.
+    pub fn absolute(disp: i64, size: Width) -> MemOperand {
+        MemOperand { base: None, index: None, scale: 1, disp, size, rip_relative: false }
+    }
+
+    /// `[rip + disp]` with access size `size`.
+    pub fn rip_rel(disp: i64, size: Width) -> MemOperand {
+        MemOperand { base: None, index: None, scale: 1, disp, size, rip_relative: true }
+    }
+
+    /// The effective address if it is a compile-time constant (no base
+    /// or index register and not RIP-relative).
+    pub fn constant_address(&self) -> Option<u64> {
+        if self.base.is_none() && self.index.is_none() && !self.rip_relative {
+            Some(self.disp as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register view.
+    Reg(RegRef),
+    /// An immediate, already sign-extended to 64 bits.
+    Imm(i64),
+    /// A memory reference.
+    Mem(MemOperand),
+}
+
+impl Operand {
+    /// Convenience constructor for a full-width register operand.
+    pub fn reg64(reg: Reg) -> Operand {
+        Operand::Reg(RegRef::full(reg))
+    }
+
+    /// Convenience constructor for a register operand at `width`.
+    pub fn reg(reg: Reg, width: Width) -> Operand {
+        Operand::Reg(RegRef::new(reg, width))
+    }
+
+    /// The operand's data width, if it has an intrinsic one (registers
+    /// and memory references do; immediates take the instruction's).
+    pub fn width(&self) -> Option<Width> {
+        match self {
+            Operand::Reg(r) => Some(r.width),
+            Operand::Mem(m) => Some(m.size),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// True if this operand is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<RegRef> for Operand {
+    fn from(r: RegRef) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<MemOperand> for Operand {
+    fn from(m: MemOperand) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_address() {
+        assert_eq!(MemOperand::absolute(0x601000, Width::B8).constant_address(), Some(0x601000));
+        assert_eq!(MemOperand::base_disp(Reg::Rax, 8, Width::B8).constant_address(), None);
+        assert_eq!(MemOperand::rip_rel(0x10, Width::B4).constant_address(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rsp cannot")]
+    fn rsp_index_rejected() {
+        let _ = MemOperand::sib(None, Reg::Rsp, 2, 0, Width::B8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn bad_scale_rejected() {
+        let _ = MemOperand::sib(Some(Reg::Rax), Reg::Rcx, 3, 0, Width::B8);
+    }
+
+    #[test]
+    fn operand_width() {
+        assert_eq!(Operand::reg(Reg::Rax, Width::B4).width(), Some(Width::B4));
+        assert_eq!(Operand::Imm(5).width(), None);
+        assert_eq!(Operand::Mem(MemOperand::absolute(0, Width::B2)).width(), Some(Width::B2));
+    }
+}

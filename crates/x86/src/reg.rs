@@ -1,0 +1,380 @@
+//! Register, flag and operand-width definitions.
+
+use std::fmt;
+
+/// Operand width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8-bit operand.
+    B1,
+    /// 16-bit operand.
+    B2,
+    /// 32-bit operand.
+    B4,
+    /// 64-bit operand.
+    B8,
+}
+
+impl Width {
+    /// Number of bytes of this width.
+    pub const fn bytes(self) -> u8 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// Number of bits of this width.
+    pub const fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// Construct from a byte count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2, 4 or 8.
+    pub fn from_bytes(bytes: u8) -> Width {
+        match bytes {
+            1 => Width::B1,
+            2 => Width::B2,
+            4 => Width::B4,
+            8 => Width::B8,
+            _ => panic!("invalid operand width: {bytes} bytes"),
+        }
+    }
+
+    /// Mask selecting the low `bits()` bits of a 64-bit value.
+    pub const fn mask(self) -> u64 {
+        match self {
+            Width::B1 => 0xff,
+            Width::B2 => 0xffff,
+            Width::B4 => 0xffff_ffff,
+            Width::B8 => u64::MAX,
+        }
+    }
+
+    /// Truncate a 64-bit value to this width (zero-extended in the return).
+    pub const fn trunc(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extend the low `bits()` bits of `v` to 64 bits.
+    pub const fn sext(self, v: u64) -> u64 {
+        match self {
+            Width::B1 => v as u8 as i8 as i64 as u64,
+            Width::B2 => v as u16 as i16 as i64 as u64,
+            Width::B4 => v as u32 as i32 as i64 as u64,
+            Width::B8 => v,
+        }
+    }
+
+    /// The sign bit of a value of this width.
+    pub const fn sign_bit(self, v: u64) -> bool {
+        (v >> (self.bits() - 1)) & 1 == 1
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Width::B1 => "byte",
+            Width::B2 => "word",
+            Width::B4 => "dword",
+            Width::B8 => "qword",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full 64-bit general-purpose register.
+///
+/// Sub-register views (`eax`, `ax`, `al`, `ah`, …) are expressed with
+/// [`RegRef`], which pairs a `Reg` with a [`Width`] and a high-byte flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax,
+    Rcx,
+    Rdx,
+    Rbx,
+    Rsp,
+    Rbp,
+    Rsi,
+    Rdi,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All sixteen general-purpose registers, in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Hardware encoding number (0–15).
+    pub const fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Reg::number`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn from_number(n: u8) -> Reg {
+        Reg::ALL[n as usize]
+    }
+
+    /// Registers that the System V AMD64 calling convention requires a
+    /// callee to preserve (`rsp` is handled separately by the lifter).
+    pub const CALLEE_SAVED: [Reg; 6] = [Reg::Rbx, Reg::Rbp, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+
+    /// True if the System V AMD64 convention marks this register
+    /// non-volatile (callee-saved).
+    pub fn is_callee_saved(self) -> bool {
+        Reg::CALLEE_SAVED.contains(&self)
+    }
+
+    /// The 64-bit register name (`rax`, …, `r15`).
+    pub const fn name64(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name64())
+    }
+}
+
+/// A view of a register at a particular width.
+///
+/// `high8` selects the legacy high-byte registers `ah`/`ch`/`dh`/`bh`
+/// (only meaningful when `width == Width::B1` and no REX prefix is in
+/// effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegRef {
+    /// The underlying 64-bit register.
+    pub reg: Reg,
+    /// Width of the view.
+    pub width: Width,
+    /// High-byte view (`ah`, `ch`, `dh`, `bh`).
+    pub high8: bool,
+}
+
+impl RegRef {
+    /// A full-width (64-bit) view of `reg`.
+    pub const fn full(reg: Reg) -> RegRef {
+        RegRef { reg, width: Width::B8, high8: false }
+    }
+
+    /// A view of `reg` at `width` (low bits).
+    pub const fn new(reg: Reg, width: Width) -> RegRef {
+        RegRef { reg, width, high8: false }
+    }
+
+    /// The high-byte view of one of the first four legacy registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not `rax`, `rcx`, `rdx` or `rbx`.
+    pub fn high(reg: Reg) -> RegRef {
+        assert!(
+            matches!(reg, Reg::Rax | Reg::Rcx | Reg::Rdx | Reg::Rbx),
+            "high-byte view only exists for rax/rcx/rdx/rbx"
+        );
+        RegRef { reg, width: Width::B1, high8: true }
+    }
+
+    /// Assembly name of this register view (`eax`, `r9d`, `ah`, …).
+    pub fn name(self) -> String {
+        let r = self.reg;
+        let n = r.number();
+        match self.width {
+            Width::B8 => r.name64().to_string(),
+            Width::B4 => {
+                if n < 8 {
+                    format!("e{}", &r.name64()[1..])
+                } else {
+                    format!("{}d", r.name64())
+                }
+            }
+            Width::B2 => {
+                if n < 8 {
+                    r.name64()[1..].to_string()
+                } else {
+                    format!("{}w", r.name64())
+                }
+            }
+            Width::B1 => {
+                if self.high8 {
+                    match r {
+                        Reg::Rax => "ah".into(),
+                        Reg::Rcx => "ch".into(),
+                        Reg::Rdx => "dh".into(),
+                        Reg::Rbx => "bh".into(),
+                        _ => unreachable!("high8 checked at construction"),
+                    }
+                } else if n < 4 {
+                    format!("{}l", &r.name64()[1..2])
+                } else if n < 8 {
+                    format!("{}l", &r.name64()[1..])
+                } else {
+                    format!("{}b", r.name64())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Status and direction flags modelled by the lifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Flag {
+    /// Carry flag.
+    Cf,
+    /// Parity flag.
+    Pf,
+    /// Auxiliary carry flag.
+    Af,
+    /// Zero flag.
+    Zf,
+    /// Sign flag.
+    Sf,
+    /// Overflow flag.
+    Of,
+    /// Direction flag.
+    Df,
+}
+
+impl Flag {
+    /// All modelled flags.
+    pub const ALL: [Flag; 7] = [Flag::Cf, Flag::Pf, Flag::Af, Flag::Zf, Flag::Sf, Flag::Of, Flag::Df];
+
+    /// Short flag name (`cf`, `zf`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Flag::Cf => "cf",
+            Flag::Pf => "pf",
+            Flag::Af => "af",
+            Flag::Zf => "zf",
+            Flag::Sf => "sf",
+            Flag::Of => "of",
+            Flag::Df => "df",
+        }
+    }
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_roundtrip() {
+        for w in [Width::B1, Width::B2, Width::B4, Width::B8] {
+            assert_eq!(Width::from_bytes(w.bytes()), w);
+        }
+    }
+
+    #[test]
+    fn width_sext() {
+        assert_eq!(Width::B1.sext(0x80), 0xffff_ffff_ffff_ff80);
+        assert_eq!(Width::B1.sext(0x7f), 0x7f);
+        assert_eq!(Width::B4.sext(0x8000_0000), 0xffff_ffff_8000_0000);
+        assert_eq!(Width::B8.sext(0x8000_0000), 0x8000_0000);
+    }
+
+    #[test]
+    fn width_sign_bit() {
+        assert!(Width::B1.sign_bit(0x80));
+        assert!(!Width::B1.sign_bit(0x7f));
+        assert!(Width::B8.sign_bit(u64::MAX));
+    }
+
+    #[test]
+    fn reg_numbering_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_number(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn reg_names() {
+        assert_eq!(RegRef::full(Reg::Rax).name(), "rax");
+        assert_eq!(RegRef::new(Reg::Rax, Width::B4).name(), "eax");
+        assert_eq!(RegRef::new(Reg::Rax, Width::B2).name(), "ax");
+        assert_eq!(RegRef::new(Reg::Rax, Width::B1).name(), "al");
+        assert_eq!(RegRef::high(Reg::Rax).name(), "ah");
+        assert_eq!(RegRef::new(Reg::R9, Width::B4).name(), "r9d");
+        assert_eq!(RegRef::new(Reg::R9, Width::B2).name(), "r9w");
+        assert_eq!(RegRef::new(Reg::R9, Width::B1).name(), "r9b");
+        assert_eq!(RegRef::new(Reg::Rsp, Width::B1).name(), "spl");
+        assert_eq!(RegRef::new(Reg::Rdi, Width::B1).name(), "dil");
+    }
+
+    #[test]
+    #[should_panic(expected = "high-byte")]
+    fn high_byte_of_rsi_panics() {
+        let _ = RegRef::high(Reg::Rsi);
+    }
+
+    #[test]
+    fn callee_saved_set() {
+        assert!(Reg::Rbx.is_callee_saved());
+        assert!(Reg::Rbp.is_callee_saved());
+        assert!(!Reg::Rax.is_callee_saved());
+        assert!(!Reg::Rsp.is_callee_saved(), "rsp handled separately");
+    }
+}

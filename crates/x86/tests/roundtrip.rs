@@ -1,0 +1,246 @@
+//! Property tests: `decode(encode(i)) == i` for arbitrary well-formed
+//! instructions, and decode totality on arbitrary byte soup.
+
+use hgl_x86::{decode, encode, Cond, Instr, MemOperand, Mnemonic, Operand, Reg, RegRef, Width};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_wide_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B2), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_number)
+}
+
+fn arb_regref(w: Width) -> impl Strategy<Value = RegRef> {
+    arb_reg().prop_map(move |r| RegRef::new(r, w))
+}
+
+fn arb_mem(size: Width) -> impl Strategy<Value = MemOperand> {
+    let base = prop_oneof![Just(None), arb_reg().prop_map(Some)];
+    let index = prop_oneof![
+        Just(None),
+        arb_reg().prop_filter("index != rsp", |r| *r != Reg::Rsp).prop_map(Some)
+    ];
+    let scale = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
+    let disp = prop_oneof![Just(0i64), -128i64..128, -0x8000_0000i64..0x8000_0000i64];
+    (base, index, scale, disp, any::<bool>()).prop_map(move |(base, index, scale, disp, rip)| {
+        if rip && base.is_none() && index.is_none() {
+            MemOperand::rip_rel(disp, size)
+        } else {
+            MemOperand {
+                base,
+                index,
+                scale: if index.is_some() { scale } else { 1 },
+                disp,
+                size,
+                rip_relative: false,
+            }
+        }
+    })
+}
+
+fn arb_rm(w: Width) -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_regref(w).prop_map(Operand::Reg),
+        arb_mem(w).prop_map(Operand::Mem),
+    ]
+}
+
+fn imm_for(w: Width) -> impl Strategy<Value = i64> {
+    match w {
+        Width::B1 => (-128i64..128).boxed(),
+        Width::B2 => (-0x8000i64..0x8000).boxed(),
+        _ => (-0x8000_0000i64..0x8000_0000).boxed(),
+    }
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let group1 = (
+        prop_oneof![
+            Just(Mnemonic::Add),
+            Just(Mnemonic::Or),
+            Just(Mnemonic::Adc),
+            Just(Mnemonic::Sbb),
+            Just(Mnemonic::And),
+            Just(Mnemonic::Sub),
+            Just(Mnemonic::Xor),
+            Just(Mnemonic::Cmp),
+        ],
+        arb_width(),
+    )
+        .prop_flat_map(|(m, w)| {
+            prop_oneof![
+                (arb_rm(w), arb_regref(w)).prop_map(move |(rm, r)| {
+                    Instr::new(m, vec![rm, Operand::Reg(r)], w)
+                }),
+                (arb_regref(w), arb_mem(w)).prop_map(move |(r, mem)| {
+                    Instr::new(m, vec![Operand::Reg(r), Operand::Mem(mem)], w)
+                }),
+                (arb_rm(w), imm_for(w)).prop_map(move |(rm, v)| {
+                    Instr::new(m, vec![rm, Operand::Imm(v)], w)
+                }),
+            ]
+        });
+
+    let mov = arb_width().prop_flat_map(|w| {
+        prop_oneof![
+            (arb_rm(w), arb_regref(w)).prop_map(move |(rm, r)| {
+                Instr::new(Mnemonic::Mov, vec![rm, Operand::Reg(r)], w)
+            }),
+            (arb_regref(w), arb_mem(w)).prop_map(move |(r, mem)| {
+                Instr::new(Mnemonic::Mov, vec![Operand::Reg(r), Operand::Mem(mem)], w)
+            }),
+            (arb_mem(w), imm_for(w)).prop_map(move |(mem, v)| {
+                Instr::new(Mnemonic::Mov, vec![Operand::Mem(mem), Operand::Imm(v)], w)
+            }),
+        ]
+    });
+
+    let shifts = (
+        prop_oneof![
+            Just(Mnemonic::Shl),
+            Just(Mnemonic::Shr),
+            Just(Mnemonic::Sar),
+            Just(Mnemonic::Rol),
+            Just(Mnemonic::Ror),
+        ],
+        arb_width(),
+    )
+        .prop_flat_map(|(m, w)| {
+            (arb_rm(w), 1i64..64).prop_map(move |(rm, amt)| {
+                Instr::new(m, vec![rm, Operand::Imm(amt)], w)
+            })
+        });
+
+    let unary = (
+        prop_oneof![
+            Just(Mnemonic::Not),
+            Just(Mnemonic::Neg),
+            Just(Mnemonic::Inc),
+            Just(Mnemonic::Dec),
+            Just(Mnemonic::Mul),
+            Just(Mnemonic::Div),
+            Just(Mnemonic::Idiv),
+        ],
+        arb_width(),
+    )
+        .prop_flat_map(|(m, w)| arb_rm(w).prop_map(move |rm| Instr::new(m, vec![rm], w)));
+
+    let stack = prop_oneof![
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Push, vec![Operand::reg64(r)], Width::B8)),
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Pop, vec![Operand::reg64(r)], Width::B8)),
+        imm_for(Width::B4).prop_map(|v| Instr::new(Mnemonic::Push, vec![Operand::Imm(v)], Width::B8)),
+    ];
+
+    let cc_family = (0u8..16, arb_wide_width()).prop_flat_map(|(n, w)| {
+        let c = Cond::from_number(n);
+        prop_oneof![
+            (arb_regref(w), arb_rm(w)).prop_map(move |(d, rm)| {
+                Instr::new(Mnemonic::Cmovcc(c), vec![Operand::Reg(d), rm], w)
+            }),
+            arb_rm(Width::B1).prop_map(move |rm| {
+                Instr::new(Mnemonic::Setcc(c), vec![rm], Width::B1)
+            }),
+        ]
+    });
+
+    let ext = (arb_wide_width(), prop_oneof![Just(Width::B1), Just(Width::B2)]).prop_flat_map(
+        |(dw, sw)| {
+            (arb_regref(dw), arb_rm(sw), any::<bool>()).prop_map(move |(d, rm, zx)| {
+                let m = if zx { Mnemonic::Movzx } else { Mnemonic::Movsx };
+                Instr::new(m, vec![Operand::Reg(d), rm], dw)
+            })
+        },
+    );
+
+    let lea = arb_wide_width().prop_flat_map(|w| {
+        (arb_regref(w), arb_mem(w)).prop_map(move |(d, mem)| {
+            Instr::new(Mnemonic::Lea, vec![Operand::Reg(d), Operand::Mem(mem)], w)
+        })
+    });
+
+    let nullary = prop_oneof![
+        Just(Instr::new(Mnemonic::Ret, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Leave, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Nop, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Cdq, vec![], Width::B4)),
+        Just(Instr::new(Mnemonic::Cqo, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Endbr64, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Ud2, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Syscall, vec![], Width::B8)),
+    ];
+
+    let branches = (0u64..0x10_0000, any::<bool>(), 0u8..16).prop_map(|(t, is_call, n)| {
+        let mut i = if is_call {
+            Instr::new(Mnemonic::Call, vec![Operand::Imm(t as i64)], Width::B8)
+        } else if n < 8 {
+            Instr::new(Mnemonic::Jmp, vec![Operand::Imm(t as i64)], Width::B8)
+        } else {
+            Instr::new(Mnemonic::Jcc(Cond::from_number(n)), vec![Operand::Imm(t as i64)], Width::B8)
+        };
+        i.addr = 0x8000;
+        i
+    });
+
+    let indirect = arb_rm(Width::B8).prop_flat_map(|rm| {
+        prop_oneof![
+            Just(Instr::new(Mnemonic::Jmp, vec![rm], Width::B8)),
+            Just(Instr::new(Mnemonic::Call, vec![rm], Width::B8)),
+        ]
+    });
+
+    prop_oneof![group1, mov, shifts, unary, stack, cc_family, ext, lea, nullary, branches, indirect]
+}
+
+/// `mov r8, ah`-style encodings are legitimately rejected; everything
+/// generated here avoids high-byte registers, so encoding must succeed.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let bytes = encode(&instr).expect("generated instructions are encodable");
+        prop_assert!(bytes.len() <= 15, "encoding too long: {bytes:02x?}");
+        let mut expected = instr.clone();
+        expected.len = bytes.len() as u8;
+        let decoded = decode(&bytes, instr.addr).expect("own encodings decode");
+        prop_assert_eq!(decoded, expected, "bytes {:02x?}", bytes);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..20), addr: u64) {
+        let _ = decode(&bytes, addr);
+    }
+
+    #[test]
+    fn decode_reports_consistent_length(bytes in proptest::collection::vec(any::<u8>(), 16..18)) {
+        if let Ok(i) = decode(&bytes, 0) {
+            // Re-decoding the exact prefix must give the same instruction.
+            let again = decode(&bytes[..i.len as usize], 0).expect("prefix decodes");
+            assert_eq!(again, i);
+        }
+    }
+}
+
+#[test]
+fn bswap_and_loop_roundtrip() {
+    for (bytes, text) in [
+        (&[0x0f, 0xc8][..], "bswap eax"),
+        (&[0x48, 0x0f, 0xcb][..], "bswap rbx"),
+        (&[0x49, 0x0f, 0xcf][..], "bswap r15"),
+        (&[0xe2, 0xfe][..], "loop 0x1000"),
+        (&[0xe1, 0x10][..], "loope 0x1012"),
+        (&[0xe0, 0x00][..], "loopne 0x1002"),
+        (&[0xe3, 0x05][..], "jrcxz 0x1007"),
+    ] {
+        let i = decode(bytes, 0x1000).expect("decodes");
+        assert_eq!(i.to_string(), text);
+        let re = encode(&i).expect("encodes");
+        assert_eq!(re, bytes, "roundtrip for {text}");
+    }
+}

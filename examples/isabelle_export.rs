@@ -1,0 +1,70 @@
+//! Step 2: export a lifted binary to Isabelle/HOL and validate every
+//! Hoare triple executably.
+//!
+//! ```text
+//! cargo run --example isabelle_export [output.thy]
+//! ```
+
+use hgl_asm::Asm;
+use hgl_core::lift::{lift, LiftConfig};
+use hgl_export::{export_theory, validate_lift, ValidateConfig};
+use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A function with a frame, a branch, a caller-pointer write and an
+    // external call — enough to exercise definitions, lemmas, axioms
+    // and obligations.
+    let mut asm = Asm::new();
+    asm.label("main");
+    asm.push(Reg::Rbp);
+    asm.mov(Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp));
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::Mem(MemOperand::base_disp(Reg::Rdi, 0, Width::B8)), Operand::Imm(1)],
+        Width::B8,
+    ));
+    asm.ins(Instr::new(
+        Mnemonic::Cmp,
+        vec![Operand::reg(Reg::Rsi, Width::B4), Operand::Imm(10)],
+        Width::B4,
+    ));
+    asm.jcc(Cond::B, "skip");
+    asm.call_ext("puts");
+    asm.label("skip");
+    asm.pop(Reg::Rbp);
+    asm.ret();
+    let bin = asm.entry("main").assemble()?;
+
+    let lifted = lift(&bin, &LiftConfig::default());
+    assert!(lifted.is_lifted(), "reject: {:?}", lifted.reject_reason());
+
+    // --- Export ---
+    let thy = export_theory(&lifted, "demo_binary");
+    println!("=== Generated Isabelle/HOL theory (excerpt) ===\n");
+    for line in thy.lines().take(60) {
+        println!("{line}");
+    }
+    let total_lines = thy.lines().count();
+    println!("... ({total_lines} lines total, {} lemmas)", hgl_export::isabelle::lemma_count(&thy));
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &thy)?;
+        println!("\nfull theory written to {path}");
+    }
+
+    // --- Executable validation ---
+    println!("\n=== Executable validation (randomized concrete testing) ===\n");
+    let report = validate_lift(&bin, &lifted, &ValidateConfig::default());
+    println!("edge groups:        {}", report.total);
+    println!("checked by testing: {} ({} samples passed)", report.checked, report.samples_passed);
+    println!("assumed (calls):    {}", report.assumed);
+    println!("annotated/skipped:  {}", report.annotated);
+    println!("vacuous:            {}", report.vacuous);
+    println!("counterexamples:    {}", report.failed.len());
+    for f in &report.failed {
+        println!("  FAILED {} {}: {}", f.from, f.instr, f.detail);
+    }
+    assert!(report.all_proven(), "all triples must validate");
+    println!("\nAll Hoare triples validated — the analogue of the paper's");
+    println!("\"without exception, all Hoare triples could be proven automatically\".");
+    Ok(())
+}

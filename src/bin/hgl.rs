@@ -1,0 +1,200 @@
+//! `hgl` — the command-line lifter.
+//!
+//! ```text
+//! hgl lift <binary.elf> [--function ADDR] [--timeout SECS] [--json]
+//! hgl export <binary.elf> [--out theory.thy]
+//! hgl validate <binary.elf> [--samples N]
+//! hgl disasm <binary.elf>
+//! hgl cfg <binary.elf> [--function ADDR]     # Graphviz DOT
+//! ```
+//!
+//! `lift` prints the Hoare Graph summary, annotations, proof
+//! obligations and assumptions; `export` writes the Isabelle/HOL
+//! theory; `validate` runs the executable Step-2 check; `disasm` is a
+//! plain recursive-traversal disassembly listing of the lifted
+//! instructions.
+
+use hgl_core::lift::{lift, lift_function, LiftConfig, LiftResult};
+use hgl_elf::Binary;
+use hgl_export::{export_dot, export_json, export_theory, validate_lift, ValidateConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hgl <lift|export|validate|disasm|cfg> <binary.elf> [options]");
+    eprintln!("  --function ADDR   lift from a function address (hex ok) instead of the entry point");
+    eprintln!("  --timeout SECS    lifting wall-clock budget (default 60)");
+    eprintln!("  --out FILE        output path for `export`");
+    eprintln!("  --samples N       samples per edge for `validate` (default 16)");
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn do_lift(binary: &Binary, args: &[String]) -> LiftResult {
+    let mut config = LiftConfig::default();
+    if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
+        config.timeout = Duration::from_secs(t);
+    }
+    match flag_value(args, "--function").and_then(|s| parse_u64(&s)) {
+        Some(addr) => lift_function(binary, addr, &config),
+        None => lift(binary, &config),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hgl: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let binary = match Binary::parse(&bytes) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hgl: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "lift" => {
+            let result = do_lift(&binary, &args);
+            if args.iter().any(|a| a == "--json") {
+                print!("{}", export_json(&result));
+                return if result.is_lifted() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            println!(
+                "{path}: {} function(s), {} instructions, {} symbolic states, {:?}",
+                result.functions.len(),
+                result.instruction_count(),
+                result.state_count(),
+                result.elapsed
+            );
+            let (a, b, c) = result.indirection_counts();
+            println!("indirections: {a} resolved, {b} unresolved jumps, {c} unresolved calls");
+            for (entry, f) in &result.functions {
+                println!("\nfunction {entry:#x}: {} states, {} edges, returns: {}",
+                    f.graph.state_count(), f.graph.edges.len(), f.returns);
+                for ann in &f.annotations {
+                    println!("  ANNOTATION {ann}");
+                }
+                for ob in &f.obligations {
+                    println!("  OBLIGATION {ob}");
+                }
+                for asm in &f.assumptions {
+                    println!("  ASSUMPTION {asm}");
+                }
+                for e in &f.verification_errors {
+                    println!("  ERROR {e}");
+                }
+            }
+            match result.reject_reason() {
+                None => {
+                    println!("\nVERDICT: lifted (sound overapproximation under the stated assumptions)");
+                    ExitCode::SUCCESS
+                }
+                Some(r) => {
+                    println!("\nVERDICT: rejected — {r}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "export" => {
+            let result = do_lift(&binary, &args);
+            if !result.is_lifted() {
+                eprintln!("hgl: {path} did not lift: {:?}", result.reject_reason());
+                return ExitCode::FAILURE;
+            }
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("binary")
+                .replace(['-', '.'], "_");
+            let thy = export_theory(&result, &name);
+            match flag_value(&args, "--out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(&out, &thy) {
+                        eprintln!("hgl: cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("{} lemmas written to {out}", hgl_export::isabelle::lemma_count(&thy));
+                }
+                None => print!("{thy}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            let result = do_lift(&binary, &args);
+            if !result.is_lifted() {
+                eprintln!("hgl: {path} did not lift: {:?}", result.reject_reason());
+                return ExitCode::FAILURE;
+            }
+            let mut vc = ValidateConfig::default();
+            if let Some(n) = flag_value(&args, "--samples").and_then(|s| s.parse().ok()) {
+                vc.samples_per_edge = n;
+            }
+            let report = validate_lift(&binary, &result, &vc);
+            println!(
+                "{} edge groups: {} checked ({} samples), {} assumed, {} annotated, {} vacuous, {} FAILED",
+                report.total,
+                report.checked,
+                report.samples_passed,
+                report.assumed,
+                report.annotated,
+                report.vacuous,
+                report.failed.len()
+            );
+            for f in &report.failed {
+                println!("  COUNTEREXAMPLE fn {:#x} {} `{}`: {}", f.function, f.from, f.instr, f.detail);
+            }
+            if report.all_proven() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "cfg" => {
+            let result = do_lift(&binary, &args);
+            let entry = flag_value(&args, "--function")
+                .and_then(|s| parse_u64(&s))
+                .unwrap_or(binary.entry);
+            match export_dot(&result, entry) {
+                Some(dot) => {
+                    print!("{dot}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("hgl: no lifted function at {entry:#x}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "disasm" => {
+            let result = do_lift(&binary, &args);
+            for (entry, f) in &result.functions {
+                println!("function {entry:#x}:");
+                for (addr, instr) in f.graph.instructions() {
+                    println!("  {addr:#x}: {instr}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

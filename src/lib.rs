@@ -1,0 +1,33 @@
+//! # hoare-lift
+//!
+//! Provably overapproximative lifting of C-compiled x86-64 binaries to
+//! Hoare Graphs — a reproduction of Verbeek, Bockenek, Fu & Ravindran,
+//! *"Formally Verified Lifting of C-Compiled x86-64 Binaries"*,
+//! PLDI 2022.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`x86`]: instruction model, decoder, encoder
+//! - [`elf`]: ELF64 reader/writer
+//! - [`asm`]: program builder for synthesizing test binaries
+//! - [`emu`]: concrete x86-64 interpreter (independent semantics)
+//! - [`expr`]: symbolic expressions
+//! - [`solver`]: pointer-relation decision procedures
+//! - [`core`]: predicates, memory models, Hoare-Graph extraction
+//! - [`export`]: Isabelle/HOL export and executable validation
+//! - [`corpus`]: synthetic evaluation corpora
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use hgl_asm as asm;
+pub use hgl_core as core;
+pub use hgl_corpus as corpus;
+pub use hgl_elf as elf;
+pub use hgl_emu as emu;
+pub use hgl_export as export;
+pub use hgl_expr as expr;
+pub use hgl_solver as solver;
+pub use hgl_x86 as x86;

@@ -1,0 +1,147 @@
+//! Integration tests for the `hgl` command-line interface, driven
+//! through the real compiled binary.
+
+use hoare_lift::asm::Asm;
+use hoare_lift::x86::{Instr, MemOperand, Mnemonic, Operand, Reg, Width};
+use std::process::Command;
+
+fn hgl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hgl"))
+}
+
+fn write_demo_elf(dir: &std::path::Path, name: &str, with_overflow: bool) -> std::path::PathBuf {
+    let mut asm = Asm::new();
+    asm.label("main");
+    asm.push(Reg::Rbp);
+    asm.mov(Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp));
+    if with_overflow {
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::reg(Reg::Rax, Width::B4), Operand::reg(Reg::Rdi, Width::B4)],
+            Width::B4,
+        ));
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::Mem(MemOperand::sib(Some(Reg::Rsp), Reg::Rax, 1, -0x40, Width::B1)),
+                Operand::Imm(0x41),
+            ],
+            Width::B1,
+        ));
+    } else {
+        asm.call_ext("puts");
+    }
+    asm.pop(Reg::Rbp);
+    asm.ret();
+    let bytes = asm.entry("main").assemble_elf().expect("assembles");
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).expect("write elf");
+    path
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hgl-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn lift_reports_success_and_obligations() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "ok.elf", false);
+    let out = hgl().args(["lift", elf.to_str().expect("utf8")]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("VERDICT: lifted"), "{stdout}");
+    assert!(stdout.contains("OBLIGATION"), "{stdout}");
+    assert!(stdout.contains("puts"), "{stdout}");
+}
+
+#[test]
+fn lift_rejects_overflow_with_nonzero_exit() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "bad.elf", true);
+    let out = hgl().args(["lift", elf.to_str().expect("utf8")]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(stdout.contains("VERDICT: rejected"), "{stdout}");
+    assert!(stdout.contains("return address"), "{stdout}");
+}
+
+#[test]
+fn export_writes_theory_file() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "exp.elf", false);
+    let thy = dir.join("exp.thy");
+    let out = hgl()
+        .args(["export", elf.to_str().expect("utf8"), "--out", thy.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&thy).expect("theory written");
+    assert!(text.starts_with("theory exp"));
+    assert!(text.contains("lemma edge_"));
+}
+
+#[test]
+fn validate_passes_on_clean_binary() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "val.elf", false);
+    let out = hgl()
+        .args(["validate", elf.to_str().expect("utf8"), "--samples", "4"])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0 FAILED"), "{stdout}");
+}
+
+#[test]
+fn disasm_lists_instructions() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "dis.elf", false);
+    let out = hgl().args(["disasm", elf.to_str().expect("utf8")]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("push rbp"), "{stdout}");
+    assert!(stdout.contains("ret"), "{stdout}");
+}
+
+#[test]
+fn usage_on_missing_args() {
+    let out = hgl().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn garbage_input_is_a_clean_error() {
+    let dir = tmpdir();
+    let path = dir.join("garbage.elf");
+    std::fs::write(&path, b"not an elf at all").expect("write");
+    let out = hgl().args(["lift", path.to_str().expect("utf8")]).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+}
+
+#[test]
+fn lift_json_output() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "json.elf", false);
+    let out = hgl().args(["lift", elf.to_str().expect("utf8"), "--json"]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"lifted\": true"), "{stdout}");
+    assert!(stdout.contains("\"edges\""), "{stdout}");
+}
+
+#[test]
+fn cfg_emits_dot() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "cfg.elf", false);
+    let out = hgl().args(["cfg", elf.to_str().expect("utf8")]).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("->"), "{stdout}");
+}
