@@ -1,0 +1,226 @@
+//! Layered resource budgets for graceful degradation.
+//!
+//! The paper ran each unit with a single 4-hour wall clock; our original
+//! driver mirrored that with one `Duration`. A single deadline cannot
+//! distinguish *why* a unit was expensive, and it discards everything on
+//! expiry. This module replaces it with a layered [`Budget`] — wall
+//! clock, per-function step fuel, solver-query count and fork count —
+//! tracked by a shared [`BudgetMeter`]. Exhausting any dimension stops
+//! exploration *gracefully*: the partial Hoare Graph built so far is
+//! kept, and every unexplored frontier address is annotated with
+//! [`Annotation::BudgetFrontier`](crate::diag::Annotation::BudgetFrontier)
+//! so the caller can see exactly where coverage stopped.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The budget dimension that ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BudgetDim {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// A function consumed its per-function step fuel.
+    Fuel,
+    /// The global solver-query allowance ran out.
+    SolverQueries,
+    /// The global memory-model fork allowance ran out.
+    Forks,
+    /// A function exceeded its symbolic-state cap
+    /// ([`ExploreLimits::max_states`](crate::explore::ExploreLimits::max_states)).
+    States,
+}
+
+impl fmt::Display for BudgetDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetDim::WallClock => "wall clock",
+            BudgetDim::Fuel => "step fuel",
+            BudgetDim::SolverQueries => "solver queries",
+            BudgetDim::Forks => "forks",
+            BudgetDim::States => "symbolic states",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A record of one exhausted budget dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Which dimension ran out.
+    pub dimension: BudgetDim,
+    /// Amount consumed when exploration stopped.
+    pub used: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} budget exhausted ({}/{})", self.dimension, self.used, self.limit)
+    }
+}
+
+/// Layered resource limits for one lift. `None` disables a dimension.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Wall-clock limit for the whole lift.
+    pub wall_clock: Option<Duration>,
+    /// Per-function symbolic step limit.
+    pub max_fuel: Option<u64>,
+    /// Global solver-query limit.
+    pub max_solver_queries: Option<u64>,
+    /// Global memory-model fork limit.
+    pub max_forks: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            wall_clock: Some(Duration::from_secs(60)),
+            max_fuel: None,
+            max_solver_queries: None,
+            max_forks: None,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget limited only by wall clock (the legacy `timeout` shape).
+    pub fn from_timeout(timeout: Duration) -> Budget {
+        Budget { wall_clock: Some(timeout), ..Budget::default() }
+    }
+
+    /// A budget with every dimension disabled (tests and harnesses).
+    pub fn unlimited() -> Budget {
+        Budget { wall_clock: None, max_fuel: None, max_solver_queries: None, max_forks: None }
+    }
+}
+
+/// Shared consumption counters for one lift.
+///
+/// Counters use [`Cell`] so that read paths holding `&self` (notably
+/// solver-context construction in `StepCtx`) can record consumption
+/// without threading `&mut` borrows through the stepper.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    deadline: Option<Instant>,
+    wall_clock: Option<Duration>,
+    started: Instant,
+    solver_queries: Cell<u64>,
+    forks: Cell<u64>,
+    max_solver_queries: Option<u64>,
+    max_forks: Option<u64>,
+}
+
+impl BudgetMeter {
+    /// Starts metering against `budget` from now.
+    pub fn start(budget: &Budget) -> BudgetMeter {
+        let started = Instant::now();
+        BudgetMeter {
+            deadline: budget.wall_clock.map(|d| started + d),
+            wall_clock: budget.wall_clock,
+            started,
+            solver_queries: Cell::new(0),
+            forks: Cell::new(0),
+            max_solver_queries: budget.max_solver_queries,
+            max_forks: budget.max_forks,
+        }
+    }
+
+    /// Records one solver query.
+    pub fn count_solver_query(&self) {
+        self.solver_queries.set(self.solver_queries.get().saturating_add(1));
+    }
+
+    /// Records `n` memory-model forks.
+    pub fn count_forks(&self, n: u64) {
+        self.forks.set(self.forks.get().saturating_add(n));
+    }
+
+    /// Solver queries recorded so far.
+    pub fn solver_queries(&self) -> u64 {
+        self.solver_queries.get()
+    }
+
+    /// Forks recorded so far.
+    pub fn forks(&self) -> u64 {
+        self.forks.get()
+    }
+
+    /// Checks every *global* dimension (wall clock, solver queries,
+    /// forks); per-function fuel and states are checked by the
+    /// exploration owning the function.
+    pub fn check_global(&self) -> Option<BudgetExhausted> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                let limit = self.wall_clock.unwrap_or(Duration::ZERO);
+                return Some(BudgetExhausted {
+                    dimension: BudgetDim::WallClock,
+                    used: self.started.elapsed().as_millis() as u64,
+                    limit: limit.as_millis() as u64,
+                });
+            }
+        }
+        if let Some(max) = self.max_solver_queries {
+            if self.solver_queries.get() >= max {
+                return Some(BudgetExhausted {
+                    dimension: BudgetDim::SolverQueries,
+                    used: self.solver_queries.get(),
+                    limit: max,
+                });
+            }
+        }
+        if let Some(max) = self.max_forks {
+            if self.forks.get() >= max {
+                return Some(BudgetExhausted {
+                    dimension: BudgetDim::Forks,
+                    used: self.forks.get(),
+                    limit: max,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let meter = BudgetMeter::start(&Budget::unlimited());
+        meter.count_solver_query();
+        meter.count_forks(1_000_000);
+        assert_eq!(meter.check_global(), None);
+    }
+
+    #[test]
+    fn solver_query_limit_trips() {
+        let budget = Budget { max_solver_queries: Some(3), ..Budget::unlimited() };
+        let meter = BudgetMeter::start(&budget);
+        assert_eq!(meter.check_global(), None);
+        for _ in 0..3 {
+            meter.count_solver_query();
+        }
+        let ex = meter.check_global().expect("exhausted");
+        assert_eq!(ex.dimension, BudgetDim::SolverQueries);
+        assert_eq!((ex.used, ex.limit), (3, 3));
+    }
+
+    #[test]
+    fn expired_wall_clock_trips() {
+        let budget = Budget { wall_clock: Some(Duration::ZERO), ..Budget::unlimited() };
+        let meter = BudgetMeter::start(&budget);
+        std::thread::sleep(Duration::from_millis(2));
+        let ex = meter.check_global().expect("exhausted");
+        assert_eq!(ex.dimension, BudgetDim::WallClock);
+    }
+
+    #[test]
+    fn display_forms() {
+        let ex = BudgetExhausted { dimension: BudgetDim::Fuel, used: 10, limit: 10 };
+        assert_eq!(ex.to_string(), "step fuel budget exhausted (10/10)");
+    }
+}

@@ -1,5 +1,6 @@
 //! Verification errors, unsoundness annotations and proof obligations.
 
+use crate::budget::BudgetDim;
 use hgl_expr::Expr;
 use hgl_solver::{Assumption, Region};
 use hgl_x86::Reg;
@@ -110,13 +111,24 @@ pub enum Annotation {
         /// The symbolic target.
         target: Expr,
     },
+    /// Exploration stopped at this address because a resource budget
+    /// ran out; the Hoare Graph covers everything up to here but the
+    /// states queued at `addr` were never stepped.
+    BudgetFrontier {
+        /// Address of the unexplored frontier state.
+        addr: u64,
+        /// The exhausted dimension.
+        dimension: BudgetDim,
+    },
 }
 
 impl Annotation {
     /// Address of the annotated instruction.
     pub fn addr(&self) -> u64 {
         match self {
-            Annotation::UnresolvedJump { addr, .. } | Annotation::UnresolvedCall { addr, .. } => *addr,
+            Annotation::UnresolvedJump { addr, .. }
+            | Annotation::UnresolvedCall { addr, .. }
+            | Annotation::BudgetFrontier { addr, .. } => *addr,
         }
     }
 }
@@ -129,6 +141,9 @@ impl fmt::Display for Annotation {
             }
             Annotation::UnresolvedCall { addr, target } => {
                 write!(f, "@{addr:#x}: unresolved indirect call to {target}")
+            }
+            Annotation::BudgetFrontier { addr, dimension } => {
+                write!(f, "@{addr:#x}: unexplored frontier ({dimension} budget exhausted)")
             }
         }
     }

@@ -1,7 +1,8 @@
 //! Algorithm 1: Hoare-Graph extraction by worklist exploration with
 //! joining, plus the §4.2 function-call extensions.
 
-use crate::diag::Diagnostics;
+use crate::budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
+use crate::diag::{Annotation, Diagnostics};
 use crate::graph::{HoareGraph, VertexId};
 use crate::pred::SymState;
 use crate::tau::{step, StepConfig, StepCtx, Successor};
@@ -54,6 +55,9 @@ pub struct FnExploration {
     pub returns: bool,
     /// Set when the function is rejected.
     pub rejected: Option<VerificationError>,
+    /// Set when a resource budget stopped exploration; the graph built
+    /// so far is kept and the frontier is annotated.
+    pub exhausted: Option<BudgetExhausted>,
     /// Join counts per vertex, to trigger widening.
     join_counts: BTreeMap<VertexId, u32>,
     /// Next variant index per address.
@@ -92,6 +96,7 @@ impl FnExploration {
             pending: Vec::new(),
             returns: false,
             rejected: None,
+            exhausted: None,
             join_counts: BTreeMap::new(),
             variants: BTreeMap::new(),
             steps: 0,
@@ -131,9 +136,16 @@ impl FnExploration {
         true
     }
 
-    /// Run exploration until the bag empties, the state budget is
+    /// Run exploration until the bag empties, a budget dimension is
     /// exhausted, or the function is rejected. Returns `true` if any
     /// work was done.
+    ///
+    /// Exhaustion is *graceful*: the graph built so far stays, every
+    /// frontier address still in the bag is annotated with
+    /// [`Annotation::BudgetFrontier`], and [`FnExploration::exhausted`]
+    /// records the dimension. Only verification failures set
+    /// [`FnExploration::rejected`].
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &mut self,
         binary: &Binary,
@@ -141,37 +153,67 @@ impl FnExploration {
         step_config: &StepConfig,
         limits: &ExploreLimits,
         fresh: &mut u64,
-        deadline: Option<std::time::Instant>,
+        budget: &Budget,
+        meter: &BudgetMeter,
     ) -> bool {
         let mut worked = false;
         while let Some(item) = self.bag.pop() {
             worked = true;
-            if let Some(deadline) = deadline {
-                if std::time::Instant::now() > deadline {
-                    self.bag.push(item);
-                    return worked;
-                }
+            if meter.check_global().is_some() {
+                // Global dimensions (wall clock, solver queries, forks)
+                // are reported at the lift level; keep the item so the
+                // driver can annotate the frontier across all functions.
+                self.bag.push(item);
+                return worked;
             }
-            if self.graph.state_count() > limits.max_states {
-                // State explosion: give up on this function (counted as
-                // a timeout in the study).
-                self.bag.clear();
-                self.rejected = Some(VerificationError::Undecodable {
-                    addr: self.entry,
-                    message: "state budget exhausted".to_string(),
+            let states = self.graph.state_count();
+            if states > limits.max_states {
+                self.bag.push(item);
+                self.mark_frontier(BudgetExhausted {
+                    dimension: BudgetDim::States,
+                    used: states as u64,
+                    limit: limits.max_states as u64,
                 });
                 return worked;
+            }
+            if let Some(max_fuel) = budget.max_fuel {
+                if self.steps as u64 >= max_fuel {
+                    self.bag.push(item);
+                    self.mark_frontier(BudgetExhausted {
+                        dimension: BudgetDim::Fuel,
+                        used: self.steps as u64,
+                        limit: max_fuel,
+                    });
+                    return worked;
+                }
             }
             if self.rejected.is_some() {
                 self.bag.clear();
                 return worked;
             }
-            self.explore_item(binary, layout, step_config, limits, fresh, item);
+            self.explore_item(binary, layout, step_config, limits, fresh, meter, item);
         }
         worked
     }
 
+    /// Record budget exhaustion: annotate every address still queued in
+    /// the bag as an unexplored frontier, then drop the bag so the
+    /// function is not re-run.
+    pub fn mark_frontier(&mut self, ex: BudgetExhausted) {
+        let mut addrs: Vec<u64> = self.bag.iter().map(|b| b.addr).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        for addr in addrs {
+            self.diags.annotate(Annotation::BudgetFrontier { addr, dimension: ex.dimension });
+        }
+        self.bag.clear();
+        if self.exhausted.is_none() {
+            self.exhausted = Some(ex);
+        }
+    }
+
     /// One iteration of Algorithm 1's `explore`.
+    #[allow(clippy::too_many_arguments)]
     fn explore_item(
         &mut self,
         binary: &Binary,
@@ -179,6 +221,7 @@ impl FnExploration {
         step_config: &StepConfig,
         limits: &ExploreLimits,
         fresh: &mut u64,
+        meter: &BudgetMeter,
         item: BagItem,
     ) {
         let BagItem { addr, state, from } = item;
@@ -226,6 +269,7 @@ impl FnExploration {
         // Vacuous states (contradictory path clauses) represent no
         // concrete states; exploring them wastes effort and can poison
         // interval reasoning. Prune.
+        meter.count_solver_query();
         let sat_check = hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout.clone());
         if sat_check.is_unsat() {
             return;
@@ -253,6 +297,7 @@ impl FnExploration {
             config: step_config.clone(),
             fresh,
             diags: &mut self.diags,
+            meter,
         };
         let successors = match step(&mut ctx, &state, &instr, self.entry) {
             Ok(s) => s,
@@ -261,6 +306,9 @@ impl FnExploration {
                 return;
             }
         };
+        if successors.len() > 1 {
+            meter.count_forks(successors.len() as u64 - 1);
+        }
         // Push in reverse so the LIFO bag explores successors in
         // production order: structured memory-model forks (alias,
         // separate) resolve their control flow *before* the destroy

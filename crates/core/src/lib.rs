@@ -26,7 +26,9 @@
 //! - [`diag`]: verification errors, unsoundness annotations and
 //!   generated proof obligations (§5.3);
 //! - [`lift`]: the top-level [`lift`](lift::lift) entry point and
-//!   [`LiftConfig`](lift::LiftConfig).
+//!   [`LiftConfig`](lift::LiftConfig);
+//! - [`budget`]: layered resource budgets (wall clock, fuel, solver
+//!   queries, forks) behind the graceful-degradation machinery.
 //!
 //! ```
 //! use hgl_asm::Asm;
@@ -50,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod diag;
 pub mod explore;
 pub mod graph;
@@ -58,8 +61,9 @@ pub mod memmodel;
 pub mod pred;
 pub mod tau;
 
+pub use budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 pub use diag::{Annotation, ProofObligation, VerificationError};
 pub use graph::{Edge, HoareGraph, Vertex, VertexId};
-pub use lift::{lift, FnLift, LiftConfig, LiftResult, RejectReason};
+pub use lift::{lift, lift_bytes, FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
 pub use pred::{FlagState, Pred, SymState};

@@ -8,6 +8,7 @@
 //! (§4.2.2), and return sites become reachable only when their callee
 //! provably returns.
 
+use crate::budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 use crate::diag::{Annotation, ProofObligation, VerificationError};
 use crate::explore::{ExploreLimits, FnExploration};
 use crate::graph::HoareGraph;
@@ -15,41 +16,101 @@ use crate::tau::StepConfig;
 use hgl_elf::Binary;
 use hgl_solver::{Assumption, Layout};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Lifting configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LiftConfig {
-    /// Wall-clock budget for one lift (the paper used 4 h per unit;
-    /// scale to taste).
-    pub timeout: Duration,
+    /// Layered resource budget (the paper used a single 4 h wall clock
+    /// per unit; [`Budget`] adds per-function fuel, solver-query and
+    /// fork dimensions on top).
+    pub budget: Budget,
     /// Stepping tunables.
     pub step: StepConfig,
     /// Exploration limits.
     pub limits: ExploreLimits,
 }
 
-impl Default for LiftConfig {
-    fn default() -> LiftConfig {
-        LiftConfig {
-            timeout: Duration::from_secs(60),
-            step: StepConfig::default(),
-            limits: ExploreLimits::default(),
-        }
+impl LiftConfig {
+    /// A config whose budget is a bare wall-clock deadline (the legacy
+    /// `timeout` field).
+    pub fn with_timeout(timeout: Duration) -> LiftConfig {
+        LiftConfig { budget: Budget::from_timeout(timeout), ..LiftConfig::default() }
     }
 }
 
 /// Why a unit (binary or function) was not lifted.
+///
+/// The variants split into *sound rejects* — the analysis proved it
+/// cannot overapproximate this unit ([`Verification`], [`Concurrency`],
+/// [`DecodeError`], [`MalformedBinary`], [`CalleeRejected`]) — and
+/// *resource rejects* — the analysis ran out of budget or crashed before
+/// finishing ([`Timeout`], [`StateBudget`], [`Internal`]); see
+/// `DESIGN.md`, *Failure taxonomy*.
+///
+/// [`Verification`]: RejectReason::Verification
+/// [`Concurrency`]: RejectReason::Concurrency
+/// [`DecodeError`]: RejectReason::DecodeError
+/// [`MalformedBinary`]: RejectReason::MalformedBinary
+/// [`CalleeRejected`]: RejectReason::CalleeRejected
+/// [`Timeout`]: RejectReason::Timeout
+/// [`StateBudget`]: RejectReason::StateBudget
+/// [`Internal`]: RejectReason::Internal
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RejectReason {
     /// A sanity property could not be proven.
     Verification(VerificationError),
     /// The binary uses threading primitives (out of scope, §1).
     Concurrency,
-    /// The time budget expired.
+    /// The wall-clock budget expired. The per-function results still
+    /// hold the partial Hoare Graphs built before the deadline, with
+    /// frontier vertices annotated.
     Timeout,
+    /// A non-wall-clock resource budget ran out (states, fuel, solver
+    /// queries or forks). Partial results are kept, as for `Timeout`.
+    StateBudget {
+        /// The exhausted dimension.
+        dimension: BudgetDim,
+        /// Amount consumed when exploration stopped.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Instruction bytes at a reachable address failed to decode.
+    DecodeError {
+        /// Address of the undecodable bytes.
+        addr: u64,
+        /// Decoder message.
+        message: String,
+    },
+    /// The input is not a loadable ELF image.
+    MalformedBinary {
+        /// Parser message, with offset context.
+        message: String,
+    },
     /// A reachable callee was rejected.
     CalleeRejected(u64),
+    /// The lifting pipeline itself panicked; the panic was isolated to
+    /// this unit and converted into a reject.
+    Internal {
+        /// Pipeline stage that panicked (e.g. `"explore"`, `"lift"`).
+        stage: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl RejectReason {
+    /// True for rejects caused by resource exhaustion or pipeline
+    /// faults rather than a soundness verdict. Resource rejects may
+    /// disappear with a larger budget; sound rejects will not.
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::Timeout | RejectReason::StateBudget { .. } | RejectReason::Internal { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for RejectReason {
@@ -58,7 +119,19 @@ impl std::fmt::Display for RejectReason {
             RejectReason::Verification(e) => write!(f, "verification error: {e}"),
             RejectReason::Concurrency => write!(f, "concurrency (pthread) out of scope"),
             RejectReason::Timeout => write!(f, "timeout"),
+            RejectReason::StateBudget { dimension, used, limit } => {
+                write!(f, "{dimension} budget exhausted ({used}/{limit})")
+            }
+            RejectReason::DecodeError { addr, message } => {
+                write!(f, "undecodable instruction at {addr:#x}: {message}")
+            }
+            RejectReason::MalformedBinary { message } => {
+                write!(f, "malformed binary: {message}")
+            }
             RejectReason::CalleeRejected(a) => write!(f, "reachable callee {a:#x} rejected"),
+            RejectReason::Internal { stage, message } => {
+                write!(f, "internal fault in {stage}: {message}")
+            }
         }
     }
 }
@@ -135,6 +208,7 @@ impl LiftResult {
                 match ann {
                     Annotation::UnresolvedJump { .. } => b += 1,
                     Annotation::UnresolvedCall { .. } => c += 1,
+                    Annotation::BudgetFrontier { .. } => {}
                 }
             }
         }
@@ -160,14 +234,68 @@ fn layout_of(binary: &Binary) -> Layout {
     Layout { text: binary.text_ranges(), data: binary.data_ranges() }
 }
 
+/// Renders a `catch_unwind` payload for a `RejectReason::Internal`.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Isolates a panic in `f` into a `RejectReason::Internal` lift result,
+/// so a pipeline fault on one unit never takes down the caller.
+fn isolated(stage: &'static str, f: impl FnOnce() -> LiftResult) -> LiftResult {
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => LiftResult {
+            functions: BTreeMap::new(),
+            binary_reject: Some(RejectReason::Internal { stage, message: panic_message(payload) }),
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
 /// Lift a binary from its entry point.
 pub fn lift(binary: &Binary, config: &LiftConfig) -> LiftResult {
-    lift_from(binary, binary.entry, config)
+    isolated("lift", || lift_from(binary, binary.entry, config))
 }
 
 /// Lift starting from a specific function address (library mode).
 pub fn lift_function(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
-    lift_from(binary, entry, config)
+    isolated("lift", || lift_from(binary, entry, config))
+}
+
+/// Parse raw bytes as an ELF image and lift it from its entry point.
+///
+/// This is the untrusted-input front door: a malformed image yields
+/// `RejectReason::MalformedBinary` (and a parser panic, should one
+/// survive the hardened reader, is isolated into
+/// `RejectReason::Internal`) — never a crash of the caller.
+pub fn lift_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
+    let start = Instant::now();
+    let parsed = catch_unwind(AssertUnwindSafe(|| Binary::parse(bytes)));
+    let reject = match parsed {
+        Ok(Ok(binary)) => return lift(&binary, config),
+        Ok(Err(e)) => RejectReason::MalformedBinary { message: e.to_string() },
+        Err(payload) => RejectReason::Internal { stage: "parse", message: panic_message(payload) },
+    };
+    LiftResult {
+        functions: BTreeMap::new(),
+        binary_reject: Some(reject),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Maps a global budget exhaustion onto the reject taxonomy.
+fn reject_of_exhaustion(ex: &BudgetExhausted) -> RejectReason {
+    match ex.dimension {
+        BudgetDim::WallClock => RejectReason::Timeout,
+        dimension => RejectReason::StateBudget { dimension, used: ex.used, limit: ex.limit },
+    }
 }
 
 fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
@@ -187,17 +315,26 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
     }
 
     let layout = layout_of(binary);
-    let deadline = Instant::now() + config.timeout;
+    let meter = BudgetMeter::start(&config.budget);
     let mut fresh: u64 = 0;
 
     let mut explorations: BTreeMap<u64, FnExploration> = BTreeMap::new();
     explorations.insert(entry, FnExploration::new(entry));
     // Functions whose return has been proven and propagated.
     let mut returns_propagated: Vec<u64> = Vec::new();
+    // Functions whose exploration panicked (isolated; see below).
+    let mut internal_errors: BTreeMap<u64, String> = BTreeMap::new();
 
     loop {
-        if Instant::now() > deadline {
-            result.binary_reject = Some(RejectReason::Timeout);
+        if let Some(ex) = meter.check_global() {
+            // Graceful degradation: keep every partial graph and mark
+            // the unexplored frontier of each function before stopping.
+            for e in explorations.values_mut() {
+                if !e.bag.is_empty() {
+                    e.mark_frontier(ex);
+                }
+            }
+            result.binary_reject = Some(reject_of_exhaustion(&ex));
             break;
         }
         // Run one function with work available.
@@ -253,7 +390,18 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
             continue;
         };
         let e = explorations.get_mut(&addr).expect("exists");
-        e.run(binary, &layout, &config.step, &config.limits, &mut fresh, Some(deadline));
+        // Panic isolation: a fault while exploring one function becomes
+        // an `Internal` reject for that function; the remaining
+        // functions of the unit still lift.
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            e.run(binary, &layout, &config.step, &config.limits, &mut fresh, &config.budget, &meter)
+        }));
+        if let Err(payload) = ran {
+            e.bag.clear();
+            e.pending.clear();
+            internal_errors.insert(addr, panic_message(payload));
+            continue;
+        }
         // Immediately propagate a newly proven return so callers wake up.
         if e.returns && !returns_propagated.contains(&addr) {
             returns_propagated.push(addr);
@@ -266,17 +414,33 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
     // Assemble per-function results; propagate callee rejection.
     let rejected_fns: Vec<u64> = explorations
         .iter()
-        .filter(|(_, e)| e.rejected.is_some())
+        .filter(|(a, e)| {
+            e.rejected.is_some() || e.exhausted.is_some() || internal_errors.contains_key(a)
+        })
         .map(|(a, _)| *a)
         .collect();
     for (addr, e) in explorations {
-        let reject = match &e.rejected {
-            Some(err) => Some(RejectReason::Verification(err.clone())),
-            None => e
-                .pending_callees()
-                .iter()
-                .find(|c| rejected_fns.contains(c))
-                .map(|c| RejectReason::CalleeRejected(*c)),
+        let reject = if let Some(message) = internal_errors.remove(&addr) {
+            Some(RejectReason::Internal { stage: "explore", message })
+        } else {
+            match &e.rejected {
+                Some(VerificationError::Undecodable { addr, message }) => {
+                    Some(RejectReason::DecodeError { addr: *addr, message: message.clone() })
+                }
+                Some(err) => Some(RejectReason::Verification(err.clone())),
+                None => match &e.exhausted {
+                    Some(ex) => Some(RejectReason::StateBudget {
+                        dimension: ex.dimension,
+                        used: ex.used,
+                        limit: ex.limit,
+                    }),
+                    None => e
+                        .pending_callees()
+                        .iter()
+                        .find(|c| rejected_fns.contains(c))
+                        .map(|c| RejectReason::CalleeRejected(*c)),
+                },
+            }
         };
         result.functions.insert(
             addr,

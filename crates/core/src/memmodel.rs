@@ -146,7 +146,7 @@ impl MemModel {
     /// regions it contains, if any (used before consulting the solver,
     /// so that *assumed* relations from earlier forks stay in force).
     pub fn structural_relation(&self, r0: &Region, r1: &Region) -> Option<RegionRel> {
-        fn locate<'a>(m: &'a MemModel, r: &Region, path: &mut Vec<usize>, out: &mut Option<Vec<usize>>) {
+        fn locate(m: &MemModel, r: &Region, path: &mut Vec<usize>, out: &mut Option<Vec<usize>>) {
             for (i, t) in m.trees.iter().enumerate() {
                 path.push(i);
                 if t.regions.contains(r) && out.is_none() {

@@ -107,18 +107,18 @@ impl FlagState {
                 let b = width.trunc(rhs.eval(env, mem)?);
                 let r = width.trunc(a.wrapping_sub(b));
                 let (sa, sb, sr) = (width.sign_bit(a), width.sign_bit(b), width.sign_bit(r));
-                (a < b, r == 0, sr, sa != sb && sr != sa, (r as u8).count_ones() % 2 == 0)
+                (a < b, r == 0, sr, sa != sb && sr != sa, (r as u8).count_ones().is_multiple_of(2))
             }
             FlagState::Test { width, lhs, rhs } => {
                 let r = width.trunc(lhs.eval(env, mem)? & rhs.eval(env, mem)?);
-                (false, r == 0, width.sign_bit(r), false, (r as u8).count_ones() % 2 == 0)
+                (false, r == 0, width.sign_bit(r), false, (r as u8).count_ones().is_multiple_of(2))
             }
             FlagState::Result { width, value } => {
                 if !matches!(cond, Cond::E | Cond::Ne | Cond::S | Cond::Ns | Cond::P | Cond::Np) {
                     return None;
                 }
                 let r = width.trunc(value.eval(env, mem)?);
-                (false, r == 0, width.sign_bit(r), false, (r as u8).count_ones() % 2 == 0)
+                (false, r == 0, width.sign_bit(r), false, (r as u8).count_ones().is_multiple_of(2))
             }
         };
         Some(cond.eval(cf, pf, zf, sf, of))

@@ -7,6 +7,7 @@
 //! memory model (forking per §2 when pointer relations are unknown);
 //! the predicate is then transformed per instruction semantics.
 
+use crate::budget::BudgetMeter;
 use crate::diag::{Annotation, Diagnostics, ProofObligation, VerificationError};
 use crate::memmodel::InsBranch;
 use crate::pred::{FlagState, Pred, SymState};
@@ -44,6 +45,8 @@ pub struct StepCtx<'a> {
     pub fresh: &'a mut u64,
     /// Diagnostics sink.
     pub diags: &'a mut Diagnostics,
+    /// Budget consumption counters (solver queries, forks).
+    pub meter: &'a BudgetMeter,
 }
 
 impl<'a> StepCtx<'a> {
@@ -54,6 +57,7 @@ impl<'a> StepCtx<'a> {
     }
 
     fn solver_ctx(&self, pred: &Pred) -> Ctx {
+        self.meter.count_solver_query();
         Ctx::from_clauses(pred.clauses.iter(), self.layout.clone())
     }
 }
@@ -134,9 +138,13 @@ fn read_region(ctx: &mut StepCtx<'_>, state: &mut SymState, region: &Region) -> 
                 // Extract bytes at a constant offset.
                 let d = region.linear().diff(&r1.linear());
                 if let Some(off) = d.as_constant() {
-                    if off >= 0 && (off as u64 + region.size) <= r1.size {
-                        let shifted = v1.clone().shr(Expr::imm(8 * off as u64));
-                        return shifted.trunc(Width::from_bytes(region.size as u8));
+                    // Odd-sized regions (3, 5, 6, 7 bytes) have no
+                    // operand width; fall through to a fresh symbol.
+                    if let Some(w) = Width::try_from_bytes(region.size as u8) {
+                        if off >= 0 && (off as u64 + region.size) <= r1.size {
+                            let shifted = v1.clone().shr(Expr::imm(8 * off as u64));
+                            return shifted.trunc(w);
+                        }
                     }
                 }
             }
@@ -1291,6 +1299,7 @@ mod tests {
         let bin = binary_with(instr);
         let mut fresh = 100;
         let mut diags = Diagnostics::default();
+        let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let succ = {
             let mut ctx = StepCtx {
                 binary: &bin,
@@ -1298,6 +1307,7 @@ mod tests {
                 config: StepConfig::default(),
                 fresh: &mut fresh,
                 diags: &mut diags,
+                meter: &meter,
             };
             step(&mut ctx, state, instr, BASE).expect("steps")
         };
@@ -1452,12 +1462,14 @@ mod tests {
         };
         let mut fresh = 0;
         let mut diags = Diagnostics::default();
+        let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
             layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
             config: StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
+            meter: &meter,
         };
         let succ = step(&mut ctx, &s0, &bin_instr, BASE).expect("steps");
         assert!(succ.is_empty(), "exit terminates the path");
@@ -1502,12 +1514,14 @@ mod tests {
         let bin = binary_with(&mut store);
         let mut fresh = 0;
         let mut diags = Diagnostics::default();
+        let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
             layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
             config: StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
+            meter: &meter,
         };
         let r = step(&mut ctx, &s0, &store, BASE);
         assert!(
@@ -1544,12 +1558,14 @@ mod tests {
         let bin = binary_with(&mut jmp);
         let mut fresh = 0;
         let mut diags = Diagnostics::default();
+        let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
             layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
             config: StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
+            meter: &meter,
         };
         let r = step(&mut ctx, &s0, &jmp, BASE);
         assert!(matches!(r, Err(VerificationError::JumpOutsideText { .. })));

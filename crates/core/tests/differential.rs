@@ -55,12 +55,14 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<(u64, u64,
     let state = SymState { pred, model: MemModel::empty() };
     let mut fresh = 0u64;
     let mut diags = Diagnostics::default();
+    let meter = hgl_core::BudgetMeter::start(&hgl_core::Budget::unlimited());
     let mut ctx = StepCtx {
         binary: &bin,
         layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
         config: StepConfig::default(),
         fresh: &mut fresh,
         diags: &mut diags,
+        meter: &meter,
     };
     let successors = match step(&mut ctx, &state, &placed, CODE_BASE) {
         Ok(s) => s,
@@ -84,7 +86,7 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<(u64, u64,
         m.flags.sf = w.sign_bit(res);
         let (sa, sb, sr) = (w.sign_bit(a), w.sign_bit(b), w.sign_bit(res));
         m.flags.of = sa != sb && sr != sa;
-        m.flags.pf = (res as u8).count_ones() % 2 == 0;
+        m.flags.pf = (res as u8).count_ones().is_multiple_of(2);
     }
     if m.exec(&placed).is_err() {
         return; // faulting concrete path (e.g. divide error)
@@ -158,7 +160,7 @@ fn arb_value() -> impl Strategy<Value = u64> {
         Just(0x7fff_ffff),
         Just(0x8000_0000),
         Just(0xffff_ffff),
-        (0u64..256),
+        0u64..256,
     ]
 }
 

@@ -495,7 +495,7 @@ fn loop_reaches_fixpoint() {
     let bin = asm.entry("f").assemble().expect("assembles");
 
     let mut config = LiftConfig::default();
-    config.timeout = std::time::Duration::from_secs(20);
+    config.budget.wall_clock = Some(std::time::Duration::from_secs(20));
     let result = lift(&bin, &config);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];

@@ -18,13 +18,17 @@
 //!   proportionally to the paper's `hexdump`, `od`, `wc`, `tar`, `du`
 //!   and `gzip`;
 //! - [`failures`]: the §5.3 case studies — the ret2win stack overflow,
-//!   stack probing, and non-standard stack-pointer restoration.
+//!   stack probing, and non-standard stack-pointer restoration;
+//! - [`inject`]: byte-level fault injection over corpus ELF images,
+//!   exercising the never-crash pipeline contract (terminate within
+//!   budget with a sound result or a structured reject).
 
 #![warn(missing_docs)]
 
 pub mod coreutils;
 pub mod failures;
 pub mod gen;
+pub mod inject;
 pub mod xen;
 
 pub use gen::{FunctionSpec, GenOptions, ProgramGen};

@@ -14,7 +14,8 @@ use hgl_core::lift::{lift, lift_function, LiftConfig, LiftResult, RejectReason};
 use hgl_elf::Binary;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Whether a unit is a whole binary (lifted from its entry point) or a
 /// shared-object function (lifted from its exported symbol).
@@ -280,29 +281,37 @@ pub fn build_study(spec: &StudySpec, seed: u64) -> XenStudy {
 pub enum Outcome {
     /// Lifted.
     Lifted,
-    /// Unprovable return address (or other verification error).
+    /// Unprovable return address (or other sound reject).
     Unprovable,
     /// Concurrency rejection.
     Concurrency,
     /// Timed out / exhausted budgets.
     Timeout,
+    /// The pipeline panicked on this unit; the fault was isolated and
+    /// the rest of the study completed.
+    Internal,
 }
 
 /// Classify a [`LiftResult`] for the study tally.
 pub fn classify(result: &LiftResult) -> Outcome {
-    match result.reject_reason() {
+    classify_reject(result.reject_reason().as_ref())
+}
+
+/// Classify a reject verdict (`None` means the unit lifted).
+pub fn classify_reject(reject: Option<&RejectReason>) -> Outcome {
+    match reject {
         None => Outcome::Lifted,
         Some(RejectReason::Concurrency) => Outcome::Concurrency,
-        Some(RejectReason::Timeout) => Outcome::Timeout,
-        Some(RejectReason::Verification(e)) => {
-            // State-budget exhaustion is the paper's timeout category.
-            if format!("{e:?}").contains("state budget") {
-                Outcome::Timeout
-            } else {
-                Outcome::Unprovable
-            }
-        }
-        Some(_) => Outcome::Unprovable,
+        // Resource exhaustion in any dimension is the paper's timeout
+        // category: the unit *might* lift with a larger budget.
+        Some(RejectReason::Timeout) | Some(RejectReason::StateBudget { .. }) => Outcome::Timeout,
+        Some(RejectReason::Internal { .. }) => Outcome::Internal,
+        // Sound rejects: verification failures, undecodable reachable
+        // bytes, malformed inputs, poisoned callees.
+        Some(RejectReason::Verification(_))
+        | Some(RejectReason::DecodeError { .. })
+        | Some(RejectReason::MalformedBinary { .. })
+        | Some(RejectReason::CalleeRejected(_)) => Outcome::Unprovable,
     }
 }
 
@@ -324,29 +333,72 @@ pub struct UnitResult {
     pub indirections: (usize, usize, usize),
     /// Wall-clock lift time.
     pub time: Duration,
+    /// The structured reject verdict, if the unit did not lift.
+    pub reject: Option<RejectReason>,
 }
 
-/// Run the lifter over every unit of a study.
+/// Lift one corpus unit with the mode matching its kind.
+pub fn lift_unit(u: &CorpusUnit, config: &LiftConfig) -> LiftResult {
+    match u.kind {
+        UnitKind::Binary => lift(&u.binary, config),
+        UnitKind::LibraryFunction => lift_function(&u.binary, u.entry, config),
+    }
+}
+
+/// Tally one unit's lift result.
+fn measure(u: &CorpusUnit, result: &LiftResult, time: Duration) -> UnitResult {
+    UnitResult {
+        directory: u.directory.clone(),
+        name: u.name.clone(),
+        outcome: classify(result),
+        expected: u.expected,
+        instructions: result.instruction_count(),
+        states: result.state_count(),
+        indirections: result.indirection_counts(),
+        time,
+        reject: result.reject_reason(),
+    }
+}
+
+/// A `UnitResult` recording an isolated pipeline fault.
+fn internal_result(u: &CorpusUnit, message: String, time: Duration) -> UnitResult {
+    UnitResult {
+        directory: u.directory.clone(),
+        name: u.name.clone(),
+        outcome: Outcome::Internal,
+        expected: u.expected,
+        instructions: 0,
+        states: 0,
+        indirections: (0, 0, 0),
+        time,
+        reject: Some(RejectReason::Internal { stage: "worker", message }),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the lifter over every unit of a study. A panic while processing
+/// one unit is isolated into an `Outcome::Internal` tally for that unit.
 pub fn run_study(study: &XenStudy, config: &LiftConfig) -> Vec<UnitResult> {
     study
         .units
         .iter()
         .map(|u| {
-            let start = std::time::Instant::now();
-            let result = match u.kind {
-                UnitKind::Binary => lift(&u.binary, config),
-                UnitKind::LibraryFunction => lift_function(&u.binary, u.entry, config),
-            };
-            let time = start.elapsed();
-            UnitResult {
-                directory: u.directory.clone(),
-                name: u.name.clone(),
-                outcome: classify(&result),
-                expected: u.expected,
-                instructions: result.instruction_count(),
-                states: result.state_count(),
-                indirections: result.indirection_counts(),
-                time,
+            let start = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| {
+                let result = lift_unit(u, config);
+                measure(u, &result, start.elapsed())
+            })) {
+                Ok(r) => r,
+                Err(payload) => internal_result(u, panic_message(payload), start.elapsed()),
             }
         })
         .collect()
@@ -355,48 +407,75 @@ pub fn run_study(study: &XenStudy, config: &LiftConfig) -> Vec<UnitResult> {
 /// Run the lifter over every unit of a study, in parallel across
 /// worker threads (the per-unit lifts are independent, mirroring the
 /// paper's exploitation of Isabelle's parallel proof checking).
+///
+/// Fault tolerance: a panic while lifting or tallying one unit — in
+/// `lift_fn` or anywhere else inside the per-unit closure — degrades
+/// *that unit* to `Outcome::Internal` with a structured
+/// `RejectReason::Internal`; every other unit still completes and the
+/// study returns a result for all units.
 pub fn run_study_parallel(study: &XenStudy, config: &LiftConfig, workers: usize) -> Vec<UnitResult> {
+    run_study_parallel_with(study, config, workers, lift_unit)
+}
+
+/// [`run_study_parallel`] with a custom per-unit lift function. The
+/// fault-injection harness uses this to drive poisoned lift pipelines
+/// through the production study driver.
+pub fn run_study_parallel_with<F>(
+    study: &XenStudy,
+    config: &LiftConfig,
+    workers: usize,
+    lift_fn: F,
+) -> Vec<UnitResult>
+where
+    F: Fn(&CorpusUnit, &LiftConfig) -> LiftResult + Sync,
+{
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<UnitResult>> = Vec::new();
     slots.resize_with(study.units.len(), || None);
-    let slots = parking_lot::Mutex::new(slots);
-    crossbeam::scope(|scope| {
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(u) = study.units.get(i) else { break };
-                let start = std::time::Instant::now();
-                let result = match u.kind {
-                    UnitKind::Binary => lift(&u.binary, config),
-                    UnitKind::LibraryFunction => lift_function(&u.binary, u.entry, config),
+                let start = Instant::now();
+                let r = match catch_unwind(AssertUnwindSafe(|| {
+                    let result = lift_fn(u, config);
+                    measure(u, &result, start.elapsed())
+                })) {
+                    Ok(r) => r,
+                    Err(payload) => internal_result(u, panic_message(payload), start.elapsed()),
                 };
-                let r = UnitResult {
-                    directory: u.directory.clone(),
-                    name: u.name.clone(),
-                    outcome: classify(&result),
-                    expected: u.expected,
-                    instructions: result.instruction_count(),
-                    states: result.state_count(),
-                    indirections: result.indirection_counts(),
-                    time: start.elapsed(),
-                };
-                slots.lock()[i] = Some(r);
+                let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                guard[i] = Some(r);
             });
         }
-    })
-    .expect("no worker panics");
+    });
     slots
         .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .enumerate()
+        .map(|(i, r)| {
+            // A worker that died before filling its slot (it should not
+            // — panics are caught above) still yields a structured
+            // verdict rather than poisoning the study.
+            r.unwrap_or_else(|| {
+                internal_result(
+                    &study.units[i],
+                    "worker terminated before completing this unit".to_string(),
+                    Duration::ZERO,
+                )
+            })
+        })
         .collect()
 }
 
-/// A fast configuration for corpus studies: modest timeouts and state
+/// A fast configuration for corpus studies: modest wall-clock and state
 /// budgets so rejected units fail quickly.
 pub fn study_config() -> LiftConfig {
     let mut c = LiftConfig::default();
-    c.timeout = Duration::from_secs(10);
+    c.budget.wall_clock = Some(Duration::from_secs(10));
     c.limits.max_states = 4000;
     c
 }

@@ -14,6 +14,14 @@ pub enum ParseError {
     UnsupportedFormat(&'static str),
     /// A header or table points outside the file.
     Truncated(&'static str),
+    /// A header field is structurally invalid; `offset` is the byte
+    /// offset of the offending field within the file.
+    Malformed {
+        /// Which field is invalid.
+        what: &'static str,
+        /// Byte offset of the field within the file.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -22,14 +30,31 @@ impl fmt::Display for ParseError {
             ParseError::NotElf => write!(f, "not an ELF file"),
             ParseError::UnsupportedFormat(what) => write!(f, "unsupported ELF format: {what}"),
             ParseError::Truncated(what) => write!(f, "truncated ELF file: {what}"),
+            ParseError::Malformed { what, offset } => {
+                write!(f, "malformed ELF file: {what} (field at byte offset {offset:#x})")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
+/// Cap on a single loadable segment's in-memory size. A corrupted
+/// `p_memsz`/`p_filesz` must not be able to drive a multi-gigabyte
+/// allocation before the bounds check fails.
+const MAX_SEGMENT_SIZE: usize = 1 << 28; // 256 MiB
+
 fn get<'a>(bytes: &'a [u8], off: usize, len: usize, what: &'static str) -> Result<&'a [u8], ParseError> {
-    bytes.get(off..off + len).ok_or(ParseError::Truncated(what))
+    off.checked_add(len)
+        .and_then(|end| bytes.get(off..end))
+        .ok_or(ParseError::Truncated(what))
+}
+
+/// `base + i * entsize`, rejecting offsets that wrap the address space.
+fn table_entry_off(base: usize, i: usize, entsize: usize, what: &'static str) -> Result<usize, ParseError> {
+    i.checked_mul(entsize)
+        .and_then(|o| base.checked_add(o))
+        .ok_or(ParseError::Truncated(what))
 }
 
 fn u16le(b: &[u8]) -> u16 {
@@ -83,9 +108,13 @@ impl Binary {
         let shstrndx = u16le(&hdr[62..]) as usize;
 
         // Program headers → segments.
+        if phnum > 0 && phentsize < PHDR_SIZE as usize {
+            return Err(ParseError::Malformed { what: "e_phentsize smaller than a program header", offset: 54 });
+        }
         let mut segments = Vec::new();
         for i in 0..phnum {
-            let ph = get(bytes, phoff + i * phentsize, PHDR_SIZE as usize, "program header")?;
+            let ph_off = table_entry_off(phoff, i, phentsize, "program header table")?;
+            let ph = get(bytes, ph_off, PHDR_SIZE as usize, "program header")?;
             if u32le(&ph[0..]) != PT_LOAD {
                 continue;
             }
@@ -97,6 +126,12 @@ impl Binary {
             if memsz == 0 {
                 continue;
             }
+            if filesz > MAX_SEGMENT_SIZE {
+                return Err(ParseError::Malformed { what: "oversized p_filesz", offset: ph_off as u64 + 32 });
+            }
+            if memsz > MAX_SEGMENT_SIZE {
+                return Err(ParseError::Malformed { what: "oversized p_memsz", offset: ph_off as u64 + 40 });
+            }
             let mut seg_bytes = get(bytes, off, filesz, "segment contents")?.to_vec();
             seg_bytes.resize(memsz, 0);
             segments.push(Segment { vaddr, bytes: seg_bytes, flags });
@@ -106,8 +141,17 @@ impl Binary {
         // Section headers: look for .extmap and .symtab.
         let mut externals = BTreeMap::new();
         let mut symbols = BTreeMap::new();
-        if shoff != 0 && shnum != 0 && shstrndx < shnum {
-            let sh = |i: usize| get(bytes, shoff + i * shentsize, SHDR_SIZE as usize, "section header");
+        if shoff != 0 && shnum != 0 {
+            if shentsize < SHDR_SIZE as usize {
+                return Err(ParseError::Malformed { what: "e_shentsize smaller than a section header", offset: 58 });
+            }
+            if shstrndx >= shnum {
+                return Err(ParseError::Malformed { what: "e_shstrndx out of range", offset: 62 });
+            }
+            let sh = |i: usize| -> Result<&[u8], ParseError> {
+                let off = table_entry_off(shoff, i, shentsize, "section header table")?;
+                get(bytes, off, SHDR_SIZE as usize, "section header")
+            };
             let shstr_hdr = sh(shstrndx)?;
             let shstr_off = u64le(&shstr_hdr[24..]) as usize;
             let shstr_size = u64le(&shstr_hdr[32..]) as usize;
@@ -231,6 +275,50 @@ mod tests {
         let direct = b.to_binary();
         let parsed = Binary::parse(&b.build()).expect("parses");
         assert_eq!(direct, parsed);
+    }
+
+    #[test]
+    fn malformed_fields_get_offset_context() {
+        let elf = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3], SegmentFlags::RX)
+            .build();
+        let phoff = u64le(&elf[32..]) as usize;
+
+        // e_shstrndx pointing past the section header table.
+        let mut bad = elf.clone();
+        bad[62..64].copy_from_slice(&0x7fffu16.to_le_bytes());
+        assert_eq!(
+            Binary::parse(&bad),
+            Err(ParseError::Malformed { what: "e_shstrndx out of range", offset: 62 })
+        );
+
+        // A p_filesz that would drive a huge allocation.
+        let mut bad = elf.clone();
+        bad[phoff + 32..phoff + 40].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert_eq!(
+            Binary::parse(&bad),
+            Err(ParseError::Malformed { what: "oversized p_filesz", offset: phoff as u64 + 32 })
+        );
+
+        // Same for p_memsz.
+        let mut bad = elf.clone();
+        bad[phoff + 40..phoff + 48].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert_eq!(
+            Binary::parse(&bad),
+            Err(ParseError::Malformed { what: "oversized p_memsz", offset: phoff as u64 + 40 })
+        );
+
+        // Section header table running off the end of the file.
+        let mut bad = elf.clone();
+        let shoff = (elf.len() - 8) as u64;
+        bad[40..48].copy_from_slice(&shoff.to_le_bytes());
+        assert!(matches!(Binary::parse(&bad), Err(ParseError::Truncated(_))));
+
+        // An e_phoff so large the per-entry offset computation wraps.
+        let mut bad = elf.clone();
+        bad[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(Binary::parse(&bad), Err(ParseError::Truncated(_))));
     }
 
     #[test]

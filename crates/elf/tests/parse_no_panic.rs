@@ -1,0 +1,60 @@
+//! `Binary::parse` must never panic — not on random bytes, and not on
+//! structured corruptions of a valid image. Malformed input is a
+//! `ParseError`, full stop.
+
+use hgl_elf::{Binary, Builder, SegmentFlags};
+use proptest::prelude::*;
+
+fn valid_image() -> Vec<u8> {
+    Builder::new()
+        .entry(0x401000)
+        .section(".text", 0x401000, vec![0x48, 0x89, 0xe5, 0xc3], SegmentFlags::RX)
+        .section(".rodata", 0x402000, vec![9; 32], SegmentFlags::RO)
+        .section(".data", 0x601000, vec![1, 2, 3, 4], SegmentFlags::RW)
+        .external(0x400800, "memset")
+        .symbol(0x401000, "main")
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Binary::parse(&bytes);
+    }
+
+    /// Random bytes rarely get past the magic check; this variant
+    /// starts from a valid image and corrupts it, driving the deeper
+    /// header/table paths.
+    #[test]
+    fn parse_never_panics_on_mutated_valid_images(
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+        truncate_to in any::<usize>(),
+    ) {
+        let mut image = valid_image();
+        for (off, val) in flips {
+            let len = image.len();
+            image[off % len] = val;
+        }
+        if truncate_to.is_multiple_of(4) {
+            let keep = truncate_to / 4 % (image.len() + 1);
+            image.truncate(keep);
+        }
+        match Binary::parse(&image) {
+            Ok(bin) => {
+                // Parsed despite corruption: the loaded view must obey
+                // the segment size cap the parser promises.
+                for seg in &bin.segments {
+                    prop_assert!(seg.bytes.len() <= 1 << 28);
+                }
+            }
+            Err(e) => {
+                // Structured error with a non-empty rendering.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

@@ -50,7 +50,7 @@ impl Flags {
         let r = w.trunc(result);
         self.zf = r == 0;
         self.sf = w.sign_bit(r);
-        self.pf = (r as u8).count_ones() % 2 == 0;
+        self.pf = (r as u8).count_ones().is_multiple_of(2);
     }
 }
 

@@ -71,6 +71,9 @@ pub enum Expr {
     Bottom,
 }
 
+// The builder methods below intentionally take `self` by value and return
+// a normalised `Expr`; they are constructors, not `std::ops` overloads.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// An immediate.
     pub fn imm(v: u64) -> Expr {
@@ -425,13 +428,13 @@ impl Expr {
                         let bits = w.bits();
                         let v = w.trunc(a);
                         let s = (b as u32) % bits;
-                        w.trunc(v << s | v >> (bits - s) % bits)
+                        w.trunc(v << s | v >> ((bits - s) % bits))
                     }
                     OpKind::Ror(w) => {
                         let bits = w.bits();
                         let v = w.trunc(a);
                         let s = (b as u32) % bits;
-                        w.trunc(v >> s | v << (bits - s) % bits)
+                        w.trunc(v >> s | v << ((bits - s) % bits))
                     }
                     _ => return None,
                 })

@@ -82,7 +82,7 @@ impl Interval {
     /// Iterate the values of a small interval (`None` if more than
     /// `cap`), used to enumerate bounded jump-table indices.
     pub fn enumerate(&self, cap: u64) -> Option<impl Iterator<Item = u64> + '_> {
-        (self.count() <= cap).then(|| self.lo..=self.hi).map(|r| r.into_iter())
+        (self.count() <= cap).then_some(self.lo..=self.hi).map(|r| r.into_iter())
     }
 }
 

@@ -36,11 +36,11 @@ fn rel_holds(rel: RegionRel, a: (u64, u64), b: (u64, u64)) -> bool {
 }
 
 fn arb_offset() -> impl Strategy<Value = i64> {
-    prop_oneof![(-0x80i64..0x80), (-0x4000i64..0x4000), Just(0i64)]
+    prop_oneof![-0x80i64..0x80, -0x4000i64..0x4000, Just(0i64)]
 }
 
 fn arb_size() -> impl Strategy<Value = u64> {
-    prop_oneof![Just(1u64), Just(2), Just(4), Just(8), Just(16), (1u64..64)]
+    prop_oneof![Just(1u64), Just(2), Just(4), Just(8), Just(16), 1u64..64]
 }
 
 proptest! {

@@ -504,7 +504,7 @@ fn decode_opcode(
         }
         0xc9 => Ok(mk(Mnemonic::Leave, vec![], Width::B8)),
         0xcc => Ok(mk(Mnemonic::Int3, vec![], Width::B8)),
-        0xe0 | 0xe1 | 0xe2 | 0xe3 => {
+        0xe0..=0xe3 => {
             let rel = cur.imm(Width::B1)?;
             let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
             let m = match opcode {

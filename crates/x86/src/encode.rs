@@ -311,7 +311,6 @@ pub fn encode(instr: &Instr) -> Result<Vec<u8>, EncodeError> {
         let len = opcode_len + 4 + e.opsize as usize;
         let next = instr.addr.wrapping_add(len as u64);
         let rel = target.wrapping_sub(next) as i64;
-        let rel = (rel as i64) as i64;
         let r32 = i32::try_from((rel << 32) >> 32).map_err(|_| EncodeError::BranchOutOfRange)?;
         if (r32 as i64 as u64).wrapping_add(next) != target {
             return Err(EncodeError::BranchOutOfRange);

@@ -31,18 +31,29 @@ impl Width {
         self.bytes() as u32 * 8
     }
 
+    /// Construct from a byte count, if it names an operand width.
+    /// Byte counts reachable from untrusted input (decoded operands,
+    /// memory-region sizes) must use this instead of [`Width::from_bytes`].
+    pub const fn try_from_bytes(bytes: u8) -> Option<Width> {
+        match bytes {
+            1 => Some(Width::B1),
+            2 => Some(Width::B2),
+            4 => Some(Width::B4),
+            8 => Some(Width::B8),
+            _ => None,
+        }
+    }
+
     /// Construct from a byte count.
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is not 1, 2, 4 or 8.
+    /// Panics if `bytes` is not 1, 2, 4 or 8. For untrusted byte
+    /// counts, use [`Width::try_from_bytes`].
     pub fn from_bytes(bytes: u8) -> Width {
-        match bytes {
-            1 => Width::B1,
-            2 => Width::B2,
-            4 => Width::B4,
-            8 => Width::B8,
-            _ => panic!("invalid operand width: {bytes} bytes"),
+        match Width::try_from_bytes(bytes) {
+            Some(w) => w,
+            None => panic!("invalid operand width: {bytes} bytes"),
         }
     }
 

@@ -1,0 +1,36 @@
+//! Arbitrary byte soup must never panic the decoder: every input
+//! yields `Ok(instr)` or a structured `DecodeError`. This is the
+//! front line of the lifter's never-crash contract — reachable code
+//! bytes come straight from untrusted binaries.
+
+use hgl_x86::decode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..24),
+        addr in any::<u64>(),
+    ) {
+        // Ok or Err both fine; a panic fails the test.
+        let _ = decode(&bytes, addr);
+    }
+
+    #[test]
+    fn decode_never_panics_on_prefix_heavy_bytes(
+        prefixes in proptest::collection::vec(
+            prop_oneof![
+                Just(0x66u8), Just(0x67), Just(0xf2), Just(0xf3),
+                0x40u8..0x50, // REX
+            ],
+            0..8,
+        ),
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut bytes = prefixes;
+        bytes.extend(tail);
+        let _ = decode(&bytes, 0x40_1000);
+    }
+}

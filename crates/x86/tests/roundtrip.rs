@@ -197,8 +197,8 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![group1, mov, shifts, unary, stack, cc_family, ext, lea, nullary, branches, indirect]
 }
 
-/// `mov r8, ah`-style encodings are legitimately rejected; everything
-/// generated here avoids high-byte registers, so encoding must succeed.
+// `mov r8, ah`-style encodings are legitimately rejected; everything
+// generated here avoids high-byte registers, so encoding must succeed.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2048))]
 

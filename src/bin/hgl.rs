@@ -41,12 +41,26 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Parse a flag's value, distinguishing "absent" (fine, use the
+/// default) from "present but unparseable" (a usage error — silently
+/// falling back would mask the typo).
+fn parsed_flag<T>(args: &[String], name: &str, parse: impl Fn(&str) -> Option<T>) -> Option<T> {
+    let raw = flag_value(args, name)?;
+    match parse(&raw) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("hgl: invalid value for {name}: {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn do_lift(binary: &Binary, args: &[String]) -> LiftResult {
     let mut config = LiftConfig::default();
-    if let Some(t) = flag_value(args, "--timeout").and_then(|s| s.parse().ok()) {
-        config.timeout = Duration::from_secs(t);
+    if let Some(t) = parsed_flag(args, "--timeout", |s| s.parse().ok()) {
+        config.budget.wall_clock = Some(Duration::from_secs(t));
     }
-    match flag_value(args, "--function").and_then(|s| parse_u64(&s)) {
+    match parsed_flag(args, "--function", parse_u64) {
         Some(addr) => lift_function(binary, addr, &config),
         None => lift(binary, &config),
     }
@@ -146,7 +160,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let mut vc = ValidateConfig::default();
-            if let Some(n) = flag_value(&args, "--samples").and_then(|s| s.parse().ok()) {
+            if let Some(n) = parsed_flag(&args, "--samples", |s| s.parse().ok()) {
                 vc.samples_per_edge = n;
             }
             let report = validate_lift(&binary, &result, &vc);

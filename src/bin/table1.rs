@@ -21,6 +21,7 @@ struct RowAgg {
     unprovable: usize,
     concurrency: usize,
     timeout: usize,
+    internal: usize,
     instrs: usize,
     states: usize,
     a: usize,
@@ -37,6 +38,7 @@ impl RowAgg {
             Outcome::Unprovable => self.unprovable += 1,
             Outcome::Concurrency => self.concurrency += 1,
             Outcome::Timeout => self.timeout += 1,
+            Outcome::Internal => self.internal += 1,
         }
         if r.outcome == Outcome::Lifted {
             self.instrs += r.instructions;
@@ -54,6 +56,7 @@ impl RowAgg {
         self.unprovable += o.unprovable;
         self.concurrency += o.concurrency;
         self.timeout += o.timeout;
+        self.internal += o.internal;
         self.instrs += o.instrs;
         self.states += o.states;
         self.a += o.a;
@@ -104,8 +107,8 @@ fn main() {
     }
 
     println!(
-        "{:<20} {:>20}  {:>8} {:>8} {:>5} {:>4} {:>4}  {}",
-        "Directory", "Units (w+x+y+z)", "Instrs.", "States", "A", "B", "C", "Time"
+        "{:<20} {:>20}  {:>8} {:>8} {:>5} {:>4} {:>4}  Time",
+        "Directory", "Units (w+x+y+z)", "Instrs.", "States", "A", "B", "C"
     );
     for (section, kind) in [("Binaries", UnitKind::Binary), ("Library functions", UnitKind::LibraryFunction)] {
         println!("-- {section}");
@@ -149,4 +152,16 @@ fn main() {
         })
         .count();
     println!("Outcome mismatches vs construction: {mismatches}");
+    // Graceful degradation: timed-out units still carry the partial
+    // Hoare graph explored before the budget tripped.
+    let timed_out: Vec<&UnitResult> = results.iter().filter(|r| r.outcome == Outcome::Timeout).collect();
+    let partial_instrs: usize = timed_out.iter().map(|r| r.instructions).sum();
+    println!(
+        "Timed-out units: {}  |  instructions covered before budget exhaustion: {partial_instrs}",
+        timed_out.len()
+    );
+    let internal = results.iter().filter(|r| r.outcome == Outcome::Internal).count();
+    if internal > 0 {
+        println!("Internal errors (isolated, study completed): {internal}");
+    }
 }

@@ -1,0 +1,114 @@
+//! The never-crash contract, end to end: corrupted binaries and
+//! poisoned workers must never panic the pipeline or hang the study.
+//!
+//! Two harnesses:
+//!
+//! 1. A byte-level fault-injection campaign (≥200 corrupted images)
+//!    through the full `parse → lift` pipeline. Every case must
+//!    terminate within its budget with either a sound result (possibly
+//!    partial) or a structured [`RejectReason`] — zero panics.
+//! 2. A worker-panic injection into the parallel corpus driver: one
+//!    poisoned unit degrades to `Outcome::Internal` while every other
+//!    unit of the study completes normally.
+
+use hoare_lift::core::lift::{LiftConfig, RejectReason};
+use hoare_lift::corpus::inject::{elf_image, run_campaign, Fault};
+use hoare_lift::corpus::xen::{
+    build_study, classify_reject, lift_unit, run_study_parallel_with, study_config, Outcome,
+    StudySpec,
+};
+use std::time::{Duration, Instant};
+
+fn study_image() -> Vec<u8> {
+    let study = build_study(&StudySpec::mini(), 2022);
+    let unit = study
+        .units
+        .iter()
+        .find(|u| u.expected == hoare_lift::corpus::xen::ExpectedOutcome::Lifted)
+        .expect("mini study has liftable units");
+    elf_image(&unit.binary)
+}
+
+/// ≥200 corrupted-image cases: all must terminate quickly with a
+/// structured verdict; none may panic (a panic that escaped isolation
+/// would abort the test process, an isolated one would show up in
+/// `stats.internal`).
+#[test]
+fn campaign_terminates_with_structured_verdicts() {
+    let image = study_image();
+    let mut config = LiftConfig::default();
+    // Tight per-case budget; the assertion below gives it slack.
+    config.budget.wall_clock = Some(Duration::from_secs(5));
+    config.limits.max_states = 2000;
+
+    let start = Instant::now();
+    let stats = run_campaign(&image, &config, 0xF0CC, 200);
+    let elapsed = start.elapsed();
+
+    assert_eq!(stats.cases, 200);
+    assert_eq!(stats.internal, 0, "panic leaked into the pipeline: {stats:?}");
+    assert_eq!(
+        stats.lifted + stats.sound_reject + stats.resource_reject,
+        200,
+        "every case must be classified: {stats:?}"
+    );
+    // No hangs: the slowest single case stayed within its wall-clock
+    // budget (plus scheduling slack).
+    assert!(
+        stats.max_case_time < Duration::from_secs(30),
+        "case exceeded budget: {:?}",
+        stats.max_case_time
+    );
+    assert!(elapsed < Duration::from_secs(600), "campaign wall clock blew up: {elapsed:?}");
+    // The corruption model is aggressive enough that a healthy chunk
+    // of cases actually reject (if everything still lifted, the
+    // injector would be a no-op).
+    assert!(stats.sound_reject + stats.resource_reject > 50, "injector too weak: {stats:?}");
+}
+
+/// A panic in one worker's lift degrades that unit to
+/// `Outcome::Internal`; the rest of the study completes.
+#[test]
+fn worker_panic_degrades_one_unit_only() {
+    let study = build_study(&StudySpec::mini(), 7);
+    assert!(study.units.len() >= 3, "mini study too small for this test");
+    let poisoned = study.units[1].name.clone();
+
+    let config = study_config();
+    let results = run_study_parallel_with(&study, &config, 4, |u, cfg| {
+        if u.name == poisoned {
+            panic!("injected worker fault");
+        }
+        lift_unit(u, cfg)
+    });
+
+    assert_eq!(results.len(), study.units.len(), "study must report every unit");
+    for r in &results {
+        if r.name == poisoned {
+            assert_eq!(r.outcome, Outcome::Internal);
+            match &r.reject {
+                Some(RejectReason::Internal { stage, message }) => {
+                    assert_eq!(*stage, "worker");
+                    assert!(message.contains("injected worker fault"), "payload preserved: {message}");
+                }
+                other => panic!("expected Internal reject, got {other:?}"),
+            }
+        } else {
+            assert_ne!(r.outcome, Outcome::Internal, "fault leaked into unit {}", r.name);
+            assert_eq!(classify_reject(r.reject.as_ref()), r.outcome);
+        }
+    }
+}
+
+/// The sequential driver has the same isolation property.
+#[test]
+fn truncated_image_rejects_as_malformed() {
+    let image = study_image();
+    let mut corrupt = image.clone();
+    Fault::TruncateTail { keep: 40 }.apply(&mut corrupt);
+    let result = hoare_lift::core::lift_bytes(&corrupt, &LiftConfig::default());
+    match result.reject_reason() {
+        Some(RejectReason::MalformedBinary { .. }) => {}
+        other => panic!("expected MalformedBinary, got {other:?}"),
+    }
+}

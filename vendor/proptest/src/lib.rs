@@ -1,0 +1,678 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, dependency-free property-testing harness covering the API
+//! subset the test suite uses: [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! [`strategy::Just`], [`strategy::Union`] (behind `prop_oneof!`), range
+//! and tuple strategies, [`collection::vec`]/[`collection::btree_map`],
+//! [`arbitrary::any`], and the `proptest!`/`prop_assert*!`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via the assertion message only), and generation is driven by a
+//! deterministic per-test splitmix64 stream seeded from the test name, so
+//! every run explores the same cases.
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; unused.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0, max_global_rejects: 65536 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (e.g. the test name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree: `sample` directly draws a
+    /// value and failing cases are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` returns.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects values failing `pred`, resampling (bounded retries).
+        fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: std::fmt::Display,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred, reason: reason.to_string() }
+        }
+
+        /// Builds a bounded-depth recursive strategy: `self` is the leaf
+        /// case and `f` derives one extra level from the strategy so far.
+        fn prop_recursive<S2, F>(self, depth: u32, _max_nodes: u32, _items_per: u32, f: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper.clone(), deeper]).boxed();
+            }
+            cur
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy { f: Rc::new(move |rng| self.sample(rng)) }
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        f: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { f: Rc::clone(&self.f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+        reason: String,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter retries exhausted: {}", self.reason)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the `prop_oneof!` body).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { arms: self.arms.clone() }
+        }
+    }
+
+    impl<T: 'static> Union<T> {
+        /// Equally weighted alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "Union requires at least one arm");
+            Union { arms: arms.into_iter().map(|a| (1, a)).collect() }
+        }
+
+        /// Explicitly weighted alternatives.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "Union requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total.max(1));
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms[0].1.sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, as used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws one canonical value.
+        fn sample_any(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn sample_any(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn sample_any(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn sample_any(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_any(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi_inclusive - self.lo) as u64;
+            self.lo + rng.below(span + 1) as usize
+        }
+    }
+
+    /// A `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy { element: self.element.clone(), size: self.size.clone() }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for a `Vec` with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// A `BTreeMap` of entries drawn from `key`/`value`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut m = BTreeMap::new();
+            // Duplicate keys collapse, so the result may be smaller than
+            // requested — same contract as upstream's minimum-size caveat.
+            for _ in 0..n {
+                m.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            m
+        }
+    }
+
+    /// Strategy for a `BTreeMap` with `size` entries.
+    pub fn btree_map<K: Strategy, V: Strategy>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform (or weighted, with `w => strat` arms) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:tt;) => {};
+    (cfg = $cfg:tt; $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_one! {
+            cfg = $cfg;
+            metas = [$(#[$meta])*];
+            name = $name;
+            pats = [];
+            strats = [];
+            args = ($($args)*);
+            body = $body
+        }
+        $crate::__proptest_fns!(cfg = $cfg; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    // `pat in strategy, …`
+    (cfg = $cfg:tt; metas = $m:tt; name = $n:ident; pats = [$($p:tt)*]; strats = [$($s:tt)*];
+     args = ($pat:pat in $strat:expr, $($rest:tt)*); body = $b:block) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $n;
+            pats = [$($p)* ($pat)];
+            strats = [$($s)* ($strat)];
+            args = ($($rest)*); body = $b
+        }
+    };
+    // final `pat in strategy`
+    (cfg = $cfg:tt; metas = $m:tt; name = $n:ident; pats = [$($p:tt)*]; strats = [$($s:tt)*];
+     args = ($pat:pat in $strat:expr); body = $b:block) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $n;
+            pats = [$($p)* ($pat)];
+            strats = [$($s)* ($strat)];
+            args = (); body = $b
+        }
+    };
+    // `name: Type, …` (sugar for `name in any::<Type>()`)
+    (cfg = $cfg:tt; metas = $m:tt; name = $n:ident; pats = [$($p:tt)*]; strats = [$($s:tt)*];
+     args = ($id:ident : $ty:ty, $($rest:tt)*); body = $b:block) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $n;
+            pats = [$($p)* ($id)];
+            strats = [$($s)* ($crate::arbitrary::any::<$ty>())];
+            args = ($($rest)*); body = $b
+        }
+    };
+    // final `name: Type`
+    (cfg = $cfg:tt; metas = $m:tt; name = $n:ident; pats = [$($p:tt)*]; strats = [$($s:tt)*];
+     args = ($id:ident : $ty:ty); body = $b:block) => {
+        $crate::__proptest_one! {
+            cfg = $cfg; metas = $m; name = $n;
+            pats = [$($p)* ($id)];
+            strats = [$($s)* ($crate::arbitrary::any::<$ty>())];
+            args = (); body = $b
+        }
+    };
+    // all arguments consumed — emit the test fn
+    (cfg = { $cfg:expr }; metas = [$($meta:tt)*]; name = $n:ident;
+     pats = [$(($p:pat))*]; strats = [$(($s:expr))*]; args = (); body = $b:block) => {
+        $($meta)*
+        fn $n() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($n)));
+            for _ in 0..__config.cases {
+                // Bind each argument with `let` so its type is fully
+                // concrete inside the body (a tuple-pattern closure
+                // would leave method calls on params unresolvable).
+                // The immediately-invoked closure gives `prop_assume!`'s
+                // `return` per-case skip semantics.
+                $(let $p = $crate::strategy::Strategy::sample(&($s), &mut __rng);)*
+                (move || $b)();
+            }
+        }
+    };
+}
+
+/// Declares property tests. Each `fn` runs `cases` times with freshly
+/// generated inputs; `prop_assume!` skips a case, `prop_assert*!` fail it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(cfg = { $cfg }; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(cfg = { $crate::test_runner::Config::default() }; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(1u8), Just(2), (10u8..20)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(v in 0u64..100, w in -5i64..5, f in small()) {
+            prop_assert!(v < 100);
+            prop_assert!((-5..5).contains(&w));
+            prop_assert!(f == 1 || f == 2 || (10..20).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_work(bytes in crate::collection::vec(any::<u8>(), 0..8), addr: u64) {
+            prop_assert!(bytes.len() < 8);
+            prop_assume!(addr != 0);
+            prop_assert_ne!(addr, 0);
+        }
+
+        #[test]
+        fn maps_and_filters(v in (0u32..50).prop_map(|x| x * 2).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..8).prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::from_name("recursive");
+        for _ in 0..200 {
+            let t = tree.sample(&mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+}
