@@ -67,7 +67,7 @@ enum DataItem {
 }
 
 /// The program builder. See the [crate docs](crate) for an example.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Asm {
     text: Vec<TextItem>,
     rodata: Vec<(String, DataItem)>,
@@ -212,6 +212,58 @@ impl Asm {
     /// Names of the external functions referenced so far.
     pub fn external_names(&self) -> &[String] {
         &self.externals
+    }
+
+    /// Number of text items (labels and instructions) appended so far.
+    ///
+    /// Item indices are stable: they identify the same item across
+    /// clones and [`Asm::without_text_items`] subsets of *this*
+    /// program, which is what a shrinker needs to name removal
+    /// candidates.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether text item `idx` is an instruction (as opposed to a
+    /// label definition). Shrinkers must never remove labels — a
+    /// dangling reference would turn a semantic failure into an
+    /// assembly error.
+    pub fn is_instruction(&self, idx: usize) -> bool {
+        matches!(self.text.get(idx), Some(TextItem::Ins(..)))
+    }
+
+    /// A copy of this program with the text items at `removed`
+    /// (indices into the original item list) deleted. Labels are
+    /// retained even when listed. Data, externals, exports and the
+    /// entry are preserved unchanged.
+    pub fn without_text_items(&self, removed: &std::collections::BTreeSet<usize>) -> Asm {
+        let mut out = self.clone();
+        out.text = self
+            .text
+            .iter()
+            .enumerate()
+            .filter(|(i, item)| !removed.contains(i) || matches!(item, TextItem::Label(_)))
+            .map(|(_, item)| item.clone())
+            .collect();
+        out
+    }
+
+    /// A human-readable listing of the text section (labels and
+    /// instructions), for shrunk-reproducer reports.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for item in &self.text {
+            match item {
+                TextItem::Label(l) => {
+                    let _ = writeln!(out, "{l}:");
+                }
+                TextItem::Ins(i, _) => {
+                    let _ = writeln!(out, "    {i}");
+                }
+            }
+        }
+        out
     }
 
     fn data_addresses(

@@ -38,8 +38,19 @@ fn binary_for(instr: &Instr) -> (Binary, Instr) {
     (bin, placed)
 }
 
+/// How the flags were set before a flag-consuming instruction runs:
+/// by `cmp lhs, rhs` or by `test lhs, rhs`, at a given width.
+#[derive(Clone, Copy, Debug)]
+struct FlagSetup {
+    lhs: u64,
+    rhs: u64,
+    width: Width,
+    /// `test` (AND semantics, CF=OF=0) instead of `cmp` (SUB).
+    is_test: bool,
+}
+
 /// Run τ on a fully concrete state and compare with the emulator.
-fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<(u64, u64, Width)>) {
+fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<FlagSetup>) {
     let (bin, placed) = binary_for(instr);
 
     // Symbolic side: all registers hold immediates.
@@ -48,9 +59,14 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<(u64, u64,
     for (r, v) in regs {
         pred.set_reg(*r, Expr::imm(*v));
     }
-    if let Some((l, r, w)) = flags_from {
-        pred.flags =
-            FlagState::Cmp { width: w, lhs: Expr::imm(w.trunc(l)), rhs: Expr::imm(w.trunc(r)) };
+    if let Some(fs) = flags_from {
+        let (w, lhs, rhs) =
+            (fs.width, Expr::imm(fs.width.trunc(fs.lhs)), Expr::imm(fs.width.trunc(fs.rhs)));
+        pred.flags = if fs.is_test {
+            FlagState::Test { width: w, lhs, rhs }
+        } else {
+            FlagState::Cmp { width: w, lhs, rhs }
+        };
     }
     let state = SymState { pred, model: MemModel::empty() };
     let mut fresh = 0u64;
@@ -78,15 +94,25 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<(u64, u64,
     for (r, v) in regs {
         m.set_reg(RegRef::full(*r), *v);
     }
-    if let Some((l, r, w)) = flags_from {
-        let (a, b) = (w.trunc(l), w.trunc(r));
-        let res = w.trunc(a.wrapping_sub(b));
-        m.flags.cf = a < b;
-        m.flags.zf = res == 0;
-        m.flags.sf = w.sign_bit(res);
-        let (sa, sb, sr) = (w.sign_bit(a), w.sign_bit(b), w.sign_bit(res));
-        m.flags.of = sa != sb && sr != sa;
-        m.flags.pf = (res as u8).count_ones().is_multiple_of(2);
+    if let Some(fs) = flags_from {
+        let w = fs.width;
+        let (a, b) = (w.trunc(fs.lhs), w.trunc(fs.rhs));
+        if fs.is_test {
+            let res = w.trunc(a & b);
+            m.flags.cf = false;
+            m.flags.of = false;
+            m.flags.zf = res == 0;
+            m.flags.sf = w.sign_bit(res);
+            m.flags.pf = (res as u8).count_ones().is_multiple_of(2);
+        } else {
+            let res = w.trunc(a.wrapping_sub(b));
+            m.flags.cf = a < b;
+            m.flags.zf = res == 0;
+            m.flags.sf = w.sign_bit(res);
+            let (sa, sb, sr) = (w.sign_bit(a), w.sign_bit(b), w.sign_bit(res));
+            m.flags.of = sa != sb && sr != sa;
+            m.flags.pf = (res as u8).count_ones().is_multiple_of(2);
+        }
     }
     if m.exec(&placed).is_err() {
         return; // faulting concrete path (e.g. divide error)
@@ -283,37 +309,71 @@ proptest! {
         check(&i, &regs, None);
     }
 
+    // Flag consumers after `cmp` AND after `test`, at all four flag
+    // widths. The consumer width for cmov is kept wide (cmov has no
+    // byte form) but the *flag-producing* width ranges over all four.
     #[test]
-    fn setcc_cmovcc_after_cmp(
+    fn setcc_cmovcc_after_cmp_or_test(
         n in 0u8..16,
         dst in arb_reg(),
         src in arb_reg(),
         l in arb_value(),
         r in arb_value(),
-        w in prop_oneof![Just(Width::B4), Just(Width::B8)],
+        fw in arb_width(),
+        cw in prop_oneof![Just(Width::B2), Just(Width::B4), Just(Width::B8)],
         regs in arb_regs(),
         is_set in any::<bool>(),
+        is_test in any::<bool>(),
     ) {
         let c = Cond::from_number(n);
         let i = if is_set {
             Instr::new(Mnemonic::Setcc(c), vec![Operand::reg(dst, Width::B1)], Width::B1)
         } else {
-            Instr::new(Mnemonic::Cmovcc(c), vec![Operand::reg(dst, w), Operand::reg(src, w)], w)
+            Instr::new(Mnemonic::Cmovcc(c), vec![Operand::reg(dst, cw), Operand::reg(src, cw)], cw)
         };
-        check(&i, &regs, Some((l, r, w)));
+        check(&i, &regs, Some(FlagSetup { lhs: l, rhs: r, width: fw, is_test }));
     }
 
     #[test]
-    fn jcc_after_cmp(
+    fn jcc_after_cmp_or_test(
         n in 0u8..16,
         l in arb_value(),
         r in arb_value(),
         w in arb_width(),
         regs in arb_regs(),
+        is_test in any::<bool>(),
     ) {
         let c = Cond::from_number(n);
         let i = Instr::new(Mnemonic::Jcc(c), vec![Operand::Imm((CODE_BASE + 0x10) as i64)], Width::B8);
-        check(&i, &regs, Some((l, r, w)));
+        check(&i, &regs, Some(FlagSetup { lhs: l, rhs: r, width: w, is_test }));
+    }
+
+    // Degenerate but common compiler idiom: `test r, r` (zero/sign of
+    // a single value) followed by each consumer, at all four widths.
+    #[test]
+    fn consumers_after_self_test(
+        n in 0u8..16,
+        dst in arb_reg(),
+        v in arb_value(),
+        w in arb_width(),
+        regs in arb_regs(),
+        which in 0u8..3,
+    ) {
+        let c = Cond::from_number(n);
+        let i = match which {
+            0 => Instr::new(Mnemonic::Setcc(c), vec![Operand::reg(dst, Width::B1)], Width::B1),
+            1 => Instr::new(
+                Mnemonic::Cmovcc(c),
+                vec![Operand::reg(dst, Width::B8), Operand::reg64(Reg::Rsi)],
+                Width::B8,
+            ),
+            _ => Instr::new(
+                Mnemonic::Jcc(c),
+                vec![Operand::Imm((CODE_BASE + 0x10) as i64)],
+                Width::B8,
+            ),
+        };
+        check(&i, &regs, Some(FlagSetup { lhs: v, rhs: v, width: w, is_test: true }));
     }
 
     #[test]

@@ -16,6 +16,34 @@ fn reg32(r: Reg) -> Operand {
 /// Volatile scratch registers the generator computes in.
 const SCRATCH: [Reg; 4] = [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::R8];
 
+/// The mnemonic stems [`ProgramGen::gen_function`] can emit, collapsed
+/// over condition codes (see [`mnemonic_stem`]). This doubles as the
+/// checked-in coverage floor of the trace oracle: a campaign that never
+/// executes one of these means either the generator rotted (it stopped
+/// emitting the shape) or the campaign profiles stopped reaching it —
+/// both are regressions the oracle must flag.
+///
+/// `movabs` requires a profile with callbacks or wild jumps enabled;
+/// `pop` requires a frame or saved registers (probability ≈ 1 over a
+/// whole campaign).
+pub fn emittable_mnemonics() -> &'static [&'static str] {
+    &[
+        "add", "call", "cmp", "endbr64", "imul", "jcc", "jmp", "lea", "mov", "movabs", "pop",
+        "push", "ret", "shl", "sub", "xor",
+    ]
+}
+
+/// Collapse a mnemonic to the stem used in coverage accounting:
+/// condition-code families count as one (`jne`/`je`/… → `jcc`).
+pub fn mnemonic_stem(m: Mnemonic) -> String {
+    match m {
+        Mnemonic::Jcc(_) => "jcc".to_string(),
+        Mnemonic::Setcc(_) => "setcc".to_string(),
+        Mnemonic::Cmovcc(_) => "cmovcc".to_string(),
+        other => other.name(),
+    }
+}
+
 /// Options controlling one generated function.
 #[derive(Debug, Clone)]
 pub struct GenOptions {
@@ -77,6 +105,10 @@ pub struct ProgramGen {
     data_counter: usize,
     /// Collected per-function statistics.
     pub specs: Vec<FunctionSpec>,
+    /// Half-open text-item index ranges of every emitted body segment,
+    /// across all functions. Prologues/epilogues are not spanned, so a
+    /// shrinker that drops whole spans keeps functions well-formed.
+    pub segment_spans: Vec<(usize, usize)>,
 }
 
 impl Default for ProgramGen {
@@ -88,7 +120,13 @@ impl Default for ProgramGen {
 impl ProgramGen {
     /// A fresh generator.
     pub fn new() -> ProgramGen {
-        ProgramGen { asm: Asm::new(), label_counter: 0, data_counter: 0, specs: Vec::new() }
+        ProgramGen {
+            asm: Asm::new(),
+            label_counter: 0,
+            data_counter: 0,
+            specs: Vec::new(),
+            segment_spans: Vec::new(),
+        }
     }
 
     fn fresh_label(&mut self, stem: &str) -> String {
@@ -123,7 +161,9 @@ impl ProgramGen {
 
         // Body.
         for _ in 0..opts.segments {
+            let start = self.asm.text_len();
             self.gen_segment(rng, opts, &slots, &saved, &mut spec);
+            self.segment_spans.push((start, self.asm.text_len()));
         }
 
         // Epilogue.

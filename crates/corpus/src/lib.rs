@@ -31,5 +31,5 @@ pub mod gen;
 pub mod inject;
 pub mod xen;
 
-pub use gen::{FunctionSpec, GenOptions, ProgramGen};
+pub use gen::{emittable_mnemonics, mnemonic_stem, FunctionSpec, GenOptions, ProgramGen};
 pub use xen::{CorpusUnit, ExpectedOutcome, StudySpec, UnitKind, XenStudy};

@@ -46,10 +46,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checker;
 pub mod isabelle;
 pub mod json;
 pub mod validate;
 
+pub use checker::{bind_fresh, build_machine, draw_env, post_holds, Env};
 pub use isabelle::export_theory;
 pub use json::{export_dot, export_json};
 pub use validate::{validate_lift, EdgeFailure, ValidateConfig, ValidationReport};

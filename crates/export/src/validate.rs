@@ -11,19 +11,22 @@
 //!    invariant `Qᵢ` — matching fresh symbols introduced by the lifter
 //!    against the values the machine actually produced.
 //!
+//! The environment drawing and containment checking live in
+//! [`crate::checker`], shared with the whole-trace oracle.
+//!
 //! Call edges are *assumed* rather than checked: their post-state
 //! encodes the System V external-call contract, which the paper also
 //! axiomatises rather than proves (§1). A sample failure is a genuine
 //! soundness counterexample of the lifter.
 
+use crate::checker::{build_machine, draw_env, post_holds};
 use hgl_core::lift::LiftResult;
-use hgl_core::{FlagState, SymState, VertexId};
+use hgl_core::VertexId;
 use hgl_elf::Binary;
-use hgl_emu::{FillPolicy, Machine, Mem};
-use hgl_expr::{Expr, Rel, Sym};
-use hgl_x86::{Cond, Instr, Mnemonic, Reg, RegRef};
+use hgl_expr::Sym;
+use hgl_x86::{Instr, Mnemonic};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 /// Validator configuration.
@@ -83,257 +86,6 @@ impl ValidationReport {
     pub fn all_proven(&self) -> bool {
         self.failed.is_empty()
     }
-}
-
-/// The symbol environment of one sample.
-struct Env {
-    map: BTreeMap<Sym, u64>,
-}
-
-impl Env {
-    fn get(&self, s: Sym) -> u64 {
-        *self.map.get(&s).unwrap_or(&0xdead_0000_0000)
-    }
-}
-
-/// Try to pre-solve simple equality clauses (`lhs == rhs`) and bounds
-/// so rejection sampling converges: repeatedly assign single-symbol
-/// sides whose other side already evaluates.
-fn propagate_equalities(state: &SymState, env: &mut BTreeMap<Sym, u64>) {
-    for _ in 0..4 {
-        for c in &state.pred.clauses {
-            if c.rel != Rel::Eq {
-                continue;
-            }
-            let nomem = |_: u64, _: u8| None;
-            for (a, b) in [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)] {
-                if let Expr::Sym(s) = a {
-                    let lookup = |sym: Sym| *env.get(&sym).unwrap_or(&0);
-                    if let Some(v) = b.eval(&lookup, &nomem) {
-                        if b.syms().iter().all(|sym| env.contains_key(sym)) {
-                            env.insert(*s, v);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Draw a candidate symbol environment for `state`.
-fn draw_env(state: &SymState, rng: &mut SmallRng, binary: &Binary) -> Env {
-    let mut map: BTreeMap<Sym, u64> = BTreeMap::new();
-    let mut syms: Vec<Sym> = Vec::new();
-    for v in state.pred.regs.values() {
-        syms.extend(v.syms());
-    }
-    for (r, v) in &state.pred.mem {
-        syms.extend(r.addr.syms());
-        syms.extend(v.syms());
-    }
-    for c in &state.pred.clauses {
-        syms.extend(c.lhs.syms());
-        syms.extend(c.rhs.syms());
-    }
-    for r in state.model.all_regions() {
-        syms.extend(r.addr.syms());
-    }
-    syms.sort();
-    syms.dedup();
-
-    // Distinct pointer-ish symbols get well-separated slots so the
-    // model's separation constraints usually hold; scalars get small
-    // random values so bounds clauses usually hold.
-    let mut slot = 0x10_0000_0000u64 + (rng.gen_range(0..0x100u64) << 24);
-    for s in &syms {
-        let v = match s {
-            Sym::Init(Reg::Rsp) => 0x7fff_0000_0000 + (rng.gen_range(0..0x1000u64) * 8),
-            Sym::RetSym(_) | Sym::RetAddr => 0x7f00_dead_0000 + rng.gen_range(0..0x100u64) * 8,
-            _ => {
-                // Mix strategies: pointer-like slot, small scalar, or
-                // wild value.
-                match rng.gen_range(0..4u32) {
-                    0 => {
-                        slot += 0x100_0000;
-                        slot
-                    }
-                    1 => rng.gen_range(0..8u64),
-                    2 => rng.gen_range(0..0x1_0000u64),
-                    _ => rng.gen::<u64>(),
-                }
-            }
-        };
-        map.insert(*s, v);
-    }
-    // Mined bounds narrow the draw (e.g. jump-table indices).
-    let layout = hgl_solver::Layout { text: binary.text_ranges(), data: binary.data_ranges() };
-    let ctx = hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout);
-    for s in &syms {
-        if let Some(iv) = ctx.bound_of(&hgl_expr::Atom::Sym(*s)) {
-            if iv.count() < 1 << 32 {
-                map.insert(*s, rng.gen_range(iv.lo..=iv.hi));
-            }
-        }
-        // Bounds over truncations of a symbol constrain its low bits.
-        let t32 = Expr::sym(*s).trunc(hgl_x86::Width::B4);
-        if let hgl_expr::Expr::Op { .. } = &t32 {
-            if let Some(iv) = ctx.bound_of(&hgl_expr::Atom::Opaque(Box::new(t32))) {
-                if iv.hi < 1 << 32 {
-                    let low = rng.gen_range(iv.lo..=iv.hi);
-                    map.insert(*s, low);
-                }
-            }
-        }
-    }
-    propagate_equalities(state, &mut map);
-    Env { map }
-}
-
-/// Build the concrete machine for a drawn environment.
-fn build_machine(
-    state: &SymState,
-    env: &Env,
-    binary: &Binary,
-    addr: u64,
-    rng: &mut SmallRng,
-) -> Option<Machine> {
-    let mut mem = Mem::new(FillPolicy::Hash(rng.gen()));
-    for seg in &binary.segments {
-        mem.load(seg.vaddr, &seg.bytes);
-    }
-    let mut m = Machine::new(mem);
-    m.rip = addr;
-    let lookup = |s: Sym| env.get(s);
-    // Registers.
-    for r in Reg::ALL {
-        let v = match state.pred.regs.get(&r) {
-            Some(e) if !e.is_bottom() => {
-                let nomem = |_: u64, _: u8| None;
-                match e.eval(&lookup, &nomem) {
-                    Some(v) => v,
-                    None => rng.gen(),
-                }
-            }
-            _ => rng.gen(),
-        };
-        m.set_reg(RegRef::full(r), v);
-    }
-    // Memory contents.
-    for (region, value) in &state.pred.mem {
-        let nomem = |_: u64, _: u8| None;
-        let a = region.addr.eval(&lookup, &nomem)?;
-        if let Some(v) = value.eval(&lookup, &nomem) {
-            if region.size <= 8 {
-                m.mem.write(a, region.size as u8, v);
-            }
-        }
-    }
-    // Flags.
-    match &state.pred.flags {
-        FlagState::Unknown => {
-            m.flags.cf = rng.gen();
-            m.flags.pf = rng.gen();
-            m.flags.zf = rng.gen();
-            m.flags.sf = rng.gen();
-            m.flags.of = rng.gen();
-            m.flags.af = rng.gen();
-        }
-        fs => {
-            // Determine each flag through the condition evaluator.
-            let mem_snapshot = std::cell::RefCell::new(m.mem.clone());
-            let mem_oracle = |a: u64, sz: u8| -> Option<u64> {
-                Some(mem_snapshot.borrow_mut().read(a, sz))
-            };
-            m.flags.cf = fs.eval_cond(Cond::B, &lookup, &mem_oracle).unwrap_or(rng.gen());
-            m.flags.zf = fs.eval_cond(Cond::E, &lookup, &mem_oracle).unwrap_or(rng.gen());
-            m.flags.sf = fs.eval_cond(Cond::S, &lookup, &mem_oracle).unwrap_or(rng.gen());
-            m.flags.of = fs.eval_cond(Cond::O, &lookup, &mem_oracle).unwrap_or(rng.gen());
-            m.flags.pf = fs.eval_cond(Cond::P, &lookup, &mem_oracle).unwrap_or(rng.gen());
-            m.flags.af = rng.gen();
-        }
-    }
-    m.flags.df = state.pred.df.unwrap_or(false);
-    Some(m)
-}
-
-/// Check that the machine satisfies the given invariant, extending the
-/// environment with bindings for fresh symbols the lifter introduced.
-fn post_holds(state: &SymState, env: &Env, machine: &Machine) -> Result<(), String> {
-    let mut env2 = env.map.clone();
-    let mut mem_reader = machine.mem.clone();
-    // Bind fresh symbols from register values…
-    for (r, e) in &state.pred.regs {
-        if let Expr::Sym(s @ Sym::Fresh(_)) = e {
-            env2.entry(*s).or_insert_with(|| machine.reg(*r));
-        }
-    }
-    // …and from memory entries.
-    let lookup_partial = |m: &BTreeMap<Sym, u64>, s: Sym| m.get(&s).copied();
-    for (region, value) in &state.pred.mem {
-        if let Expr::Sym(s @ Sym::Fresh(_)) = value {
-            if !env2.contains_key(s) && region.size <= 8 {
-                let nomem = |_: u64, _: u8| None;
-                let addr_val = {
-                    let env2c = env2.clone();
-                    region.addr.eval(&move |sym| lookup_partial(&env2c, sym).unwrap_or(0), &nomem)
-                };
-                if let Some(a) = addr_val {
-                    env2.insert(*s, mem_reader.read(a, region.size as u8));
-                }
-            }
-        }
-    }
-    let env2c = env2.clone();
-    let lookup = move |s: Sym| *env2c.get(&s).unwrap_or(&0xdead_0000_0000);
-    let mem_oracle = {
-        let snap = std::cell::RefCell::new(mem_reader.clone());
-        move |a: u64, sz: u8| -> Option<u64> { Some(snap.borrow_mut().read(a, sz)) }
-    };
-
-    // Registers.
-    for (r, e) in &state.pred.regs {
-        if e.is_bottom() {
-            continue;
-        }
-        if let Some(expected) = e.eval(&lookup, &mem_oracle) {
-            let actual = machine.reg(*r);
-            if expected != actual {
-                return Err(format!("{r}: expected {expected:#x}, machine has {actual:#x}"));
-            }
-        }
-    }
-    // Memory + clauses.
-    match state.pred.clauses_hold(&lookup, &mem_oracle) {
-        Some(true) => {}
-        Some(false) => return Err("memory/clause mismatch".to_string()),
-        None => {}
-    }
-    // Flags: every condition the abstraction decides must agree.
-    for c in Cond::ALL {
-        let nomem_machine = |a: u64, sz: u8| -> Option<u64> {
-            Some(mem_reader.clone().read(a, sz))
-        };
-        if let Some(expected) = state.pred.flags.eval_cond(c, &lookup, &nomem_machine) {
-            let f = &machine.flags;
-            let actual = c.eval(f.cf, f.pf, f.zf, f.sf, f.of);
-            if expected != actual {
-                return Err(format!("flag condition {c}: abstraction says {expected}, machine {actual}"));
-            }
-        }
-    }
-    // Direction flag.
-    if let Some(df) = state.pred.df {
-        if machine.flags.df != df {
-            return Err("df mismatch".to_string());
-        }
-    }
-    // Memory model structure.
-    let env3 = env2.clone();
-    if state.model.holds_in(&move |s| *env3.get(&s).unwrap_or(&0xdead_0000_0000)) == Some(false) {
-        return Err("memory model violated".to_string());
-    }
-    let _ = &mut mem_reader;
-    Ok(())
 }
 
 /// Validate every edge of a lift result against the concrete emulator.

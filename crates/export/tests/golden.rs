@@ -1,0 +1,128 @@
+//! Golden-file snapshot tests for the Isabelle/HOL, JSON and DOT
+//! exporters on one small fixed binary.
+//!
+//! The exporters' output formats are consumed downstream (Isabelle
+//! proof replay, the JSON CLI surface), so format drift must be a
+//! *conscious* act: these tests fail on any byte difference against
+//! the checked-in snapshots under `tests/golden/`.
+//!
+//! To intentionally change a format, regenerate the snapshots with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p hgl-export --test golden
+//! ```
+//!
+//! and commit the refreshed files together with the exporter change.
+
+use hgl_asm::Asm;
+use hgl_core::lift::{lift, LiftConfig};
+use hgl_export::{export_dot, export_json, export_theory};
+use hgl_x86::{Cond, Instr, Mnemonic, Operand, Reg, Width};
+use std::path::PathBuf;
+
+/// The fixed snapshot subject: a two-function program with a
+/// conditional diamond, an internal call and a leaf callee — one of
+/// every exporter-visible construct (branch, call edge, exit vertex)
+/// while staying small enough to review by eye.
+fn fixed_binary() -> hgl_elf::Binary {
+    let mut asm = Asm::new();
+
+    asm.label("main");
+    asm.push(Reg::Rbp);
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp)],
+        Width::B8,
+    ));
+    asm.ins(Instr::new(
+        Mnemonic::Cmp,
+        vec![Operand::reg(Reg::Rdi, Width::B4), Operand::Imm(1)],
+        Width::B4,
+    ));
+    asm.jcc(Cond::E, "main_else");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(7)],
+        Width::B4,
+    ));
+    asm.jmp("main_join");
+    asm.label("main_else");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(9)],
+        Width::B4,
+    ));
+    asm.label("main_join");
+    asm.call("leaf");
+    asm.pop(Reg::Rbp);
+    asm.ret();
+
+    asm.label("leaf");
+    asm.ins(Instr::new(
+        Mnemonic::Add,
+        vec![Operand::reg64(Reg::Rax), Operand::Imm(1)],
+        Width::B8,
+    ));
+    asm.ret();
+
+    asm.entry("main");
+    asm.assemble().expect("fixed binary assembles")
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the checked-in snapshot `name`, or rewrite
+/// the snapshot when `UPDATE_GOLDEN=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p hgl-export --test golden",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Point at the first differing line to keep failures readable.
+        let line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()) + 1);
+        panic!(
+            "exporter output drifted from {} (first difference at line {line}); \
+             if intentional, regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn isabelle_theory_matches_golden() {
+    let bin = fixed_binary();
+    let lifted = lift(&bin, &LiftConfig::default());
+    assert!(lifted.is_lifted(), "fixed binary must lift");
+    assert_golden("fixed.thy", &export_theory(&lifted, "fixed"));
+}
+
+#[test]
+fn json_export_matches_golden() {
+    let bin = fixed_binary();
+    let lifted = lift(&bin, &LiftConfig::default());
+    assert_golden("fixed.json", &export_json(&lifted));
+}
+
+#[test]
+fn dot_export_matches_golden() {
+    let bin = fixed_binary();
+    let lifted = lift(&bin, &LiftConfig::default());
+    let dot = export_dot(&lifted, bin.entry).expect("entry function exists");
+    assert_golden("fixed.dot", &dot);
+}

@@ -1,0 +1,177 @@
+//! Campaign coverage accounting: which mnemonics, edge kinds and
+//! reject reasons a campaign exercised, checked against a floor so
+//! generator rot (or campaign profiles that stop reaching a shape)
+//! fails the run instead of silently shrinking the oracle's power.
+
+use hgl_corpus::gen::emittable_mnemonics;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a concrete control-flow transition, as replayed against
+/// the Hoare Graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Sequential execution (including a `jcc` that was not taken).
+    FallThrough,
+    /// A taken conditional branch.
+    Jcc,
+    /// A call (internal or external).
+    Call,
+    /// A return.
+    Ret,
+    /// A taken indirect jump through a bounded jump table.
+    JumpTable,
+    /// Reaching an indirect call the lifter annotated as unresolvable
+    /// (a callback through a function-pointer global).
+    Callback,
+}
+
+impl EdgeKind {
+    /// All kinds, for floor construction.
+    pub const ALL: [EdgeKind; 6] = [
+        EdgeKind::FallThrough,
+        EdgeKind::Jcc,
+        EdgeKind::Call,
+        EdgeKind::Ret,
+        EdgeKind::JumpTable,
+        EdgeKind::Callback,
+    ];
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeKind::FallThrough => "fall-through",
+            EdgeKind::Jcc => "jcc",
+            EdgeKind::Call => "call",
+            EdgeKind::Ret => "ret",
+            EdgeKind::JumpTable => "jump-table",
+            EdgeKind::Callback => "callback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one campaign exercised.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// Executed-instruction counts by mnemonic stem
+    /// (see [`hgl_corpus::gen::mnemonic_stem`]).
+    pub mnemonics: BTreeMap<String, usize>,
+    /// Replayed transition counts by kind.
+    pub edge_kinds: BTreeMap<EdgeKind, usize>,
+    /// Lifter reject counts by reason (stringified head of the
+    /// `RejectReason` taxonomy).
+    pub rejects: BTreeMap<String, usize>,
+    /// Trace stop counts by reason (`returned`, `annotated`, …).
+    pub stops: BTreeMap<String, usize>,
+}
+
+impl Coverage {
+    /// Count one executed instruction.
+    pub fn record_mnemonic(&mut self, stem: String) {
+        *self.mnemonics.entry(stem).or_insert(0) += 1;
+    }
+
+    /// Count one replayed transition.
+    pub fn record_edge(&mut self, kind: EdgeKind) {
+        *self.edge_kinds.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Count one lifter reject.
+    pub fn record_reject(&mut self, reason: String) {
+        *self.rejects.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Count one trace stop.
+    pub fn record_stop(&mut self, reason: &str) {
+        *self.stops.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Floor entries this campaign did NOT exercise; empty means the
+    /// floor holds.
+    pub fn missing(&self, floor: &CoverageFloor) -> Vec<String> {
+        let mut out = Vec::new();
+        for m in &floor.mnemonics {
+            if self.mnemonics.get(*m).copied().unwrap_or(0) == 0 {
+                out.push(format!("mnemonic `{m}` never executed"));
+            }
+        }
+        for k in &floor.edge_kinds {
+            if self.edge_kinds.get(k).copied().unwrap_or(0) == 0 {
+                out.push(format!("edge kind `{k}` never replayed"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mnemonics:")?;
+        for (m, n) in &self.mnemonics {
+            write!(f, " {m}={n}")?;
+        }
+        write!(f, "\nedges:")?;
+        for (k, n) in &self.edge_kinds {
+            write!(f, " {k}={n}")?;
+        }
+        write!(f, "\nstops:")?;
+        for (s, n) in &self.stops {
+            write!(f, " {s}={n}")?;
+        }
+        if !self.rejects.is_empty() {
+            write!(f, "\nrejects:")?;
+            for (r, n) in &self.rejects {
+                write!(f, " {r}={n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The checked-in coverage floor: everything a healthy campaign must
+/// exercise at least once.
+#[derive(Debug, Clone)]
+pub struct CoverageFloor {
+    /// Mnemonic stems that must execute (defaults to every stem the
+    /// generator can emit).
+    pub mnemonics: Vec<&'static str>,
+    /// Transition kinds that must replay.
+    pub edge_kinds: Vec<EdgeKind>,
+}
+
+impl Default for CoverageFloor {
+    fn default() -> CoverageFloor {
+        CoverageFloor {
+            mnemonics: emittable_mnemonics().to_vec(),
+            edge_kinds: EdgeKind::ALL.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_coverage_misses_whole_floor() {
+        let floor = CoverageFloor::default();
+        let cov = Coverage::default();
+        let missing = cov.missing(&floor);
+        assert_eq!(missing.len(), floor.mnemonics.len() + floor.edge_kinds.len());
+    }
+
+    #[test]
+    fn floor_holds_when_everything_seen() {
+        let floor = CoverageFloor::default();
+        let mut cov = Coverage::default();
+        for m in &floor.mnemonics {
+            cov.record_mnemonic(m.to_string());
+        }
+        for k in EdgeKind::ALL {
+            cov.record_edge(k);
+        }
+        assert!(cov.missing(&floor).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Shrinking of failing campaigns to a minimal reproducer.
+//!
+//! Two passes over the *original* assembly program, each keeping a
+//! cumulative set of removed text-item indices (indices are stable
+//! relative to the original program; every candidate is rebuilt from
+//! the original with [`hgl_asm::Asm::without_text_items`]):
+//!
+//! 1. drop whole generator segment spans,
+//! 2. drop individual instructions, to a fixpoint.
+//!
+//! A removal is kept only if the candidate still assembles, lifts and
+//! reproduces a violation of the same kind on the same seeded entry
+//! state. Labels are never removed, so branch fixups stay resolvable
+//! and a removal can only change semantics, not well-formedness.
+
+use crate::coverage::Coverage;
+use crate::trace::{EntryState, TraceOracle, ViolationKind};
+use hgl_asm::Asm;
+use hgl_core::lift::{lift, LiftConfig};
+use std::collections::BTreeSet;
+
+/// A minimal reproducer for a campaign failure.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// Text-item indices (into the original program) removed.
+    pub removed: BTreeSet<usize>,
+    /// Instructions remaining in the shrunk program.
+    pub instructions: usize,
+    /// Listing of the shrunk program.
+    pub listing: String,
+}
+
+/// Does the candidate program (original minus `removed`) still exhibit
+/// a violation of `kind` on entry state `es`?
+fn reproduces(
+    asm: &Asm,
+    removed: &BTreeSet<usize>,
+    cfg: &LiftConfig,
+    es: &EntryState,
+    max_steps: usize,
+    kind: &ViolationKind,
+) -> bool {
+    let candidate = asm.without_text_items(removed);
+    let Ok(bin) = candidate.assemble() else { return false };
+    let lifted = lift(&bin, cfg);
+    if lifted.binary_reject.is_some() {
+        return false;
+    }
+    let mut oracle = TraceOracle::new(&bin, &lifted);
+    oracle.max_steps = max_steps;
+    let mut cov = Coverage::default();
+    let outcome = oracle.check_trace(es, &mut cov);
+    outcome.violation.map(|v| v.kind == *kind).unwrap_or(false)
+}
+
+/// Shrink a failing program to a minimal reproducer.
+///
+/// `spans` are the generator's segment spans (half-open text-item
+/// ranges); `kind` is the violation kind that must keep reproducing.
+pub fn shrink(
+    asm: &Asm,
+    spans: &[(usize, usize)],
+    cfg: &LiftConfig,
+    es: &EntryState,
+    max_steps: usize,
+    kind: &ViolationKind,
+) -> ShrinkResult {
+    let mut removed: BTreeSet<usize> = BTreeSet::new();
+
+    // Pass 1: whole segment spans, largest first.
+    let mut ordered: Vec<(usize, usize)> = spans.to_vec();
+    ordered.sort_by_key(|(s, e)| std::cmp::Reverse(e - s));
+    for (s, e) in ordered {
+        let trial: BTreeSet<usize> = removed.iter().copied().chain(s..e).collect();
+        if trial.len() > removed.len() && reproduces(asm, &trial, cfg, es, max_steps, kind) {
+            removed = trial;
+        }
+    }
+
+    // Pass 2: individual instructions, to a fixpoint.
+    loop {
+        let mut progressed = false;
+        for idx in 0..asm.text_len() {
+            if removed.contains(&idx) || !asm.is_instruction(idx) {
+                continue;
+            }
+            let mut trial = removed.clone();
+            trial.insert(idx);
+            if reproduces(asm, &trial, cfg, es, max_steps, kind) {
+                removed = trial;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let shrunk = asm.without_text_items(&removed);
+    let instructions = (0..shrunk.text_len()).filter(|&i| shrunk.is_instruction(i)).count();
+    ShrinkResult { removed, instructions, listing: shrunk.listing() }
+}

@@ -1,0 +1,30 @@
+//! Fast sanity checks of the trace oracle on tiny campaigns. The full
+//! campaign (50 programs x 4 entries) and the injected-bug detection
+//! test live at the workspace root (`tests/trace_oracle.rs`).
+
+use hgl_oracle::{run_campaign, synth_program, CampaignConfig};
+
+#[test]
+fn tiny_campaign_conforms() {
+    let cfg = CampaignConfig { programs: 6, entries_per_program: 2, ..CampaignConfig::default() };
+    let report = run_campaign(&cfg);
+    if let Some(f) = &report.failure {
+        panic!("tiny campaign found a violation:\n{f}");
+    }
+    assert!(report.programs_run > 0, "no program was traced:\n{report}");
+    assert!(report.traces_run >= report.programs_run);
+    assert!(report.steps_total > 0);
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let a = synth_program(42, 3);
+    let b = synth_program(42, 3);
+    let ba = a.asm.assemble().expect("assembles");
+    let bb = b.asm.assemble().expect("assembles");
+    assert_eq!(ba.entry, bb.entry);
+    assert_eq!(a.spans, b.spans);
+    let wa = ba.fetch_window(ba.entry).expect("code");
+    let wb = bb.fetch_window(bb.entry).expect("code");
+    assert_eq!(&wa[..16.min(wa.len())], &wb[..16.min(wb.len())]);
+}

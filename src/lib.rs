@@ -16,6 +16,8 @@
 //! - [`core`]: predicates, memory models, Hoare-Graph extraction
 //! - [`export`]: Isabelle/HOL export and executable validation
 //! - [`corpus`]: synthetic evaluation corpora
+//! - [`oracle`]: trace-level conformance oracle (differential
+//!   campaigns of emulator traces replayed against Hoare Graphs)
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
 //! for the paper-vs-measured results.
@@ -29,5 +31,6 @@ pub use hgl_elf as elf;
 pub use hgl_emu as emu;
 pub use hgl_export as export;
 pub use hgl_expr as expr;
+pub use hgl_oracle as oracle;
 pub use hgl_solver as solver;
 pub use hgl_x86 as x86;
