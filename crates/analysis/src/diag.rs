@@ -1,0 +1,121 @@
+//! Structured lint diagnostics.
+
+use hgl_core::graph::VertexId;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a property worth surfacing, not a defect.
+    Info,
+    /// Suspicious but not provably unsound.
+    Warning,
+    /// A defect: the property the rule checks is provably violated.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The lint rule a diagnostic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// A callee-saved register does not hold its initial value at a
+    /// return instruction.
+    CalleeSavedClobber,
+    /// A memory write is not provably separate from the return-address
+    /// slot `[rsp0, 8]`.
+    RetSlotOverwrite,
+    /// The function's stack depth is unbounded or exceeds the
+    /// configured limit.
+    StackDepth,
+    /// A Hoare-Graph vertex is unreachable from the function entry.
+    DeadNode,
+}
+
+impl Rule {
+    /// Every rule, for coverage-floor accounting.
+    pub const ALL: [Rule; 4] =
+        [Rule::CalleeSavedClobber, Rule::RetSlotOverwrite, Rule::StackDepth, Rule::DeadNode];
+
+    /// The stable kebab-case rule name used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::CalleeSavedClobber => "callee-saved-clobber",
+            Rule::RetSlotOverwrite => "ret-slot-overwrite",
+            Rule::StackDepth => "stack-depth",
+            Rule::DeadNode => "dead-node",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured diagnostic: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diag {
+    /// Entry address of the function the finding is in.
+    pub function: u64,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The Hoare-Graph vertex the finding anchors to, if any.
+    pub node: Option<VertexId>,
+    /// The edge (source, destination) the finding anchors to, if any.
+    pub edge: Option<(VertexId, VertexId)>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] fn {:#x}", self.severity, self.rule, self.function)?;
+        if let Some(n) = &self.node {
+            write!(f, " at {n}")?;
+        }
+        if let Some((a, b)) = &self.edge {
+            write!(f, " edge {a} -> {b}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let d = Diag {
+            function: 0x401000,
+            severity: Severity::Error,
+            rule: Rule::CalleeSavedClobber,
+            node: Some(VertexId::At(0x401005, 0)),
+            edge: None,
+            detail: "rbx holds 0x1, expected rbx0".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "error[callee-saved-clobber] fn 0x401000 at 0x401005: rbx holds 0x1, expected rbx0"
+        );
+    }
+
+    #[test]
+    fn rule_names_are_kebab_case() {
+        for r in Rule::ALL {
+            assert!(r.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

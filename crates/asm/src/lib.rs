@@ -25,6 +25,7 @@
 //! # Ok::<(), hgl_asm::AsmError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod asm;

@@ -5,6 +5,7 @@
 //! choices called out there (memory-model insertion policy, the §4
 //! join refinement, decoder throughput, solver query latency).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hgl_asm::Asm;

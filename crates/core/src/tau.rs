@@ -101,8 +101,11 @@ pub const TERMINATING_EXTERNALS: &[&str] = &[
 const VOLATILE: &[Reg] =
     &[Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9, Reg::R10, Reg::R11];
 
-/// The effective-address expression of a memory operand.
-fn addr_expr(pred: &Pred, m: &MemOperand, next: u64) -> Expr {
+/// The effective-address expression of a memory operand, evaluated
+/// against a predicate's register bindings. Public so that downstream
+/// analyses (write classification in `hgl-analysis`) and the trace
+/// oracle compute the *same* address a step would.
+pub fn addr_expr(pred: &Pred, m: &MemOperand, next: u64) -> Expr {
     if m.rip_relative {
         return Expr::imm(next.wrapping_add(m.disp as u64));
     }
@@ -355,7 +358,10 @@ fn insert_regions(
     Ok(states)
 }
 
-fn writes_first_operand(m: Mnemonic) -> bool {
+/// Does this mnemonic write through a memory first operand? Shared
+/// with the static write classifier and the oracle's dynamic write
+/// cross-check so all three agree on what counts as a memory write.
+pub fn writes_first_operand(m: Mnemonic) -> bool {
     !matches!(
         m,
         Mnemonic::Cmp | Mnemonic::Test | Mnemonic::Bt | Mnemonic::Push | Mnemonic::Jmp

@@ -83,6 +83,27 @@ pub fn nonstandard_rsp() -> Binary {
     asm.entry("f").assemble().expect("nonstandard rsp assembles")
 }
 
+/// A function that clobbers a callee-saved register (`rbx`) and
+/// returns without restoring it — a calling-convention defect the
+/// lifter rejects and the `callee-saved-clobber` lint must flag.
+pub fn callee_saved_clobber() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("clobber");
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg64(Reg::Rbx), Operand::Imm(1)], Width::B8));
+    asm.ret();
+    asm.entry("clobber").assemble().expect("clobber assembles")
+}
+
+/// A function that writes straight over its own return-address slot
+/// `[rsp0, 8]` — the defect the `ret-slot-overwrite` lint must flag.
+pub fn ret_slot_overwrite() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("smash");
+    asm.ins(ins(Mnemonic::Mov, vec![mem(Reg::Rsp, 0, Width::B8), Operand::Imm(0x41)], Width::B8));
+    asm.ret();
+    asm.entry("smash").assemble().expect("smash assembles")
+}
+
 /// The §5.1 induced buffer overflow: no Hoare Graph may be produced.
 pub fn induced_overflow() -> Binary {
     let mut asm = Asm::new();
@@ -148,6 +169,28 @@ mod tests {
             }
             other => panic!("expected NonStandardStackRestore, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn callee_saved_clobber_rejected() {
+        let result = lift(&callee_saved_clobber(), &LiftConfig::default());
+        assert!(!result.is_lifted());
+        assert!(matches!(
+            result.reject_reason(),
+            Some(RejectReason::Verification(VerificationError::CallingConventionViolation {
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn ret_slot_overwrite_rejected() {
+        let result = lift(&ret_slot_overwrite(), &LiftConfig::default());
+        assert!(!result.is_lifted());
+        assert!(matches!(
+            result.reject_reason(),
+            Some(RejectReason::Verification(VerificationError::ReturnAddressClobbered { .. }))
+        ));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   exercising the never-crash pipeline contract (terminate within
 //!   budget with a sound result or a structured reject).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coreutils;

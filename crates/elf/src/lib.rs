@@ -23,6 +23,7 @@
 //! machinery is orthogonal to the lifting algorithm (see `DESIGN.md`,
 //! *Substitutions*).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod binary;

@@ -15,7 +15,7 @@ use hgl_core::VertexId;
 use std::fmt::Write;
 
 /// Escape a string for JSON.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -31,7 +31,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn vid(v: VertexId) -> String {
+pub(crate) fn vid(v: VertexId) -> String {
     match v {
         VertexId::At(a, 0) => format!("\"{a:#x}\""),
         VertexId::At(a, n) => format!("\"{a:#x}.{n}\""),

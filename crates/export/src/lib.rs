@@ -44,14 +44,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
 pub mod isabelle;
 pub mod json;
+pub mod lintjson;
 pub mod validate;
 
 pub use checker::{bind_fresh, build_machine, draw_env, post_holds, Env};
 pub use isabelle::export_theory;
 pub use json::{export_dot, export_json};
+pub use lintjson::{export_lint_json, LINT_SCHEMA};
 pub use validate::{validate_lift, EdgeFailure, ValidateConfig, ValidationReport};

@@ -14,10 +14,11 @@
 //!
 //! and commit the refreshed files together with the exporter change.
 
+use hgl_analysis::{analyze, AnalysisConfig};
 use hgl_asm::Asm;
 use hgl_core::lift::{lift, LiftConfig};
-use hgl_export::{export_dot, export_json, export_theory};
-use hgl_x86::{Cond, Instr, Mnemonic, Operand, Reg, Width};
+use hgl_export::{export_dot, export_json, export_lint_json, export_theory};
+use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
 use std::path::PathBuf;
 
 /// The fixed snapshot subject: a two-function program with a
@@ -117,6 +118,46 @@ fn json_export_matches_golden() {
     let bin = fixed_binary();
     let lifted = lift(&bin, &LiftConfig::default());
     assert_golden("fixed.json", &export_json(&lifted));
+}
+
+/// The lint-snapshot subject: a function with a stack-local store, a
+/// callee-saved clobber left live at `ret` (the `callee-saved-clobber`
+/// error) — small enough that the full diagnostic set is reviewable.
+fn lint_binary() -> hgl_elf::Binary {
+    let mut asm = Asm::new();
+    asm.label("clobber");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![
+            Operand::Mem(MemOperand::base_disp(Reg::Rsp, -0x10, Width::B8)),
+            Operand::Imm(5),
+        ],
+        Width::B8,
+    ));
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg64(Reg::Rbx), Operand::Imm(1)],
+        Width::B8,
+    ));
+    asm.ret();
+    asm.entry("clobber").assemble().expect("lint binary assembles")
+}
+
+#[test]
+fn lint_json_matches_golden() {
+    // Clean binary: writes and per-function stats, no diagnostics.
+    let bin = fixed_binary();
+    let lifted = lift(&bin, &LiftConfig::default());
+    let report = analyze(&bin, &lifted, &AnalysisConfig::default());
+    assert_golden("fixed_lint.json", &export_lint_json(&report));
+
+    // Defective binary: the callee-saved-clobber error shows up in the
+    // diags array.
+    let bin = lint_binary();
+    let lifted = lift(&bin, &LiftConfig::default());
+    let report = analyze(&bin, &lifted, &AnalysisConfig::default());
+    assert!(!report.diags.is_empty(), "lint binary must produce diagnostics");
+    assert_golden("lint.json", &export_lint_json(&report));
 }
 
 #[test]

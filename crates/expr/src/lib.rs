@@ -32,6 +32,7 @@
 //! assert_eq!(e, rdi0.add(Expr::imm(16)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clause;

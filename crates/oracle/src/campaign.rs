@@ -33,6 +33,9 @@ pub struct CampaignConfig {
     /// Test-only: lift with the jcc fall-through edge dropped, to
     /// prove the oracle catches an unsound lifter.
     pub inject_drop_jcc_fallthrough: bool,
+    /// Cross-validate static write classifications against concrete
+    /// writes on every trace.
+    pub check_write_classes: bool,
 }
 
 impl Default for CampaignConfig {
@@ -44,6 +47,7 @@ impl Default for CampaignConfig {
             max_steps: 20_000,
             budget: Budget::unlimited(),
             inject_drop_jcc_fallthrough: false,
+            check_write_classes: true,
         }
     }
 }
@@ -190,6 +194,8 @@ pub struct CampaignReport {
     pub traces_run: usize,
     /// Total steps checked across all traces.
     pub steps_total: usize,
+    /// Concrete writes checked against static write-class claims.
+    pub writes_checked: usize,
     /// What the campaign exercised.
     pub coverage: Coverage,
     /// The first failure, shrunk — `None` means full conformance.
@@ -204,11 +210,12 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign: {} programs ({} skipped), {} traces, {} steps{}",
+            "campaign: {} programs ({} skipped), {} traces, {} steps, {} writes checked{}",
             self.programs_run,
             self.programs_skipped,
             self.traces_run,
             self.steps_total,
+            self.writes_checked,
             if self.budget_exhausted { " [budget exhausted]" } else { "" }
         )?;
         writeln!(f, "{}", self.coverage)?;
@@ -235,6 +242,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         programs_skipped: 0,
         traces_run: 0,
         steps_total: 0,
+        writes_checked: 0,
         coverage: Coverage::default(),
         failure: None,
         floor_missing: Vec::new(),
@@ -280,6 +288,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         report.programs_run += 1;
 
         let mut oracle = TraceOracle::new(&bin, &lifted);
+        if cfg.check_write_classes {
+            oracle = oracle.with_write_classes();
+        }
         oracle.max_steps = cfg.max_steps;
         for k in 0..cfg.entries_per_program {
             if meter.check_global().is_some() {
@@ -290,6 +301,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             let outcome = oracle.check_trace(&es, &mut coverage);
             report.traces_run += 1;
             report.steps_total += outcome.steps;
+            report.writes_checked += outcome.writes_checked;
             if let Some(v) = outcome.violation {
                 let shrunk = shrink(
                     &prog.asm,

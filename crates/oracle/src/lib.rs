@@ -24,6 +24,7 @@
 //! generator options). Coverage is accounted per campaign and checked
 //! against a floor, so the oracle's own power cannot silently rot.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;

@@ -26,8 +26,9 @@
 //! only.
 
 use crate::coverage::{Coverage, EdgeKind};
+use hgl_analysis::WriteClassMap;
 use hgl_core::lift::LiftResult;
-use hgl_core::tau::TERMINATING_EXTERNALS;
+use hgl_core::tau::{writes_first_operand, TERMINATING_EXTERNALS};
 use hgl_core::VertexId;
 use hgl_elf::Binary;
 use hgl_emu::{Event, Machine};
@@ -83,6 +84,9 @@ pub enum ViolationKind {
     BoundedControlFlow,
     /// Callee-saved registers or `rsp` were not restored at a return.
     CallingConvention,
+    /// A concrete memory write landed outside every class the static
+    /// write-classification analysis claimed for its instruction.
+    WriteClassification,
 }
 
 impl fmt::Display for ViolationKind {
@@ -93,6 +97,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ReturnAddressIntegrity => "return-address-integrity",
             ViolationKind::BoundedControlFlow => "bounded-control-flow",
             ViolationKind::CallingConvention => "calling-convention",
+            ViolationKind::WriteClassification => "write-classification",
         };
         f.write_str(s)
     }
@@ -140,6 +145,9 @@ pub struct TraceOutcome {
     pub stop: TraceStop,
     /// The violation, if conformance broke.
     pub violation: Option<Violation>,
+    /// Concrete memory writes checked against static write-class
+    /// claims (0 when the oracle has no claim index).
+    pub writes_checked: usize,
 }
 
 /// One per-function checker frame: the callee's symbol environment and
@@ -181,12 +189,24 @@ pub struct TraceOracle<'a> {
     lift: &'a LiftResult,
     /// Per-trace step budget.
     pub max_steps: usize,
+    /// Static write-class claims to cross-validate against concrete
+    /// writes (built with [`WriteClassMap::build`]). `None` disables
+    /// the check.
+    pub write_classes: Option<WriteClassMap>,
 }
 
 impl<'a> TraceOracle<'a> {
     /// A new oracle over a lifted binary.
     pub fn new(binary: &'a Binary, lift: &'a LiftResult) -> TraceOracle<'a> {
-        TraceOracle { binary, lift, max_steps: 20_000 }
+        TraceOracle { binary, lift, max_steps: 20_000, write_classes: None }
+    }
+
+    /// Enable write-classification cross-validation: every concrete
+    /// write whose instruction carries a dynamically checkable claim
+    /// is asserted to land inside one of the claimed classes.
+    pub fn with_write_classes(mut self) -> TraceOracle<'a> {
+        self.write_classes = Some(WriteClassMap::build(self.binary, self.lift));
+        self
     }
 
     /// Is `addr` annotated in the frame's function (unresolved
@@ -368,18 +388,24 @@ impl<'a> TraceOracle<'a> {
         let mut tail: VecDeque<String> = VecDeque::with_capacity(12);
         let mut frames: Vec<Frame> = Vec::new();
         let mut steps = 0usize;
+        let mut writes_checked = 0usize;
 
         macro_rules! outcome {
             ($stop:expr) => {{
                 let stop = $stop;
                 coverage.record_stop(stop.key());
-                return TraceOutcome { steps, stop, violation: None };
+                return TraceOutcome { steps, stop, violation: None, writes_checked };
             }};
         }
         macro_rules! violation {
             ($v:expr) => {{
                 coverage.record_stop("violation");
-                return TraceOutcome { steps, stop: TraceStop::Returned, violation: Some($v) };
+                return TraceOutcome {
+                    steps,
+                    stop: TraceStop::Returned,
+                    violation: Some($v),
+                    writes_checked,
+                };
             }};
         }
 
@@ -433,6 +459,41 @@ impl<'a> TraceOracle<'a> {
                 m.reg(Reg::Rax),
                 m.reg(Reg::Rsp)
             ));
+
+            // Cross-validate the static write classification: the
+            // machine is contained in some candidate vertex at
+            // `prev_rip` (checked each step), so its concrete write
+            // address must satisfy at least one class claimed by the
+            // invariants at this instruction. Computed pre-execution,
+            // like the trace log above.
+            if let Some(map) = &self.write_classes {
+                if let Some(claim) = map.claim(frame_entry, prev_rip) {
+                    if let Some(addr) = concrete_write_addr(&m, &instr) {
+                        let entry_rsp = frames.last().expect("frame").entry_rsp;
+                        match claim.admits(addr, entry_rsp) {
+                            Some(true) => writes_checked += 1,
+                            Some(false) => violation!(Violation {
+                                kind: ViolationKind::WriteClassification,
+                                step: steps,
+                                rip: prev_rip,
+                                function: frame_entry,
+                                detail: format!(
+                                    "concrete write to {addr:#x} (rsp0 {entry_rsp:#x}) \
+                                     outside all claimed classes: {}",
+                                    claim
+                                        .classes
+                                        .iter()
+                                        .map(|c| c.to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(" | ")
+                                ),
+                                tail: tail.iter().cloned().collect(),
+                            }),
+                            None => {}
+                        }
+                    }
+                }
+            }
 
             // Execute on the independent semantics.
             match m.exec(&instr) {
@@ -619,6 +680,25 @@ impl<'a> TraceOracle<'a> {
             }
         }
     }
+}
+
+/// The concrete start address of the memory write `instr` is about to
+/// perform on `m`, using the *same* write-site predicate as the static
+/// classifier ([`hgl_analysis::writes::write_region`]): an explicit
+/// first-operand memory destination, or the implicit `[rsp - 8, 8]`
+/// slot of `push`/`call`.
+fn concrete_write_addr(m: &Machine, instr: &Instr) -> Option<u64> {
+    if instr.mnemonic != Mnemonic::Lea {
+        if let Some(Operand::Mem(mo)) = instr.operands.first() {
+            if writes_first_operand(instr.mnemonic) {
+                return Some(m.effective_addr(mo, instr.next_addr()));
+            }
+        }
+    }
+    if matches!(instr.mnemonic, Mnemonic::Push | Mnemonic::Call) {
+        return Some(m.reg(Reg::Rsp).wrapping_sub(8));
+    }
+    None
 }
 
 /// Render the memory write `instr` is about to perform on `m`, for the

@@ -169,12 +169,16 @@ impl Ctx {
         if lin.terms.is_empty() {
             return Provenance::Global;
         }
+        // `rsp0 + k` exactly: the canonical stack-slot shape, decided
+        // by the shared single-atom matcher (see `region.rs`).
+        if crate::region::rsp0_displacement(&lin).is_some() {
+            return Provenance::Stack;
+        }
         if lin.terms.len() == 1 {
             let (atom, &coeff) = lin.terms.iter().next().expect("len checked");
             if coeff == 1 {
                 if let Atom::Sym(s) = atom {
                     return match s {
-                        Sym::Init(Reg::Rsp) => Provenance::Stack,
                         Sym::Init(_) => Provenance::Param(*s),
                         Sym::Fresh(_) => Provenance::Heap(*s),
                         _ => Provenance::Unknown,

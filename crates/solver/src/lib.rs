@@ -23,6 +23,7 @@
 //! destroy-overlapping-regions rule. Incompleteness costs precision,
 //! never soundness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assumptions;
@@ -32,5 +33,5 @@ mod relation;
 
 pub use assumptions::{Assumption, AssumptionKind};
 pub use ctx::{Ctx, Layout, Provenance};
-pub use region::Region;
+pub use region::{rsp0_displacement, Region};
 pub use relation::{decide, Answer, RegionRel};

@@ -1,8 +1,22 @@
 //! Memory regions `[address, size]`.
 
-use hgl_expr::{Expr, Linear, Sym};
+use hgl_expr::{Atom, Expr, Linear, Sym};
 use hgl_x86::Reg;
 use std::fmt;
+
+/// The displacement `k` when a linear address form is exactly
+/// `rsp0 + k` — the canonical "stack slot at a known offset" shape.
+///
+/// This is the one place that pattern-matches an address against
+/// `rsp0`; provenance classification, stack-depth analysis and write
+/// classification all go through it instead of re-implementing the
+/// single-atom match.
+pub fn rsp0_displacement(lin: &Linear) -> Option<i64> {
+    match lin.single_atom() {
+        Some((Atom::Sym(Sym::Init(Reg::Rsp)), k)) => Some(k),
+        _ => None,
+    }
+}
 
 /// A memory region: a symbolic address expression and a byte size
 /// (the `E × N` of the paper's expression grammar).
@@ -46,6 +60,19 @@ impl Region {
         Linear::of_expr(&self.addr)
     }
 
+    /// The displacement `k` when this region's address is exactly
+    /// `rsp0 + k`: the region is a stack slot at a statically known
+    /// offset in the frame of the function being analysed. `None` for
+    /// global, symbol-rooted, multi-term and unknown addresses.
+    ///
+    /// Inverse of [`Region::stack`] for all offsets, including
+    /// `i64::MIN` (whose negation does not exist in `i64`; the
+    /// constructor's `unsigned_abs` and the wrapping linear-form
+    /// arithmetic agree on the round trip).
+    pub fn displacement_from_rsp0(&self) -> Option<i64> {
+        rsp0_displacement(&self.linear())
+    }
+
     /// True if the address contains ⊥.
     pub fn is_unknown(&self) -> bool {
         self.addr.is_bottom() || self.linear().has_bottom
@@ -72,5 +99,30 @@ mod tests {
     fn global_constructor() {
         let r = Region::global(0x601000, 4);
         assert_eq!(r.addr.as_imm(), Some(0x601000));
+    }
+
+    #[test]
+    fn displacement_roundtrip() {
+        for off in [0i64, 8, -8, -0x28, 0x7fff_ffff, -0x8000_0000] {
+            assert_eq!(Region::stack(off, 8).displacement_from_rsp0(), Some(off), "offset {off}");
+        }
+        assert_eq!(Region::global(0x601000, 8).displacement_from_rsp0(), None);
+        assert_eq!(Region::new(Expr::Bottom, 8).displacement_from_rsp0(), None);
+        // Multi-term stack addresses have no single displacement.
+        let multi = Region::new(
+            Expr::sym(Sym::Init(Reg::Rsp)).add(Expr::sym(Sym::Init(Reg::Rax))),
+            8,
+        );
+        assert_eq!(multi.displacement_from_rsp0(), None);
+    }
+
+    #[test]
+    fn displacement_i64_min_edge_case() {
+        // `-i64::MIN` does not exist in i64; the constructor uses
+        // `unsigned_abs` and the linear form wraps, so the round trip
+        // must still hold exactly.
+        let r = Region::stack(i64::MIN, 8);
+        assert_eq!(r.displacement_from_rsp0(), Some(i64::MIN));
+        assert_eq!(r.linear().offset, i64::MIN);
     }
 }

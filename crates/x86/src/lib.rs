@@ -27,6 +27,7 @@
 //! # Ok::<(), hgl_x86::DecodeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cond;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hgl lift <binary.elf> [--function ADDR] [--timeout SECS] [--json]
+//! hgl lint <binary.elf> [--function ADDR] [--json]
 //! hgl export <binary.elf> [--out theory.thy]
 //! hgl validate <binary.elf> [--samples N]
 //! hgl disasm <binary.elf>
@@ -9,19 +10,23 @@
 //! ```
 //!
 //! `lift` prints the Hoare Graph summary, annotations, proof
-//! obligations and assumptions; `export` writes the Isabelle/HOL
+//! obligations and assumptions; `lint` runs the static analyses
+//! (write classification and soundness lints) and exits non-zero on
+//! any error-severity finding; `export` writes the Isabelle/HOL
 //! theory; `validate` runs the executable Step-2 check; `disasm` is a
 //! plain recursive-traversal disassembly listing of the lifted
 //! instructions.
 
+#![forbid(unsafe_code)]
+use hgl_analysis::{analyze, AnalysisConfig, Severity};
 use hgl_core::lift::{lift, lift_function, LiftConfig, LiftResult};
 use hgl_elf::Binary;
-use hgl_export::{export_dot, export_json, export_theory, validate_lift, ValidateConfig};
+use hgl_export::{export_dot, export_json, export_lint_json, export_theory, validate_lift, ValidateConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: hgl <lift|export|validate|disasm|cfg> <binary.elf> [options]");
+    eprintln!("usage: hgl <lift|lint|export|validate|disasm|cfg> <binary.elf> [options]");
     eprintln!("  --function ADDR   lift from a function address (hex ok) instead of the entry point");
     eprintln!("  --timeout SECS    lifting wall-clock budget (default 60)");
     eprintln!("  --out FILE        output path for `export`");
@@ -127,6 +132,20 @@ fn main() -> ExitCode {
                     println!("\nVERDICT: rejected — {r}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "lint" => {
+            let result = do_lift(&binary, &args);
+            let report = analyze(&binary, &result, &AnalysisConfig::default());
+            if args.iter().any(|a| a == "--json") {
+                print!("{}", export_lint_json(&report));
+            } else {
+                print!("{report}");
+            }
+            if report.count(Severity::Error) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
         "export" => {

@@ -14,6 +14,8 @@
 //! - [`expr`]: symbolic expressions
 //! - [`solver`]: pointer-relation decision procedures
 //! - [`core`]: predicates, memory models, Hoare-Graph extraction
+//! - [`analysis`]: static analysis over extracted Hoare Graphs —
+//!   dataflow fixpoint engine, soundness lints, write classification
 //! - [`export`]: Isabelle/HOL export and executable validation
 //! - [`corpus`]: synthetic evaluation corpora
 //! - [`oracle`]: trace-level conformance oracle (differential
@@ -22,8 +24,10 @@
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
 //! for the paper-vs-measured results.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hgl_analysis as analysis;
 pub use hgl_asm as asm;
 pub use hgl_core as core;
 pub use hgl_corpus as corpus;

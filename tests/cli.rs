@@ -145,3 +145,40 @@ fn cfg_emits_dot() {
     assert!(stdout.starts_with("digraph"), "{stdout}");
     assert!(stdout.contains("->"), "{stdout}");
 }
+
+#[test]
+fn lint_passes_on_clean_binary() {
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "lint-ok.elf", false);
+    let out = hgl().args(["lint", elf.to_str().expect("utf8")]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("analysis:"), "{stdout}");
+    assert!(stdout.contains("writes:"), "{stdout}");
+}
+
+#[test]
+fn lint_fails_on_callee_saved_clobber() {
+    let dir = tmpdir();
+    let mut asm = Asm::new();
+    asm.label("clobber");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg64(Reg::Rbx), Operand::Imm(1)],
+        Width::B8,
+    ));
+    asm.ret();
+    let bytes = asm.entry("clobber").assemble_elf().expect("assembles");
+    let path = dir.join("lint-bad.elf");
+    std::fs::write(&path, bytes).expect("write elf");
+
+    let out = hgl().args(["lint", path.to_str().expect("utf8")]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "lint must exit non-zero: {stdout}");
+    assert!(stdout.contains("error[callee-saved-clobber]"), "{stdout}");
+
+    let out = hgl().args(["lint", path.to_str().expect("utf8"), "--json"]).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"hgl-lint-v1\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"callee-saved-clobber\""), "{stdout}");
+}
