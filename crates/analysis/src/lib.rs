@@ -21,10 +21,10 @@
 //!
 //! ```
 //! use hgl_analysis::{analyze, AnalysisConfig, Severity};
-//! use hgl_core::lift::{lift, LiftConfig};
+//! use hgl_core::Lifter;
 //!
 //! let binary = hgl_corpus::failures::ret2win();
-//! let lifted = lift(&binary, &LiftConfig::default());
+//! let lifted = Lifter::new(&binary).lift_entry(binary.entry);
 //! let report = analyze(&binary, &lifted, &AnalysisConfig::default());
 //! assert!(report.totals.total() > 0);
 //! assert_eq!(report.count(Severity::Error), 0);

@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hgl_corpus::gen::{GenOptions, ProgramGen};
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::lift::LiftConfig;
+use hgl_core::Lifter;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -31,13 +32,13 @@ fn bench_fig3(c: &mut Criterion) {
     for segments in [4usize, 8, 16, 32] {
         let bin = build(segments, false);
         group.bench_with_input(BenchmarkId::new("simple", segments), &bin, |b, bin| {
-            b.iter(|| lift(bin, &config))
+            b.iter(|| Lifter::new(bin).with_config(config.clone()).lift_entry(bin.entry))
         });
         // Same size, fork-heavy: the paper's "little correlation" —
         // time is dominated by join/fork behaviour, not size.
         let heavy = build(segments, true);
         group.bench_with_input(BenchmarkId::new("fork_heavy", segments), &heavy, |b, bin| {
-            b.iter(|| lift(bin, &config))
+            b.iter(|| Lifter::new(bin).with_config(config.clone()).lift_entry(bin.entry))
         });
     }
     group.finish();

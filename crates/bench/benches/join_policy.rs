@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hgl_bench::weird_edge_binary;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::lift::LiftConfig;
+use hgl_core::Lifter;
 
 fn bench_join_policy(c: &mut Criterion) {
     let bin = weird_edge_binary();
@@ -18,8 +19,8 @@ fn bench_join_policy(c: &mut Criterion) {
     without.limits.code_pointer_refinement = false;
 
     // Report the precision difference once.
-    let r_with = lift(&bin, &with);
-    let r_without = lift(&bin, &without);
+    let r_with = Lifter::new(&bin).with_config(with.clone()).lift_entry(bin.entry);
+    let r_without = Lifter::new(&bin).with_config(without.clone()).lift_entry(bin.entry);
     println!(
         "join_policy precision: refinement ON  -> states {}, resolved {}, annotations {}",
         r_with.state_count(),
@@ -34,8 +35,8 @@ fn bench_join_policy(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("join_policy");
-    group.bench_function("refinement_on", |b| b.iter(|| lift(&bin, &with)));
-    group.bench_function("refinement_off", |b| b.iter(|| lift(&bin, &without)));
+    group.bench_function("refinement_on", |b| b.iter(|| Lifter::new(&bin).with_config(with.clone()).lift_entry(bin.entry)));
+    group.bench_function("refinement_off", |b| b.iter(|| Lifter::new(&bin).with_config(without.clone()).lift_entry(bin.entry)));
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hgl_corpus::xen::{build_study, run_study, study_config, StudySpec, UnitKind};
-use hgl_core::lift::{lift, lift_function};
+use hgl_core::Lifter;
 
 fn bench_table1(c: &mut Criterion) {
     let study = build_study(&StudySpec::mini(), 2022);
@@ -30,7 +30,7 @@ fn bench_table1(c: &mut Criterion) {
         .find(|u| u.kind == UnitKind::Binary && u.expected == hgl_corpus::xen::ExpectedOutcome::Lifted)
         .expect("a binary unit");
     group.bench_function("lift_one_binary", |b| {
-        b.iter(|| lift(&bin_unit.binary, &config))
+        b.iter(|| Lifter::new(&bin_unit.binary).with_config(config.clone()).lift_entry(bin_unit.binary.entry))
     });
     let lib_unit = study
         .units
@@ -38,7 +38,7 @@ fn bench_table1(c: &mut Criterion) {
         .find(|u| u.kind == UnitKind::LibraryFunction && u.expected == hgl_corpus::xen::ExpectedOutcome::Lifted)
         .expect("a library unit");
     group.bench_function("lift_one_library_fn", |b| {
-        b.iter(|| lift_function(&lib_unit.binary, lib_unit.entry, &config))
+        b.iter(|| Lifter::new(&lib_unit.binary).with_config(config.clone()).lift_entry(lib_unit.entry))
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! validation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::lift::LiftConfig;
+use hgl_core::Lifter;
 use hgl_corpus::coreutils;
 use hgl_export::{export_theory, validate_lift, ValidateConfig};
 
@@ -15,12 +16,12 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     for (spec, bin) in &built {
-        group.bench_function(format!("lift/{}", spec.name), |b| b.iter(|| lift(bin, &config)));
+        group.bench_function(format!("lift/{}", spec.name), |b| b.iter(|| Lifter::new(bin).with_config(config.clone()).lift_entry(bin.entry)));
     }
     // Export + validation on the smallest and largest binaries.
     for name in ["wc", "tar"] {
         let (_, bin) = built.iter().find(|(s, _)| s.name == name).expect("exists");
-        let lifted = lift(bin, &config);
+        let lifted = Lifter::new(bin).with_config(config.clone()).lift_entry(bin.entry);
         group.bench_function(format!("export/{name}"), |b| {
             b.iter(|| export_theory(&lifted, name))
         });

@@ -1,0 +1,219 @@
+//! Engine benchmark driver: sequential vs parallel whole-binary
+//! lifting, cold vs warm solver cache.
+//!
+//! Unlike the criterion benches (which regenerate the paper's tables),
+//! this is a plain binary so CI can run it in seconds and gate on the
+//! result:
+//!
+//! ```text
+//! cargo run --release -p hgl-bench --bin bench-engine -- \
+//!     [--quick] [--out BENCH_pr4.json] [--check]
+//! ```
+//!
+//! `--quick` shrinks the corpus and repetition count for smoke runs;
+//! `--check` exits non-zero if the parallel engine is more than 1.5x
+//! slower than the sequential one (a regression gate, not a speedup
+//! requirement: tiny corpora on loaded CI runners can legitimately
+//! show no parallel win).
+
+#![forbid(unsafe_code)]
+
+use hgl_core::Lifter;
+use hgl_corpus::xen::gen_study_binary;
+use hgl_elf::Binary;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Config {
+    quick: bool,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    Config {
+        quick: args.iter().any(|a| a == "--quick"),
+        out,
+        check: args.iter().any(|a| a == "--check"),
+    }
+}
+
+fn corpus(quick: bool) -> Vec<Binary> {
+    let n = if quick { 6 } else { 24 };
+    (0..n)
+        .map(|i| gen_study_binary(0x9e37_79b9_7f4a_7c15 ^ i, i % 3 == 2))
+        .collect()
+}
+
+/// Minimum wall time of `reps` runs of `f`, after one untimed warm-up
+/// run. The minimum is the noise-robust estimator: scheduling
+/// interference only ever adds time.
+fn measure(reps: usize, mut f: impl FnMut() -> usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut lifted = f();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        lifted = f();
+        best = best.min(t0.elapsed());
+    }
+    (best, lifted)
+}
+
+/// One full pass over the corpus: every binary through `lift_all`.
+/// Returns total functions lifted (a cheap checksum that the runs did
+/// equivalent work).
+fn run_pass(bins: &[Binary], workers: usize) -> usize {
+    bins.iter()
+        .map(|b| {
+            let report = Lifter::new(b).workers(workers).lift_all();
+            report.result.functions.len()
+        })
+        .sum()
+}
+
+/// Cold-vs-warm cache: lift the same binary twice in one session; the
+/// second run replays every solver query against the memoized cache.
+/// Per binary we keep the fastest cold and fastest warm run out of
+/// `reps` fresh sessions.
+struct CacheBench {
+    cold: Duration,
+    warm: Duration,
+    /// Solver-phase nanos of the cold run (cache empty).
+    solver_cold: u64,
+    /// Solver-phase nanos of the warm replay (every query a hit).
+    solver_warm: u64,
+    hit_rate: f64,
+}
+
+fn solver_nanos(lifter: &Lifter) -> u64 {
+    lifter
+        .metrics_snapshot()
+        .phases
+        .iter()
+        .find(|p| p.phase.name() == "solver")
+        .map_or(0, |p| p.nanos)
+}
+
+fn cache_pass(bins: &[Binary], reps: usize) -> CacheBench {
+    let mut out = CacheBench {
+        cold: Duration::ZERO,
+        warm: Duration::ZERO,
+        solver_cold: 0,
+        solver_warm: 0,
+        hit_rate: 0.0,
+    };
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for b in bins {
+        let mut best_cold = Duration::MAX;
+        let mut best_warm = Duration::MAX;
+        for rep in 0..reps {
+            let lifter = Lifter::new(b).sequential();
+            let t0 = Instant::now();
+            let _ = lifter.lift_all();
+            best_cold = best_cold.min(t0.elapsed());
+            let after_cold = solver_nanos(&lifter);
+            let t1 = Instant::now();
+            let _ = lifter.lift_all();
+            best_warm = best_warm.min(t1.elapsed());
+            if rep == 0 {
+                // Session metrics accumulate, so the warm run's solver
+                // share is the delta over the cold run's.
+                out.solver_cold += after_cold;
+                out.solver_warm += solver_nanos(&lifter).saturating_sub(after_cold);
+                let snap = lifter.metrics_snapshot();
+                hits += snap.cache.hits;
+                misses += snap.cache.misses;
+            }
+        }
+        out.cold += best_cold;
+        out.warm += best_warm;
+    }
+    let total = hits + misses;
+    out.hit_rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+    out
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let reps = if cfg.quick { 2 } else { 5 };
+    let bins = corpus(cfg.quick);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "bench-engine: {} binaries, {reps} rep(s), {workers} worker(s) available",
+        bins.len()
+    );
+
+    let (seq, seq_fns) = measure(reps, || run_pass(&bins, 1));
+    let (par, par_fns) = measure(reps, || run_pass(&bins, workers));
+    assert_eq!(
+        seq_fns, par_fns,
+        "sequential and parallel passes lifted different function counts"
+    );
+    let speedup = seq.as_secs_f64() / par.as_secs_f64().max(1e-9);
+
+    let cb = cache_pass(&bins, reps);
+    let warm_speedup = cb.cold.as_secs_f64() / cb.warm.as_secs_f64().max(1e-9);
+    let solver_speedup = cb.solver_cold as f64 / (cb.solver_warm as f64).max(1.0);
+
+    eprintln!("sequential: {seq:?}  parallel: {par:?}  speedup: {speedup:.2}x");
+    eprintln!(
+        "cold cache: {:?}  warm cache: {:?}  warm speedup: {warm_speedup:.2}x",
+        cb.cold, cb.warm
+    );
+    eprintln!(
+        "solver phase: cold {}us, warm {}us ({solver_speedup:.2}x); hit rate {:.1}%",
+        cb.solver_cold / 1000,
+        cb.solver_warm / 1000,
+        cb.hit_rate * 100.0
+    );
+
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"schema\": \"hgl-bench-pr4\",\n");
+    doc.push_str("  \"version\": 1,\n");
+    let _ = writeln!(doc, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(doc, "  \"binaries\": {},", bins.len());
+    let _ = writeln!(doc, "  \"reps\": {reps},");
+    let _ = writeln!(doc, "  \"workers\": {workers},");
+    let _ = writeln!(doc, "  \"functions_lifted\": {seq_fns},");
+    let _ = writeln!(doc, "  \"sequential_ns\": {},", seq.as_nanos());
+    let _ = writeln!(doc, "  \"parallel_ns\": {},", par.as_nanos());
+    let _ = writeln!(doc, "  \"parallel_speedup\": {speedup:.4},");
+    let _ = writeln!(doc, "  \"cache_cold_ns\": {},", cb.cold.as_nanos());
+    let _ = writeln!(doc, "  \"cache_warm_ns\": {},", cb.warm.as_nanos());
+    let _ = writeln!(doc, "  \"cache_warm_speedup\": {warm_speedup:.4},");
+    let _ = writeln!(doc, "  \"solver_cold_ns\": {},", cb.solver_cold);
+    let _ = writeln!(doc, "  \"solver_warm_ns\": {},", cb.solver_warm);
+    let _ = writeln!(doc, "  \"solver_warm_speedup\": {solver_speedup:.4},");
+    let _ = writeln!(doc, "  \"cache_hit_rate\": {:.4}", cb.hit_rate);
+    doc.push_str("}\n");
+
+    match &cfg.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("bench-engine: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench-engine: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    if cfg.check && speedup < 1.0 / 1.5 {
+        eprintln!(
+            "bench-engine: REGRESSION — parallel engine {:.2}x slower than sequential (gate: 1.5x)",
+            1.0 / speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -11,8 +11,8 @@
 //! [`Annotation::BudgetFrontier`](crate::diag::Annotation::BudgetFrontier)
 //! so the caller can see exactly where coverage stopped.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The budget dimension that ran out.
@@ -62,7 +62,7 @@ impl fmt::Display for BudgetExhausted {
 }
 
 /// Layered resource limits for one lift. `None` disables a dimension.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Budget {
     /// Wall-clock limit for the whole lift.
     pub wall_clock: Option<Duration>,
@@ -99,16 +99,19 @@ impl Budget {
 
 /// Shared consumption counters for one lift.
 ///
-/// Counters use [`Cell`] so that read paths holding `&self` (notably
+/// Counters are atomic so that read paths holding `&self` (notably
 /// solver-context construction in `StepCtx`) can record consumption
-/// without threading `&mut` borrows through the stepper.
+/// without threading `&mut` borrows through the stepper, and so one
+/// meter can be shared across the parallel engine's worker threads —
+/// global dimensions (wall clock, solver queries, forks) are consumed
+/// by all workers against a single allowance.
 #[derive(Debug)]
 pub struct BudgetMeter {
     deadline: Option<Instant>,
     wall_clock: Option<Duration>,
     started: Instant,
-    solver_queries: Cell<u64>,
-    forks: Cell<u64>,
+    solver_queries: AtomicU64,
+    forks: AtomicU64,
     max_solver_queries: Option<u64>,
     max_forks: Option<u64>,
 }
@@ -121,8 +124,8 @@ impl BudgetMeter {
             deadline: budget.wall_clock.map(|d| started + d),
             wall_clock: budget.wall_clock,
             started,
-            solver_queries: Cell::new(0),
-            forks: Cell::new(0),
+            solver_queries: AtomicU64::new(0),
+            forks: AtomicU64::new(0),
             max_solver_queries: budget.max_solver_queries,
             max_forks: budget.max_forks,
         }
@@ -130,22 +133,22 @@ impl BudgetMeter {
 
     /// Records one solver query.
     pub fn count_solver_query(&self) {
-        self.solver_queries.set(self.solver_queries.get().saturating_add(1));
+        self.solver_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `n` memory-model forks.
     pub fn count_forks(&self, n: u64) {
-        self.forks.set(self.forks.get().saturating_add(n));
+        self.forks.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Solver queries recorded so far.
     pub fn solver_queries(&self) -> u64 {
-        self.solver_queries.get()
+        self.solver_queries.load(Ordering::Relaxed)
     }
 
     /// Forks recorded so far.
     pub fn forks(&self) -> u64 {
-        self.forks.get()
+        self.forks.load(Ordering::Relaxed)
     }
 
     /// Checks every *global* dimension (wall clock, solver queries,
@@ -163,21 +166,19 @@ impl BudgetMeter {
             }
         }
         if let Some(max) = self.max_solver_queries {
-            if self.solver_queries.get() >= max {
+            let used = self.solver_queries.load(Ordering::Relaxed);
+            if used >= max {
                 return Some(BudgetExhausted {
                     dimension: BudgetDim::SolverQueries,
-                    used: self.solver_queries.get(),
+                    used,
                     limit: max,
                 });
             }
         }
         if let Some(max) = self.max_forks {
-            if self.forks.get() >= max {
-                return Some(BudgetExhausted {
-                    dimension: BudgetDim::Forks,
-                    used: self.forks.get(),
-                    limit: max,
-                });
+            let used = self.forks.load(Ordering::Relaxed);
+            if used >= max {
+                return Some(BudgetExhausted { dimension: BudgetDim::Forks, used, limit: max });
             }
         }
         None

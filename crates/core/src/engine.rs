@@ -1,0 +1,565 @@
+//! The parallel whole-binary lifting engine and the [`Lifter`] session
+//! API.
+//!
+//! A [`Lifter`] is one lifting *session* over one binary: it owns the
+//! shared solver-query memo table ([`QueryCache`]) and the phase-level
+//! [`Metrics`] sink, and exposes two drivers —
+//!
+//! - [`Lifter::lift_entry`]: the legacy single-entry driver (the
+//!   "Binaries" / "Library functions" modes of Table 1), exploring the
+//!   call closure of one address sequentially;
+//! - [`Lifter::lift_all`]: the whole-binary engine, which discovers
+//!   every function entry (the ELF entry point, defined function
+//!   symbols, and the call-target closure) and lifts them on a
+//!   work-stealing worker pool.
+//!
+//! # Determinism
+//!
+//! `lift_all` is *bulk-synchronous*: each round runs every function
+//! with bag work to quiescence in parallel, then a single coordinator
+//! discovers new callees and activates pending returns in sorted
+//! address order. Because functions are explored context-free (§4.2.2)
+//! — no symbolic state ever flows between two functions — and each
+//! function owns a private fresh-symbol counter, a function's Hoare
+//! Graph depends only on the binary and the config, never on worker
+//! scheduling. `lift_all` with N workers is therefore byte-identical to
+//! `lift_all` with one worker, *except* when a global budget dimension
+//! (wall clock, solver queries, forks) trips mid-round: exhaustion
+//! points depend on timing by nature. The determinism test in
+//! `tests/engine.rs` pins the unlimited-budget guarantee.
+//!
+//! # Memoization soundness
+//!
+//! All workers share one [`QueryCache`] attached to every solver
+//! context of the session. The cache key canonicalizes exactly the
+//! inputs `hgl_solver::decide` reads — see `crates/solver/src/cache.rs`
+//! — so a hit returns the answer the solver would have computed.
+
+use crate::budget::BudgetMeter;
+use crate::explore::{ExploreCx, FnExploration};
+use crate::lift::{
+    assemble, concurrency_reject, isolated, lift_bytes_impl, lift_from, panic_message,
+    reject_of_exhaustion, LiftConfig, LiftResult,
+};
+use crate::metrics::{Metrics, MetricsSnapshot, Phase};
+use hgl_elf::Binary;
+use hgl_solver::{Layout, QueryCache};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The number of workers the engine uses when none is requested.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A lifting session over one binary.
+///
+/// ```
+/// use hgl_asm::Asm;
+/// use hgl_core::{Lifter, LiftConfig};
+/// use hgl_x86::{Instr, Mnemonic, Operand, Reg, Width};
+///
+/// let mut asm = Asm::new();
+/// asm.label("main");
+/// asm.ins(Instr::new(Mnemonic::Xor,
+///     vec![Operand::reg(Reg::Rax, Width::B4), Operand::reg(Reg::Rax, Width::B4)],
+///     Width::B4));
+/// asm.ret();
+/// let bin = asm.entry("main").assemble()?;
+///
+/// let report = Lifter::new(&bin).with_config(LiftConfig::default()).lift_all();
+/// assert!(report.is_lifted());
+/// assert_eq!(report.roots, vec![bin.entry]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Lifter<'b> {
+    binary: &'b Binary,
+    config: LiftConfig,
+    workers: usize,
+    cache: Arc<QueryCache>,
+    metrics: Metrics,
+    /// Wall time accumulated by this session's lifts, in nanoseconds.
+    elapsed: AtomicU64,
+}
+
+impl<'b> Lifter<'b> {
+    /// Opens a session on `binary` with a default config and an
+    /// automatic worker count.
+    pub fn new(binary: &'b Binary) -> Lifter<'b> {
+        Lifter {
+            binary,
+            config: LiftConfig::default(),
+            workers: 0,
+            cache: Arc::new(QueryCache::new()),
+            metrics: Metrics::new(),
+            elapsed: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the session's lifting configuration.
+    pub fn with_config(mut self, config: LiftConfig) -> Lifter<'b> {
+        self.config = config;
+        self
+    }
+
+    /// Requests `n` worker threads for [`Lifter::lift_all`]
+    /// (`0` = automatic, one per available core).
+    pub fn workers(mut self, n: usize) -> Lifter<'b> {
+        self.workers = n;
+        self
+    }
+
+    /// Forces single-threaded operation (equivalent to `.workers(1)`);
+    /// the reference mode for determinism checks.
+    pub fn sequential(self) -> Lifter<'b> {
+        self.workers(1)
+    }
+
+    /// The worker count `lift_all` will actually use.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        }
+    }
+
+    /// The session's lifting configuration.
+    pub fn config(&self) -> &LiftConfig {
+        &self.config
+    }
+
+    /// The session's shared solver-query cache.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Freezes the session's metrics: per-phase timings, gauges summed
+    /// over every lift run so far, and the solver cache's counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            Some(self.cache.stats()),
+            self.resolved_workers(),
+            Duration::from_nanos(self.elapsed.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Parse raw bytes as an ELF image and lift it from its entry
+    /// point in a one-shot session. Malformed images yield
+    /// `RejectReason::MalformedBinary`, never a crash.
+    pub fn from_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
+        lift_bytes_impl(bytes, config)
+    }
+
+    /// Lift the call closure of one entry address with the sequential
+    /// driver, sharing this session's solver cache and metrics.
+    pub fn lift_entry(&self, entry: u64) -> LiftResult {
+        let result = isolated("lift", || {
+            lift_from(self.binary, entry, &self.config, Some(&self.cache), Some(&self.metrics))
+        });
+        self.account(&result);
+        result
+    }
+
+    /// Lift every discovered function of the binary on the parallel
+    /// engine.
+    ///
+    /// Entry discovery seeds the ELF entry point plus every defined
+    /// function symbol inside an executable segment; internal
+    /// call targets are then added transitively as exploration finds
+    /// them, exactly as in the single-entry driver.
+    pub fn lift_all(&self) -> BinaryLiftReport {
+        let started = Instant::now();
+        let roots = self.discover_roots();
+        let result = isolated("engine", || self.run_engine(&roots));
+        self.account(&result);
+        let metrics =
+            self.metrics.snapshot(Some(self.cache.stats()), self.resolved_workers(), started.elapsed());
+        BinaryLiftReport { roots, result, metrics }
+    }
+
+    /// Folds one lift's totals into the session gauges.
+    fn account(&self, result: &LiftResult) {
+        self.elapsed.fetch_add(result.elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let lifted = result.functions.values().filter(|f| f.is_lifted()).count() as u64;
+        let rejected = result.functions.len() as u64 - lifted;
+        self.metrics.add_gauges(
+            result.state_count() as u64,
+            result.instruction_count() as u64,
+            lifted,
+            rejected,
+        );
+    }
+
+    /// The root entry set: the ELF entry point plus every defined
+    /// function symbol that lies in executable memory, sorted.
+    fn discover_roots(&self) -> Vec<u64> {
+        let mut roots: Vec<u64> = Vec::new();
+        if self.binary.is_code(self.binary.entry) {
+            roots.push(self.binary.entry);
+        }
+        for &addr in self.binary.symbols.keys() {
+            if self.binary.is_code(addr) && !self.binary.externals.contains_key(&addr) {
+                roots.push(addr);
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        roots
+    }
+
+    /// The bulk-synchronous round loop (see the module docs).
+    fn run_engine(&self, roots: &[u64]) -> LiftResult {
+        let start = Instant::now();
+        let mut result = LiftResult::default();
+        if let Some(reject) = concurrency_reject(self.binary) {
+            result.binary_reject = Some(reject);
+            result.elapsed = start.elapsed();
+            return result;
+        }
+
+        let layout = Layout { text: self.binary.text_ranges(), data: self.binary.data_ranges() };
+        let meter = BudgetMeter::start(&self.config.budget);
+        let workers = self.resolved_workers();
+
+        let mut slots: BTreeMap<u64, FnSlot> = roots
+            .iter()
+            .map(|&a| (a, FnSlot { e: FnExploration::new(a), fresh: 0, internal_error: None }))
+            .collect();
+        let mut returns_propagated: Vec<u64> = Vec::new();
+
+        loop {
+            if let Some(ex) = meter.check_global() {
+                for s in slots.values_mut() {
+                    if !s.e.bag.is_empty() {
+                        s.e.mark_frontier(ex);
+                    }
+                }
+                result.binary_reject = Some(reject_of_exhaustion(&ex));
+                break;
+            }
+            let runnable: Vec<u64> = slots
+                .iter()
+                .filter(|(_, s)| {
+                    !s.e.bag.is_empty() && s.e.rejected.is_none() && s.internal_error.is_none()
+                })
+                .map(|(a, _)| *a)
+                .collect();
+            if !runnable.is_empty() {
+                self.metrics.count_round();
+                self.run_round(&mut slots, &runnable, &layout, &meter, workers);
+                continue;
+            }
+
+            // Quiescent: sequential coordination, in sorted order.
+            // 1. Materialise explorations for newly discovered callees.
+            let mut new_callees = Vec::new();
+            for s in slots.values() {
+                for c in s.e.pending_callees() {
+                    if !slots.contains_key(&c) {
+                        new_callees.push(c);
+                    }
+                }
+            }
+            if !new_callees.is_empty() {
+                for c in new_callees {
+                    slots
+                        .entry(c)
+                        .or_insert_with(|| FnSlot { e: FnExploration::new(c), fresh: 0, internal_error: None });
+                }
+                continue;
+            }
+            // 2. Activate pendings created after their callee's return
+            //    was first propagated.
+            let mut activated = false;
+            for callee in returns_propagated.clone() {
+                for s in slots.values_mut() {
+                    let before = s.e.bag.len();
+                    s.e.activate_returns_from(callee);
+                    activated |= s.e.bag.len() != before;
+                }
+            }
+            if activated {
+                continue;
+            }
+            // 3. Propagate newly proven returns.
+            let newly: Vec<u64> = slots
+                .iter()
+                .filter(|(a, s)| s.e.returns && !returns_propagated.contains(a))
+                .map(|(a, _)| *a)
+                .collect();
+            if newly.is_empty() {
+                break; // fixpoint
+            }
+            for callee in newly {
+                returns_propagated.push(callee);
+                for s in slots.values_mut() {
+                    s.e.activate_returns_from(callee);
+                }
+            }
+        }
+
+        let mut explorations = BTreeMap::new();
+        let mut internal_errors = BTreeMap::new();
+        for (addr, s) in slots {
+            if let Some(message) = s.internal_error {
+                internal_errors.insert(addr, message);
+            }
+            explorations.insert(addr, s.e);
+        }
+        self.metrics.time(Phase::Export, || {
+            assemble(explorations, internal_errors, &mut result);
+        });
+        result.elapsed = start.elapsed();
+        result
+    }
+
+    /// Runs every function in `runnable` to quiescence on the worker
+    /// pool, with per-function panic isolation.
+    fn run_round(
+        &self,
+        slots: &mut BTreeMap<u64, FnSlot>,
+        runnable: &[u64],
+        layout: &Layout,
+        meter: &BudgetMeter,
+        workers: usize,
+    ) {
+        let cx = ExploreCx {
+            binary: self.binary,
+            layout,
+            step: &self.config.step,
+            limits: &self.config.limits,
+            budget: &self.config.budget,
+            meter,
+            cache: Some(&self.cache),
+            metrics: Some(&self.metrics),
+        };
+        let run_one = |s: &mut FnSlot| {
+            let FnSlot { e, fresh, internal_error } = s;
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                e.run(&cx, fresh);
+            }));
+            if let Err(payload) = ran {
+                s.e.bag.clear();
+                s.e.pending.clear();
+                *internal_error = Some(panic_message(payload));
+            }
+        };
+        let pool = workers.min(runnable.len());
+        if pool <= 1 {
+            for addr in runnable {
+                run_one(slots.get_mut(addr).expect("runnable slot exists"));
+            }
+            return;
+        }
+        // Move the runnable slots into shared cells; a work-stealing
+        // deque per worker hands out indices (owner pops the front,
+        // thieves the back).
+        let cells: Vec<Mutex<Option<FnSlot>>> = runnable
+            .iter()
+            .map(|a| Mutex::new(Some(slots.remove(a).expect("runnable slot exists"))))
+            .collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..pool).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in runnable.iter().enumerate() {
+            queues[i % pool].lock().expect("queue lock").push_back(i);
+        }
+        let next = |me: usize| -> Option<usize> {
+            if let Some(i) = queues[me].lock().expect("queue lock").pop_front() {
+                return Some(i);
+            }
+            for k in 1..pool {
+                if let Some(i) = queues[(me + k) % pool].lock().expect("queue lock").pop_back() {
+                    return Some(i);
+                }
+            }
+            None
+        };
+        std::thread::scope(|scope| {
+            for me in 0..pool {
+                let cells = &cells;
+                let next = &next;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    while let Some(i) = next(me) {
+                        let mut cell = cells[i].lock().expect("cell lock");
+                        if let Some(s) = cell.as_mut() {
+                            run_one(s);
+                        }
+                    }
+                });
+            }
+        });
+        for (i, addr) in runnable.iter().enumerate() {
+            let s = cells[i].lock().expect("cell lock").take().expect("slot returned");
+            slots.insert(*addr, s);
+        }
+    }
+}
+
+/// One function's engine-side state: its exploration plus a private
+/// fresh-symbol counter (sound because exploration is context-free —
+/// no state flows between functions) and any isolated panic.
+struct FnSlot {
+    e: FnExploration,
+    fresh: u64,
+    internal_error: Option<String>,
+}
+
+/// The result of [`Lifter::lift_all`]: the per-function lift results
+/// plus the session metrics of the run that produced them.
+#[derive(Debug)]
+pub struct BinaryLiftReport {
+    /// Discovered root entries (ELF entry point + in-text function
+    /// symbols), sorted. Call targets found transitively appear in
+    /// `result.functions` but not here.
+    pub roots: Vec<u64>,
+    /// Per-function results, identical in shape to the single-entry
+    /// driver's.
+    pub result: LiftResult,
+    /// Frozen metrics for this run: per-phase timings, gauges, solver
+    /// cache counters, worker count and wall time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl BinaryLiftReport {
+    /// True if every function lifted and no binary-level rejection
+    /// occurred.
+    pub fn is_lifted(&self) -> bool {
+        self.result.is_lifted()
+    }
+}
+
+/// Applies `f` to every item on a pool of `workers` threads, returning
+/// results in input order. `workers == 0` means automatic; panics in
+/// `f` propagate after the scope joins. The corpus campaign drivers
+/// run on this so the engine is the single place that spawns workers.
+pub fn parallel_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let pool = if workers == 0 { default_workers() } else { workers };
+    let pool = pool.min(items.len());
+    if pool <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..pool {
+            let cells = &cells;
+            let out = &out;
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = cells[i].lock().expect("item lock").take().expect("item present");
+                let r = f(item);
+                *out[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("result present"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_asm::Asm;
+    use hgl_x86::{Instr, MemOperand, Mnemonic, Operand, Reg, Width};
+
+    fn leaf_binary() -> Binary {
+        let mut asm = Asm::new();
+        asm.label("main");
+        asm.ins(Instr::new(
+            Mnemonic::Xor,
+            vec![Operand::reg(Reg::Rax, Width::B4), Operand::reg(Reg::Rax, Width::B4)],
+            Width::B4,
+        ));
+        asm.ret();
+        asm.entry("main").assemble().expect("assemble")
+    }
+
+    /// A function with stack traffic, so lifting it issues solver
+    /// queries (region relations for the spill slots).
+    fn spill_binary() -> Binary {
+        let mut asm = Asm::new();
+        asm.label("main");
+        for slot in [-8i64, -16, -24] {
+            asm.ins(Instr::new(
+                Mnemonic::Mov,
+                vec![
+                    Operand::Mem(MemOperand::base_disp(Reg::Rsp, slot, Width::B8)),
+                    Operand::reg64(Reg::Rax),
+                ],
+                Width::B8,
+            ));
+        }
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rcx),
+                Operand::Mem(MemOperand::base_disp(Reg::Rsp, -16, Width::B8)),
+            ],
+            Width::B8,
+        ));
+        asm.ret();
+        asm.entry("main").assemble().expect("assemble")
+    }
+
+    #[test]
+    fn lift_all_smoke() {
+        let bin = leaf_binary();
+        let report = Lifter::new(&bin).lift_all();
+        assert!(report.is_lifted());
+        assert_eq!(report.roots, vec![bin.entry]);
+        assert_eq!(report.result.functions.len(), 1);
+        assert!(report.metrics.phase(crate::metrics::Phase::Tau).count > 0);
+    }
+
+    #[test]
+    fn lift_entry_matches_deprecated_free_function() {
+        let bin = leaf_binary();
+        let session = Lifter::new(&bin).lift_entry(bin.entry);
+        #[allow(deprecated)]
+        let legacy = crate::lift::lift(&bin, &LiftConfig::default());
+        assert_eq!(format!("{:?}", session.functions), format!("{:?}", legacy.functions));
+    }
+
+    #[test]
+    fn session_metrics_accumulate_across_lifts() {
+        let bin = spill_binary();
+        let lifter = Lifter::new(&bin);
+        lifter.lift_entry(bin.entry);
+        lifter.lift_entry(bin.entry);
+        let snap = lifter.metrics_snapshot();
+        assert_eq!(snap.functions_lifted, 2);
+        assert!(snap.cache.misses > 0, "stack traffic should query the solver");
+        assert!(snap.cache.hits > 0, "second lift should hit the session cache");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(4, items, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_zero_workers_is_auto() {
+        let out = parallel_map(0, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

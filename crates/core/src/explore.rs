@@ -4,14 +4,50 @@
 use crate::budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 use crate::diag::{Annotation, Diagnostics};
 use crate::graph::{HoareGraph, VertexId};
+use crate::metrics::{Metrics, Phase};
 use crate::pred::SymState;
 use crate::tau::{step, StepConfig, StepCtx, Successor};
 use crate::VerificationError;
 use hgl_elf::Binary;
 use hgl_expr::Expr;
-use hgl_solver::Layout;
+use hgl_solver::{Layout, QueryCache};
 use hgl_x86::{decode, Instr};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything one exploration step needs from its surroundings: the
+/// binary, the tunables, the shared budget meter, and the optional
+/// solver cache and metrics sink. Bundling these keeps
+/// [`FnExploration::run`]'s signature stable as the pipeline grows
+/// cross-cutting services.
+#[derive(Clone, Copy)]
+pub struct ExploreCx<'a> {
+    /// The binary being lifted.
+    pub binary: &'a Binary,
+    /// Its section layout.
+    pub layout: &'a Layout,
+    /// Stepping tunables.
+    pub step: &'a StepConfig,
+    /// Exploration limits.
+    pub limits: &'a ExploreLimits,
+    /// The configured budget (per-function dimensions).
+    pub budget: &'a Budget,
+    /// Shared consumption counters.
+    pub meter: &'a BudgetMeter,
+    /// Shared solver-query memo table, if the caller runs one.
+    pub cache: Option<&'a Arc<QueryCache>>,
+    /// Metrics sink, if the caller collects phase timings.
+    pub metrics: Option<&'a Metrics>,
+}
+
+/// Time `f` under `phase` when a metrics sink is present; otherwise
+/// run it untimed (the legacy free functions pay zero overhead).
+fn timed<T>(metrics: Option<&Metrics>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match metrics {
+        Some(m) => m.time(phase, f),
+        None => f(),
+    }
+}
 
 /// An entry in the exploration bag.
 #[derive(Debug, Clone)]
@@ -156,21 +192,11 @@ impl FnExploration {
     /// [`Annotation::BudgetFrontier`], and [`FnExploration::exhausted`]
     /// records the dimension. Only verification failures set
     /// [`FnExploration::rejected`].
-    #[allow(clippy::too_many_arguments)]
-    pub fn run(
-        &mut self,
-        binary: &Binary,
-        layout: &Layout,
-        step_config: &StepConfig,
-        limits: &ExploreLimits,
-        fresh: &mut u64,
-        budget: &Budget,
-        meter: &BudgetMeter,
-    ) -> bool {
+    pub fn run(&mut self, cx: &ExploreCx<'_>, fresh: &mut u64) -> bool {
         let mut worked = false;
         while let Some(item) = self.bag.pop() {
             worked = true;
-            if meter.check_global().is_some() {
+            if cx.meter.check_global().is_some() {
                 // Global dimensions (wall clock, solver queries, forks)
                 // are reported at the lift level; keep the item so the
                 // driver can annotate the frontier across all functions.
@@ -178,16 +204,16 @@ impl FnExploration {
                 return worked;
             }
             let states = self.graph.state_count();
-            if states > limits.max_states {
+            if states > cx.limits.max_states {
                 self.bag.push(item);
                 self.mark_frontier(BudgetExhausted {
                     dimension: BudgetDim::States,
                     used: states as u64,
-                    limit: limits.max_states as u64,
+                    limit: cx.limits.max_states as u64,
                 });
                 return worked;
             }
-            if let Some(max_fuel) = budget.max_fuel {
+            if let Some(max_fuel) = cx.budget.max_fuel {
                 if self.steps as u64 >= max_fuel {
                     self.bag.push(item);
                     self.mark_frontier(BudgetExhausted {
@@ -202,7 +228,7 @@ impl FnExploration {
                 self.bag.clear();
                 return worked;
             }
-            self.explore_item(binary, layout, step_config, limits, fresh, meter, item);
+            self.explore_item(cx, fresh, item);
         }
         worked
     }
@@ -224,17 +250,8 @@ impl FnExploration {
     }
 
     /// One iteration of Algorithm 1's `explore`.
-    #[allow(clippy::too_many_arguments)]
-    fn explore_item(
-        &mut self,
-        binary: &Binary,
-        layout: &Layout,
-        step_config: &StepConfig,
-        limits: &ExploreLimits,
-        fresh: &mut u64,
-        meter: &BudgetMeter,
-        item: BagItem,
-    ) {
+    fn explore_item(&mut self, cx: &ExploreCx<'_>, fresh: &mut u64, item: BagItem) {
+        let ExploreCx { binary, layout, step: step_config, limits, meter, .. } = *cx;
         let BagItem { addr, state, from } = item;
 
         // Lines 3–9: find a compatible vertex, join or create.
@@ -259,7 +276,7 @@ impl FnExploration {
                     let joins = self.join_counts.entry(vid).or_insert(0);
                     *joins += 1;
                     let widen = *joins > limits.widen_after;
-                    let joined = state.join(&existing, widen);
+                    let joined = timed(cx.metrics, Phase::Join, || state.join(&existing, widen));
                     self.graph.add_vertex(vid, joined.clone(), true);
                     (vid, Some(joined))
                 }
@@ -281,7 +298,9 @@ impl FnExploration {
         // concrete states; exploring them wastes effort and can poison
         // interval reasoning. Prune.
         meter.count_solver_query();
-        let sat_check = hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout.clone());
+        let sat_check = timed(cx.metrics, Phase::Solver, || {
+            hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout.clone())
+        });
         if sat_check.is_unsat() {
             return;
         }
@@ -291,7 +310,7 @@ impl FnExploration {
             self.rejected = Some(VerificationError::JumpOutsideText { addr, target: addr });
             return;
         };
-        let instr = match decode(window, addr) {
+        let instr = match timed(cx.metrics, Phase::Decode, || decode(window, addr)) {
             Ok(i) => i,
             Err(e) => {
                 self.rejected =
@@ -309,8 +328,11 @@ impl FnExploration {
             fresh,
             diags: &mut self.diags,
             meter,
+            cache: cx.cache.cloned(),
+            metrics: cx.metrics,
         };
-        let successors = match step(&mut ctx, &state, &instr, self.entry) {
+        let successors = match timed(cx.metrics, Phase::Tau, || step(&mut ctx, &state, &instr, self.entry))
+        {
             Ok(s) => s,
             Err(e) => {
                 self.rejected = Some(e);
@@ -340,7 +362,7 @@ impl FnExploration {
                 Successor::Return(s) => {
                     // All return paths share the Exit vertex: join.
                     let joined = match self.graph.vertices.get(&VertexId::Exit) {
-                        Some(v) => s.join(&v.state, false),
+                        Some(v) => timed(cx.metrics, Phase::Join, || s.join(&v.state, false)),
                         None => s,
                     };
                     self.graph.add_vertex(VertexId::Exit, joined, true);

@@ -25,14 +25,18 @@
 //! - [`graph`]: the extracted Hoare Graph itself;
 //! - [`diag`]: verification errors, unsoundness annotations and
 //!   generated proof obligations (§5.3);
-//! - [`lift`]: the top-level [`lift`](lift::lift) entry point and
+//! - [`engine`]: the [`Lifter`](engine::Lifter) session API and the
+//!   parallel whole-binary engine with its shared solver-query cache;
+//! - [`lift`]: the sequential single-entry driver and
 //!   [`LiftConfig`](lift::LiftConfig);
+//! - [`metrics`]: the phase-level [`Metrics`](metrics::Metrics) sink
+//!   behind `hgl lift --metrics`;
 //! - [`budget`]: layered resource budgets (wall clock, fuel, solver
 //!   queries, forks) behind the graceful-degradation machinery.
 //!
 //! ```
 //! use hgl_asm::Asm;
-//! use hgl_core::lift::{lift, LiftConfig};
+//! use hgl_core::{Lifter, LiftConfig};
 //! use hgl_x86::{Instr, Mnemonic, Operand, Reg, Width};
 //!
 //! let mut asm = Asm::new();
@@ -43,7 +47,7 @@
 //! asm.ret();
 //! let bin = asm.entry("main").assemble()?;
 //!
-//! let result = lift(&bin, &LiftConfig::default());
+//! let result = Lifter::new(&bin).with_config(LiftConfig::default()).lift_entry(bin.entry);
 //! let f = result.functions.values().next().expect("one function");
 //! assert!(f.verification_errors.is_empty());
 //! assert!(f.returns);
@@ -55,16 +59,21 @@
 
 pub mod budget;
 pub mod diag;
+pub mod engine;
 pub mod explore;
 pub mod graph;
 pub mod lift;
 pub mod memmodel;
+pub mod metrics;
 pub mod pred;
 pub mod tau;
 
 pub use budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 pub use diag::{Annotation, ProofObligation, VerificationError};
+pub use engine::{parallel_map, BinaryLiftReport, Lifter};
 pub use graph::{Edge, HoareGraph, Vertex, VertexId};
+#[allow(deprecated)]
 pub use lift::{lift, lift_bytes, FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
+pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use pred::{FlagState, Pred, SymState};

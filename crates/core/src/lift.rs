@@ -1,8 +1,12 @@
-//! The top-level lifting driver.
+//! The single-entry lifting driver and its configuration.
 //!
-//! [`lift`] starts from a binary's entry point (the "Binaries" mode of
-//! Table 1); [`lift_function`] starts from an arbitrary function
-//! address (the "Library functions" mode used for shared objects).
+//! The preferred entry point is the [`Lifter`](crate::engine::Lifter)
+//! session builder in [`engine`](crate::engine):
+//! `Lifter::new(&binary).lift_all()` lifts every discovered function on
+//! a worker pool, `.lift_entry(addr)` lifts the closure of one entry.
+//! The free functions [`lift`], [`lift_function`] and [`lift_bytes`]
+//! remain as deprecated thin wrappers over that API.
+//!
 //! Either way, internal calls are handled compositionally: every
 //! function is explored exactly once from a fresh context-free state
 //! (§4.2.2), and return sites become reachable only when their callee
@@ -10,16 +14,33 @@
 
 use crate::budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 use crate::diag::{Annotation, ProofObligation, VerificationError};
-use crate::explore::{ExploreLimits, FnExploration};
+use crate::explore::{ExploreCx, ExploreLimits, FnExploration};
 use crate::graph::HoareGraph;
+use crate::metrics::Metrics;
 use crate::tau::StepConfig;
 use hgl_elf::Binary;
-use hgl_solver::{Assumption, Layout};
+use hgl_solver::{Assumption, Layout, QueryCache};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Lifting configuration.
+/// Lifting configuration, assembled with chained builder methods:
+///
+/// ```
+/// use hgl_core::lift::LiftConfig;
+/// use hgl_core::budget::Budget;
+/// use std::time::Duration;
+///
+/// let cfg = LiftConfig::default()
+///     .timeout(Duration::from_secs(30))
+///     .max_solver_queries(50_000);
+/// assert_eq!(cfg.budget.wall_clock, Some(Duration::from_secs(30)));
+/// assert_eq!(cfg.budget.max_solver_queries, Some(50_000));
+/// ```
+///
+/// Each method touches only its own knob, so a timeout composes with
+/// budget dimensions set before or after it.
 #[derive(Debug, Clone, Default)]
 pub struct LiftConfig {
     /// Layered resource budget (the paper used a single 4 h wall clock
@@ -35,8 +56,52 @@ pub struct LiftConfig {
 impl LiftConfig {
     /// A config whose budget is a bare wall-clock deadline (the legacy
     /// `timeout` field).
+    #[deprecated(since = "0.4.0", note = "use `LiftConfig::default().timeout(..)`")]
     pub fn with_timeout(timeout: Duration) -> LiftConfig {
-        LiftConfig { budget: Budget::from_timeout(timeout), ..LiftConfig::default() }
+        LiftConfig::default().timeout(timeout)
+    }
+
+    /// Sets the wall-clock deadline, leaving every other budget
+    /// dimension untouched.
+    pub fn timeout(mut self, timeout: Duration) -> LiftConfig {
+        self.budget.wall_clock = Some(timeout);
+        self
+    }
+
+    /// Replaces the whole layered budget.
+    pub fn budget(mut self, budget: Budget) -> LiftConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the per-function step-fuel limit.
+    pub fn max_fuel(mut self, fuel: u64) -> LiftConfig {
+        self.budget.max_fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the global solver-query limit.
+    pub fn max_solver_queries(mut self, queries: u64) -> LiftConfig {
+        self.budget.max_solver_queries = Some(queries);
+        self
+    }
+
+    /// Sets the global memory-model fork limit.
+    pub fn max_forks(mut self, forks: u64) -> LiftConfig {
+        self.budget.max_forks = Some(forks);
+        self
+    }
+
+    /// Replaces the stepping tunables.
+    pub fn step(mut self, step: StepConfig) -> LiftConfig {
+        self.step = step;
+        self
+    }
+
+    /// Replaces the exploration limits.
+    pub fn limits(mut self, limits: ExploreLimits) -> LiftConfig {
+        self.limits = limits;
+        self
     }
 }
 
@@ -247,7 +312,7 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Isolates a panic in `f` into a `RejectReason::Internal` lift result,
 /// so a pipeline fault on one unit never takes down the caller.
-fn isolated(stage: &'static str, f: impl FnOnce() -> LiftResult) -> LiftResult {
+pub(crate) fn isolated(stage: &'static str, f: impl FnOnce() -> LiftResult) -> LiftResult {
     let start = Instant::now();
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(result) => result,
@@ -260,26 +325,39 @@ fn isolated(stage: &'static str, f: impl FnOnce() -> LiftResult) -> LiftResult {
 }
 
 /// Lift a binary from its entry point.
+#[deprecated(since = "0.4.0", note = "use `Lifter::new(&binary).lift_entry(binary.entry)`")]
 pub fn lift(binary: &Binary, config: &LiftConfig) -> LiftResult {
-    isolated("lift", || lift_from(binary, binary.entry, config))
+    crate::engine::Lifter::new(binary).with_config(config.clone()).lift_entry(binary.entry)
 }
 
 /// Lift starting from a specific function address (library mode).
+#[deprecated(since = "0.4.0", note = "use `Lifter::new(&binary).lift_entry(entry)`")]
 pub fn lift_function(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
-    isolated("lift", || lift_from(binary, entry, config))
+    crate::engine::Lifter::new(binary).with_config(config.clone()).lift_entry(entry)
 }
 
 /// Parse raw bytes as an ELF image and lift it from its entry point.
-///
-/// This is the untrusted-input front door: a malformed image yields
+#[deprecated(since = "0.4.0", note = "use `Lifter::from_bytes(bytes, config)`")]
+pub fn lift_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
+    lift_bytes_impl(bytes, config)
+}
+
+/// The untrusted-input front door behind [`Lifter::from_bytes`]
+/// (and the deprecated [`lift_bytes`]): a malformed image yields
 /// `RejectReason::MalformedBinary` (and a parser panic, should one
 /// survive the hardened reader, is isolated into
 /// `RejectReason::Internal`) — never a crash of the caller.
-pub fn lift_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
+///
+/// [`Lifter::from_bytes`]: crate::engine::Lifter::from_bytes
+pub(crate) fn lift_bytes_impl(bytes: &[u8], config: &LiftConfig) -> LiftResult {
     let start = Instant::now();
     let parsed = catch_unwind(AssertUnwindSafe(|| Binary::parse(bytes)));
     let reject = match parsed {
-        Ok(Ok(binary)) => return lift(&binary, config),
+        Ok(Ok(binary)) => {
+            return crate::engine::Lifter::new(&binary)
+                .with_config(config.clone())
+                .lift_entry(binary.entry)
+        }
         Ok(Err(e)) => RejectReason::MalformedBinary { message: e.to_string() },
         Err(payload) => RejectReason::Internal { stage: "parse", message: panic_message(payload) },
     };
@@ -290,26 +368,43 @@ pub fn lift_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
     }
 }
 
+/// Concurrency scope check (§1): binaries calling `pthread_*` are out
+/// of scope and rejected whole.
+pub(crate) fn concurrency_reject(binary: &Binary) -> Option<RejectReason> {
+    binary
+        .externals
+        .values()
+        .any(|n| n.starts_with("pthread_") && n != "pthread_exit")
+        .then_some(RejectReason::Concurrency)
+}
+
 /// Maps a global budget exhaustion onto the reject taxonomy.
-fn reject_of_exhaustion(ex: &BudgetExhausted) -> RejectReason {
+pub(crate) fn reject_of_exhaustion(ex: &BudgetExhausted) -> RejectReason {
     match ex.dimension {
         BudgetDim::WallClock => RejectReason::Timeout,
         dimension => RejectReason::StateBudget { dimension, used: ex.used, limit: ex.limit },
     }
 }
 
-fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
+/// The legacy single-entry driver: explores `entry`'s call closure
+/// function-by-function with one global fresh-symbol counter. Both the
+/// deprecated free functions and [`Lifter::lift_entry`] land here; the
+/// engine attaches its solver cache and metrics sink, the free
+/// functions pass `None` for both.
+///
+/// [`Lifter::lift_entry`]: crate::engine::Lifter::lift_entry
+pub(crate) fn lift_from(
+    binary: &Binary,
+    entry: u64,
+    config: &LiftConfig,
+    cache: Option<&Arc<QueryCache>>,
+    metrics: Option<&Metrics>,
+) -> LiftResult {
     let start = Instant::now();
     let mut result = LiftResult::default();
 
-    // Concurrency scope check (§1): binaries calling pthread_* are out
-    // of scope.
-    if binary
-        .externals
-        .values()
-        .any(|n| n.starts_with("pthread_") && n != "pthread_exit")
-    {
-        result.binary_reject = Some(RejectReason::Concurrency);
+    if let Some(reject) = concurrency_reject(binary) {
+        result.binary_reject = Some(reject);
         result.elapsed = start.elapsed();
         return result;
     }
@@ -393,9 +488,17 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
         // Panic isolation: a fault while exploring one function becomes
         // an `Internal` reject for that function; the remaining
         // functions of the unit still lift.
-        let ran = catch_unwind(AssertUnwindSafe(|| {
-            e.run(binary, &layout, &config.step, &config.limits, &mut fresh, &config.budget, &meter)
-        }));
+        let cx = ExploreCx {
+            binary,
+            layout: &layout,
+            step: &config.step,
+            limits: &config.limits,
+            budget: &config.budget,
+            meter: &meter,
+            cache,
+            metrics,
+        };
+        let ran = catch_unwind(AssertUnwindSafe(|| e.run(&cx, &mut fresh)));
         if let Err(payload) = ran {
             e.bag.clear();
             e.pending.clear();
@@ -411,7 +514,21 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
         }
     }
 
-    // Assemble per-function results; propagate callee rejection.
+    assemble(explorations, internal_errors, &mut result);
+    result.elapsed = start.elapsed();
+    result
+}
+
+/// Assembles per-function explorations into [`FnLift`] results,
+/// propagating callee rejection (a function whose reachable callee was
+/// rejected is itself rejected with [`RejectReason::CalleeRejected`]).
+/// Shared by the legacy driver and the parallel engine so the two
+/// cannot drift in how verdicts are derived.
+pub(crate) fn assemble(
+    explorations: BTreeMap<u64, FnExploration>,
+    mut internal_errors: BTreeMap<u64, String>,
+    result: &mut LiftResult,
+) {
     let rejected_fns: Vec<u64> = explorations
         .iter()
         .filter(|(a, e)| {
@@ -457,6 +574,4 @@ fn lift_from(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
             },
         );
     }
-    result.elapsed = start.elapsed();
-    result
 }

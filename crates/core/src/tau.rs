@@ -47,6 +47,11 @@ pub struct StepCtx<'a> {
     pub diags: &'a mut Diagnostics,
     /// Budget consumption counters (solver queries, forks).
     pub meter: &'a BudgetMeter,
+    /// Shared solver-query memo table, attached to every solver
+    /// context this step constructs. `None` outside an engine session.
+    pub cache: Option<std::sync::Arc<hgl_solver::QueryCache>>,
+    /// Metrics sink for phase timings. `None` disables timing.
+    pub metrics: Option<&'a crate::metrics::Metrics>,
 }
 
 impl<'a> StepCtx<'a> {
@@ -58,7 +63,15 @@ impl<'a> StepCtx<'a> {
 
     fn solver_ctx(&self, pred: &Pred) -> Ctx {
         self.meter.count_solver_query();
-        Ctx::from_clauses(pred.clauses.iter(), self.layout.clone())
+        let build = || Ctx::from_clauses(pred.clauses.iter(), self.layout.clone());
+        let ctx = match self.metrics {
+            Some(m) => m.time(crate::metrics::Phase::Solver, build),
+            None => build(),
+        };
+        match &self.cache {
+            Some(cache) => ctx.with_cache(std::sync::Arc::clone(cache)),
+            None => ctx,
+        }
     }
 }
 
@@ -1314,6 +1327,8 @@ mod tests {
                 fresh: &mut fresh,
                 diags: &mut diags,
                 meter: &meter,
+                cache: None,
+                metrics: None,
             };
             step(&mut ctx, state, instr, BASE).expect("steps")
         };
@@ -1476,6 +1491,8 @@ mod tests {
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
+            cache: None,
+            metrics: None,
         };
         let succ = step(&mut ctx, &s0, &bin_instr, BASE).expect("steps");
         assert!(succ.is_empty(), "exit terminates the path");
@@ -1528,6 +1545,8 @@ mod tests {
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
+            cache: None,
+            metrics: None,
         };
         let r = step(&mut ctx, &s0, &store, BASE);
         assert!(
@@ -1572,6 +1591,8 @@ mod tests {
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
+            cache: None,
+            metrics: None,
         };
         let r = step(&mut ctx, &s0, &jmp, BASE);
         assert!(matches!(r, Err(VerificationError::JumpOutsideText { .. })));

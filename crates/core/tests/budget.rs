@@ -3,8 +3,8 @@
 //! unexplored frontier, and reports a structured resource reject.
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig, RejectReason};
-use hgl_core::{Annotation, BudgetDim};
+use hgl_core::lift::{LiftConfig, RejectReason};
+use hgl_core::{Annotation, BudgetDim, Lifter};
 use hgl_elf::Binary;
 use hgl_x86::{Cond, Instr, Mnemonic, Operand, Reg, Width};
 use std::time::Duration;
@@ -49,7 +49,7 @@ fn fuel_exhaustion_keeps_partial_graph_with_frontier() {
     let mut config = LiftConfig::default();
     config.budget.max_fuel = Some(10);
 
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(!result.is_lifted(), "fuel budget must reject the lift");
 
     let f = &result.functions[&bin.entry];
@@ -90,7 +90,7 @@ fn expired_wall_clock_rejects_with_timeout() {
     config.budget.wall_clock = Some(Duration::ZERO);
     std::thread::sleep(Duration::from_millis(2));
 
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     assert_eq!(result.binary_reject, Some(RejectReason::Timeout));
     // A resource reject, not a soundness verdict.
@@ -103,7 +103,7 @@ fn solver_query_budget_trips_as_state_budget() {
     let mut config = LiftConfig::default();
     config.budget.max_solver_queries = Some(1);
 
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     match result.reject_reason() {
         Some(RejectReason::StateBudget { dimension: BudgetDim::SolverQueries, limit: 1, .. }) => {}
@@ -117,7 +117,7 @@ fn fork_budget_trips_as_state_budget() {
     let mut config = LiftConfig::default();
     config.budget.max_forks = Some(0);
 
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     match result.reject_reason() {
         Some(RejectReason::StateBudget { dimension: BudgetDim::Forks, limit: 0, .. }) => {}
@@ -129,7 +129,47 @@ fn fork_budget_trips_as_state_budget() {
 fn unlimited_budget_lifts_everything() {
     let bin = long_function(40);
     let config = LiftConfig { budget: hgl_core::Budget::unlimited(), ..LiftConfig::default() };
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert_eq!(result.instruction_count(), 41); // 40 movs + ret
+}
+
+/// The builder knobs compose: each method touches only its own
+/// dimension, so chaining them accumulates instead of clobbering.
+#[test]
+fn builder_knobs_compose_without_clobbering() {
+    let config = LiftConfig::default()
+        .timeout(Duration::from_secs(7))
+        .max_fuel(123)
+        .max_solver_queries(456)
+        .max_forks(789);
+    assert_eq!(config.budget.wall_clock, Some(Duration::from_secs(7)));
+    assert_eq!(config.budget.max_fuel, Some(123));
+    assert_eq!(config.budget.max_solver_queries, Some(456));
+    assert_eq!(config.budget.max_forks, Some(789));
+
+    // Order independence: the same knobs in reverse give the same config.
+    let reversed = LiftConfig::default()
+        .max_forks(789)
+        .max_solver_queries(456)
+        .max_fuel(123)
+        .timeout(Duration::from_secs(7));
+    assert_eq!(reversed.budget, config.budget);
+
+    // A whole-budget override still composes with a later knob.
+    let layered = LiftConfig::default()
+        .budget(hgl_core::Budget::unlimited())
+        .timeout(Duration::from_secs(1));
+    assert_eq!(layered.budget.wall_clock, Some(Duration::from_secs(1)));
+    assert_eq!(layered.budget.max_fuel, None);
+
+    // And a composed config actually binds: the fuel knob trips on a
+    // binary the timeout alone would have let through.
+    let bin = long_function(40);
+    let strict = LiftConfig::default().timeout(Duration::from_secs(60)).max_fuel(10);
+    let result = Lifter::new(&bin).with_config(strict).lift_entry(bin.entry);
+    match result.reject_reason() {
+        Some(RejectReason::StateBudget { dimension: BudgetDim::Fuel, .. }) => {}
+        other => panic!("expected fuel StateBudget, got {other:?}"),
+    }
 }

@@ -79,6 +79,8 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<FlagSetup>
         fresh: &mut fresh,
         diags: &mut diags,
         meter: &meter,
+        cache: None,
+        metrics: None,
     };
     let successors = match step(&mut ctx, &state, &placed, CODE_BASE) {
         Ok(s) => s,

@@ -3,7 +3,8 @@
 //! edge, Table 1's rejection categories, and the §5.3 failure cases.
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, lift_function, LiftConfig, RejectReason};
+use hgl_core::lift::{LiftConfig, RejectReason};
+use hgl_core::Lifter;
 use hgl_core::{Annotation, VerificationError, VertexId};
 use hgl_solver::AssumptionKind;
 use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
@@ -34,7 +35,7 @@ fn simple_frame_function_lifts() {
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns, "function provably returns");
@@ -59,7 +60,7 @@ fn internal_call_chain() {
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert_eq!(result.functions.len(), 2, "both functions explored");
     for f in result.functions.values() {
@@ -81,7 +82,7 @@ fn call_to_exit_never_returns() {
     asm.ret(); // unreachable
     let bin = asm.entry("main").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted());
     let f = &result.functions[&bin.entry];
     assert!(!f.returns, "exit never returns");
@@ -111,7 +112,7 @@ fn external_call_generates_obligation() {
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns, "frame preserved by assumption; ret verifies");
@@ -151,7 +152,7 @@ fn buffer_overflow_rejected() {
     asm.ret();
     let bin = asm.entry("bad").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(!result.is_lifted(), "overflow must reject");
     match result.reject_reason() {
         Some(RejectReason::Verification(VerificationError::ReturnAddressClobbered { .. })) => {}
@@ -191,7 +192,7 @@ fn bounded_stack_write_lifts() {
     asm.ret();
     let bin = asm.entry("good").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert!(result.functions[&bin.entry].returns);
 }
@@ -235,7 +236,7 @@ fn jump_table_resolved() {
     asm.jump_table("table", &["case0", "case1", "case2"]);
     let bin = asm.entry("dispatch").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns);
@@ -308,7 +309,7 @@ fn weird_edge_found() {
     };
     let gadget = carrier_addr + 1;
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns);
@@ -348,7 +349,7 @@ fn callback_annotated_not_rejected() {
     asm.ret();
     let bin = asm.entry("invoke").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns);
@@ -375,7 +376,7 @@ fn stack_probing_rejected() {
     asm.ret();
     let bin = asm.entry("user").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     match result.reject_reason() {
         Some(RejectReason::Verification(
@@ -396,7 +397,7 @@ fn nonstandard_rsp_restore_rejected() {
     asm.ret();
     let bin = asm.entry("f").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     match result.reject_reason() {
         Some(RejectReason::Verification(VerificationError::NonStandardStackRestore { rsp, .. })) => {
@@ -416,7 +417,7 @@ fn callee_saved_violation_rejected() {
     asm.ret();
     let bin = asm.entry("f").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(!result.is_lifted());
     match result.reject_reason() {
         Some(RejectReason::Verification(VerificationError::CallingConventionViolation {
@@ -439,7 +440,7 @@ fn push_pop_callee_saved_lifts() {
     asm.ret();
     let bin = asm.entry("f").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert!(result.functions[&bin.entry].returns);
 }
@@ -454,7 +455,7 @@ fn pthread_binary_rejected_as_concurrency() {
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert_eq!(result.reject_reason(), Some(RejectReason::Concurrency));
 }
 
@@ -474,7 +475,7 @@ fn lift_function_library_mode() {
     let bin = asm.entry("main").assemble().expect("assembles");
     let addr = *bin.symbols.iter().find(|(_, n)| *n == "do_thing").expect("symbol").0;
 
-    let result = lift_function(&bin, addr, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(addr);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert!(result.functions[&addr].returns);
     assert_eq!(result.functions[&addr].graph.instruction_count(), 4);
@@ -496,7 +497,7 @@ fn loop_reaches_fixpoint() {
 
     let mut config = LiftConfig::default();
     config.budget.wall_clock = Some(std::time::Duration::from_secs(20));
-    let result = lift(&bin, &config);
+    let result = Lifter::new(&bin).with_config(config.clone()).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(f.returns);
@@ -516,7 +517,7 @@ fn caller_pointer_assumptions_recorded() {
     asm.ret();
     let bin = asm.entry("f").assemble().expect("assembles");
 
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     assert!(

@@ -77,12 +77,12 @@ pub fn build_all(seed: u64) -> Vec<(CoreutilsSpec, Binary)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgl_core::lift::{lift, LiftConfig};
+    use hgl_core::Lifter;
 
     #[test]
     fn all_coreutils_binaries_lift_cleanly() {
         for (spec, bin) in build_all(1) {
-            let result = lift(&bin, &LiftConfig::default());
+            let result = Lifter::new(&bin).lift_entry(bin.entry);
             assert!(
                 result.is_lifted(),
                 "{}: rejected: {:?}",

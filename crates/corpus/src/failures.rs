@@ -128,13 +128,13 @@ pub fn induced_overflow() -> Binary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgl_core::lift::{lift, LiftConfig, RejectReason};
+    use hgl_core::{Lifter, RejectReason};
     use hgl_core::VerificationError;
 
     #[test]
     fn ret2win_lifts_with_obligation() {
         let bin = ret2win();
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
         let f = &result.functions[&bin.entry];
         let ob = f.obligations.iter().find(|o| o.callee == "memset").expect("obligation");
@@ -145,7 +145,8 @@ mod tests {
 
     #[test]
     fn stack_probe_rejected() {
-        let result = lift(&stack_probe(), &LiftConfig::default());
+        let bin = stack_probe();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
         assert!(matches!(
             result.reject_reason(),
@@ -158,7 +159,8 @@ mod tests {
 
     #[test]
     fn nonstandard_rsp_rejected() {
-        let result = lift(&nonstandard_rsp(), &LiftConfig::default());
+        let bin = nonstandard_rsp();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
         match result.reject_reason() {
             Some(RejectReason::Verification(VerificationError::NonStandardStackRestore {
@@ -173,7 +175,8 @@ mod tests {
 
     #[test]
     fn callee_saved_clobber_rejected() {
-        let result = lift(&callee_saved_clobber(), &LiftConfig::default());
+        let bin = callee_saved_clobber();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
         assert!(matches!(
             result.reject_reason(),
@@ -185,7 +188,8 @@ mod tests {
 
     #[test]
     fn ret_slot_overwrite_rejected() {
-        let result = lift(&ret_slot_overwrite(), &LiftConfig::default());
+        let bin = ret_slot_overwrite();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
         assert!(matches!(
             result.reject_reason(),
@@ -195,7 +199,8 @@ mod tests {
 
     #[test]
     fn induced_overflow_rejected() {
-        let result = lift(&induced_overflow(), &LiftConfig::default());
+        let bin = induced_overflow();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
     }
 }

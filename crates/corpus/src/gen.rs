@@ -516,7 +516,7 @@ fn pick(rng: &mut SmallRng, pool: &[String]) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgl_core::lift::{lift, LiftConfig};
+    use hgl_core::Lifter;
     use rand::SeedableRng;
 
     #[test]
@@ -528,7 +528,7 @@ mod tests {
             pg.gen_function("main", &mut rng, &opts);
             pg.asm.entry("main");
             let bin = pg.asm.assemble().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            let result = lift(&bin, &LiftConfig::default());
+            let result = Lifter::new(&bin).lift_entry(bin.entry);
             assert!(
                 result.is_lifted(),
                 "seed {seed}: rejected: {:?}",
@@ -544,7 +544,7 @@ mod tests {
         pg.gen_overflow_function("bad");
         pg.asm.entry("bad");
         let bin = pg.asm.assemble().expect("assembles");
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(!result.is_lifted());
     }
 
@@ -563,7 +563,7 @@ mod tests {
         assert!(spec.callbacks > 0);
         pg.asm.entry("cb");
         let bin = pg.asm.assemble().expect("assembles");
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
         let f = &result.functions[&bin.entry];
         let (_, _, c) = result.indirection_counts();
@@ -585,7 +585,7 @@ mod tests {
         assert!(spec.jump_tables > 0);
         pg.asm.entry("jt");
         let bin = pg.asm.assemble().expect("assembles");
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
         let (a, b, _) = result.indirection_counts();
         assert_eq!(a, spec.jump_tables, "all tables resolved");

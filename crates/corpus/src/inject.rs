@@ -10,7 +10,8 @@
 //! tallying how every case terminated. `tests/fault_injection.rs`
 //! asserts the campaign invariants: zero panics, zero hangs.
 
-use hgl_core::lift::{lift_bytes, LiftConfig, LiftResult, RejectReason};
+use hgl_core::lift::{LiftConfig, LiftResult, RejectReason};
+use hgl_core::Lifter;
 use hgl_elf::{Binary, Builder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -214,7 +215,7 @@ impl CampaignStats {
 /// Run `cases` faulted lifts of `pristine`, drawing faults from `seed`.
 ///
 /// Every case goes through the full byte-level pipeline
-/// ([`lift_bytes`]): parse the corrupted image, then lift under
+/// ([`Lifter::from_bytes`]): parse the corrupted image, then lift under
 /// `config`'s budget. Panics anywhere in that pipeline are isolated
 /// into [`RejectReason::Internal`] and show up in
 /// [`CampaignStats::internal`] — they never propagate to the caller.
@@ -226,7 +227,7 @@ pub fn run_campaign(pristine: &[u8], config: &LiftConfig, seed: u64, cases: usiz
         let mut image = pristine.to_vec();
         fault.apply(&mut image);
         let start = Instant::now();
-        let result = lift_bytes(&image, config);
+        let result = Lifter::from_bytes(&image, config);
         stats.tally(&result, start.elapsed());
     }
     stats
@@ -250,7 +251,7 @@ mod tests {
     fn pristine_image_roundtrips() {
         let image = pristine();
         let bin = Binary::parse(&image).expect("parses");
-        let result = lift_bytes(&image, &LiftConfig::default());
+        let result = Lifter::from_bytes(&image, &LiftConfig::default());
         assert!(result.reject_reason().is_none(), "pristine image lifts: {:?}", result.reject_reason());
         assert!(bin.segments.iter().any(|s| s.flags.x));
     }
@@ -271,7 +272,7 @@ mod tests {
             let mut corrupt = image.clone();
             fault.apply(&mut corrupt);
             // Must terminate and classify; panics would fail the test.
-            let _ = lift_bytes(&corrupt, &LiftConfig::default());
+            let _ = Lifter::from_bytes(&corrupt, &LiftConfig::default());
         }
     }
 

@@ -10,7 +10,8 @@
 //! Table 1.
 
 use crate::gen::{GenOptions, ProgramGen};
-use hgl_core::lift::{lift, lift_function, LiftConfig, LiftResult, RejectReason};
+use hgl_core::lift::{LiftConfig, LiftResult, RejectReason};
+use hgl_core::Lifter;
 use hgl_elf::Binary;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -135,6 +136,15 @@ impl StudySpec {
 pub struct XenStudy {
     /// All units, grouped by directory order of the spec.
     pub units: Vec<CorpusUnit>,
+}
+
+/// Build one liftable multi-function binary from a seed: the corpus
+/// generator behind the `Lifted` rows, exposed for harnesses (the
+/// engine determinism test, the bench driver) that need realistic
+/// whole binaries with several exported functions.
+pub fn gen_study_binary(seed: u64, is_library: bool) -> Binary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    gen_lifted_binary(&mut rng, is_library)
 }
 
 /// Build one liftable multi-function binary.
@@ -337,11 +347,14 @@ pub struct UnitResult {
     pub reject: Option<RejectReason>,
 }
 
-/// Lift one corpus unit with the mode matching its kind.
+/// Lift one corpus unit with the mode matching its kind: a one-shot
+/// [`Lifter`] session from the binary's entry point or the exported
+/// symbol.
 pub fn lift_unit(u: &CorpusUnit, config: &LiftConfig) -> LiftResult {
+    let lifter = Lifter::new(&u.binary).with_config(config.clone());
     match u.kind {
-        UnitKind::Binary => lift(&u.binary, config),
-        UnitKind::LibraryFunction => lift_function(&u.binary, u.entry, config),
+        UnitKind::Binary => lifter.lift_entry(u.binary.entry),
+        UnitKind::LibraryFunction => lifter.lift_entry(u.entry),
     }
 }
 
@@ -420,6 +433,10 @@ pub fn run_study_parallel(study: &XenStudy, config: &LiftConfig, workers: usize)
 /// [`run_study_parallel`] with a custom per-unit lift function. The
 /// fault-injection harness uses this to drive poisoned lift pipelines
 /// through the production study driver.
+///
+/// The worker pool is the engine's
+/// [`parallel_map`](hgl_core::parallel_map), so the corpus campaign
+/// and the whole-binary engine share one spawning path.
 pub fn run_study_parallel_with<F>(
     study: &XenStudy,
     config: &LiftConfig,
@@ -429,46 +446,16 @@ pub fn run_study_parallel_with<F>(
 where
     F: Fn(&CorpusUnit, &LiftConfig) -> LiftResult + Sync,
 {
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<UnitResult>> = Vec::new();
-    slots.resize_with(study.units.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(u) = study.units.get(i) else { break };
-                let start = Instant::now();
-                let r = match catch_unwind(AssertUnwindSafe(|| {
-                    let result = lift_fn(u, config);
-                    measure(u, &result, start.elapsed())
-                })) {
-                    Ok(r) => r,
-                    Err(payload) => internal_result(u, panic_message(payload), start.elapsed()),
-                };
-                let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
-                guard[i] = Some(r);
-            });
+    hgl_core::parallel_map(workers.max(1), study.units.iter().collect(), |u| {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            let result = lift_fn(u, config);
+            measure(u, &result, start.elapsed())
+        })) {
+            Ok(r) => r,
+            Err(payload) => internal_result(u, panic_message(payload), start.elapsed()),
         }
-    });
-    slots
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            // A worker that died before filling its slot (it should not
-            // — panics are caught above) still yields a structured
-            // verdict rather than poisoning the study.
-            r.unwrap_or_else(|| {
-                internal_result(
-                    &study.units[i],
-                    "worker terminated before completing this unit".to_string(),
-                    Duration::ZERO,
-                )
-            })
-        })
-        .collect()
+    })
 }
 
 /// A fast configuration for corpus studies: modest wall-clock and state

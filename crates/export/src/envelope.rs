@@ -1,0 +1,53 @@
+//! The shared versioned envelope of every JSON surface this crate
+//! emits.
+//!
+//! `hgl lift --json`, `hgl lint --json` and `hgl lift --metrics` all
+//! open with the same two fields,
+//!
+//! ```json
+//! {
+//!   "schema": "hgl-lift-v1",
+//!   "version": 1,
+//! ```
+//!
+//! so a consumer can dispatch on `schema` and reject documents whose
+//! `version` it does not understand without knowing anything else
+//! about the payload. The schema name carries the major revision
+//! (`-v1`); `version` is the minor, bumped when fields are *added*
+//! compatibly. Structural (breaking) changes rename the schema.
+//! The envelopes are golden-pinned in `tests/golden/`.
+
+use std::fmt::Write;
+
+/// Schema identifier of the lift-result document (`hgl lift --json`).
+pub const LIFT_SCHEMA: &str = "hgl-lift-v1";
+
+/// Schema identifier of the lint-report document (`hgl lint --json`).
+pub const LINT_SCHEMA: &str = "hgl-lint-v1";
+
+/// Schema identifier of the metrics document (`hgl lift --metrics`).
+pub const METRICS_SCHEMA: &str = "hgl-metrics-v1";
+
+/// Minor version shared by all current documents.
+pub const ENVELOPE_VERSION: u64 = 1;
+
+/// Opens a document: `{`, the `schema` field and the `version` field.
+/// The caller appends its payload fields and the closing brace.
+pub(crate) fn open(schema: &str) -> String {
+    let mut o = String::new();
+    o.push_str("{\n");
+    let _ = writeln!(o, "  \"schema\": \"{schema}\",");
+    let _ = writeln!(o, "  \"version\": {ENVELOPE_VERSION},");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape() {
+        let e = open(LIFT_SCHEMA);
+        assert_eq!(e, "{\n  \"schema\": \"hgl-lift-v1\",\n  \"version\": 1,\n");
+    }
+}

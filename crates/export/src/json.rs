@@ -10,6 +10,7 @@
 //! The emitter is hand-rolled: the document structure is fixed and
 //! tiny, so a serializer dependency would buy nothing.
 
+use crate::envelope::{open, LIFT_SCHEMA};
 use hgl_core::lift::LiftResult;
 use hgl_core::VertexId;
 use std::fmt::Write;
@@ -39,10 +40,9 @@ pub(crate) fn vid(v: VertexId) -> String {
     }
 }
 
-/// Serialise a [`LiftResult`] to a JSON string.
+/// Serialise a [`LiftResult`] to the `hgl-lift-v1` document.
 pub fn export_json(result: &LiftResult) -> String {
-    let mut o = String::new();
-    o.push_str("{\n");
+    let mut o = open(LIFT_SCHEMA);
     let _ = writeln!(o, "  \"instruction_count\": {},", result.instruction_count());
     let _ = writeln!(o, "  \"state_count\": {},", result.state_count());
     let (a, b, c) = result.indirection_counts();
@@ -185,7 +185,7 @@ fn truncate(s: &str, n: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgl_core::lift::{lift, LiftConfig};
+    use hgl_core::Lifter;
 
     fn demo() -> (hgl_elf::Binary, LiftResult) {
         let mut asm = hgl_asm::Asm::new();
@@ -194,7 +194,7 @@ mod tests {
         asm.pop(hgl_x86::Reg::Rbp);
         asm.ret();
         let bin = asm.entry("main").assemble().expect("assembles");
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         (bin, result)
     }
 

@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use hgl_asm::Asm;
-//! use hgl_core::lift::{lift, LiftConfig};
+//! use hgl_core::Lifter;
 //! use hgl_export::{export_theory, validate_lift, ValidateConfig};
 //!
 //! let mut asm = Asm::new();
@@ -33,7 +33,7 @@
 //! asm.pop(hgl_x86::Reg::Rbp);
 //! asm.ret();
 //! let bin = asm.entry("main").assemble()?;
-//! let lifted = lift(&bin, &LiftConfig::default());
+//! let lifted = Lifter::new(&bin).lift_entry(bin.entry);
 //!
 //! let thy = export_theory(&lifted, "main_binary");
 //! assert!(thy.contains("theory main_binary"));
@@ -48,13 +48,17 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod envelope;
 pub mod isabelle;
 pub mod json;
 pub mod lintjson;
+pub mod metricsjson;
 pub mod validate;
 
 pub use checker::{bind_fresh, build_machine, draw_env, post_holds, Env};
+pub use envelope::{ENVELOPE_VERSION, LIFT_SCHEMA, LINT_SCHEMA, METRICS_SCHEMA};
 pub use isabelle::export_theory;
 pub use json::{export_dot, export_json};
-pub use lintjson::{export_lint_json, LINT_SCHEMA};
+pub use lintjson::export_lint_json;
+pub use metricsjson::export_metrics_json;
 pub use validate::{validate_lift, EdgeFailure, ValidateConfig, ValidationReport};

@@ -5,12 +5,10 @@
 //! writes and diagnostics are emitted in their already-sorted order —
 //! so it is golden-snapshot tested byte-for-byte.
 
+use crate::envelope::{open, LINT_SCHEMA};
 use crate::json::{esc, vid};
 use hgl_analysis::{AnalysisReport, ClassifiedWrite};
 use std::fmt::Write;
-
-/// Schema identifier of the document this module emits.
-pub const LINT_SCHEMA: &str = "hgl-lint-v1";
 
 fn write_json(o: &mut String, w: &ClassifiedWrite) {
     let classes = w
@@ -30,12 +28,9 @@ fn write_json(o: &mut String, w: &ClassifiedWrite) {
     );
 }
 
-/// Serialise an [`AnalysisReport`] to a JSON string.
+/// Serialise an [`AnalysisReport`] to the `hgl-lint-v1` document.
 pub fn export_lint_json(report: &AnalysisReport) -> String {
-    let mut o = String::new();
-    o.push_str("{\n");
-    let _ = writeln!(o, "  \"schema\": \"{LINT_SCHEMA}\",");
-
+    let mut o = open(LINT_SCHEMA);
     let t = &report.totals;
     let _ = writeln!(
         o,

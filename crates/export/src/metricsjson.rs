@@ -1,0 +1,74 @@
+//! JSON export of a frozen metrics snapshot (`hgl lift --metrics`).
+//!
+//! The `hgl-metrics-v1` document freezes one engine run: per-phase
+//! wall time and invocation counts, binary-level gauges, the solver
+//! cache's hit/miss/eviction counters, and the worker count. The bench
+//! harness in `crates/bench` consumes it to build `BENCH_pr4.json`.
+//!
+//! Like the other JSON surfaces, the emitter is hand-rolled and fully
+//! deterministic apart from the timing values themselves.
+
+use crate::envelope::{open, METRICS_SCHEMA};
+use hgl_core::MetricsSnapshot;
+use std::fmt::Write;
+
+/// Serialise a [`MetricsSnapshot`] to the `hgl-metrics-v1` document.
+pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
+    let mut o = open(METRICS_SCHEMA);
+    let _ = writeln!(o, "  \"workers\": {},", m.workers);
+    let _ = writeln!(o, "  \"elapsed_ns\": {},", m.elapsed_nanos);
+    let _ = writeln!(o, "  \"rounds\": {},", m.rounds);
+    o.push_str("  \"phases\": [\n");
+    for (i, p) in m.phases.iter().enumerate() {
+        let _ = write!(
+            o,
+            "    {{ \"phase\": \"{}\", \"nanos\": {}, \"count\": {} }}",
+            p.phase.name(),
+            p.nanos,
+            p.count
+        );
+        o.push_str(if i + 1 < m.phases.len() { ",\n" } else { "\n" });
+    }
+    o.push_str("  ],\n");
+    let _ = writeln!(
+        o,
+        "  \"gauges\": {{ \"states\": {}, \"instructions\": {}, \"functions_lifted\": {}, \
+         \"functions_rejected\": {} }},",
+        m.states, m.instructions, m.functions_lifted, m.functions_rejected,
+    );
+    let c = &m.cache;
+    let _ = writeln!(
+        o,
+        "  \"solver_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"entries\": {}, \"hit_rate\": {:.4}, \"query_ns\": {} }}",
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.entries,
+        c.hit_rate(),
+        c.query_nanos,
+    );
+    o.push_str("}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgl_core::Metrics;
+    use std::time::Duration;
+
+    #[test]
+    fn document_shape() {
+        let m = Metrics::new();
+        m.record(hgl_core::Phase::Tau, Duration::from_nanos(40));
+        let snap = m.snapshot(None, 4, Duration::from_nanos(1000));
+        let j = export_metrics_json(&snap);
+        assert!(j.contains("\"schema\": \"hgl-metrics-v1\""), "{j}");
+        assert!(j.contains("\"version\": 1"), "{j}");
+        assert!(j.contains("\"workers\": 4"), "{j}");
+        assert!(j.contains("{ \"phase\": \"tau\", \"nanos\": 40, \"count\": 1 }"), "{j}");
+        assert!(j.contains("\"hit_rate\": 0.0000"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -16,7 +16,7 @@
 
 use hgl_analysis::{analyze, AnalysisConfig};
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::Lifter;
 use hgl_export::{export_dot, export_json, export_lint_json, export_theory};
 use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
 use std::path::PathBuf;
@@ -108,7 +108,7 @@ fn assert_golden(name: &str, actual: &str) {
 #[test]
 fn isabelle_theory_matches_golden() {
     let bin = fixed_binary();
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(lifted.is_lifted(), "fixed binary must lift");
     assert_golden("fixed.thy", &export_theory(&lifted, "fixed"));
 }
@@ -116,7 +116,7 @@ fn isabelle_theory_matches_golden() {
 #[test]
 fn json_export_matches_golden() {
     let bin = fixed_binary();
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     assert_golden("fixed.json", &export_json(&lifted));
 }
 
@@ -147,14 +147,14 @@ fn lint_binary() -> hgl_elf::Binary {
 fn lint_json_matches_golden() {
     // Clean binary: writes and per-function stats, no diagnostics.
     let bin = fixed_binary();
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     let report = analyze(&bin, &lifted, &AnalysisConfig::default());
     assert_golden("fixed_lint.json", &export_lint_json(&report));
 
     // Defective binary: the callee-saved-clobber error shows up in the
     // diags array.
     let bin = lint_binary();
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     let report = analyze(&bin, &lifted, &AnalysisConfig::default());
     assert!(!report.diags.is_empty(), "lint binary must produce diagnostics");
     assert_golden("lint.json", &export_lint_json(&report));
@@ -163,7 +163,7 @@ fn lint_json_matches_golden() {
 #[test]
 fn dot_export_matches_golden() {
     let bin = fixed_binary();
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     let dot = export_dot(&lifted, bin.entry).expect("entry function exists");
     assert_golden("fixed.dot", &dot);
 }

@@ -5,7 +5,7 @@
 //! vertex).
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::Lifter;
 use hgl_elf::Binary;
 use hgl_export::{export_theory, validate_lift, ValidateConfig};
 use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
@@ -19,7 +19,7 @@ fn mem(base: Reg, disp: i64, size: Width) -> Operand {
 }
 
 fn validate_clean(bin: &Binary, what: &str) -> hgl_export::ValidationReport {
-    let lifted = lift(bin, &LiftConfig::default());
+    let lifted = Lifter::new(bin).lift_entry(bin.entry);
     assert!(lifted.is_lifted(), "{what}: lift rejected: {:?}", lifted.reject_reason());
     let report = validate_lift(bin, &lifted, &ValidateConfig::default());
     assert!(
@@ -141,7 +141,7 @@ fn external_call_edges_are_assumed() {
     asm.call_ext("puts");
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(lifted.is_lifted());
     let report = validate_lift(&bin, &lifted, &ValidateConfig::default());
     assert!(report.all_proven());
@@ -157,7 +157,7 @@ fn theory_export_structure() {
     asm.pop(Reg::Rbp);
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(lifted.is_lifted());
     let thy = export_theory(&lifted, "demo");
 
@@ -198,7 +198,7 @@ fn validation_is_deterministic() {
     asm.ins(ins(Mnemonic::Add, vec![Operand::reg64(Reg::Rax), Operand::reg64(Reg::Rdi)], Width::B8));
     asm.ret();
     let bin = asm.entry("f").assemble().expect("assembles");
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     let r1 = validate_lift(&bin, &lifted, &ValidateConfig::default());
     let r2 = validate_lift(&bin, &lifted, &ValidateConfig::default());
     assert_eq!(r1.samples_passed, r2.samples_passed);

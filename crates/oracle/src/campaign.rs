@@ -10,7 +10,8 @@ use crate::coverage::{Coverage, CoverageFloor};
 use crate::shrink::{shrink, ShrinkResult};
 use crate::trace::{EntryState, TraceOracle, Violation};
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig, RejectReason};
+use hgl_core::lift::{LiftConfig, RejectReason};
+use hgl_core::Lifter;
 use hgl_core::{Budget, BudgetMeter};
 use hgl_corpus::{GenOptions, ProgramGen};
 use rand::rngs::SmallRng;
@@ -264,7 +265,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 continue;
             }
         };
-        let lifted = lift(&bin, &lift_cfg);
+        let lifted = Lifter::new(&bin).with_config(lift_cfg.clone()).lift_entry(bin.entry);
         if let Some(r) = &lifted.binary_reject {
             coverage.record_reject(reject_head(r));
             report.programs_skipped += 1;

@@ -16,7 +16,7 @@
 use crate::coverage::Coverage;
 use crate::trace::{EntryState, TraceOracle, ViolationKind};
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::{LiftConfig, Lifter};
 use std::collections::BTreeSet;
 
 /// A minimal reproducer for a campaign failure.
@@ -42,7 +42,7 @@ fn reproduces(
 ) -> bool {
     let candidate = asm.without_text_items(removed);
     let Ok(bin) = candidate.assemble() else { return false };
-    let lifted = lift(&bin, cfg);
+    let lifted = Lifter::new(&bin).with_config(cfg.clone()).lift_entry(bin.entry);
     if lifted.binary_reject.is_some() {
         return false;
     }

@@ -53,6 +53,10 @@ pub struct Ctx {
     /// Set when mined bounds are contradictory: the clause set is
     /// unsatisfiable and the state vacuous.
     unsat: bool,
+    /// Shared memo table consulted by [`decide`](crate::decide). A
+    /// cache must never outlive the binary whose layout it was built
+    /// under (see `cache.rs` on key soundness).
+    pub cache: Option<std::sync::Arc<crate::QueryCache>>,
 }
 
 impl Ctx {
@@ -61,13 +65,20 @@ impl Ctx {
         Ctx::default()
     }
 
+    /// Attach a shared query cache; subsequent [`decide`](crate::decide)
+    /// calls under this context memoize through it.
+    pub fn with_cache(mut self, cache: std::sync::Arc<crate::QueryCache>) -> Ctx {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Build a context from predicate clauses, mining interval bounds
     /// for single-atom left-hand sides compared against constants.
     pub fn from_clauses<'a, I>(clauses: I, layout: Layout) -> Ctx
     where
         I: IntoIterator<Item = &'a Clause>,
     {
-        let mut ctx = Ctx { bounds: BTreeMap::new(), layout, unsat: false };
+        let mut ctx = Ctx { bounds: BTreeMap::new(), layout, unsat: false, cache: None };
         for c in clauses {
             ctx.add_clause(c);
         }

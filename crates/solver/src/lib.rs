@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod assumptions;
+mod cache;
 mod ctx;
 mod region;
 mod relation;
 
 pub use assumptions::{Assumption, AssumptionKind};
+pub use cache::{CacheStats, QueryCache, QueryKey};
 pub use ctx::{Ctx, Layout, Provenance};
 pub use region::{rsp0_displacement, Region};
 pub use relation::{decide, Answer, RegionRel};

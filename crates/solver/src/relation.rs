@@ -89,6 +89,11 @@ fn signed_range(lin: &Linear, ctx: &Ctx) -> Option<(i128, i128)> {
 /// must be modest (the lifter never materialises regions larger than a
 /// few KiB) and symbolic offsets within ±2⁶².
 ///
+/// When the context carries a [`QueryCache`](crate::QueryCache)
+/// (attached via [`Ctx::with_cache`]), verdicts are memoized under the
+/// canonicalized-linear-form key of `cache.rs`; the decision procedure
+/// itself is a pure function of that key, so a hit is exact.
+///
 /// ```
 /// use hgl_solver::{decide, Ctx, Region, RegionRel};
 ///
@@ -99,6 +104,26 @@ fn signed_range(lin: &Linear, ctx: &Ctx) -> Option<(i128, i128)> {
 /// assert_eq!(decide(&ctx, &a, &a).rel, RegionRel::Alias);
 /// ```
 pub fn decide(ctx: &Ctx, r0: &Region, r1: &Region) -> Answer {
+    let Some(cache) = &ctx.cache else {
+        return decide_uncached(ctx, r0, r1);
+    };
+    let started = std::time::Instant::now();
+    let key = crate::QueryKey::of(ctx, r0, r1);
+    let answer = match cache.get(&key) {
+        Some(hit) => hit,
+        None => {
+            let computed = decide_uncached(ctx, r0, r1);
+            cache.insert(key, computed.clone());
+            computed
+        }
+    };
+    cache.add_query_nanos(started.elapsed().as_nanos() as u64);
+    answer
+}
+
+/// The memo-free decision procedure; `decide` delegates here on a
+/// cache miss (or when no cache is attached).
+fn decide_uncached(ctx: &Ctx, r0: &Region, r1: &Region) -> Answer {
     if r0.is_unknown() || r1.is_unknown() {
         return Answer::pure(RegionRel::Unknown);
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::{LiftConfig, Lifter};
 use hgl_export::{export_theory, validate_lift, ValidateConfig};
 use hgl_x86::{Cond, Instr, MemOperand, Mnemonic, Operand, Reg, Width};
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     asm.ret();
     let bin = asm.entry("main").assemble()?;
 
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).with_config(LiftConfig::default()).lift_entry(bin.entry);
     assert!(lifted.is_lifted(), "reject: {:?}", lifted.reject_reason());
 
     // --- Export ---

@@ -6,7 +6,7 @@
 //! ```
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::{LiftConfig, Lifter};
 use hgl_x86::{Instr, MemOperand, Mnemonic, Operand, Reg, Width};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Synthesized binary: entry {:#x}, {} mapped bytes\n", binary.entry, binary.mapped_len());
 
     // 2. Lift: disassembly + control flow + invariants, simultaneously.
-    let result = lift(&binary, &LiftConfig::default());
+    let result = Lifter::new(&binary).with_config(LiftConfig::default()).lift_entry(binary.entry);
     assert!(result.is_lifted(), "lift rejected: {:?}", result.reject_reason());
     let f = &result.functions[&binary.entry];
 

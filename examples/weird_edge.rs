@@ -7,7 +7,7 @@
 //! ```
 
 use hgl_asm::Asm;
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::{LiftConfig, Lifter};
 use hgl_core::VertexId;
 use hgl_emu::Machine;
 use hgl_x86::{decode, Cond, Instr, MemOperand, Mnemonic, Operand, Reg, RegRef, Width};
@@ -68,7 +68,7 @@ fn main() {
     println!("hidden `ret`: a ROP gadget.\n");
 
     // Step 1: the lifter finds the weird edge statically.
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).with_config(LiftConfig::default()).lift_entry(bin.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     let f = &result.functions[&bin.entry];
     println!("--- Lifted Hoare Graph ({} states, {} edges) ---", f.graph.state_count(), f.graph.edges.len());

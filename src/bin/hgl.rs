@@ -1,7 +1,8 @@
 //! `hgl` — the command-line lifter.
 //!
 //! ```text
-//! hgl lift <binary.elf> [--function ADDR] [--timeout SECS] [--json]
+//! hgl lift <binary.elf> [--function ADDR | --all] [--workers N]
+//!                       [--timeout SECS] [--json] [--metrics]
 //! hgl lint <binary.elf> [--function ADDR] [--json]
 //! hgl export <binary.elf> [--out theory.thy]
 //! hgl validate <binary.elf> [--samples N]
@@ -10,25 +11,36 @@
 //! ```
 //!
 //! `lift` prints the Hoare Graph summary, annotations, proof
-//! obligations and assumptions; `lint` runs the static analyses
-//! (write classification and soundness lints) and exits non-zero on
-//! any error-severity finding; `export` writes the Isabelle/HOL
-//! theory; `validate` runs the executable Step-2 check; `disasm` is a
-//! plain recursive-traversal disassembly listing of the lifted
-//! instructions.
+//! obligations and assumptions; `--all` lifts every discovered
+//! function on the parallel engine instead of one entry's closure;
+//! `--metrics` appends the `hgl-metrics-v1` phase/cache report.
+//! `lint` runs the static analyses (write classification and
+//! soundness lints) and exits non-zero on any error-severity finding;
+//! `export` writes the Isabelle/HOL theory; `validate` runs the
+//! executable Step-2 check; `disasm` is a plain recursive-traversal
+//! disassembly listing of the lifted instructions. The JSON surfaces
+//! (`--json`, `--metrics`) share one versioned envelope: a `schema`
+//! name and a `version` field.
 
 #![forbid(unsafe_code)]
 use hgl_analysis::{analyze, AnalysisConfig, Severity};
-use hgl_core::lift::{lift, lift_function, LiftConfig, LiftResult};
+use hgl_core::lift::{LiftConfig, LiftResult};
+use hgl_core::{Lifter, MetricsSnapshot};
 use hgl_elf::Binary;
-use hgl_export::{export_dot, export_json, export_lint_json, export_theory, validate_lift, ValidateConfig};
+use hgl_export::{
+    export_dot, export_json, export_lint_json, export_metrics_json, export_theory, validate_lift,
+    ValidateConfig,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!("usage: hgl <lift|lint|export|validate|disasm|cfg> <binary.elf> [options]");
     eprintln!("  --function ADDR   lift from a function address (hex ok) instead of the entry point");
+    eprintln!("  --all             lift every discovered function (parallel whole-binary engine)");
+    eprintln!("  --workers N       worker threads for --all (default: one per core)");
     eprintln!("  --timeout SECS    lifting wall-clock budget (default 60)");
+    eprintln!("  --metrics         append the hgl-metrics-v1 JSON report (phases, solver cache)");
     eprintln!("  --out FILE        output path for `export`");
     eprintln!("  --samples N       samples per edge for `validate` (default 16)");
     ExitCode::from(2)
@@ -60,14 +72,33 @@ fn parsed_flag<T>(args: &[String], name: &str, parse: impl Fn(&str) -> Option<T>
     }
 }
 
-fn do_lift(binary: &Binary, args: &[String]) -> LiftResult {
+/// One CLI lift invocation: the result plus the frozen session
+/// metrics, and (in `--all` mode) the discovered roots.
+struct LiftInvocation {
+    result: LiftResult,
+    metrics: MetricsSnapshot,
+    roots: Option<Vec<u64>>,
+}
+
+fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
     let mut config = LiftConfig::default();
     if let Some(t) = parsed_flag(args, "--timeout", |s| s.parse().ok()) {
-        config.budget.wall_clock = Some(Duration::from_secs(t));
+        config = config.timeout(Duration::from_secs(t));
     }
-    match parsed_flag(args, "--function", parse_u64) {
-        Some(addr) => lift_function(binary, addr, &config),
-        None => lift(binary, &config),
+    let workers = parsed_flag(args, "--workers", |s| s.parse().ok()).unwrap_or(0usize);
+    let lifter = Lifter::new(binary).with_config(config).workers(workers);
+    if args.iter().any(|a| a == "--all") {
+        let report = lifter.lift_all();
+        LiftInvocation {
+            result: report.result,
+            metrics: report.metrics,
+            roots: Some(report.roots),
+        }
+    } else {
+        let entry = parsed_flag(args, "--function", parse_u64).unwrap_or(binary.entry);
+        let result = lifter.lift_entry(entry);
+        let metrics = lifter.metrics_snapshot();
+        LiftInvocation { result, metrics, roots: None }
     }
 }
 
@@ -93,10 +124,18 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "lift" => {
-            let result = do_lift(&binary, &args);
+            let inv = do_lift(&binary, &args);
+            let want_metrics = args.iter().any(|a| a == "--metrics");
+            let result = inv.result;
             if args.iter().any(|a| a == "--json") {
                 print!("{}", export_json(&result));
+                if want_metrics {
+                    print!("{}", export_metrics_json(&inv.metrics));
+                }
                 return if result.is_lifted() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            if let Some(roots) = &inv.roots {
+                println!("{path}: {} root(s) discovered by the whole-binary engine", roots.len());
             }
             println!(
                 "{path}: {} function(s), {} instructions, {} symbolic states, {:?}",
@@ -123,7 +162,7 @@ fn main() -> ExitCode {
                     println!("  ERROR {e}");
                 }
             }
-            match result.reject_reason() {
+            let code = match result.reject_reason() {
                 None => {
                     println!("\nVERDICT: lifted (sound overapproximation under the stated assumptions)");
                     ExitCode::SUCCESS
@@ -132,10 +171,14 @@ fn main() -> ExitCode {
                     println!("\nVERDICT: rejected — {r}");
                     ExitCode::FAILURE
                 }
+            };
+            if want_metrics {
+                print!("{}", export_metrics_json(&inv.metrics));
             }
+            code
         }
         "lint" => {
-            let result = do_lift(&binary, &args);
+            let result = do_lift(&binary, &args).result;
             let report = analyze(&binary, &result, &AnalysisConfig::default());
             if args.iter().any(|a| a == "--json") {
                 print!("{}", export_lint_json(&report));
@@ -149,7 +192,7 @@ fn main() -> ExitCode {
             }
         }
         "export" => {
-            let result = do_lift(&binary, &args);
+            let result = do_lift(&binary, &args).result;
             if !result.is_lifted() {
                 eprintln!("hgl: {path} did not lift: {:?}", result.reject_reason());
                 return ExitCode::FAILURE;
@@ -173,7 +216,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "validate" => {
-            let result = do_lift(&binary, &args);
+            let result = do_lift(&binary, &args).result;
             if !result.is_lifted() {
                 eprintln!("hgl: {path} did not lift: {:?}", result.reject_reason());
                 return ExitCode::FAILURE;
@@ -203,7 +246,7 @@ fn main() -> ExitCode {
             }
         }
         "cfg" => {
-            let result = do_lift(&binary, &args);
+            let result = do_lift(&binary, &args).result;
             let entry = flag_value(&args, "--function")
                 .and_then(|s| parse_u64(&s))
                 .unwrap_or(binary.entry);
@@ -219,7 +262,7 @@ fn main() -> ExitCode {
             }
         }
         "disasm" => {
-            let result = do_lift(&binary, &args);
+            let result = do_lift(&binary, &args).result;
             for (entry, f) in &result.functions {
                 println!("function {entry:#x}:");
                 for (addr, instr) in f.graph.instructions() {

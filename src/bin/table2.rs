@@ -10,7 +10,7 @@
 //! edge on randomized concrete states ("without exception, all Hoare
 //! triples could be proven automatically", §5.2).
 
-use hgl_core::lift::{lift, LiftConfig};
+use hgl_core::Lifter;
 use hgl_corpus::coreutils;
 use hgl_export::{export_theory, validate_lift, ValidateConfig};
 
@@ -35,7 +35,7 @@ fn main() {
     let mut tot_lemmas = 0;
     let mut tot_failed = 0;
     for (spec, bin) in coreutils::build_all(seed) {
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(result.is_lifted(), "{}: rejected: {:?}", spec.name, result.reject_reason());
         let (a, b, c) = result.indirection_counts();
         assert_eq!(b + c, 0, "{}: Table-2 binaries have no unresolved indirections", spec.name);

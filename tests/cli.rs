@@ -135,6 +135,67 @@ fn lift_json_output() {
     assert!(stdout.contains("\"edges\""), "{stdout}");
 }
 
+/// A function with repeated stack spills and reloads: the same slot
+/// pairs are queried again and again, so one lift already produces
+/// solver-cache hits.
+fn write_spill_elf(dir: &std::path::Path, name: &str) -> std::path::PathBuf {
+    let mut asm = Asm::new();
+    asm.label("main");
+    for off in [-8i64, -16, -24] {
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::Mem(MemOperand::base_disp(Reg::Rsp, off, Width::B8)),
+                Operand::reg64(Reg::Rax),
+            ],
+            Width::B8,
+        ));
+    }
+    for off in [-16i64, -8, -24, -16] {
+        asm.ins(Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rcx),
+                Operand::Mem(MemOperand::base_disp(Reg::Rsp, off, Width::B8)),
+            ],
+            Width::B8,
+        ));
+    }
+    asm.ret();
+    let bytes = asm.entry("main").assemble_elf().expect("assembles");
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).expect("write elf");
+    path
+}
+
+#[test]
+fn lift_metrics_reports_phases_and_cache() {
+    let dir = tmpdir();
+    let elf = write_spill_elf(&dir, "metrics.elf");
+    let out = hgl()
+        .args(["lift", elf.to_str().expect("utf8"), "--all", "--metrics"])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("VERDICT: lifted"), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"hgl-metrics-v1\""), "{stdout}");
+    // Per-phase timings are present...
+    for phase in ["decode", "tau", "join", "solver", "export"] {
+        assert!(stdout.contains(&format!("\"phase\": \"{phase}\"")), "missing {phase}: {stdout}");
+    }
+    // ...and the memoized solver cache saw real hits.
+    let tail = &stdout[stdout.find("\"hit_rate\": ").expect("hit_rate field") + 12..];
+    let hit_rate = tail
+        .split([',', '}'])
+        .next()
+        .expect("value")
+        .trim()
+        .parse::<f64>()
+        .expect("parses");
+    assert!(hit_rate > 0.0, "expected cache hits, got rate {hit_rate}: {stdout}");
+}
+
 #[test]
 fn cfg_emits_dot() {
     let dir = tmpdir();

@@ -106,7 +106,7 @@ fn truncated_image_rejects_as_malformed() {
     let image = study_image();
     let mut corrupt = image.clone();
     Fault::TruncateTail { keep: 40 }.apply(&mut corrupt);
-    let result = hoare_lift::core::lift_bytes(&corrupt, &LiftConfig::default());
+    let result = hoare_lift::core::Lifter::from_bytes(&corrupt, &LiftConfig::default());
     match result.reject_reason() {
         Some(RejectReason::MalformedBinary { .. }) => {}
         other => panic!("expected MalformedBinary, got {other:?}"),

@@ -12,7 +12,8 @@
 //!    between the context-free per-function graphs and are checked by
 //!    membership instead).
 
-use hoare_lift::core::lift::{lift, LiftConfig, LiftResult};
+use hoare_lift::core::lift::LiftResult;
+use hoare_lift::core::Lifter;
 use hoare_lift::core::VertexId;
 use hoare_lift::corpus::coreutils;
 use hoare_lift::corpus::xen::{build_study, ExpectedOutcome, StudySpec, UnitKind};
@@ -116,7 +117,7 @@ fn check_covered(bin: &Binary, result: &LiftResult, steps: &[TraceStep], what: &
 #[test]
 fn coreutils_traces_covered() {
     for (spec, bin) in coreutils::build_all(1) {
-        let result = lift(&bin, &LiftConfig::default());
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(result.is_lifted(), "{}: {:?}", spec.name, result.reject_reason());
         let mut total = 0;
         for rdi in [0u64, 1, 2, 3, 7, 100, u64::MAX] {
@@ -136,9 +137,9 @@ fn xen_unit_traces_covered() {
             continue;
         }
         let result = match unit.kind {
-            UnitKind::Binary => lift(&unit.binary, &LiftConfig::default()),
+            UnitKind::Binary => Lifter::new(&unit.binary).lift_entry(unit.binary.entry),
             UnitKind::LibraryFunction => {
-                hoare_lift::core::lift::lift_function(&unit.binary, unit.entry, &LiftConfig::default())
+                Lifter::new(&unit.binary).lift_entry(unit.entry)
             }
         };
         assert!(result.is_lifted(), "{}: {:?}", unit.name, result.reject_reason());
@@ -182,7 +183,7 @@ fn weird_trace_covered() {
     asm.ret();
     asm.jump_table("table", &["t0", "t1"]);
     let bin = asm.entry("weird").assemble().expect("assembles");
-    let result = lift(&bin, &LiftConfig::default());
+    let result = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(result.is_lifted());
 
     // Aliased execution: rsi == rdx.

@@ -3,7 +3,7 @@
 //! executable validation.
 
 use hoare_lift::asm::Asm;
-use hoare_lift::core::lift::{lift, lift_function, LiftConfig};
+use hoare_lift::core::Lifter;
 use hoare_lift::corpus::xen::{build_study, StudySpec, UnitKind};
 use hoare_lift::elf::Binary;
 use hoare_lift::export::{export_theory, validate_lift, ValidateConfig};
@@ -47,7 +47,7 @@ fn full_pipeline_through_elf_bytes() {
     let binary = Binary::parse(&elf_bytes).expect("parses");
     assert_eq!(binary.symbols.len(), 2);
 
-    let result = lift(&binary, &LiftConfig::default());
+    let result = Lifter::new(&binary).lift_entry(binary.entry);
     assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
     assert_eq!(result.functions.len(), 2, "main and helper");
     assert!(result.functions.values().all(|f| f.returns));
@@ -68,8 +68,8 @@ fn lifting_is_deterministic() {
         .iter()
         .find(|u| u.expected == hoare_lift::corpus::xen::ExpectedOutcome::Lifted)
         .expect("a liftable unit");
-    let r1 = lift_function(&unit.binary, unit.entry, &LiftConfig::default());
-    let r2 = lift_function(&unit.binary, unit.entry, &LiftConfig::default());
+    let r1 = Lifter::new(&unit.binary).lift_entry(unit.entry);
+    let r2 = Lifter::new(&unit.binary).lift_entry(unit.entry);
     assert_eq!(r1.instruction_count(), r2.instruction_count());
     assert_eq!(r1.state_count(), r2.state_count());
     assert_eq!(r1.indirection_counts(), r2.indirection_counts());
@@ -90,9 +90,9 @@ fn corpus_validation_sweep() {
                 continue;
             }
             let result = match unit.kind {
-                UnitKind::Binary => lift(&unit.binary, &LiftConfig::default()),
+                UnitKind::Binary => Lifter::new(&unit.binary).lift_entry(unit.binary.entry),
                 UnitKind::LibraryFunction => {
-                    lift_function(&unit.binary, unit.entry, &LiftConfig::default())
+                    Lifter::new(&unit.binary).lift_entry(unit.entry)
                 }
             };
             assert!(
@@ -140,7 +140,7 @@ fn stripped_lifting_still_works() {
     // Simulate stripping: drop all symbols.
     let mut stripped = bin.clone();
     stripped.symbols.clear();
-    let result = lift(&stripped, &LiftConfig::default());
+    let result = Lifter::new(&stripped).lift_entry(stripped.entry);
     assert!(result.is_lifted());
     assert!(result.functions[&stripped.entry].returns);
 }

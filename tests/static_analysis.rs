@@ -20,7 +20,7 @@ use hoare_lift::analysis::{
     analyze, AnalysisConfig, AnalysisReport, ClassifiedWrite, Rule, Severity, WriteClass, ANALYSES,
 };
 use hoare_lift::asm::Asm;
-use hoare_lift::core::lift::{lift, LiftConfig};
+use hoare_lift::core::Lifter;
 use hoare_lift::core::{Budget, HoareGraph, SymState, VertexId};
 use hoare_lift::corpus::{coreutils, failures};
 use hoare_lift::elf::Binary;
@@ -32,7 +32,7 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 fn analyzed(bin: &Binary) -> AnalysisReport {
-    let lifted = lift(bin, &LiftConfig::default());
+    let lifted = Lifter::new(bin).lift_entry(bin.entry);
     analyze(bin, &lifted, &AnalysisConfig::default())
 }
 
@@ -58,7 +58,7 @@ fn all_analyses_cover_every_corpus_binary() {
     assert!(ANALYSES.len() >= 4, "framework advertises {} analyses", ANALYSES.len());
 
     for (spec, bin) in coreutils::build_all(1) {
-        let lifted = lift(&bin, &LiftConfig::default());
+        let lifted = Lifter::new(&bin).lift_entry(bin.entry);
         assert!(lifted.is_lifted(), "{}: corpus binary lifts", spec.name);
         let report = analyze(&bin, &lifted, &AnalysisConfig::default());
 
@@ -215,7 +215,7 @@ fn corrupted_write_claim_is_refuted_dynamically() {
     asm.pop(Reg::Rbp);
     asm.ret();
     let bin = asm.entry("main").assemble().expect("assembles");
-    let lifted = lift(&bin, &LiftConfig::default());
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
     assert!(lifted.is_lifted());
 
     let es = EntryState { rdi: 1, scratch: [0; 6] };
