@@ -1,5 +1,5 @@
 //! Engine benchmark driver: sequential vs parallel whole-binary
-//! lifting, cold vs warm solver cache.
+//! lifting, cold vs warm solver cache, cold vs warm persistent store.
 //!
 //! Unlike the criterion benches (which regenerate the paper's tables),
 //! this is a plain binary so CI can run it in seconds and gate on the
@@ -7,20 +7,23 @@
 //!
 //! ```text
 //! cargo run --release -p hgl-bench --bin bench-engine -- \
-//!     [--quick] [--out BENCH_pr4.json] [--check]
+//!     [--quick] [--out BENCH_pr5.json] [--check]
 //! ```
 //!
 //! `--quick` shrinks the corpus and repetition count for smoke runs;
 //! `--check` exits non-zero if the parallel engine is more than 1.5x
 //! slower than the sequential one (a regression gate, not a speedup
 //! requirement: tiny corpora on loaded CI runners can legitimately
-//! show no parallel win).
+//! show no parallel win), or if a warm-store full-corpus re-lift
+//! fails its speedup floor (5x on the full corpus, where artifact
+//! reuse dominates; a no-regression gate in `--quick` mode).
 
 #![forbid(unsafe_code)]
 
 use hgl_core::Lifter;
 use hgl_corpus::xen::gen_study_binary;
 use hgl_elf::Binary;
+use hgl_store::Store;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -141,6 +144,54 @@ fn cache_pass(bins: &[Binary], reps: usize) -> CacheBench {
     out
 }
 
+/// Cold-vs-warm persistent store: lift the whole corpus into a fresh
+/// store directory (cold, includes the insert cost), then re-lift the
+/// unchanged corpus through a fresh `Store` *and* a fresh `Lifter`
+/// (warm: no session state survives, only the on-disk artifacts).
+struct StoreBench {
+    cold: Duration,
+    warm: Duration,
+    /// Store hits across one warm pass of the corpus.
+    hits: u64,
+    /// Objects on disk after the cold pass.
+    objects: usize,
+}
+
+fn store_pass(bins: &[Binary], reps: usize) -> StoreBench {
+    let root = std::env::temp_dir().join(format!("hgl-bench-store-{}", std::process::id()));
+    let mut out = StoreBench { cold: Duration::ZERO, warm: Duration::ZERO, hits: 0, objects: 0 };
+    for (i, b) in bins.iter().enumerate() {
+        let dir = root.join(format!("bin{i}"));
+        let mut best_cold = Duration::MAX;
+        let mut best_warm = Duration::MAX;
+        for rep in 0..reps {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Store::open(&dir).expect("open bench store");
+            let t0 = Instant::now();
+            let cold_report = Lifter::new(b).with_store(&store).lift_all();
+            best_cold = best_cold.min(t0.elapsed());
+
+            let warm_store = Store::open(&dir).expect("reopen bench store");
+            let t1 = Instant::now();
+            let warm_report = Lifter::new(b).with_store(&warm_store).lift_all();
+            best_warm = best_warm.min(t1.elapsed());
+            assert_eq!(
+                cold_report.result.functions.len(),
+                warm_report.result.functions.len(),
+                "warm store pass lifted a different function count"
+            );
+            if rep == 0 {
+                out.hits += warm_report.metrics.store.map_or(0, |s| s.hits);
+                out.objects += warm_store.object_count();
+            }
+        }
+        out.cold += best_cold;
+        out.warm += best_warm;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    out
+}
+
 fn main() -> ExitCode {
     let cfg = parse_args();
     let reps = if cfg.quick { 2 } else { 5 };
@@ -164,6 +215,9 @@ fn main() -> ExitCode {
     let warm_speedup = cb.cold.as_secs_f64() / cb.warm.as_secs_f64().max(1e-9);
     let solver_speedup = cb.solver_cold as f64 / (cb.solver_warm as f64).max(1.0);
 
+    let sb = store_pass(&bins, reps);
+    let store_speedup = sb.cold.as_secs_f64() / sb.warm.as_secs_f64().max(1e-9);
+
     eprintln!("sequential: {seq:?}  parallel: {par:?}  speedup: {speedup:.2}x");
     eprintln!(
         "cold cache: {:?}  warm cache: {:?}  warm speedup: {warm_speedup:.2}x",
@@ -175,10 +229,14 @@ fn main() -> ExitCode {
         cb.solver_warm / 1000,
         cb.hit_rate * 100.0
     );
+    eprintln!(
+        "store: cold {:?}  warm {:?}  speedup {store_speedup:.2}x ({} hits, {} objects)",
+        sb.cold, sb.warm, sb.hits, sb.objects
+    );
 
     let mut doc = String::new();
     doc.push_str("{\n");
-    doc.push_str("  \"schema\": \"hgl-bench-pr4\",\n");
+    doc.push_str("  \"schema\": \"hgl-bench-pr5\",\n");
     doc.push_str("  \"version\": 1,\n");
     let _ = writeln!(doc, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(doc, "  \"binaries\": {},", bins.len());
@@ -194,7 +252,12 @@ fn main() -> ExitCode {
     let _ = writeln!(doc, "  \"solver_cold_ns\": {},", cb.solver_cold);
     let _ = writeln!(doc, "  \"solver_warm_ns\": {},", cb.solver_warm);
     let _ = writeln!(doc, "  \"solver_warm_speedup\": {solver_speedup:.4},");
-    let _ = writeln!(doc, "  \"cache_hit_rate\": {:.4}", cb.hit_rate);
+    let _ = writeln!(doc, "  \"cache_hit_rate\": {:.4},", cb.hit_rate);
+    let _ = writeln!(doc, "  \"store_cold_ns\": {},", sb.cold.as_nanos());
+    let _ = writeln!(doc, "  \"store_warm_ns\": {},", sb.warm.as_nanos());
+    let _ = writeln!(doc, "  \"store_warm_speedup\": {store_speedup:.4},");
+    let _ = writeln!(doc, "  \"store_hits\": {},", sb.hits);
+    let _ = writeln!(doc, "  \"store_objects\": {}", sb.objects);
     doc.push_str("}\n");
 
     match &cfg.out {
@@ -212,6 +275,18 @@ fn main() -> ExitCode {
         eprintln!(
             "bench-engine: REGRESSION — parallel engine {:.2}x slower than sequential (gate: 1.5x)",
             1.0 / speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    // Full corpus: a warm store replays artifacts instead of
+    // re-exploring, and the acceptance floor is a hard 5x. Quick mode
+    // only gates against outright regression (tiny binaries leave the
+    // fixed per-run costs dominant).
+    let store_gate = if cfg.quick { 1.0 / 1.5 } else { 5.0 };
+    if cfg.check && store_speedup < store_gate {
+        eprintln!(
+            "bench-engine: REGRESSION — warm store re-lift only {store_speedup:.2}x \
+             faster than cold (gate: {store_gate}x)"
         );
         return ExitCode::FAILURE;
     }

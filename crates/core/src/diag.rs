@@ -4,6 +4,7 @@ use crate::budget::BudgetDim;
 use hgl_expr::Expr;
 use hgl_solver::{Assumption, Region};
 use hgl_x86::Reg;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Reasons why lifting *rejects* a function (no Hoare Graph produced).
@@ -198,6 +199,12 @@ pub struct Diagnostics {
     /// Count of successfully bounded indirections (column A of
     /// Table 1).
     pub resolved_indirections: usize,
+    /// `(addr, size)` of every image byte range the lift *read* while
+    /// stepping: read-only constant loads and enumerated jump-table
+    /// entries. Together with the decoded instruction extent this is
+    /// the exact byte footprint a persisted artifact depends on — the
+    /// content hash of the artifact store covers both.
+    pub image_reads: BTreeSet<(u64, u8)>,
 }
 
 impl Diagnostics {

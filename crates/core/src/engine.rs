@@ -37,14 +37,16 @@
 
 use crate::budget::BudgetMeter;
 use crate::explore::{ExploreCx, FnExploration};
+use crate::fingerprint::Fingerprint;
 use crate::lift::{
     assemble, concurrency_reject, isolated, lift_bytes_impl, lift_from, panic_message,
-    reject_of_exhaustion, LiftConfig, LiftResult,
+    reject_of_exhaustion, FnLift, LiftConfig, LiftResult,
 };
 use crate::metrics::{Metrics, MetricsSnapshot, Phase};
+use crate::store_api::ArtifactStore;
 use hgl_elf::Binary;
 use hgl_solver::{Layout, QueryCache};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -81,6 +83,8 @@ pub struct Lifter<'b> {
     workers: usize,
     cache: Arc<QueryCache>,
     metrics: Metrics,
+    /// Persistent artifact store for incremental re-lifting, if any.
+    store: Option<&'b dyn ArtifactStore>,
     /// Wall time accumulated by this session's lifts, in nanoseconds.
     elapsed: AtomicU64,
 }
@@ -95,8 +99,21 @@ impl<'b> Lifter<'b> {
             workers: 0,
             cache: Arc::new(QueryCache::new()),
             metrics: Metrics::new(),
+            store: None,
             elapsed: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent artifact store, turning [`Lifter::lift_all`]
+    /// into an *incremental* re-lift: every discovered root is looked up
+    /// before lifting, confirmed hits are replayed instead of explored,
+    /// and freshly computed artifacts are written back. The session's
+    /// solver cache is bound to the configuration
+    /// [`Fingerprint`](crate::Fingerprint); re-using one session across
+    /// configs flushes it.
+    pub fn with_store(mut self, store: &'b dyn ArtifactStore) -> Lifter<'b> {
+        self.store = Some(store);
+        self
     }
 
     /// Replaces the session's lifting configuration.
@@ -171,14 +188,90 @@ impl<'b> Lifter<'b> {
     /// function symbol inside an executable segment; internal
     /// call targets are then added transitively as exploration finds
     /// them, exactly as in the single-entry driver.
+    /// With a store attached (see [`Lifter::with_store`]), `lift_all`
+    /// runs incrementally: confirmed cached artifacts are merged into
+    /// the result without re-exploration, and only functions whose
+    /// bytes, config or callee dependencies changed are lifted fresh.
     pub fn lift_all(&self) -> BinaryLiftReport {
         let started = Instant::now();
         let roots = self.discover_roots();
-        let result = isolated("engine", || self.run_engine(&roots));
+        let cached = match self.store {
+            Some(store) => {
+                let fp = Fingerprint::of(&self.config);
+                self.cache.bind_fingerprint(fp.digest64());
+                self.preload(store, &fp, &roots)
+            }
+            None => BTreeMap::new(),
+        };
+        let cached_keys: BTreeSet<u64> = cached.keys().copied().collect();
+        let result = isolated("engine", || self.run_engine(&roots, cached));
+        if let Some(store) = self.store {
+            // Persist fresh artifacts — but only from a run whose
+            // verdicts are intrinsic: a global budget trip leaves
+            // `returns`/frontier state premature, so nothing from such
+            // a run may enter the store.
+            if result.binary_reject.is_none() {
+                let fp = Fingerprint::of(&self.config);
+                for f in result.functions.values() {
+                    if !cached_keys.contains(&f.entry) && f.is_storable() {
+                        store.insert(self.binary, &fp, f);
+                    }
+                }
+            }
+        }
         self.account(&result);
-        let metrics =
+        let mut metrics =
             self.metrics.snapshot(Some(self.cache.stats()), self.resolved_workers(), started.elapsed());
+        metrics.store = self.store.map(|s| s.stats());
         BinaryLiftReport { roots, result, metrics }
+    }
+
+    /// Phase A of an incremental re-lift: fetch cached artifacts for
+    /// every root (and, transitively, their callee dependencies), then
+    /// *confirm* them by fixpoint — an artifact is usable only if every
+    /// callee it depends on is itself confirmed with the same return
+    /// verdict it had when the artifact was computed. Demoted artifacts
+    /// are dropped and their functions re-lifted by the engine.
+    fn preload(
+        &self,
+        store: &dyn ArtifactStore,
+        fp: &Fingerprint,
+        roots: &[u64],
+    ) -> BTreeMap<u64, FnLift> {
+        let mut fetched: BTreeMap<u64, FnLift> = BTreeMap::new();
+        let mut queue: VecDeque<u64> = roots.to_vec().into();
+        let mut seen: BTreeSet<u64> = queue.iter().copied().collect();
+        while let Some(addr) = queue.pop_front() {
+            if let Some(f) = store.lookup(self.binary, fp, addr) {
+                for &c in f.callee_deps.keys() {
+                    if seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+                fetched.insert(addr, f);
+            }
+        }
+        let mut confirmed: BTreeSet<u64> = fetched.keys().copied().collect();
+        loop {
+            let demoted: Vec<u64> = confirmed
+                .iter()
+                .copied()
+                .filter(|a| {
+                    fetched[a].callee_deps.iter().any(|(c, consumed)| {
+                        !confirmed.contains(c)
+                            || fetched.get(c).map(|f| f.returns) != Some(*consumed)
+                    })
+                })
+                .collect();
+            if demoted.is_empty() {
+                break;
+            }
+            for a in demoted {
+                confirmed.remove(&a);
+            }
+        }
+        fetched.retain(|a, _| confirmed.contains(a));
+        fetched
     }
 
     /// Folds one lift's totals into the session gauges.
@@ -211,8 +304,12 @@ impl<'b> Lifter<'b> {
         roots
     }
 
-    /// The bulk-synchronous round loop (see the module docs).
-    fn run_engine(&self, roots: &[u64]) -> LiftResult {
+    /// The bulk-synchronous round loop (see the module docs). `cached`
+    /// holds store artifacts confirmed by [`Lifter::preload`]: no slot
+    /// is created for them, callees resolving to them are not
+    /// materialised, and their proven returns are pre-seeded so callers
+    /// wake up exactly as if the callee had been explored this run.
+    fn run_engine(&self, roots: &[u64], cached: BTreeMap<u64, FnLift>) -> LiftResult {
         let start = Instant::now();
         let mut result = LiftResult::default();
         if let Some(reject) = concurrency_reject(self.binary) {
@@ -227,9 +324,11 @@ impl<'b> Lifter<'b> {
 
         let mut slots: BTreeMap<u64, FnSlot> = roots
             .iter()
+            .filter(|a| !cached.contains_key(a))
             .map(|&a| (a, FnSlot { e: FnExploration::new(a), fresh: 0, internal_error: None }))
             .collect();
-        let mut returns_propagated: Vec<u64> = Vec::new();
+        let mut returns_propagated: Vec<u64> =
+            cached.values().filter(|f| f.returns).map(|f| f.entry).collect();
 
         loop {
             if let Some(ex) = meter.check_global() {
@@ -259,7 +358,7 @@ impl<'b> Lifter<'b> {
             let mut new_callees = Vec::new();
             for s in slots.values() {
                 for c in s.e.pending_callees() {
-                    if !slots.contains_key(&c) {
+                    if !slots.contains_key(&c) && !cached.contains_key(&c) {
                         new_callees.push(c);
                     }
                 }
@@ -311,7 +410,7 @@ impl<'b> Lifter<'b> {
             explorations.insert(addr, s.e);
         }
         self.metrics.time(Phase::Export, || {
-            assemble(explorations, internal_errors, &mut result);
+            assemble(explorations, internal_errors, cached, &mut result);
         });
         result.elapsed = start.elapsed();
         result

@@ -12,7 +12,7 @@ use hgl_elf::Binary;
 use hgl_expr::Expr;
 use hgl_solver::{Layout, QueryCache};
 use hgl_x86::{decode, Instr};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Everything one exploration step needs from its surroundings: the
@@ -94,6 +94,19 @@ pub struct FnExploration {
     /// Set when a resource budget stopped exploration; the graph built
     /// so far is kept and the frontier is annotated.
     pub exhausted: Option<BudgetExhausted>,
+    /// `(addr, len)` of every byte range fetched for decoding —
+    /// successful decodes record the instruction length, the failing
+    /// fetch records the whole window. Together with
+    /// [`Diagnostics::image_reads`](crate::diag::Diagnostics) this is
+    /// the exact image footprint the lift depends on; the artifact
+    /// store content-hashes it for invalidation.
+    pub extent: BTreeSet<(u64, u8)>,
+    /// Internal callees this function's lift depends on, with `true`
+    /// once the callee's return proof was consumed (its return sites
+    /// were activated). Unlike [`FnExploration::pending`], entries stay
+    /// after activation: an incremental re-lift needs the full
+    /// dependency set to confirm a cached artifact.
+    pub callee_deps: BTreeMap<u64, bool>,
     /// Join counts per vertex, to trigger widening.
     join_counts: BTreeMap<VertexId, u32>,
     /// Next variant index per address.
@@ -144,6 +157,8 @@ impl FnExploration {
             returns: false,
             rejected: None,
             exhausted: None,
+            extent: BTreeSet::new(),
+            callee_deps: BTreeMap::new(),
             join_counts: BTreeMap::new(),
             variants: BTreeMap::new(),
             steps: 0,
@@ -313,11 +328,16 @@ impl FnExploration {
         let instr = match timed(cx.metrics, Phase::Decode, || decode(window, addr)) {
             Ok(i) => i,
             Err(e) => {
+                // A rejection caused by these bytes is still a cacheable
+                // outcome — record the window so the artifact store can
+                // detect when the bytes change.
+                self.extent.insert((addr, window.len().min(u8::MAX as usize) as u8));
                 self.rejected =
                     Some(VerificationError::Undecodable { addr, message: e.to_string() });
                 return;
             }
         };
+        self.extent.insert((addr, instr.len));
 
         // Lines 10–17: step and push successors.
         self.steps += 1;
@@ -370,6 +390,7 @@ impl FnExploration {
                     self.returns = true;
                 }
                 Successor::CallInternal { callee, return_site, after } => {
+                    self.callee_deps.entry(callee).or_insert(false);
                     self.pending.push(PendingReturn {
                         callee,
                         from: (vid, instr.clone()),
@@ -385,13 +406,18 @@ impl FnExploration {
     /// known to return (the reachability marking of §4.2.2).
     pub fn activate_returns_from(&mut self, callee: u64) {
         let mut i = 0;
+        let mut any = false;
         while i < self.pending.len() {
             if self.pending[i].callee == callee {
                 let p = self.pending.remove(i);
                 self.bag.push(BagItem { addr: p.return_site, state: p.after, from: Some(p.from) });
+                any = true;
             } else {
                 i += 1;
             }
+        }
+        if any {
+            self.callee_deps.insert(callee, true);
         }
     }
 

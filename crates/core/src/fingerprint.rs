@@ -1,0 +1,199 @@
+//! Configuration fingerprints: one canonical identity for "the same
+//! lift".
+//!
+//! Both caching layers need to answer the same question — *would this
+//! configuration produce the same artifact?* — and before this module
+//! each answered it differently: the PR-4 solver cache keyed per
+//! session (config constant by construction), while a persistent store
+//! must key per *configuration*. A [`Fingerprint`] folds everything a
+//! lift's output depends on besides the binary bytes into one canonical
+//! byte string:
+//!
+//! - the artifact schema version ([`ARTIFACT_SCHEMA_VERSION`]),
+//! - the semantic crate versions (`hgl-core`, `hgl-solver`, `hgl-expr`,
+//!   `hgl-x86` — a decoder or solver fix must invalidate old
+//!   artifacts),
+//! - every knob of [`LiftConfig`]: all budget dimensions, the stepping
+//!   tunables and the exploration limits.
+//!
+//! The encoding is explicit field-by-field (never `Debug`, whose
+//! output is not stable across compiler or code changes), so two
+//! processes with the same build and config derive byte-identical
+//! fingerprints. `hgl-store` folds [`Fingerprint::bytes`] into its
+//! content-addressed key; the session solver cache binds
+//! [`Fingerprint::digest64`] and flushes when it changes.
+
+use crate::lift::LiftConfig;
+
+/// Version of the per-function artifact schema (the semantic content
+/// of a lift: graph, diagnostics, claims). Bump when the *meaning* of
+/// stored artifacts changes; `hgl-store` layers its own byte-format
+/// version on top.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// A canonical identity for one lifting configuration under one build
+/// of the lifter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    bytes: Vec<u8>,
+    digest: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint `config` under the current build.
+    pub fn of(config: &LiftConfig) -> Fingerprint {
+        let mut bytes = Vec::with_capacity(128);
+        bytes.extend_from_slice(b"hgl-fingerprint");
+        push_u32(&mut bytes, 1); // fingerprint encoding version
+        push_u32(&mut bytes, ARTIFACT_SCHEMA_VERSION);
+        push_str(&mut bytes, env!("CARGO_PKG_VERSION")); // hgl-core
+        push_str(&mut bytes, hgl_solver::VERSION);
+        push_str(&mut bytes, hgl_expr::VERSION);
+        push_str(&mut bytes, hgl_x86::VERSION);
+        // Budget.
+        push_opt_u64(&mut bytes, config.budget.wall_clock.map(|d| d.as_nanos() as u64));
+        push_opt_u64(&mut bytes, config.budget.max_fuel);
+        push_opt_u64(&mut bytes, config.budget.max_solver_queries);
+        push_opt_u64(&mut bytes, config.budget.max_forks);
+        // Stepping tunables.
+        push_u64(&mut bytes, config.step.max_models_per_step as u64);
+        push_u64(&mut bytes, config.step.max_jump_table);
+        push_u64(&mut bytes, config.step.max_expr_nodes as u64);
+        // Exploration limits.
+        push_u64(&mut bytes, config.limits.max_states as u64);
+        push_u32(&mut bytes, config.limits.widen_after);
+        bytes.push(config.limits.code_pointer_refinement as u8);
+        bytes.push(config.limits.inject_drop_jcc_fallthrough as u8);
+        let digest = fnv1a(&bytes);
+        Fingerprint { bytes, digest }
+    }
+
+    /// The canonical byte encoding (feeds the store's hash key).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// A 64-bit digest of the canonical bytes (binds the session
+    /// solver cache; see [`QueryCache::bind_fingerprint`]).
+    ///
+    /// [`QueryCache::bind_fingerprint`]: hgl_solver::QueryCache::bind_fingerprint
+    pub fn digest64(&self) -> u64 {
+        self.digest
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            push_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// FNV-1a over `bytes`. Not cryptographic — the store's key hash is
+/// SHA-256 over the full canonical bytes; this digest only gates the
+/// in-process solver cache.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::explore::ExploreLimits;
+    use crate::tau::StepConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn stable_for_equal_configs() {
+        let a = Fingerprint::of(&LiftConfig::default());
+        let b = Fingerprint::of(&LiftConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a.digest64(), b.digest64());
+    }
+
+    /// The satellite regression test: changing *any* knob of the
+    /// configuration must change the fingerprint. A knob the
+    /// fingerprint misses would let the store serve artifacts computed
+    /// under a different configuration.
+    #[test]
+    fn every_knob_changes_the_fingerprint() {
+        let base = Fingerprint::of(&LiftConfig::default());
+        let variants: Vec<(&str, LiftConfig)> = vec![
+            ("timeout", LiftConfig::default().timeout(Duration::from_secs(123))),
+            ("budget", LiftConfig::default().budget(Budget::unlimited())),
+            ("max_fuel", LiftConfig::default().max_fuel(77)),
+            ("max_solver_queries", LiftConfig::default().max_solver_queries(77)),
+            ("max_forks", LiftConfig::default().max_forks(77)),
+            (
+                "step.max_models_per_step",
+                LiftConfig::default()
+                    .step(StepConfig { max_models_per_step: 3, ..StepConfig::default() }),
+            ),
+            (
+                "step.max_jump_table",
+                LiftConfig::default().step(StepConfig { max_jump_table: 3, ..StepConfig::default() }),
+            ),
+            (
+                "step.max_expr_nodes",
+                LiftConfig::default().step(StepConfig { max_expr_nodes: 3, ..StepConfig::default() }),
+            ),
+            (
+                "limits.max_states",
+                LiftConfig::default().limits(ExploreLimits { max_states: 3, ..ExploreLimits::default() }),
+            ),
+            (
+                "limits.widen_after",
+                LiftConfig::default().limits(ExploreLimits { widen_after: 3, ..ExploreLimits::default() }),
+            ),
+            (
+                "limits.code_pointer_refinement",
+                LiftConfig::default().limits(ExploreLimits {
+                    code_pointer_refinement: false,
+                    ..ExploreLimits::default()
+                }),
+            ),
+            (
+                "limits.inject_drop_jcc_fallthrough",
+                LiftConfig::default().limits(ExploreLimits {
+                    inject_drop_jcc_fallthrough: true,
+                    ..ExploreLimits::default()
+                }),
+            ),
+        ];
+        for (name, cfg) in variants {
+            let fp = Fingerprint::of(&cfg);
+            assert_ne!(fp.bytes(), base.bytes(), "knob {name} must change the fingerprint bytes");
+            assert_ne!(fp.digest64(), base.digest64(), "knob {name} must change the digest");
+        }
+    }
+
+    #[test]
+    fn digest_matches_bytes() {
+        let a = Fingerprint::of(&LiftConfig::default().max_fuel(1));
+        let b = Fingerprint::of(&LiftConfig::default().max_fuel(2));
+        assert_ne!(a.bytes(), b.bytes());
+        assert_ne!(a.digest64(), b.digest64());
+    }
+}

@@ -61,19 +61,23 @@ pub mod budget;
 pub mod diag;
 pub mod engine;
 pub mod explore;
+pub mod fingerprint;
 pub mod graph;
 pub mod lift;
 pub mod memmodel;
 pub mod metrics;
 pub mod pred;
+pub mod store_api;
 pub mod tau;
 
 pub use budget::{Budget, BudgetDim, BudgetExhausted, BudgetMeter};
 pub use diag::{Annotation, ProofObligation, VerificationError};
 pub use engine::{parallel_map, BinaryLiftReport, Lifter};
+pub use fingerprint::{Fingerprint, ARTIFACT_SCHEMA_VERSION};
 pub use graph::{Edge, HoareGraph, Vertex, VertexId};
 #[allow(deprecated)]
 pub use lift::{lift, lift_bytes, FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
 pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use pred::{FlagState, Pred, SymState};
+pub use store_api::{ArtifactStore, StoreStats};

@@ -20,7 +20,7 @@ use crate::metrics::Metrics;
 use crate::tau::StepConfig;
 use hgl_elf::Binary;
 use hgl_solver::{Assumption, Layout, QueryCache};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -218,6 +218,19 @@ pub struct FnLift {
     pub verification_errors: Vec<VerificationError>,
     /// Successfully bounded indirections (column A).
     pub resolved_indirections: usize,
+    /// `(addr, len)` of every instruction byte range fetched while
+    /// exploring this function (including the window of a failed
+    /// decode). Part of the artifact store's content-hash footprint.
+    pub extent: BTreeSet<(u64, u8)>,
+    /// `(addr, size)` of every non-instruction image read the lift
+    /// performed (read-only constants, jump-table entries). The other
+    /// half of the content-hash footprint.
+    pub image_reads: BTreeSet<(u64, u8)>,
+    /// Internal callees this lift depends on; `true` once the callee's
+    /// return proof was consumed. An incremental re-lift confirms a
+    /// cached artifact only when every dependency is itself confirmed
+    /// with an unchanged return verdict.
+    pub callee_deps: BTreeMap<u64, bool>,
     /// Whether some path provably returns.
     pub returns: bool,
     /// Rejection verdict, if any.
@@ -229,6 +242,25 @@ impl FnLift {
     /// annotations — those mark unexplored indirections, not errors).
     pub fn is_lifted(&self) -> bool {
         self.reject.is_none()
+    }
+
+    /// True if this artifact may be persisted by an
+    /// [`ArtifactStore`](crate::ArtifactStore): its verdict is
+    /// *intrinsic* to the function bytes and configuration. Resource
+    /// rejects (`Timeout`, `StateBudget`, `Internal`) are excluded —
+    /// they may vanish under a larger budget, so caching them would
+    /// freeze a transient outcome. `CalleeRejected` is storable but is
+    /// recorded as a dependency (the verdict is recomputed from the
+    /// callee graph on every incremental run), never as a stored
+    /// reject.
+    pub fn is_storable(&self) -> bool {
+        matches!(
+            self.reject,
+            None
+                | Some(RejectReason::Verification(_))
+                | Some(RejectReason::DecodeError { .. })
+                | Some(RejectReason::CalleeRejected(_))
+        )
     }
 }
 
@@ -514,7 +546,7 @@ pub(crate) fn lift_from(
         }
     }
 
-    assemble(explorations, internal_errors, &mut result);
+    assemble(explorations, internal_errors, BTreeMap::new(), &mut result);
     result.elapsed = start.elapsed();
     result
 }
@@ -524,18 +556,27 @@ pub(crate) fn lift_from(
 /// rejected is itself rejected with [`RejectReason::CalleeRejected`]).
 /// Shared by the legacy driver and the parallel engine so the two
 /// cannot drift in how verdicts are derived.
+///
+/// `cached` carries artifacts replayed from a persistent store (empty
+/// outside incremental mode). A cached artifact records its *intrinsic*
+/// verdict; [`RejectReason::CalleeRejected`] is never stored and is
+/// recomputed here from the unconsumed callee dependencies, so a callee
+/// that newly rejects (or newly lifts) after an edit changes its
+/// cached callers' verdicts without re-exploring them.
 pub(crate) fn assemble(
     explorations: BTreeMap<u64, FnExploration>,
     mut internal_errors: BTreeMap<u64, String>,
+    cached: BTreeMap<u64, FnLift>,
     result: &mut LiftResult,
 ) {
-    let rejected_fns: Vec<u64> = explorations
+    let mut rejected_fns: Vec<u64> = explorations
         .iter()
         .filter(|(a, e)| {
             e.rejected.is_some() || e.exhausted.is_some() || internal_errors.contains_key(a)
         })
         .map(|(a, _)| *a)
         .collect();
+    rejected_fns.extend(cached.iter().filter(|(_, f)| f.reject.is_some()).map(|(a, _)| *a));
     for (addr, e) in explorations {
         let reject = if let Some(message) = internal_errors.remove(&addr) {
             Some(RejectReason::Internal { stage: "explore", message })
@@ -569,9 +610,23 @@ pub(crate) fn assemble(
                 assumptions: e.diags.assumptions,
                 verification_errors: e.rejected.iter().cloned().collect(),
                 resolved_indirections: e.diags.resolved_indirections,
+                extent: e.extent,
+                image_reads: e.diags.image_reads,
+                callee_deps: e.callee_deps,
                 returns: e.returns,
                 reject,
             },
         );
+    }
+    for (addr, mut f) in cached {
+        if f.reject.is_none() {
+            f.reject = f
+                .callee_deps
+                .iter()
+                .filter(|(_, consumed)| !**consumed)
+                .find(|(c, _)| rejected_fns.contains(c))
+                .map(|(c, _)| RejectReason::CalleeRejected(*c));
+        }
+        result.functions.insert(addr, f);
     }
 }

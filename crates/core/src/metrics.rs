@@ -17,6 +17,7 @@
 //! [`MetricsSnapshot`] freezes the counters; `hgl-export` serialises
 //! it as the `hgl-metrics-v1` document behind `hgl lift --metrics`.
 
+use crate::store_api::StoreStats;
 use hgl_solver::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -149,6 +150,7 @@ impl Metrics {
             functions_rejected: self.functions_rejected.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
             cache,
+            store: None,
             workers: workers as u64,
             elapsed_nanos: elapsed.as_nanos() as u64,
         }
@@ -185,6 +187,9 @@ pub struct MetricsSnapshot {
     pub rounds: u64,
     /// Solver-cache counters.
     pub cache: CacheStats,
+    /// Persistent artifact-store counters; `None` when the session runs
+    /// without a store, so store-less metrics documents are unchanged.
+    pub store: Option<StoreStats>,
     /// Worker threads used.
     pub workers: u64,
     /// End-to-end wall time of the lift, in nanoseconds.

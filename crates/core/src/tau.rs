@@ -177,6 +177,10 @@ fn read_region(ctx: &mut StepCtx<'_>, state: &mut SymState, region: &Region) -> 
                 .any(|s| !s.flags.w && s.covers(addr, region.size));
             if read_only {
                 if let Some(v) = ctx.binary.read_int(addr, region.size as u8) {
+                    // The lifted output now depends on these image
+                    // bytes: record them so the artifact store's
+                    // content hash covers them.
+                    ctx.diags.image_reads.insert((addr, region.size as u8));
                     return Expr::imm(v);
                 }
             }
@@ -973,7 +977,7 @@ fn enumerate_targets(
     if let Some(Operand::Mem(m)) = instr.operands.first() {
         let addr = addr_expr(&s.pred, m, instr.next_addr());
         let size = m.size.bytes() as u64;
-        let direct = || -> Option<Vec<(u64, Option<Clause>)>> {
+        let mut direct = || -> Option<Vec<(u64, Option<Clause>)>> {
             let iv = sctx.interval_of(&addr)?;
             // Stride: the scale of the index register if present, else
             // the access size.
@@ -988,6 +992,7 @@ fn enumerate_targets(
                 // Only load-time-constant (non-writable) memory may be
                 // enumerated as a jump table.
                 let v = ctx.binary.read_int_ro(a, size as u8)?;
+                ctx.diags.image_reads.insert((a, size as u8));
                 targets.push((v, None));
                 if a >= iv.hi {
                     break;
@@ -1012,7 +1017,7 @@ fn enumerate_targets(
         if v != *target {
             continue;
         }
-        let enumerate = || -> Option<Vec<(u64, Option<Clause>)>> {
+        let mut enumerate = || -> Option<Vec<(u64, Option<Clause>)>> {
             let iv = sctx.interval_of(&region.addr)?;
             let stride = region.size.max(1);
             let entries = (iv.hi - iv.lo) / stride + 1;
@@ -1023,6 +1028,7 @@ fn enumerate_targets(
             let mut a = iv.lo;
             loop {
                 let val = ctx.binary.read_int_ro(a, region.size as u8)?;
+                ctx.diags.image_reads.insert((a, region.size as u8));
                 targets.push((val, None));
                 if a >= iv.hi {
                     break;

@@ -526,3 +526,25 @@ fn caller_pointer_assumptions_recorded() {
         f.assumptions
     );
 }
+
+/// Root discovery deduplicates aliased symbols: two names bound to one
+/// address (an ifunc alias, a versioned export) must produce a single
+/// root and a single lifted function, not two redundant lifts.
+#[test]
+fn aliased_symbols_yield_one_root() {
+    use hgl_elf::{Binary, Builder, SegmentFlags};
+    let elf = Builder::new()
+        .entry(0x401000)
+        // One function: `ret`.
+        .section(".text", 0x401000, vec![0xc3], SegmentFlags::RX)
+        .symbol(0x401000, "func")
+        .symbol_alias(0x401000, "func@v2")
+        .build();
+    let bin = Binary::parse(&elf).expect("parses");
+    assert_eq!(bin.symbols.len(), 1, "aliases collapse at parse time");
+
+    let report = Lifter::new(&bin).lift_all();
+    assert_eq!(report.roots, vec![0x401000], "exactly one root");
+    assert_eq!(report.result.functions.len(), 1);
+    assert!(report.result.functions[&0x401000].reject.is_none());
+}

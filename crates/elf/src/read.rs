@@ -208,7 +208,7 @@ fn parse_extmap(data: &[u8]) -> Result<BTreeMap<u64, String>, ParseError> {
 }
 
 fn parse_symtab(data: &[u8], strtab: &[u8]) -> BTreeMap<u64, String> {
-    let mut out = BTreeMap::new();
+    let mut out: BTreeMap<u64, String> = BTreeMap::new();
     for chunk in data.chunks_exact(SYM_SIZE as usize).skip(1) {
         let name_off = u32le(&chunk[0..]) as usize;
         let info = chunk[4];
@@ -221,7 +221,16 @@ fn parse_symtab(data: &[u8], strtab: &[u8]) -> BTreeMap<u64, String> {
         let end = rest.iter().position(|&b| b == 0).unwrap_or(0);
         if let Ok(name) = std::str::from_utf8(&rest[..end]) {
             if !name.is_empty() {
-                out.insert(value, name.to_string());
+                // Aliased symbols (several names at one address — weak
+                // aliases, ICF) collapse to one entry; keep the
+                // lexicographically smallest name so the choice depends
+                // on the symbol *set*, not on symtab order.
+                match out.get(&value) {
+                    Some(existing) if existing.as_str() <= name => {}
+                    _ => {
+                        out.insert(value, name.to_string());
+                    }
+                }
             }
         }
     }
@@ -254,6 +263,39 @@ mod tests {
         assert_eq!(bin.symbols.get(&0x401000).map(String::as_str), Some("main"));
         assert!(bin.is_code(0x401003));
         assert!(!bin.is_code(0x402000));
+    }
+
+    #[test]
+    fn aliased_symbols_resolve_deterministically() {
+        // Two symbol names at one address (e.g. an ifunc alias or a
+        // versioned export) must collapse to a single, order-independent
+        // canonical name: the lexicographically smallest one.
+        let forward = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3; 4], SegmentFlags::RX)
+            .symbol(0x401000, "zeta")
+            .symbol_alias(0x401000, "alpha")
+            .build();
+        let backward = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3; 4], SegmentFlags::RX)
+            .symbol(0x401000, "alpha")
+            .symbol_alias(0x401000, "zeta")
+            .build();
+        let f = Binary::parse(&forward).expect("parses");
+        let b = Binary::parse(&backward).expect("parses");
+        assert_eq!(f.symbols.get(&0x401000).map(String::as_str), Some("alpha"));
+        assert_eq!(b.symbols.get(&0x401000).map(String::as_str), Some("alpha"));
+        assert_eq!(f.symbols.len(), 1, "one address, one canonical symbol");
+        assert_eq!(f.symbols, b.symbols);
+        // to_binary (the non-serialized path) agrees with the parser.
+        let direct = Builder::new()
+            .entry(0x401000)
+            .section(".text", 0x401000, vec![0xc3; 4], SegmentFlags::RX)
+            .symbol(0x401000, "zeta")
+            .symbol_alias(0x401000, "alpha")
+            .to_binary();
+        assert_eq!(direct.symbols, f.symbols);
     }
 
     #[test]

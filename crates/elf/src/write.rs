@@ -36,6 +36,8 @@ pub struct Builder {
     sections: Vec<SectionSpec>,
     externals: BTreeMap<u64, String>,
     symbols: BTreeMap<u64, String>,
+    /// Extra symtab entries at already-named addresses (aliases).
+    aliases: Vec<(u64, String)>,
     shared_object: bool,
 }
 
@@ -88,6 +90,16 @@ impl Builder {
         self
     }
 
+    /// Record an *additional* symtab entry for an address (ELF permits
+    /// any number of names per address: weak aliases, identical-code
+    /// folding). The loaded [`Binary`] keeps one name per address —
+    /// the lexicographically smallest — so aliases exist to exercise
+    /// exactly that collapse.
+    pub fn symbol_alias(mut self, addr: u64, name: &str) -> Builder {
+        self.aliases.push((addr, name.to_string()));
+        self
+    }
+
     /// Produce the loaded view directly, without serialising to ELF.
     pub fn to_binary(&self) -> Binary {
         let mut segments: Vec<Segment> = self
@@ -96,12 +108,18 @@ impl Builder {
             .map(|s| Segment { vaddr: s.vaddr, bytes: s.bytes.clone(), flags: s.flags })
             .collect();
         segments.sort_by_key(|s| s.vaddr);
-        Binary {
-            entry: self.entry,
-            segments,
-            externals: self.externals.clone(),
-            symbols: self.symbols.clone(),
+        // Collapse aliases exactly as the ELF reader does: smallest
+        // name per address wins.
+        let mut symbols = self.symbols.clone();
+        for (addr, name) in &self.aliases {
+            match symbols.get(addr) {
+                Some(existing) if existing <= name => {}
+                _ => {
+                    symbols.insert(*addr, name.clone());
+                }
+            }
         }
+        Binary { entry: self.entry, segments, externals: self.externals.clone(), symbols }
     }
 
     /// Serialise to ELF64 bytes.
@@ -128,7 +146,7 @@ impl Builder {
         let extmap_off = cursor;
         cursor += extmap.len() as u64;
 
-        let (symtab, strtab) = encode_symtab(&self.symbols);
+        let (symtab, strtab) = encode_symtab(&self.symbols, &self.aliases);
         let symtab_off = cursor;
         cursor += symtab.len() as u64;
         let strtab_off = cursor;
@@ -293,10 +311,11 @@ fn encode_extmap(externals: &BTreeMap<u64, String>) -> Vec<u8> {
     out
 }
 
-fn encode_symtab(symbols: &BTreeMap<u64, String>) -> (Vec<u8>, Vec<u8>) {
+fn encode_symtab(symbols: &BTreeMap<u64, String>, aliases: &[(u64, String)]) -> (Vec<u8>, Vec<u8>) {
     let mut symtab = vec![0u8; SYM_SIZE as usize]; // null symbol
     let mut strtab = vec![0u8];
-    for (addr, name) in symbols {
+    let all = symbols.iter().map(|(a, n)| (*a, n)).chain(aliases.iter().map(|(a, n)| (*a, n)));
+    for (addr, name) in all {
         let name_off = strtab.len() as u32;
         strtab.extend_from_slice(name.as_bytes());
         strtab.push(0);

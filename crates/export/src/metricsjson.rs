@@ -37,7 +37,7 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
         m.states, m.instructions, m.functions_lifted, m.functions_rejected,
     );
     let c = &m.cache;
-    let _ = writeln!(
+    let _ = write!(
         o,
         "  \"solver_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"entries\": {}, \"hit_rate\": {:.4}, \"query_ns\": {} }}",
@@ -48,6 +48,25 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
         c.hit_rate(),
         c.query_nanos,
     );
+    // The artifact-store block appears only when the run had a store
+    // attached, so store-less documents are byte-identical to pre-store
+    // emitters.
+    if let Some(s) = &m.store {
+        o.push_str(",\n");
+        let _ = writeln!(
+            o,
+            "  \"store\": {{ \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+             \"evictions\": {}, \"inserts\": {}, \"hit_rate\": {:.4} }}",
+            s.hits,
+            s.misses,
+            s.invalidations,
+            s.evictions,
+            s.inserts,
+            s.hit_rate(),
+        );
+    } else {
+        o.push('\n');
+    }
     o.push_str("}\n");
     o
 }
@@ -69,6 +88,29 @@ mod tests {
         assert!(j.contains("\"workers\": 4"), "{j}");
         assert!(j.contains("{ \"phase\": \"tau\", \"nanos\": 40, \"count\": 1 }"), "{j}");
         assert!(j.contains("\"hit_rate\": 0.0000"), "{j}");
+        assert!(!j.contains("\"store\""), "store-less document has no store block: {j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn store_block_present_when_attached() {
+        let m = Metrics::new();
+        let mut snap = m.snapshot(None, 1, Duration::from_nanos(10));
+        snap.store = Some(hgl_core::StoreStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+            evictions: 0,
+            inserts: 4,
+        });
+        let j = export_metrics_json(&snap);
+        assert!(
+            j.contains(
+                "\"store\": { \"hits\": 3, \"misses\": 1, \"invalidations\": 2, \
+                 \"evictions\": 0, \"inserts\": 4, \"hit_rate\": 0.5000 }"
+            ),
+            "{j}"
+        );
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -41,6 +41,10 @@ mod interval;
 mod linear;
 mod sym;
 
+/// The crate version, folded into configuration fingerprints: a change
+/// to expression simplification must invalidate persisted artifacts.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use clause::{Clause, Rel};
 pub use expr::{Expr, OpKind};
 pub use interval::Interval;

@@ -140,6 +140,10 @@ pub struct QueryCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     query_nanos: AtomicU64,
+    /// Digest of the configuration fingerprint the resident entries
+    /// were computed under (`0` = unbound). See
+    /// [`QueryCache::bind_fingerprint`].
+    fingerprint: AtomicU64,
 }
 
 impl Default for QueryCache {
@@ -163,7 +167,31 @@ impl QueryCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             query_nanos: AtomicU64::new(0),
+            fingerprint: AtomicU64::new(0),
         }
+    }
+
+    /// Bind the cache to a configuration fingerprint digest (see
+    /// `hgl_core::Fingerprint::digest64`). The cache key canonicalizes
+    /// the solver's *inputs* but not the configuration that shaped
+    /// them, so resident verdicts are only reusable while the
+    /// fingerprint is unchanged: rebinding to a *different* digest
+    /// flushes every shard (counted as evictions). Rebinding to the
+    /// same digest is free.
+    pub fn bind_fingerprint(&self, digest: u64) {
+        let prev = self.fingerprint.swap(digest, Ordering::AcqRel);
+        if prev != 0 && prev != digest {
+            for shard in &self.shards {
+                let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+                self.evictions.fetch_add(guard.len() as u64, Ordering::Relaxed);
+                guard.clear();
+            }
+        }
+    }
+
+    /// The bound fingerprint digest (`0` when unbound).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint.load(Ordering::Acquire)
     }
 
     /// Look up a memoized verdict.
@@ -279,6 +307,25 @@ mod tests {
         let s = cache.stats();
         assert!(s.evictions > 0, "evictions must be counted: {s:?}");
         assert!(s.entries <= (SHARDS * SHARD_CAP) as u64);
+    }
+
+    #[test]
+    fn rebinding_fingerprint_flushes() {
+        let cache = QueryCache::new();
+        let ctx = Ctx::new();
+        let a = Region::stack(-8, 8);
+        let key = QueryKey::of(&ctx, &a, &a);
+        cache.bind_fingerprint(17);
+        cache.insert(key.clone(), decide(&ctx, &a, &a));
+        // Same digest: entries survive.
+        cache.bind_fingerprint(17);
+        assert!(cache.get(&key).is_some());
+        // Different digest: flushed (and counted as evictions).
+        cache.bind_fingerprint(23);
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.fingerprint(), 23);
+        assert!(cache.stats().evictions >= 1);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -32,6 +32,10 @@ mod ctx;
 mod region;
 mod relation;
 
+/// The crate version, folded into configuration fingerprints: a change
+/// to the decision procedures must invalidate persisted artifacts.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use assumptions::{Assumption, AssumptionKind};
 pub use cache::{CacheStats, QueryCache, QueryKey};
 pub use ctx::{Ctx, Layout, Provenance};

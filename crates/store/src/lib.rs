@@ -1,0 +1,44 @@
+//! # hgl-store: persistent content-addressed lift store
+//!
+//! Hoare-Graph extraction is *context-free per function* (§4.2.2 of the
+//! paper): a function's artifact — its graph, diagnostics and
+//! write-classification inputs — depends only on the instruction bytes
+//! it decodes, the image bytes it reads, the lifting configuration, and
+//! the binary's segment/external layout. This crate exploits that to
+//! make whole-binary re-lifts incremental: artifacts are persisted
+//! on disk keyed by content, and a re-lift recomputes only the
+//! functions whose inputs actually changed.
+//!
+//! ```no_run
+//! use hgl_core::Lifter;
+//! use hgl_store::Store;
+//! # let binary: hgl_elf::Binary = unimplemented!();
+//!
+//! let store = Store::open(".hgl-store")?;
+//! let report = Lifter::new(&binary).with_store(&store).lift_all();
+//! // Second run: every unchanged function is a store hit.
+//! let again = Lifter::new(&binary).with_store(&store).lift_all();
+//! assert!(again.metrics.store.expect("store attached").hits > 0);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The module split:
+//!
+//! - [`store`]: the on-disk [`Store`] — key derivation, content-hash
+//!   validation, corruption handling, capacity eviction;
+//! - [`codec`]: the panic-free binary codec for the full artifact
+//!   surface;
+//! - [`sha256`]: a dependency-free SHA-256.
+//!
+//! See `DESIGN.md` (*Persistent store & incremental lifting*) for the
+//! invalidation rules and the soundness argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod sha256;
+pub mod store;
+
+pub use codec::{decode_fn_lift, encode_fn_lift, CodecError};
+pub use store::{Store, StoreOptions};

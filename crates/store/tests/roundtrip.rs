@@ -1,0 +1,94 @@
+//! Serialisation round-trip properties: `decode(encode(artifact))` is
+//! the identity on every artifact the lifter actually produces.
+//!
+//! `FnLift` deliberately has no `PartialEq` (graphs carry solver
+//! state), so identity is asserted through the canonical encoding:
+//! re-encoding the decoded artifact must reproduce the original bytes
+//! exactly. Because the encoder is deterministic and injective on the
+//! stored surface, byte equality implies structural equality of
+//! everything the store persists.
+
+use hgl_core::lift::FnLift;
+use hgl_core::Lifter;
+use hgl_corpus::xen::gen_study_binary;
+use hgl_elf::Binary;
+use hgl_store::{decode_fn_lift, encode_fn_lift};
+use proptest::prelude::*;
+
+/// Round-trip every function of one lifted binary.
+fn roundtrip_all(binary: &Binary) -> usize {
+    let report = Lifter::new(binary).lift_all();
+    let mut checked = 0;
+    for f in report.result.functions.values() {
+        if !f.is_storable() {
+            continue;
+        }
+        checked += 1;
+        roundtrip_one(binary, f);
+    }
+    checked
+}
+
+fn roundtrip_one(binary: &Binary, f: &FnLift) {
+    let bytes = encode_fn_lift(f);
+    let decoded = decode_fn_lift(&bytes, binary)
+        .unwrap_or_else(|e| panic!("decode of fn {:#x} failed: {e}", f.entry));
+    assert_eq!(decoded.entry, f.entry);
+    assert_eq!(decoded.returns, f.returns);
+    assert_eq!(decoded.reject, f.reject, "fn {:#x}", f.entry);
+    assert_eq!(decoded.extent, f.extent);
+    assert_eq!(decoded.image_reads, f.image_reads);
+    assert_eq!(decoded.callee_deps, f.callee_deps);
+    assert_eq!(decoded.graph.vertices.len(), f.graph.vertices.len());
+    assert_eq!(decoded.graph.edges.len(), f.graph.edges.len());
+    // The decisive check: the canonical encoding is a fixpoint.
+    assert_eq!(encode_fn_lift(&decoded), bytes, "fn {:#x} re-encode drifted", f.entry);
+}
+
+#[test]
+fn study_corpus_roundtrips() {
+    let mut total = 0;
+    for i in 0..4u64 {
+        let binary = gen_study_binary(0x9e37_79b9_7f4a_7c15 ^ i, i % 3 == 2);
+        total += roundtrip_all(&binary);
+    }
+    assert!(total >= 8, "expected a real corpus, round-tripped only {total} functions");
+}
+
+#[test]
+fn rejected_artifacts_roundtrip() {
+    // Verification-rejected functions are storable (a negative verdict
+    // is as cacheable as a positive one) and must survive the codec
+    // with their error list and reject verdict intact.
+    for binary in
+        [hgl_corpus::failures::stack_probe(), hgl_corpus::failures::callee_saved_clobber()]
+    {
+        let report = Lifter::new(&binary).lift_all();
+        let mut saw_reject = false;
+        for f in report.result.functions.values().filter(|f| f.is_storable()) {
+            saw_reject |= f.reject.is_some();
+            roundtrip_one(&binary, f);
+        }
+        assert!(saw_reject, "failure corpus binary produced no storable reject");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed, library-shaped or not: every storable artifact of the
+    /// lifted binary round-trips bit-exactly.
+    #[test]
+    fn any_seed_roundtrips(seed in any::<u64>(), library in any::<bool>()) {
+        let binary = gen_study_binary(seed, library);
+        prop_assert!(roundtrip_all(&binary) > 0);
+    }
+
+    /// Decoding arbitrary garbage never panics — it returns a codec
+    /// error (or, vanishingly rarely, a structurally valid artifact).
+    #[test]
+    fn decoding_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let binary = gen_study_binary(1, false);
+        let _ = decode_fn_lift(&bytes, &binary);
+    }
+}

@@ -39,6 +39,10 @@ mod mnemonic;
 mod operand;
 mod reg;
 
+/// The crate version, folded into configuration fingerprints: a change
+/// to decode semantics must invalidate persisted artifacts.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use cond::Cond;
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};

@@ -3,6 +3,7 @@
 //! ```text
 //! hgl lift <binary.elf> [--function ADDR | --all] [--workers N]
 //!                       [--timeout SECS] [--json] [--metrics]
+//!                       [--store DIR] [--store-verify]
 //! hgl lint <binary.elf> [--function ADDR] [--json]
 //! hgl export <binary.elf> [--out theory.thy]
 //! hgl validate <binary.elf> [--samples N]
@@ -13,7 +14,11 @@
 //! `lift` prints the Hoare Graph summary, annotations, proof
 //! obligations and assumptions; `--all` lifts every discovered
 //! function on the parallel engine instead of one entry's closure;
-//! `--metrics` appends the `hgl-metrics-v1` phase/cache report.
+//! `--metrics` appends the `hgl-metrics-v1` phase/cache report;
+//! `--store DIR` makes `--all` incremental against a persistent
+//! content-addressed artifact store rooted at DIR, and
+//! `--store-verify` replays every store hit through the executable
+//! differential checker before trusting it.
 //! `lint` runs the static analyses (write classification and
 //! soundness lints) and exits non-zero on any error-severity finding;
 //! `export` writes the Isabelle/HOL theory; `validate` runs the
@@ -31,6 +36,7 @@ use hgl_export::{
     export_dot, export_json, export_lint_json, export_metrics_json, export_theory, validate_lift,
     ValidateConfig,
 };
+use hgl_store::{Store, StoreOptions};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -41,6 +47,8 @@ fn usage() -> ExitCode {
     eprintln!("  --workers N       worker threads for --all (default: one per core)");
     eprintln!("  --timeout SECS    lifting wall-clock budget (default 60)");
     eprintln!("  --metrics         append the hgl-metrics-v1 JSON report (phases, solver cache)");
+    eprintln!("  --store DIR       persistent artifact store for incremental --all re-lifts");
+    eprintln!("  --store-verify    replay every store hit through the differential checker");
     eprintln!("  --out FILE        output path for `export`");
     eprintln!("  --samples N       samples per edge for `validate` (default 16)");
     ExitCode::from(2)
@@ -86,7 +94,23 @@ fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
         config = config.timeout(Duration::from_secs(t));
     }
     let workers = parsed_flag(args, "--workers", |s| s.parse().ok()).unwrap_or(0usize);
-    let lifter = Lifter::new(binary).with_config(config).workers(workers);
+    let store = flag_value(args, "--store").map(|dir| {
+        let options = StoreOptions {
+            verify: args.iter().any(|a| a == "--store-verify"),
+            ..StoreOptions::default()
+        };
+        match Store::open_with(&dir, options) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hgl: cannot open store {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let mut lifter = Lifter::new(binary).with_config(config).workers(workers);
+    if let Some(store) = &store {
+        lifter = lifter.with_store(store);
+    }
     if args.iter().any(|a| a == "--all") {
         let report = lifter.lift_all();
         LiftInvocation {

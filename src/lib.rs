@@ -17,6 +17,8 @@
 //! - [`analysis`]: static analysis over extracted Hoare Graphs —
 //!   dataflow fixpoint engine, soundness lints, write classification
 //! - [`export`]: Isabelle/HOL export and executable validation
+//! - [`store`]: persistent content-addressed artifact store for
+//!   incremental re-lifting
 //! - [`corpus`]: synthetic evaluation corpora
 //! - [`oracle`]: trace-level conformance oracle (differential
 //!   campaigns of emulator traces replayed against Hoare Graphs)
@@ -37,4 +39,5 @@ pub use hgl_export as export;
 pub use hgl_expr as expr;
 pub use hgl_oracle as oracle;
 pub use hgl_solver as solver;
+pub use hgl_store as store;
 pub use hgl_x86 as x86;

@@ -1,0 +1,105 @@
+//! Cross-process determinism of the persistent store, driven through
+//! the real `hgl` binary: one process lifts cold and populates the
+//! store, a second process replays it warm, and the `hgl-lift-v1`
+//! JSON documents must be byte-identical (satellite 3 of the store
+//! tentpole — no in-process state can be smuggled between them).
+
+use hoare_lift::asm::Asm;
+use hoare_lift::x86::{Instr, Mnemonic, Operand, Reg, Width};
+use std::process::Command;
+
+fn hgl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hgl"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hgl-store-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// A three-function program: `main` calls `helper`, `leaf` is an
+/// independent export.
+fn write_elf(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut asm = Asm::new();
+    asm.label("main");
+    asm.call("helper");
+    asm.ins(Instr::new(
+        Mnemonic::Add,
+        vec![Operand::reg64(Reg::Rax), Operand::Imm(1)],
+        Width::B8,
+    ));
+    asm.ret();
+    asm.label("leaf");
+    asm.ret();
+    asm.export("leaf", "leaf");
+    asm.label("helper");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(7)],
+        Width::B4,
+    ));
+    asm.ret();
+    let bytes = asm.entry("main").assemble_elf().expect("assembles");
+    let path = dir.join("store_demo.elf");
+    std::fs::write(&path, bytes).expect("write elf");
+    path
+}
+
+#[test]
+fn cold_writes_warm_process_replays_byte_identical() {
+    let dir = tmpdir("xproc");
+    let elf = write_elf(&dir);
+    let store = dir.join("store");
+    let elf_s = elf.to_str().expect("utf8");
+    let store_s = store.to_str().expect("utf8");
+
+    // Process 1: cold lift, populates the store.
+    let cold = hgl()
+        .args(["lift", elf_s, "--all", "--json", "--store", store_s])
+        .output()
+        .expect("cold run");
+    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    let cold_json = String::from_utf8(cold.stdout).expect("utf8 json");
+    assert!(cold_json.contains("\"schema\": \"hgl-lift-v1\""), "{cold_json}");
+    assert!(store.read_dir().expect("store dir").count() > 0, "cold run left objects");
+
+    // Process 2: fresh process, warm store. `--metrics` is appended
+    // after the lift document, so the lift JSON must be a byte-exact
+    // prefix match against the cold output.
+    let warm = hgl()
+        .args(["lift", elf_s, "--all", "--json", "--metrics", "--store", store_s])
+        .output()
+        .expect("warm run");
+    assert!(warm.status.success(), "{}", String::from_utf8_lossy(&warm.stderr));
+    let warm_out = String::from_utf8(warm.stdout).expect("utf8 json");
+    assert!(
+        warm_out.starts_with(&cold_json),
+        "warm lift JSON is not byte-identical to the cold one:\n{warm_out}"
+    );
+    // And the metrics document proves the run really was warm.
+    let store_line = warm_out
+        .lines()
+        .find(|l| l.contains("\"store\": {"))
+        .expect("metrics carries a store block");
+    assert!(store_line.contains("\"misses\": 0"), "{store_line}");
+    assert!(store_line.contains("\"invalidations\": 0"), "{store_line}");
+    assert!(!store_line.contains("\"hits\": 0,"), "warm run must hit: {store_line}");
+
+    // `--store-verify` replays every hit through the differential
+    // checker; on an honest store nothing is demoted.
+    let verified = hgl()
+        .args(["lift", elf_s, "--all", "--json", "--metrics", "--store", store_s, "--store-verify"])
+        .output()
+        .expect("verify run");
+    assert!(verified.status.success(), "{}", String::from_utf8_lossy(&verified.stderr));
+    let verified_out = String::from_utf8(verified.stdout).expect("utf8 json");
+    assert!(verified_out.starts_with(&cold_json), "{verified_out}");
+    let vline = verified_out
+        .lines()
+        .find(|l| l.contains("\"store\": {"))
+        .expect("metrics carries a store block");
+    assert!(vline.contains("\"invalidations\": 0"), "verified replay demoted a hit: {vline}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
