@@ -131,6 +131,29 @@ impl BudgetMeter {
         }
     }
 
+    /// Starts metering against `budget`, additionally clamped to an
+    /// absolute `deadline` (requests served by `hgl serve` carry one).
+    /// The effective wall-clock limit is the *tighter* of the budget's
+    /// own dimension and the time remaining until the deadline, so a
+    /// request deadline composes with a configured timeout instead of
+    /// replacing it — and, critically, without changing the
+    /// [`Budget`] itself (the configuration
+    /// [`Fingerprint`](crate::Fingerprint) is deadline-independent, so
+    /// deadline-carrying requests still share warm caches and stores).
+    pub fn start_with_deadline(budget: &Budget, deadline: Option<Instant>) -> BudgetMeter {
+        let mut meter = BudgetMeter::start(budget);
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(meter.started);
+            let tighter = match meter.wall_clock {
+                Some(w) => w.min(remaining),
+                None => remaining,
+            };
+            meter.wall_clock = Some(tighter);
+            meter.deadline = Some(meter.started + tighter);
+        }
+        meter
+    }
+
     /// Records one solver query.
     pub fn count_solver_query(&self) {
         self.solver_queries.fetch_add(1, Ordering::Relaxed);
@@ -217,6 +240,35 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let ex = meter.check_global().expect("exhausted");
         assert_eq!(ex.dimension, BudgetDim::WallClock);
+    }
+
+    #[test]
+    fn deadline_tightens_wall_clock() {
+        // A far-future configured timeout with an already-passed
+        // deadline trips immediately.
+        let budget = Budget { wall_clock: Some(Duration::from_secs(3600)), ..Budget::unlimited() };
+        let meter = BudgetMeter::start_with_deadline(&budget, Some(Instant::now()));
+        std::thread::sleep(Duration::from_millis(2));
+        let ex = meter.check_global().expect("exhausted");
+        assert_eq!(ex.dimension, BudgetDim::WallClock);
+    }
+
+    #[test]
+    fn deadline_never_loosens_wall_clock() {
+        // A generous deadline must not extend a zero wall clock.
+        let budget = Budget { wall_clock: Some(Duration::ZERO), ..Budget::unlimited() };
+        let meter = BudgetMeter::start_with_deadline(
+            &budget,
+            Some(Instant::now() + Duration::from_secs(3600)),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(meter.check_global().is_some());
+    }
+
+    #[test]
+    fn no_deadline_is_plain_start() {
+        let meter = BudgetMeter::start_with_deadline(&Budget::unlimited(), None);
+        assert_eq!(meter.check_global(), None);
     }
 
     #[test]

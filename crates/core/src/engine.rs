@@ -85,8 +85,28 @@ pub struct Lifter<'b> {
     metrics: Metrics,
     /// Persistent artifact store for incremental re-lifting, if any.
     store: Option<&'b dyn ArtifactStore>,
+    /// Absolute deadline composed into every lift's budget, if any.
+    deadline: Option<Instant>,
     /// Wall time accumulated by this session's lifts, in nanoseconds.
     elapsed: AtomicU64,
+}
+
+/// The digest a session's solver cache is bound to: configuration
+/// fingerprint *plus* the binary's text/data layout. The cache key
+/// (`crates/solver/src/cache.rs`) deliberately omits the layout — it is
+/// constant within one session — so a cache shared *across* sessions
+/// (the `hgl serve` warm path) is sound only if re-binding flushes it
+/// whenever the layout changes. Folding the layout into the bound
+/// digest makes that automatic: same binary + same config → warm
+/// replay, anything else → flush.
+fn cache_scope(fp: &Fingerprint, binary: &Binary) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.extend_from_slice(&fp.digest64().to_le_bytes());
+    for (lo, hi) in binary.text_ranges().into_iter().chain(binary.data_ranges()) {
+        bytes.extend_from_slice(&lo.to_le_bytes());
+        bytes.extend_from_slice(&hi.to_le_bytes());
+    }
+    crate::fingerprint::fnv1a(&bytes)
 }
 
 impl<'b> Lifter<'b> {
@@ -100,8 +120,36 @@ impl<'b> Lifter<'b> {
             cache: Arc::new(QueryCache::new()),
             metrics: Metrics::new(),
             store: None,
+            deadline: None,
             elapsed: AtomicU64::new(0),
         }
+    }
+
+    /// Shares an existing solver-query cache with this session instead
+    /// of creating a fresh one. This is how a long-running server keeps
+    /// the cache warm across requests: repeat lifts of the same binary
+    /// under the same configuration replay memoized verdicts. Soundness
+    /// is preserved by scope binding — every lift re-binds the cache to
+    /// a digest of (configuration fingerprint ‖ binary layout) and the
+    /// cache flushes itself whenever that digest changes, so verdicts
+    /// never leak between binaries whose layouts differ.
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> Lifter<'b> {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets an absolute deadline for this session's lifts. The deadline
+    /// composes with the configured [`Budget`](crate::Budget): the
+    /// effective wall clock is the tighter of the two, so an expiring
+    /// request degrades gracefully to a partial Hoare Graph with
+    /// `BudgetFrontier` annotations exactly like a configured timeout.
+    /// Unlike tightening `budget.wall_clock`, a deadline does **not**
+    /// change the configuration [`Fingerprint`](crate::Fingerprint), so
+    /// deadline-carrying requests still share warm solver caches and
+    /// persistent stores.
+    pub fn with_deadline(mut self, deadline: Instant) -> Lifter<'b> {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Attaches a persistent artifact store, turning [`Lifter::lift_all`]
@@ -174,8 +222,17 @@ impl<'b> Lifter<'b> {
     /// Lift the call closure of one entry address with the sequential
     /// driver, sharing this session's solver cache and metrics.
     pub fn lift_entry(&self, entry: u64) -> LiftResult {
+        let fp = Fingerprint::of(&self.config);
+        self.cache.bind_fingerprint(cache_scope(&fp, self.binary));
         let result = isolated("lift", || {
-            lift_from(self.binary, entry, &self.config, Some(&self.cache), Some(&self.metrics))
+            lift_from(
+                self.binary,
+                entry,
+                &self.config,
+                self.deadline,
+                Some(&self.cache),
+                Some(&self.metrics),
+            )
         });
         self.account(&result);
         result
@@ -194,13 +251,11 @@ impl<'b> Lifter<'b> {
     /// bytes, config or callee dependencies changed are lifted fresh.
     pub fn lift_all(&self) -> BinaryLiftReport {
         let started = Instant::now();
+        let fp = Fingerprint::of(&self.config);
+        self.cache.bind_fingerprint(cache_scope(&fp, self.binary));
         let roots = self.discover_roots();
         let cached = match self.store {
-            Some(store) => {
-                let fp = Fingerprint::of(&self.config);
-                self.cache.bind_fingerprint(fp.digest64());
-                self.preload(store, &fp, &roots)
-            }
+            Some(store) => self.preload(store, &fp, &roots),
             None => BTreeMap::new(),
         };
         let cached_keys: BTreeSet<u64> = cached.keys().copied().collect();
@@ -211,7 +266,6 @@ impl<'b> Lifter<'b> {
             // `returns`/frontier state premature, so nothing from such
             // a run may enter the store.
             if result.binary_reject.is_none() {
-                let fp = Fingerprint::of(&self.config);
                 for f in result.functions.values() {
                     if !cached_keys.contains(&f.entry) && f.is_storable() {
                         store.insert(self.binary, &fp, f);
@@ -319,7 +373,7 @@ impl<'b> Lifter<'b> {
         }
 
         let layout = Layout { text: self.binary.text_ranges(), data: self.binary.data_ranges() };
-        let meter = BudgetMeter::start(&self.config.budget);
+        let meter = BudgetMeter::start_with_deadline(&self.config.budget, self.deadline);
         let workers = self.resolved_workers();
 
         let mut slots: BTreeMap<u64, FnSlot> = roots
@@ -629,12 +683,59 @@ mod tests {
     }
 
     #[test]
-    fn lift_entry_matches_deprecated_free_function() {
+    fn lift_entry_deterministic_across_sessions() {
         let bin = leaf_binary();
-        let session = Lifter::new(&bin).lift_entry(bin.entry);
-        #[allow(deprecated)]
-        let legacy = crate::lift::lift(&bin, &LiftConfig::default());
-        assert_eq!(format!("{:?}", session.functions), format!("{:?}", legacy.functions));
+        let a = Lifter::new(&bin).lift_entry(bin.entry);
+        let b = Lifter::new(&bin).with_config(LiftConfig::default()).lift_entry(bin.entry);
+        assert_eq!(format!("{:?}", a.functions), format!("{:?}", b.functions));
+    }
+
+    #[test]
+    fn shared_cache_stays_warm_across_sessions_on_same_binary() {
+        let bin = spill_binary();
+        let cache = Arc::new(QueryCache::new());
+        let first = Lifter::new(&bin).with_cache(cache.clone());
+        first.lift_all();
+        assert!(cache.stats().misses > 0, "stack traffic should query the solver");
+        let second = Lifter::new(&bin).with_cache(cache.clone());
+        second.lift_all();
+        assert!(cache.stats().hits > 0, "second session must replay the shared cache");
+    }
+
+    #[test]
+    fn cache_scope_depends_on_layout_and_config() {
+        let a = spill_binary();
+        let b = leaf_binary();
+        let fp = Fingerprint::of(&LiftConfig::default());
+        assert_ne!(cache_scope(&fp, &a), cache_scope(&fp, &b), "layout must change the scope");
+        let fp2 = Fingerprint::of(&LiftConfig::default().max_fuel(7));
+        assert_ne!(cache_scope(&fp, &a), cache_scope(&fp2, &a), "config must change the scope");
+    }
+
+    #[test]
+    fn shared_cache_flushes_when_binary_layout_changes() {
+        let bin = spill_binary();
+        let cache = Arc::new(QueryCache::new());
+        Lifter::new(&bin).with_cache(cache.clone()).lift_all();
+        let entries_warm = cache.stats().entries;
+        assert!(entries_warm > 0);
+        // A different layout re-binds the scope, flushing every
+        // resident verdict before the new binary's queries land.
+        let other = leaf_binary();
+        Lifter::new(&other).with_cache(cache.clone()).lift_all();
+        let fp = Fingerprint::of(&LiftConfig::default());
+        assert_eq!(cache.fingerprint(), cache_scope(&fp, &other));
+    }
+
+    #[test]
+    fn deadline_in_the_past_degrades_to_partial() {
+        let bin = spill_binary();
+        let report =
+            Lifter::new(&bin).with_deadline(Instant::now() - Duration::from_secs(1)).lift_all();
+        assert!(matches!(
+            report.result.binary_reject,
+            Some(crate::lift::RejectReason::Timeout)
+        ));
     }
 
     #[test]

@@ -107,8 +107,9 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
 
 /// FNV-1a over `bytes`. Not cryptographic — the store's key hash is
 /// SHA-256 over the full canonical bytes; this digest only gates the
-/// in-process solver cache.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// in-process solver cache (the engine folds the binary's layout in on
+/// top; see `engine::cache_scope`).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

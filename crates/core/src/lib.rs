@@ -75,8 +75,7 @@ pub use diag::{Annotation, ProofObligation, VerificationError};
 pub use engine::{parallel_map, BinaryLiftReport, Lifter};
 pub use fingerprint::{Fingerprint, ARTIFACT_SCHEMA_VERSION};
 pub use graph::{Edge, HoareGraph, Vertex, VertexId};
-#[allow(deprecated)]
-pub use lift::{lift, lift_bytes, FnLift, LiftConfig, LiftResult, RejectReason};
+pub use lift::{FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
 pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use pred::{FlagState, Pred, SymState};

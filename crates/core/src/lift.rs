@@ -1,11 +1,13 @@
 //! The single-entry lifting driver and its configuration.
 //!
-//! The preferred entry point is the [`Lifter`](crate::engine::Lifter)
-//! session builder in [`engine`](crate::engine):
-//! `Lifter::new(&binary).lift_all()` lifts every discovered function on
-//! a worker pool, `.lift_entry(addr)` lifts the closure of one entry.
-//! The free functions [`lift`], [`lift_function`] and [`lift_bytes`]
-//! remain as deprecated thin wrappers over that API.
+//! The entry point is the [`Lifter`](crate::engine::Lifter) session
+//! builder in [`engine`](crate::engine): `Lifter::new(&binary)
+//! .lift_all()` lifts every discovered function on a worker pool,
+//! `.lift_entry(addr)` lifts the closure of one entry, and
+//! `Lifter::from_bytes` is the hardened front door for untrusted
+//! images. (The deprecated free-function wrappers `lift`,
+//! `lift_function` and `lift_bytes` were removed once every caller had
+//! migrated; the session API is the single path into the engine.)
 //!
 //! Either way, internal calls are handled compositionally: every
 //! function is explored exactly once from a fresh context-free state
@@ -54,13 +56,6 @@ pub struct LiftConfig {
 }
 
 impl LiftConfig {
-    /// A config whose budget is a bare wall-clock deadline (the legacy
-    /// `timeout` field).
-    #[deprecated(since = "0.4.0", note = "use `LiftConfig::default().timeout(..)`")]
-    pub fn with_timeout(timeout: Duration) -> LiftConfig {
-        LiftConfig::default().timeout(timeout)
-    }
-
     /// Sets the wall-clock deadline, leaving every other budget
     /// dimension untouched.
     pub fn timeout(mut self, timeout: Duration) -> LiftConfig {
@@ -356,29 +351,10 @@ pub(crate) fn isolated(stage: &'static str, f: impl FnOnce() -> LiftResult) -> L
     }
 }
 
-/// Lift a binary from its entry point.
-#[deprecated(since = "0.4.0", note = "use `Lifter::new(&binary).lift_entry(binary.entry)`")]
-pub fn lift(binary: &Binary, config: &LiftConfig) -> LiftResult {
-    crate::engine::Lifter::new(binary).with_config(config.clone()).lift_entry(binary.entry)
-}
-
-/// Lift starting from a specific function address (library mode).
-#[deprecated(since = "0.4.0", note = "use `Lifter::new(&binary).lift_entry(entry)`")]
-pub fn lift_function(binary: &Binary, entry: u64, config: &LiftConfig) -> LiftResult {
-    crate::engine::Lifter::new(binary).with_config(config.clone()).lift_entry(entry)
-}
-
-/// Parse raw bytes as an ELF image and lift it from its entry point.
-#[deprecated(since = "0.4.0", note = "use `Lifter::from_bytes(bytes, config)`")]
-pub fn lift_bytes(bytes: &[u8], config: &LiftConfig) -> LiftResult {
-    lift_bytes_impl(bytes, config)
-}
-
-/// The untrusted-input front door behind [`Lifter::from_bytes`]
-/// (and the deprecated [`lift_bytes`]): a malformed image yields
-/// `RejectReason::MalformedBinary` (and a parser panic, should one
-/// survive the hardened reader, is isolated into
-/// `RejectReason::Internal`) — never a crash of the caller.
+/// The untrusted-input front door behind [`Lifter::from_bytes`]: a
+/// malformed image yields `RejectReason::MalformedBinary` (and a
+/// parser panic, should one survive the hardened reader, is isolated
+/// into `RejectReason::Internal`) — never a crash of the caller.
 ///
 /// [`Lifter::from_bytes`]: crate::engine::Lifter::from_bytes
 pub(crate) fn lift_bytes_impl(bytes: &[u8], config: &LiftConfig) -> LiftResult {
@@ -418,17 +394,17 @@ pub(crate) fn reject_of_exhaustion(ex: &BudgetExhausted) -> RejectReason {
     }
 }
 
-/// The legacy single-entry driver: explores `entry`'s call closure
-/// function-by-function with one global fresh-symbol counter. Both the
-/// deprecated free functions and [`Lifter::lift_entry`] land here; the
-/// engine attaches its solver cache and metrics sink, the free
-/// functions pass `None` for both.
+/// The sequential single-entry driver: explores `entry`'s call closure
+/// function-by-function with one global fresh-symbol counter.
+/// [`Lifter::lift_entry`] lands here, attaching the session's solver
+/// cache, metrics sink and (if set) absolute deadline.
 ///
 /// [`Lifter::lift_entry`]: crate::engine::Lifter::lift_entry
 pub(crate) fn lift_from(
     binary: &Binary,
     entry: u64,
     config: &LiftConfig,
+    deadline: Option<Instant>,
     cache: Option<&Arc<QueryCache>>,
     metrics: Option<&Metrics>,
 ) -> LiftResult {
@@ -442,7 +418,7 @@ pub(crate) fn lift_from(
     }
 
     let layout = layout_of(binary);
-    let meter = BudgetMeter::start(&config.budget);
+    let meter = BudgetMeter::start_with_deadline(&config.budget, deadline);
     let mut fresh: u64 = 0;
 
     let mut explorations: BTreeMap<u64, FnExploration> = BTreeMap::new();

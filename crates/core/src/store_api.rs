@@ -55,6 +55,15 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Artifacts written by this session.
     pub inserts: u64,
+    /// Orphaned temp files collected by the startup sweep (crash
+    /// leftovers from a process that died between tmp write and
+    /// rename).
+    pub tmp_swept: u64,
+    /// Publish attempts retried after a transient I/O failure.
+    pub write_retries: u64,
+    /// Publishes abandoned after exhausting retries. Each one degrades
+    /// to a recompute on the next lift — never an error.
+    pub write_failures: u64,
 }
 
 impl StoreStats {

@@ -56,12 +56,16 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
         let _ = writeln!(
             o,
             "  \"store\": {{ \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
-             \"evictions\": {}, \"inserts\": {}, \"hit_rate\": {:.4} }}",
+             \"evictions\": {}, \"inserts\": {}, \"tmp_swept\": {}, \"write_retries\": {}, \
+             \"write_failures\": {}, \"hit_rate\": {:.4} }}",
             s.hits,
             s.misses,
             s.invalidations,
             s.evictions,
             s.inserts,
+            s.tmp_swept,
+            s.write_retries,
+            s.write_failures,
             s.hit_rate(),
         );
     } else {
@@ -102,12 +106,16 @@ mod tests {
             invalidations: 2,
             evictions: 0,
             inserts: 4,
+            tmp_swept: 1,
+            write_retries: 2,
+            write_failures: 0,
         });
         let j = export_metrics_json(&snap);
         assert!(
             j.contains(
                 "\"store\": { \"hits\": 3, \"misses\": 1, \"invalidations\": 2, \
-                 \"evictions\": 0, \"inserts\": 4, \"hit_rate\": 0.5000 }"
+                 \"evictions\": 0, \"inserts\": 4, \"tmp_swept\": 1, \"write_retries\": 2, \
+                 \"write_failures\": 0, \"hit_rate\": 0.5000 }"
             ),
             "{j}"
         );

@@ -94,6 +94,23 @@ pub struct Store {
     invalidations: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    tmp_swept: AtomicU64,
+    write_retries: AtomicU64,
+    write_failures: AtomicU64,
+    /// Per-process sequence for unique temp-file names, so two threads
+    /// publishing the same object never share a temp path.
+    tmp_seq: AtomicU64,
+    /// Test-only fault injection: the next N publish attempts fail as
+    /// if the filesystem returned a transient error.
+    injected_write_faults: AtomicU64,
+}
+
+/// How many times a publish is attempted before being abandoned.
+const PUBLISH_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `n` (1-based): 2ms, then 8ms.
+fn publish_backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(2u64 << (2 * (attempt - 1)))
 }
 
 impl Store {
@@ -103,9 +120,19 @@ impl Store {
     }
 
     /// Open with explicit [`StoreOptions`].
+    ///
+    /// Opening garbage-collects orphaned temp files: a process that
+    /// died between tmp write and rename leaves a `*.tmp*` file behind,
+    /// which no surviving process will ever rename. Published `.hgs`
+    /// objects are never touched by the sweep. (A temp file belonging
+    /// to a *concurrently live* writer in another process could in
+    /// principle be swept too; that writer's publish then fails and is
+    /// retried or abandoned — degrading to a recompute, never to a
+    /// wrong artifact.)
     pub fn open_with(dir: impl AsRef<Path>, options: StoreOptions) -> io::Result<Store> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let swept = sweep_orphaned_tmp(&dir);
         Ok(Store {
             dir,
             options,
@@ -114,7 +141,21 @@ impl Store {
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            tmp_swept: AtomicU64::new(swept),
+            write_retries: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+            injected_write_faults: AtomicU64::new(0),
         })
+    }
+
+    /// Arms test-only fault injection: the next `n` publish attempts
+    /// fail as if the filesystem returned a transient error (EIO).
+    /// Used by the resilience regression tests; a production store
+    /// never calls this.
+    #[doc(hidden)]
+    pub fn inject_write_faults(&self, n: u64) {
+        self.injected_write_faults.store(n, Ordering::Relaxed);
     }
 
     /// The store's root directory.
@@ -191,6 +232,24 @@ impl Store {
             }
         }
     }
+}
+
+/// Removes every `*.tmp*` file under `dir`, returning how many were
+/// collected. Valid objects use the `.hgs` extension and are never
+/// matched.
+fn sweep_orphaned_tmp(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut swept = 0;
+    for path in entries.filter_map(|e| e.ok()).map(|e| e.path()) {
+        let is_tmp = path
+            .extension()
+            .and_then(|x| x.to_str())
+            .is_some_and(|x| x.starts_with("tmp"));
+        if is_tmp && std::fs::remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 /// Digest of the binary's segment layout and external map — the
@@ -298,14 +357,36 @@ impl ArtifactStore for Store {
         // Atomic publish: write a temp file, then rename. A concurrent
         // reader sees either the old object or the new one, never a
         // torn write (and a torn temp file fails its checksum anyway).
+        // Transient I/O errors (EIO, ENOSPC, a swept temp file) are
+        // retried with backoff; a publish that still fails is abandoned
+        // silently — the artifact is simply recomputed by the next
+        // lift, which is always sound.
         let path = self.object_path(binary, fingerprint, lift.entry);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        let ok = std::fs::write(&tmp, &body).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+        let mut ok = false;
+        for attempt in 1..=PUBLISH_ATTEMPTS {
+            if attempt > 1 {
+                Self::bump(&self.write_retries);
+                std::thread::sleep(publish_backoff(attempt - 1));
+            }
+            let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+            let tmp = path.with_extension(format!("tmp{}-{}", std::process::id(), seq));
+            let injected = {
+                let n = &self.injected_write_faults;
+                n.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                    .is_ok()
+            };
+            if !injected && std::fs::write(&tmp, &body).is_ok() && std::fs::rename(&tmp, &path).is_ok()
+            {
+                ok = true;
+                break;
+            }
+            let _ = std::fs::remove_file(&tmp);
+        }
         if ok {
             Self::bump(&self.inserts);
             self.enforce_capacity();
         } else {
-            let _ = std::fs::remove_file(&tmp);
+            Self::bump(&self.write_failures);
         }
     }
 
@@ -316,6 +397,9 @@ impl ArtifactStore for Store {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,140 @@
+//! Store resilience: crash-leftover garbage collection and transient
+//! publish failures.
+//!
+//! The daemon contract (`hgl serve`) leans on two store guarantees:
+//!
+//! 1. a process that dies between tmp write and rename never poisons
+//!    the store — the orphaned temp file is collected at the next
+//!    open, without touching valid artifacts;
+//! 2. every publish failure (EIO, ENOSPC, a racing sweep) heals to
+//!    recompute — transient faults are retried with backoff, and a
+//!    persistent fault silently abandons the publish, so the lift
+//!    result is identical either way.
+
+use hgl_core::{ArtifactStore, Lifter};
+use hgl_corpus::xen::gen_study_binary;
+use hgl_store::Store;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hgl-store-resil-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp store dir");
+    d
+}
+
+#[test]
+fn startup_sweep_collects_stale_tmp_without_touching_artifacts() {
+    let dir = tmpdir("sweep");
+    let binary = gen_study_binary(7, false);
+
+    // Populate the store with valid artifacts.
+    let store = Store::open(&dir).expect("open store");
+    let cold = Lifter::new(&binary).with_store(&store).lift_all();
+    let objects = store.object_count();
+    assert!(objects > 0, "cold run stored artifacts");
+
+    // Seed crash leftovers: the exact shapes a dying process leaves
+    // behind (pid-suffixed, pid+seq-suffixed, and a bare .tmp).
+    for name in ["deadbeef.tmp4242", "cafef00d.tmp99-3", "torn.tmp"] {
+        std::fs::write(dir.join(name), b"half-written garbage").expect("seed tmp file");
+    }
+
+    // Reopening sweeps all three and only the three.
+    let reopened = Store::open(&dir).expect("reopen store");
+    assert_eq!(reopened.stats().tmp_swept, 3, "every stale tmp file collected");
+    assert_eq!(reopened.object_count(), objects, "valid artifacts untouched");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_none_or(|x| x != "hgs"))
+        .collect();
+    assert!(leftovers.is_empty(), "non-object files remain: {leftovers:?}");
+
+    // And the swept store still replays everything.
+    let warm = Lifter::new(&binary).with_store(&reopened).lift_all();
+    assert!(warm.metrics.store.expect("store attached").hits > 0);
+    assert_eq!(
+        format!("{:?}", cold.result.functions),
+        format!("{:?}", warm.result.functions),
+        "warm replay after sweep is byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_publish_faults_are_retried() {
+    let dir = tmpdir("retry");
+    let binary = gen_study_binary(8, false);
+
+    let store = Store::open(&dir).expect("open store");
+    // Fail the first two publish attempts; the retry loop (3 attempts
+    // per publish) absorbs both on the very first artifact.
+    store.inject_write_faults(2);
+    let report = Lifter::new(&binary).with_store(&store).lift_all();
+    assert!(report.is_lifted(), "injected publish faults must not affect the lift");
+
+    let stats = report.metrics.store.expect("store attached");
+    assert!(stats.write_retries >= 2, "both faults retried: {stats:?}");
+    assert_eq!(stats.write_failures, 0, "retries absorbed the faults: {stats:?}");
+    assert!(store.object_count() > 0, "artifacts landed despite the faults");
+
+    // The published artifacts are complete: a warm pass hits them all.
+    let warm_store = Store::open(&dir).expect("reopen");
+    let warm = Lifter::new(&binary).with_store(&warm_store).lift_all();
+    assert_eq!(warm.metrics.store.expect("store").misses, 0, "everything published");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_publish_faults_heal_to_recompute() {
+    let dir = tmpdir("persistent");
+    let binary = gen_study_binary(9, false);
+
+    // Reference result with no store at all.
+    let reference = Lifter::new(&binary).lift_all();
+
+    let store = Store::open(&dir).expect("open store");
+    // More faults than any run can retry through: every publish fails.
+    store.inject_write_faults(u64::MAX);
+    let faulted = Lifter::new(&binary).with_store(&store).lift_all();
+    assert!(faulted.is_lifted(), "publish failures are invisible to the caller");
+    assert_eq!(
+        format!("{:?}", reference.result.functions),
+        format!("{:?}", faulted.result.functions),
+        "a store that cannot write behaves exactly like no store"
+    );
+    let stats = faulted.metrics.store.expect("store attached");
+    assert!(stats.write_failures > 0, "abandoned publishes counted: {stats:?}");
+    assert_eq!(store.object_count(), 0, "nothing half-written on disk");
+
+    // Next run recomputes (all misses) and — faults cleared — persists.
+    let healed_store = Store::open(&dir).expect("reopen");
+    let healed = Lifter::new(&binary).with_store(&healed_store).lift_all();
+    assert!(healed.is_lifted());
+    assert!(healed.metrics.store.expect("store").inserts > 0, "healed run persists");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_store_directory_degrades_to_recompute() {
+    // A real (not injected) I/O failure: the store directory vanishes
+    // out from under the open store and its path is re-occupied by a
+    // regular file, so every tmp write fails with ENOTDIR (the same
+    // failure surface as a yanked mount). The lift must be unaffected.
+    let dir = tmpdir("yanked");
+    let binary = gen_study_binary(10, false);
+    let store = Store::open(&dir).expect("open store");
+
+    std::fs::remove_dir_all(&dir).expect("yank store dir");
+    std::fs::write(&dir, b"not a directory").expect("occupy store path");
+
+    let report = Lifter::new(&binary).with_store(&store).lift_all();
+
+    assert!(report.is_lifted(), "an unwritable store must not affect the lift");
+    let stats = report.metrics.store.expect("store attached");
+    assert!(stats.write_failures > 0, "publishes abandoned: {stats:?}");
+    assert_eq!(store.object_count(), 0);
+    let _ = std::fs::remove_file(&dir);
+}

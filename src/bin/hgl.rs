@@ -9,6 +9,8 @@
 //! hgl validate <binary.elf> [--samples N]
 //! hgl disasm <binary.elf>
 //! hgl cfg <binary.elf> [--function ADDR]     # Graphviz DOT
+//! hgl serve [--listen ADDR] [--workers N] [--queue N]
+//!           [--store DIR] [--max-wall SECS]
 //! ```
 //!
 //! `lift` prints the Hoare Graph summary, annotations, proof
@@ -19,6 +21,10 @@
 //! content-addressed artifact store rooted at DIR, and
 //! `--store-verify` replays every store hit through the executable
 //! differential checker before trusting it.
+//! `serve` runs the persistent lifting daemon: JSONL requests over
+//! TCP multiplexed onto the engine with one warm solver cache and one
+//! shared store, admission control, per-request deadlines and crash
+//! isolation (see `crates/serve`).
 //! `lint` runs the static analyses (write classification and
 //! soundness lints) and exits non-zero on any error-severity finding;
 //! `export` writes the Isabelle/HOL theory; `validate` runs the
@@ -36,12 +42,14 @@ use hgl_export::{
     export_dot, export_json, export_lint_json, export_metrics_json, export_theory, validate_lift,
     ValidateConfig,
 };
+use hgl_serve::{ServeConfig, Server};
 use hgl_store::{Store, StoreOptions};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!("usage: hgl <lift|lint|export|validate|disasm|cfg> <binary.elf> [options]");
+    eprintln!("       hgl serve [--listen ADDR] [--workers N] [--queue N] [--store DIR] [--max-wall SECS]");
     eprintln!("  --function ADDR   lift from a function address (hex ok) instead of the entry point");
     eprintln!("  --all             lift every discovered function (parallel whole-binary engine)");
     eprintln!("  --workers N       worker threads for --all (default: one per core)");
@@ -126,8 +134,40 @@ fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
     }
 }
 
+/// `hgl serve`: run the lifting daemon until a client sends the
+/// `shutdown` op (or the process is killed).
+fn do_serve(args: &[String]) -> ExitCode {
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut config = ServeConfig::default();
+    if let Some(w) = parsed_flag(args, "--workers", |s| s.parse().ok()) {
+        config.workers = w;
+    }
+    if let Some(q) = parsed_flag(args, "--queue", |s| s.parse().ok()) {
+        config.queue_capacity = q;
+    }
+    if let Some(secs) = parsed_flag(args, "--max-wall", |s| s.parse().ok()) {
+        config.max_request_wall = Duration::from_secs(secs);
+    }
+    config.store_dir = flag_value(args, "--store").map(std::path::PathBuf::from);
+    let mut server = match Server::bind(&listen, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hgl: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hgl serve: listening on {}", server.local_addr());
+    server.join();
+    println!("hgl serve: shut down");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve` takes no binary path; dispatch before the path parsing.
+    if args.first().map(String::as_str) == Some("serve") {
+        return do_serve(&args);
+    }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };

@@ -19,6 +19,9 @@
 //! - [`export`]: Isabelle/HOL export and executable validation
 //! - [`store`]: persistent content-addressed artifact store for
 //!   incremental re-lifting
+//! - [`serve`]: the `hgl serve` lifting daemon — JSONL over TCP onto
+//!   the parallel engine with admission control, deadlines, request
+//!   coalescing and crash isolation
 //! - [`corpus`]: synthetic evaluation corpora
 //! - [`oracle`]: trace-level conformance oracle (differential
 //!   campaigns of emulator traces replayed against Hoare Graphs)
@@ -38,6 +41,7 @@ pub use hgl_emu as emu;
 pub use hgl_export as export;
 pub use hgl_expr as expr;
 pub use hgl_oracle as oracle;
+pub use hgl_serve as serve;
 pub use hgl_solver as solver;
 pub use hgl_store as store;
 pub use hgl_x86 as x86;

@@ -243,3 +243,37 @@ fn lint_fails_on_callee_saved_clobber() {
     assert!(stdout.contains("\"schema\": \"hgl-lint-v1\""), "{stdout}");
     assert!(stdout.contains("\"rule\": \"callee-saved-clobber\""), "{stdout}");
 }
+
+#[test]
+fn serve_subcommand_end_to_end() {
+    use hgl_serve::{Client, Json};
+    use std::io::BufRead;
+
+    let dir = tmpdir();
+    let elf = write_demo_elf(&dir, "served.elf", false);
+    let image = std::fs::read(&elf).expect("read elf");
+
+    // Port 0: the daemon prints the bound address on its first line.
+    let mut child = hgl()
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").expect("read banner");
+    let addr = banner.rsplit(' ').next().expect("address in banner").to_string();
+    assert!(banner.contains("listening"), "{banner}");
+
+    let mut c = Client::connect(&addr).expect("connect to daemon");
+    c.set_timeout(Some(std::time::Duration::from_secs(60))).expect("timeout");
+    assert_eq!(c.ping().expect("ping").get("status").and_then(Json::as_str), Some("ok"));
+    let lifted = c.lift(&image, None, false).expect("lift over the wire");
+    assert_eq!(lifted.get("status").and_then(Json::as_str), Some("ok"), "{lifted:?}");
+    assert_eq!(lifted.get("lifted").and_then(Json::as_bool), Some(true), "{lifted:?}");
+
+    // A client shutdown op terminates the process cleanly.
+    c.shutdown().expect("shutdown op");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exits zero after shutdown: {status:?}");
+}

@@ -1,0 +1,98 @@
+//! Concurrent `Lifter` sessions sharing one solver cache and one
+//! artifact store — the exact sharing shape `hgl serve` runs with.
+//!
+//! Two threads lift the same binary at the same time through shared
+//! state. The contract: no deadlock, byte-identical results on both
+//! threads (and identical to an isolated reference session), and the
+//! shared store left consistent for a warm replay.
+
+use hgl_core::{ArtifactStore, Lifter};
+use hgl_corpus::xen::gen_study_binary;
+use hgl_solver::QueryCache;
+use hgl_store::Store;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hgl-concurrent-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+#[test]
+fn concurrent_sessions_share_cache_and_store() {
+    let dir = tmpdir("shared");
+    let binary = gen_study_binary(21, false);
+    let reference = format!("{:?}", Lifter::new(&binary).lift_all().result.functions);
+
+    let cache = Arc::new(QueryCache::new());
+    let store = Store::open(&dir).expect("open store");
+
+    let (a, b) = std::thread::scope(|scope| {
+        let run = |seed_delay_us: u64| {
+            let cache = cache.clone();
+            let binary = &binary;
+            let store = &store;
+            scope.spawn(move || {
+                // Slight skew so the two sessions interleave rather
+                // than running in lockstep.
+                std::thread::sleep(std::time::Duration::from_micros(seed_delay_us));
+                let report = Lifter::new(binary)
+                    .with_cache(cache)
+                    .with_store(store as &dyn ArtifactStore)
+                    .lift_all();
+                assert!(report.is_lifted(), "concurrent session must lift cleanly");
+                format!("{:?}", report.result.functions)
+            })
+        };
+        let ha = run(0);
+        let hb = run(150);
+        (ha.join().expect("session A"), hb.join().expect("session B"))
+    });
+
+    assert_eq!(a, reference, "session A matches the isolated reference");
+    assert_eq!(b, reference, "session B matches the isolated reference");
+
+    // The shared store ended up consistent: a fresh session replays
+    // everything from it, byte-identically.
+    assert!(store.object_count() > 0, "artifacts were published");
+    let warm = Lifter::new(&binary).with_store(&store as &dyn ArtifactStore).lift_all();
+    assert!(warm.metrics.store.expect("store attached").hits > 0, "warm replay hits");
+    assert_eq!(format!("{:?}", warm.result.functions), reference);
+
+    // The shared cache saw traffic from both sessions and stayed bound
+    // to the (single) scope the whole time — no mid-run flush.
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "the second session must reuse the first's verdicts: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_sessions_on_different_binaries_stay_sound() {
+    // Two *different* binaries racing on one shared cache: scope
+    // binding flushes between them in whatever order they land, so
+    // results must still match isolated references — sharing may cost
+    // warmth, never soundness.
+    let bin_a = gen_study_binary(22, false);
+    let bin_b = gen_study_binary(23, true);
+    let ref_a = format!("{:?}", Lifter::new(&bin_a).lift_all().result.functions);
+    let ref_b = format!("{:?}", Lifter::new(&bin_b).lift_all().result.functions);
+
+    let cache = Arc::new(QueryCache::new());
+    for _ in 0..3 {
+        let (a, b) = std::thread::scope(|scope| {
+            let ca = cache.clone();
+            let cb = cache.clone();
+            let ha = scope.spawn(|| {
+                format!("{:?}", Lifter::new(&bin_a).with_cache(ca).lift_all().result.functions)
+            });
+            let hb = scope.spawn(|| {
+                format!("{:?}", Lifter::new(&bin_b).with_cache(cb).lift_all().result.functions)
+            });
+            (ha.join().expect("A"), hb.join().expect("B"))
+        });
+        assert_eq!(a, ref_a, "cross-binary cache races must never change results");
+        assert_eq!(b, ref_b, "cross-binary cache races must never change results");
+    }
+}
