@@ -60,12 +60,17 @@ pub fn lint_callee_saved(binary: &Binary, entry: u64, graph: &HoareGraph) -> Vec
 /// separate from `[rsp0, 8]`. A proven hit is an error; an unprovable
 /// relation is a warning (the lifter destroys or rejects there, but
 /// the site is worth surfacing).
-pub fn lint_ret_slot(binary: &Binary, entry: u64, graph: &HoareGraph, layout: &Layout) -> Vec<Diag> {
+pub fn lint_ret_slot(
+    binary: &Binary,
+    entry: u64,
+    graph: &HoareGraph,
+    layout: &std::sync::Arc<Layout>,
+) -> Vec<Diag> {
     let ra = Region::return_address_slot();
     let mut out = Vec::new();
     for (id, v, instr) in decoded(binary, graph) {
         let Some(region) = write_region(&v.state.pred, &instr) else { continue };
-        let ctx = Ctx::from_clauses(v.state.pred.clauses.iter(), layout.clone());
+        let ctx = Ctx::from_clauses(v.state.pred.clauses.iter(), std::sync::Arc::clone(layout));
         let rel = v.state.model.relation(&ctx, &region, &ra).rel;
         let (severity, what) = match rel {
             RegionRel::Separate => continue,

@@ -219,7 +219,7 @@ mod tests {
         // path would return Range(0,0); strip the binding to test the
         // delta path.
         let mut sym = s.clone();
-        sym.pred.set_reg(Reg::Rsp, hgl_expr::Expr::Bottom);
+        sym.pred.set_reg(Reg::Rsp, hgl_expr::Expr::bottom());
         g.add_vertex(VertexId::At(0x10, 0), s, true);
         g.add_vertex(VertexId::At(0x11, 0), sym.clone(), true);
         g.add_vertex(VertexId::At(0x12, 0), sym, true);

@@ -109,7 +109,8 @@ impl fmt::Display for AnalysisReport {
 /// graphs, and the lints inspect whatever invariants were established
 /// before the reject.
 pub fn analyze(binary: &Binary, lift: &LiftResult, cfg: &AnalysisConfig) -> AnalysisReport {
-    let layout = Layout { text: binary.text_ranges(), data: binary.data_ranges() };
+    let layout =
+        std::sync::Arc::new(Layout { text: binary.text_ranges(), data: binary.data_ranges() });
     let mut report = AnalysisReport::default();
 
     let mut writes_by_fn: BTreeMap<u64, Vec<ClassifiedWrite>> = BTreeMap::new();

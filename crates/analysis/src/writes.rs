@@ -235,7 +235,7 @@ pub fn classify_region(ctx: &Ctx, region: &Region) -> WriteClass {
         let mut residue = Linear::constant(lin.offset);
         for (a, &c) in &lin.terms {
             if *a != Atom::Sym(Sym::Init(Reg::Rsp)) {
-                residue.terms.insert(a.clone(), c);
+                residue.terms.insert(*a, c);
             }
         }
         if let Some(iv) = ctx.interval_of(&residue.to_expr()) {
@@ -262,7 +262,8 @@ pub fn classify_region(ctx: &Ctx, region: &Region) -> WriteClass {
 /// claims of all vertex invariants per instruction address. Output is
 /// sorted by (function, address).
 pub fn classify_writes(binary: &Binary, lift: &LiftResult) -> Vec<ClassifiedWrite> {
-    let layout = Layout { text: binary.text_ranges(), data: binary.data_ranges() };
+    let layout =
+        std::sync::Arc::new(Layout { text: binary.text_ranges(), data: binary.data_ranges() });
     let mut out: BTreeMap<(u64, u64), ClassifiedWrite> = BTreeMap::new();
     for (&entry, f) in &lift.functions {
         for (&id, v) in &f.graph.vertices {
@@ -353,7 +354,7 @@ mod tests {
             classify_region(&ctx, &Region::stack(-0x10, 8)),
             WriteClass::StackLocal { lo: -0x10, hi: -0x10 }
         );
-        assert_eq!(classify_region(&ctx, &Region::new(Expr::Bottom, 8)), WriteClass::Unresolved);
+        assert_eq!(classify_region(&ctx, &Region::new(Expr::bottom(), 8)), WriteClass::Unresolved);
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn bench_memmodel(c: &mut Criterion) {
         let m = stack_model(n);
         let fresh = Region::stack(-8 * (n as i64 + 1), 8);
         group.bench_with_input(BenchmarkId::new("ins_separate", n), &n, |b, _| {
-            b.iter(|| m.insert(&ctx, fresh.clone(), 16))
+            b.iter(|| m.insert(&ctx, fresh, 16))
         });
     }
 
@@ -40,7 +40,7 @@ fn bench_memmodel(c: &mut Criterion) {
     let r = Region::new(Expr::sym(Sym::Init(Reg::Rdx)), 8);
     for cap in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("ins_unknown_cap", cap), &cap, |b, &cap| {
-            b.iter(|| m.insert(&ctx, r.clone(), cap))
+            b.iter(|| m.insert(&ctx, r, cap))
         });
     }
 

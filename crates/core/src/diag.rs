@@ -234,7 +234,7 @@ mod tests {
         let ob = ProofObligation {
             call_site: 0x400701,
             callee: "memset".to_string(),
-            frame_args: vec![(Reg::Rdi, rsp0.clone().sub(Expr::imm(40)))],
+            frame_args: vec![(Reg::Rdi, rsp0.sub(Expr::imm(40)))],
             must_preserve: vec![Region::stack(-8, 16)],
         };
         let s = ob.to_string();

@@ -372,7 +372,8 @@ impl<'b> Lifter<'b> {
             return result;
         }
 
-        let layout = Layout { text: self.binary.text_ranges(), data: self.binary.data_ranges() };
+        let layout =
+            Arc::new(Layout { text: self.binary.text_ranges(), data: self.binary.data_ranges() });
         let meter = BudgetMeter::start_with_deadline(&self.config.budget, self.deadline);
         let workers = self.resolved_workers();
 
@@ -476,7 +477,7 @@ impl<'b> Lifter<'b> {
         &self,
         slots: &mut BTreeMap<u64, FnSlot>,
         runnable: &[u64],
-        layout: &Layout,
+        layout: &Arc<Layout>,
         meter: &BudgetMeter,
         workers: usize,
     ) {

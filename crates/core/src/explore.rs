@@ -24,8 +24,9 @@ use std::sync::Arc;
 pub struct ExploreCx<'a> {
     /// The binary being lifted.
     pub binary: &'a Binary,
-    /// Its section layout.
-    pub layout: &'a Layout,
+    /// Its section layout (shared handle; cloned per solver query at
+    /// the cost of a refcount bump, not a section-table copy).
+    pub layout: &'a Arc<Layout>,
     /// Stepping tunables.
     pub step: &'a StepConfig,
     /// Exploration limits.
@@ -46,6 +47,33 @@ fn timed<T>(metrics: Option<&Metrics>, phase: Phase, f: impl FnOnce() -> T) -> T
     match metrics {
         Some(m) => m.time(phase, f),
         None => f(),
+    }
+}
+
+/// Chained phase timing for the solver→decode→tau sequence that runs
+/// once per instruction: one timestamp per phase *boundary* instead of
+/// two per phase. `stamp` opens the chain; each `lap` charges the time
+/// since the previous boundary to `phase` and becomes the next
+/// boundary. The few instructions of bookkeeping between phases
+/// (window fetch, extent insert, step-context setup) are charged to
+/// the following phase — negligible against halving the clock calls
+/// on the hot path.
+fn stamp(metrics: Option<&Metrics>) -> Option<std::time::Instant> {
+    metrics.map(|_| std::time::Instant::now())
+}
+
+fn lap(
+    metrics: Option<&Metrics>,
+    phase: Phase,
+    prev: Option<std::time::Instant>,
+) -> Option<std::time::Instant> {
+    match (metrics, prev) {
+        (Some(m), Some(t)) => {
+            let now = std::time::Instant::now();
+            m.record(phase, now.duration_since(t));
+            Some(now)
+        }
+        _ => None,
     }
 }
 
@@ -185,8 +213,9 @@ impl FnExploration {
                 (None, None) => false,
             }
         };
-        for r in a.pred.regs.keys().chain(b.pred.regs.keys()) {
-            if clash(a.pred.regs.get(r), b.pred.regs.get(r)) {
+        for r in hgl_x86::Reg::ALL {
+            let (va, vb) = (a.pred.regs.get(r), b.pred.regs.get(r));
+            if clash(Some(&va), Some(&vb)) {
                 return false;
             }
         }
@@ -280,18 +309,22 @@ impl FnExploration {
         }
         let (vid, to_explore) = match target_vid {
             Some(vid) => {
-                let existing = self.graph.vertices[&vid].state.clone();
                 if let Some((src, instr)) = &from {
                     self.graph.add_edge(*src, vid, instr.clone());
                 }
-                if state.leq(&existing) {
+                // Borrow, don't clone: the existing state is only read
+                // (leq + join) before the vertex is overwritten.
+                let existing = &self.graph.vertices[&vid].state;
+                if state.leq(existing) {
                     // Line 4: already covered.
                     (vid, None)
                 } else {
-                    let joins = self.join_counts.entry(vid).or_insert(0);
-                    *joins += 1;
-                    let widen = *joins > limits.widen_after;
-                    let joined = timed(cx.metrics, Phase::Join, || state.join(&existing, widen));
+                    let widen = {
+                        let joins = self.join_counts.entry(vid).or_insert(0);
+                        *joins += 1;
+                        *joins > limits.widen_after
+                    };
+                    let joined = timed(cx.metrics, Phase::Join, || state.join(existing, widen));
                     self.graph.add_vertex(vid, joined.clone(), true);
                     (vid, Some(joined))
                 }
@@ -313,9 +346,9 @@ impl FnExploration {
         // concrete states; exploring them wastes effort and can poison
         // interval reasoning. Prune.
         meter.count_solver_query();
-        let sat_check = timed(cx.metrics, Phase::Solver, || {
-            hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), layout.clone())
-        });
+        let t = stamp(cx.metrics);
+        let sat_check = hgl_solver::Ctx::from_clauses(state.pred.clauses.iter(), Arc::clone(layout));
+        let t = lap(cx.metrics, Phase::Solver, t);
         if sat_check.is_unsat() {
             return;
         }
@@ -325,7 +358,9 @@ impl FnExploration {
             self.rejected = Some(VerificationError::JumpOutsideText { addr, target: addr });
             return;
         };
-        let instr = match timed(cx.metrics, Phase::Decode, || decode(window, addr)) {
+        let decoded = decode(window, addr);
+        let t = lap(cx.metrics, Phase::Decode, t);
+        let instr = match decoded {
             Ok(i) => i,
             Err(e) => {
                 // A rejection caused by these bytes is still a cacheable
@@ -343,16 +378,17 @@ impl FnExploration {
         self.steps += 1;
         let mut ctx = StepCtx {
             binary,
-            layout: layout.clone(),
-            config: step_config.clone(),
+            layout: Arc::clone(layout),
+            config: step_config,
             fresh,
             diags: &mut self.diags,
             meter,
             cache: cx.cache.cloned(),
             metrics: cx.metrics,
         };
-        let successors = match timed(cx.metrics, Phase::Tau, || step(&mut ctx, &state, &instr, self.entry))
-        {
+        let stepped = step(&mut ctx, state, &instr, self.entry);
+        lap(cx.metrics, Phase::Tau, t);
+        let successors = match stepped {
             Ok(s) => s,
             Err(e) => {
                 self.rejected = Some(e);

@@ -322,8 +322,8 @@ impl LiftResult {
     }
 }
 
-fn layout_of(binary: &Binary) -> Layout {
-    Layout { text: binary.text_ranges(), data: binary.data_ranges() }
+fn layout_of(binary: &Binary) -> Arc<Layout> {
+    Arc::new(Layout { text: binary.text_ranges(), data: binary.data_ranges() })
 }
 
 /// Renders a `catch_unwind` payload for a `RejectReason::Internal`.

@@ -137,6 +137,15 @@ impl MemModel {
         self.trees.iter().flat_map(MemTree::all_regions).collect()
     }
 
+    /// True if `r` occurs anywhere in the model (allocation-free;
+    /// insertion probes this on every memory access).
+    pub fn contains_region(&self, r: &Region) -> bool {
+        fn tree_has(t: &MemTree, r: &Region) -> bool {
+            t.regions.contains(r) || t.children.trees.iter().any(|c| tree_has(c, r))
+        }
+        self.trees.iter().any(|t| tree_has(t, r))
+    }
+
     /// Number of regions in the model.
     pub fn region_count(&self) -> usize {
         self.all_regions().len()
@@ -146,32 +155,60 @@ impl MemModel {
     /// regions it contains, if any (used before consulting the solver,
     /// so that *assumed* relations from earlier forks stay in force).
     pub fn structural_relation(&self, r0: &Region, r1: &Region) -> Option<RegionRel> {
-        fn locate(m: &MemModel, r: &Region, path: &mut Vec<usize>, out: &mut Option<Vec<usize>>) {
-            for (i, t) in m.trees.iter().enumerate() {
-                path.push(i);
-                if t.regions.contains(r) && out.is_none() {
-                    *out = Some(path.clone());
+        // One allocation-free walk replaces the old locate-both-paths
+        // pass (this runs per stored region on every memory access).
+        // Path-prefix logic, expressed positionally: same node → alias;
+        // one region at a node the other sits below → enclosure; found
+        // under diverging branches → separate.
+        enum Found {
+            Neither,
+            First,
+            Second,
+            Both(RegionRel),
+        }
+        fn walk(m: &MemModel, r0: &Region, r1: &Region) -> Found {
+            let mut f0 = false;
+            let mut f1 = false;
+            for t in &m.trees {
+                let here0 = t.regions.contains(r0);
+                let here1 = t.regions.contains(r1);
+                if here0 && here1 {
+                    // Same node: alias (identical regions trivially so).
+                    return Found::Both(RegionRel::Alias);
                 }
-                locate(&t.children, r, path, out);
-                path.pop();
+                match walk(&t.children, r0, r1) {
+                    Found::Both(rel) => return Found::Both(rel),
+                    Found::First => {
+                        if here1 {
+                            return Found::Both(RegionRel::Enclosed);
+                        }
+                        f0 = true;
+                    }
+                    Found::Second => {
+                        if here0 {
+                            return Found::Both(RegionRel::Encloses);
+                        }
+                        f1 = true;
+                    }
+                    Found::Neither => {
+                        f0 |= here0;
+                        f1 |= here1;
+                    }
+                }
+                if f0 && f1 {
+                    return Found::Both(RegionRel::Separate);
+                }
+            }
+            match (f0, f1) {
+                (true, _) => Found::First,
+                (_, true) => Found::Second,
+                _ => Found::Neither,
             }
         }
-        let mut p0 = None;
-        let mut p1 = None;
-        locate(self, r0, &mut Vec::new(), &mut p0);
-        locate(self, r1, &mut Vec::new(), &mut p1);
-        let (p0, p1) = (p0?, p1?);
-        if p0 == p1 {
-            // Same node: alias (identical regions trivially so).
-            return Some(RegionRel::Alias);
+        match walk(self, r0, r1) {
+            Found::Both(rel) => Some(rel),
+            _ => None,
         }
-        if p0.len() < p1.len() && p1[..p0.len()] == p0[..] {
-            return Some(RegionRel::Encloses);
-        }
-        if p1.len() < p0.len() && p0[..p1.len()] == p1[..] {
-            return Some(RegionRel::Enclosed);
-        }
-        Some(RegionRel::Separate)
     }
 
     /// Decide the relation between two regions: the model's structural
@@ -200,7 +237,7 @@ impl MemModel {
                 assumptions: Vec::new(),
             }];
         }
-        if self.all_regions().iter().any(|r| **r == region) {
+        if self.contains_region(&region) {
             // Already present: nothing to do.
             return vec![InsBranch {
                 model: self.clone(),
@@ -262,6 +299,28 @@ impl MemModel {
     /// definition, which keeps them; dropping is sound since a model
     /// with fewer regions asserts strictly less).
     pub fn join(&self, other: &MemModel) -> MemModel {
+        if self.trees.is_empty() || other.trees.is_empty() {
+            // One-sided classes are dropped, so a join with the empty
+            // model is empty — skip the union-find entirely.
+            return MemModel::default();
+        }
+        if let ([t0], [t1]) = (self.trees.as_slice(), other.trees.as_slice()) {
+            // One tree a side (the overwhelmingly common shape): the
+            // two trees either share a top-level region — one class,
+            // node intersection, children joined — or they are
+            // one-sided classes and the join is empty. Identical to
+            // the general path below, minus the union-find.
+            if t0.regions.is_disjoint(&t1.regions) {
+                return MemModel::default();
+            }
+            let regions: BTreeSet<Region> =
+                t0.regions.intersection(&t1.regions).cloned().collect();
+            if regions.is_empty() {
+                return MemModel::default();
+            }
+            let children = t0.children.join(&t1.children);
+            return MemModel { trees: vec![MemTree { regions, children }] }.canon();
+        }
         let n0 = self.trees.len();
         let all: Vec<(&MemTree, bool)> = self
             .trees
@@ -396,7 +455,7 @@ fn ins_rec(ctx: &Ctx, t0: MemTree, trees: &[MemTree], cap: usize) -> Vec<InsBran
     };
     // Single-region inserts are the only callers, so the relation of t0
     // against t1 is its (first) region's relation.
-    let r0 = t0.regions.iter().next().expect("inserted tree has a region").clone();
+    let r0 = *t0.regions.iter().next().expect("inserted tree has a region");
     let mut assumptions = Vec::new();
     let rel = region_vs_tree(ctx, &r0, t1, &mut assumptions);
 
@@ -515,7 +574,7 @@ fn ins_rec(ctx: &Ctx, t0: MemTree, trees: &[MemTree], cap: usize) -> Vec<InsBran
                         .regions
                         .iter()
                         .cloned()
-                        .chain(std::iter::once(r0.clone()))
+                        .chain(std::iter::once(r0))
                         .collect();
                     out.push(InsBranch {
                         model: MemModel {
@@ -527,7 +586,7 @@ fn ins_rec(ctx: &Ctx, t0: MemTree, trees: &[MemTree], cap: usize) -> Vec<InsBran
                             .collect(),
                         },
                         destroyed: Vec::new(),
-                        assumed_alias: Some((r0.clone(), r1.clone())),
+                        assumed_alias: Some((r0, *r1)),
                         assumptions: Vec::new(),
                     });
                     break; // one alias fork suffices: node regions all alias
@@ -586,7 +645,7 @@ fn ins_rec(ctx: &Ctx, t0: MemTree, trees: &[MemTree], cap: usize) -> Vec<InsBran
 fn merge_effects(a: &InsBranch, mut b: InsBranch) -> InsBranch {
     b.destroyed.extend(a.destroyed.iter().cloned());
     if b.assumed_alias.is_none() {
-        b.assumed_alias = a.assumed_alias.clone();
+        b.assumed_alias = a.assumed_alias;
     }
     b.assumptions.extend(a.assumptions.iter().cloned());
     b
@@ -645,14 +704,14 @@ mod tests {
         let rsi8 = Region::new(sym(Reg::Rsi), 8);
 
         let m0 = MemModel::empty();
-        let after1 = insert_all(&ctx, &m0, rdi8.clone());
+        let after1 = insert_all(&ctx, &m0, rdi8);
         assert_eq!(after1.len(), 1, "insert into empty model is deterministic");
 
         // Insert [rsi+4, 4]: unknown vs [rdi, 8] (different params, no
         // same-size alias possible) → separate + destroy forks.
         let after2: Vec<InsBranch> = after1
             .iter()
-            .flat_map(|b| insert_all(&ctx, &b.model, rsi4.clone()))
+            .flat_map(|b| insert_all(&ctx, &b.model, rsi4))
             .collect();
         assert!(after2.len() >= 2);
 
@@ -665,7 +724,7 @@ mod tests {
         let mut fig2a = false;
         let mut fig2b = false;
         for b in &after2 {
-            for b2 in insert_all(&ctx, &b.model, rsi8.clone()) {
+            for b2 in insert_all(&ctx, &b.model, rsi8) {
                 let m = &b2.model;
                 let enclosed = m.structural_relation(&rsi4, &rsi8) == Some(RegionRel::Enclosed);
                 match m.structural_relation(&rdi8, &rsi8) {
@@ -684,8 +743,8 @@ mod tests {
         let ctx = Ctx::new();
         let outer = Region::new(sym(Reg::Rsi), 8);
         let inner = Region::new(sym(Reg::Rsi).add(Expr::imm(4)), 4);
-        let m = MemModel { trees: vec![MemTree::leaf(outer.clone())] };
-        let branches = insert_all(&ctx, &m, inner.clone());
+        let m = MemModel { trees: vec![MemTree::leaf(outer)] };
+        let branches = insert_all(&ctx, &m, inner);
         assert_eq!(branches.len(), 1, "necessary relation: no fork");
         assert_eq!(branches[0].model.structural_relation(&inner, &outer), Some(RegionRel::Enclosed));
     }
@@ -695,8 +754,8 @@ mod tests {
         let ctx = Ctx::new();
         let a = Region::stack(-8, 8);
         let b = Region::stack(-16, 8);
-        let m = MemModel { trees: vec![MemTree::leaf(a.clone())] };
-        let branches = insert_all(&ctx, &m, b.clone());
+        let m = MemModel { trees: vec![MemTree::leaf(a)] };
+        let branches = insert_all(&ctx, &m, b);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].model.structural_relation(&a, &b), Some(RegionRel::Separate));
         assert!(branches[0].destroyed.is_empty());
@@ -707,8 +766,8 @@ mod tests {
         let ctx = Ctx::new();
         let a = Region::new(sym(Reg::Rdi), 4);
         let b = Region::new(sym(Reg::Rsi), 4);
-        let m = MemModel { trees: vec![MemTree::leaf(a.clone())] };
-        let branches = insert_all(&ctx, &m, b.clone());
+        let m = MemModel { trees: vec![MemTree::leaf(a)] };
+        let branches = insert_all(&ctx, &m, b);
         // alias + separate + destroy
         assert_eq!(branches.len(), 3);
         assert!(branches.iter().any(|br| br.assumed_alias.is_some()));
@@ -723,8 +782,8 @@ mod tests {
         let ctx = Ctx::new();
         let inner = Region::new(sym(Reg::Rsi).add(Expr::imm(4)), 4);
         let outer = Region::new(sym(Reg::Rsi), 8);
-        let m = MemModel { trees: vec![MemTree::leaf(inner.clone())] };
-        let branches = insert_all(&ctx, &m, outer.clone());
+        let m = MemModel { trees: vec![MemTree::leaf(inner)] };
+        let branches = insert_all(&ctx, &m, outer);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].model.structural_relation(&inner, &outer), Some(RegionRel::Enclosed));
         assert_eq!(branches[0].model.trees.len(), 1);
@@ -737,8 +796,8 @@ mod tests {
         let ctx = Ctx::new();
         let a = Region::new(sym(Reg::Rdi), 4);
         let b = Region::new(sym(Reg::Rsi), 4);
-        let m = MemModel { trees: vec![MemTree::leaf(a.clone())] };
-        let alias = insert_all(&ctx, &m, b.clone())
+        let m = MemModel { trees: vec![MemTree::leaf(a)] };
+        let alias = insert_all(&ctx, &m, b)
             .into_iter()
             .find(|br| br.assumed_alias.is_some())
             .expect("alias fork");
@@ -751,8 +810,8 @@ mod tests {
         let outer = Region::stack(-8, 8);
         let m = MemModel {
             trees: vec![MemTree {
-                regions: BTreeSet::from([outer.clone()]),
-                children: MemModel { trees: vec![MemTree::leaf(inner.clone())] },
+                regions: BTreeSet::from([outer]),
+                children: MemModel { trees: vec![MemTree::leaf(inner)] },
             }],
         };
         let m2 = m.remove_region(&outer);
@@ -770,13 +829,13 @@ mod tests {
         let c1 = Region::new(sym(Reg::Rdi).add(Expr::imm(4)), 4);
         let m0 = MemModel {
             trees: vec![MemTree {
-                regions: BTreeSet::from([top.clone()]),
+                regions: BTreeSet::from([top]),
                 children: MemModel { trees: vec![MemTree::leaf(c0)] },
             }],
         };
         let m1 = MemModel {
             trees: vec![MemTree {
-                regions: BTreeSet::from([top.clone()]),
+                regions: BTreeSet::from([top]),
                 children: MemModel { trees: vec![MemTree::leaf(c1)] },
             }],
         };
@@ -803,7 +862,7 @@ mod tests {
         let a = Region::new(sym(Reg::Rdi), 8);
         let b = Region::new(sym(Reg::Rsi), 8);
         // Model asserting a ⊲⊳ b.
-        let sep = MemModel { trees: vec![MemTree::leaf(a.clone()), MemTree::leaf(b.clone())] };
+        let sep = MemModel { trees: vec![MemTree::leaf(a), MemTree::leaf(b)] };
         let alias = MemModel {
             trees: vec![MemTree { regions: BTreeSet::from([a, b]), children: MemModel::default() }],
         };

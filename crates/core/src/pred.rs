@@ -1,18 +1,68 @@
 //! Symbolic predicates (§3.1) and symbolic states.
 
 use crate::memmodel::MemModel;
-use hgl_expr::{Clause, Expr, Rel, Sym};
+use hgl_expr::{Clause, Expr, ExprKind, Rel, Sym};
 use hgl_solver::Region;
 use hgl_x86::{Cond, Reg, RegRef, Width};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A copy-on-write collection handle. Symbolic states are forked at
+/// every branch, join, and memory-model split, but most forks never
+/// touch most of the forked maps — the clause set and memory valuation
+/// ride along unchanged. `Shared` makes the fork a reference-count
+/// bump: reads go through [`Deref`]; the first write through
+/// [`DerefMut`] un-shares (clones) the underlying collection if and
+/// only if another state still holds it. Semantically transparent —
+/// equality, ordering, and iteration all delegate to the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shared<T>(Arc<T>);
+
+impl<T> Shared<T> {
+    /// Wrap an owned collection.
+    pub fn new(value: T) -> Shared<T> {
+        Shared(Arc::new(value))
+    }
+}
+
+impl<T: Clone + Default> Default for Shared<T> {
+    fn default() -> Shared<T> {
+        Shared::new(T::default())
+    }
+}
+
+impl<T: Clone> Deref for Shared<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Clone> DerefMut for Shared<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+impl<'a, T: Clone> IntoIterator for &'a Shared<T>
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type IntoIter = <&'a T as IntoIterator>::IntoIter;
+    fn into_iter(self) -> Self::IntoIter {
+        (&*self.0).into_iter()
+    }
+}
 
 /// Abstract flag state: which comparison produced the current flags.
 ///
 /// Keeping the producing operands (rather than six separate flag
 /// expressions) is what lets a later `jcc` turn the flags into a
 /// precise [`Clause`] — the `cmp`/`ja` pair of the §2 example.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlagState {
     /// Nothing known.
     Unknown,
@@ -51,11 +101,11 @@ impl FlagState {
     pub fn clause_for(&self, cond: Cond) -> Option<Clause> {
         match self {
             FlagState::Cmp { width, lhs, rhs } if !lhs.is_bottom() && !rhs.is_bottom() => {
-                let (l, r) = (lhs.clone(), rhs.clone());
+                let (l, r) = (*lhs, *rhs);
                 // Signed relations are evaluated on 64-bit values, so
                 // sub-64-bit operands must be *sign*-extended (their
                 // zero-extended form would misorder negatives).
-                let (sl, sr) = (lhs.clone().sext(*width), rhs.clone().sext(*width));
+                let (sl, sr) = (lhs.sext(*width), rhs.sext(*width));
                 let bump = |e: &Expr| e.as_imm().filter(|v| *v < u64::MAX).map(|v| Expr::imm(v + 1));
                 let bump_s = |e: &Expr| {
                     e.as_imm().filter(|v| (*v as i64) < i64::MAX).map(|v| Expr::imm(v + 1))
@@ -75,13 +125,13 @@ impl FlagState {
                 })
             }
             FlagState::Test { lhs, rhs, .. } if lhs == rhs => Some(match cond {
-                Cond::E => Clause::new(lhs.clone(), Rel::Eq, Expr::imm(0)),
-                Cond::Ne => Clause::new(lhs.clone(), Rel::Ne, Expr::imm(0)),
+                Cond::E => Clause::new(*lhs, Rel::Eq, Expr::imm(0)),
+                Cond::Ne => Clause::new(*lhs, Rel::Ne, Expr::imm(0)),
                 _ => return None,
             }),
             FlagState::Result { value, .. } => Some(match cond {
-                Cond::E => Clause::new(value.clone(), Rel::Eq, Expr::imm(0)),
-                Cond::Ne => Clause::new(value.clone(), Rel::Ne, Expr::imm(0)),
+                Cond::E => Clause::new(*value, Rel::Eq, Expr::imm(0)),
+                Cond::Ne => Clause::new(*value, Rel::Ne, Expr::imm(0)),
                 _ => return None,
             }),
             _ => None,
@@ -125,21 +175,76 @@ impl FlagState {
     }
 }
 
+/// Dense register file: every one of the sixteen general-purpose
+/// registers always has a value (⊥ when unknown), so a fixed array
+/// indexed by [`Reg::number`] replaces the former `BTreeMap<Reg,
+/// Expr>`. Iteration follows [`Reg::ALL`] — the same order the map's
+/// keys sorted in — so canonical forms and serialized artifacts are
+/// byte-identical, while clone is a 16-word copy and lookup an array
+/// index (this sits on the join/step hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegFile([Expr; 16]);
+
+impl RegFile {
+    /// Every register holds its initial-value symbol `init(r)`.
+    pub fn function_entry() -> RegFile {
+        let mut f = RegFile::all_bottom();
+        for r in Reg::ALL {
+            f.set(r, Expr::sym(Sym::Init(r)));
+        }
+        f
+    }
+
+    /// Every register holds ⊥ (decode seed; also the value absent
+    /// entries of the old map representation denoted).
+    pub fn all_bottom() -> RegFile {
+        RegFile([Expr::bottom(); 16])
+    }
+
+    /// Current value of `r`.
+    pub fn get(&self, r: Reg) -> Expr {
+        self.0[r.number() as usize]
+    }
+
+    /// Set the value of `r`.
+    pub fn set(&mut self, r: Reg, v: Expr) {
+        self.0[r.number() as usize] = v;
+    }
+
+    /// `(register, value)` pairs in [`Reg::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Reg, Expr)> + '_ {
+        Reg::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+
+    /// Register values in [`Reg::ALL`] order.
+    pub fn values(&self) -> impl Iterator<Item = Expr> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Number of registers (always sixteen; mirrors the map API for
+    /// the serialization layer).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
 /// A symbolic predicate: current register values, flag state, known
 /// memory contents, direction flag, and path clauses — all in terms of
 /// constant expressions over the function-entry symbols.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pred {
     /// Current value of each 64-bit register.
-    pub regs: BTreeMap<Reg, Expr>,
+    pub regs: RegFile,
     /// Current flag state.
     pub flags: FlagState,
     /// Direction flag (`Some(false)` per the System V entry contract).
     pub df: Option<bool>,
-    /// Known memory contents: region → value.
-    pub mem: BTreeMap<Region, Expr>,
-    /// Path clauses.
-    pub clauses: BTreeSet<Clause>,
+    /// Known memory contents: region → value. Copy-on-write: forked
+    /// states share it until one of them writes.
+    pub mem: Shared<BTreeMap<Region, Expr>>,
+    /// Path clauses. Copy-on-write, like `mem`.
+    pub clauses: Shared<BTreeSet<Clause>>,
 }
 
 impl Pred {
@@ -147,20 +252,26 @@ impl Pred {
     /// holds its initial-value symbol, and the return-address slot
     /// `*[rsp0, 8]` holds the return symbol `S_entry` (§4.2.2).
     pub fn function_entry(entry: u64) -> Pred {
-        let regs = Reg::ALL.iter().map(|r| (*r, Expr::sym(Sym::Init(*r)))).collect();
+        let regs = RegFile::function_entry();
         let mut mem = BTreeMap::new();
         mem.insert(Region::return_address_slot(), Expr::sym(Sym::RetSym(entry)));
-        Pred { regs, flags: FlagState::Unknown, df: Some(false), mem, clauses: BTreeSet::new() }
+        Pred {
+            regs,
+            flags: FlagState::Unknown,
+            df: Some(false),
+            mem: Shared::new(mem),
+            clauses: Shared::default(),
+        }
     }
 
     /// Current value of a 64-bit register.
     pub fn reg(&self, r: Reg) -> Expr {
-        self.regs.get(&r).cloned().unwrap_or(Expr::Bottom)
+        self.regs.get(r)
     }
 
     /// Set a 64-bit register.
     pub fn set_reg(&mut self, r: Reg, v: Expr) {
-        self.regs.insert(r, v);
+        self.regs.set(r, v);
     }
 
     /// The value of a register view, as a 64-bit (zero-extended)
@@ -194,7 +305,7 @@ impl Pred {
                     v.trunc(Width::B1).mul(Expr::imm(1 << shift))
                 };
                 if old.is_bottom() {
-                    Expr::Bottom
+                    Expr::bottom()
                 } else {
                     old.and(Expr::imm(!mask)).or(vpart)
                 }
@@ -242,33 +353,32 @@ impl Pred {
     /// check).
     pub fn join(&self, other: &Pred, widen: bool) -> Pred {
         let mut uni = Unifier::default();
-        let mut regs = BTreeMap::new();
-        for (r, v) in &self.regs {
-            let joined = match other.regs.get(r) {
-                Some(v2) if uni.unify(v, v2) => v2.clone(),
-                _ => Expr::Bottom,
-            };
-            regs.insert(*r, joined);
+        let mut regs = RegFile::all_bottom();
+        for (r, v) in self.regs.iter() {
+            let v2 = other.regs.get(r);
+            if uni.unify(v, v2) {
+                regs.set(r, v2);
+            }
         }
         let mut mem = BTreeMap::new();
         for (region, v) in &self.mem {
             if let Some(v2) = other.mem.get(region) {
-                if uni.unify(v, v2) {
-                    mem.insert(region.clone(), v2.clone());
+                if uni.unify(*v, *v2) {
+                    mem.insert(*region, *v2);
                 }
             }
         }
         let flags = match (&self.flags, &other.flags) {
-            (a, b) if a == b => b.clone(),
+            (a, b) if a == b => other.flags,
             (
                 FlagState::Cmp { width: w1, lhs: l1, rhs: r1 },
                 FlagState::Cmp { width: w2, lhs: l2, rhs: r2 },
-            ) if w1 == w2 && uni.unify(l1, l2) && uni.unify(r1, r2) => other.flags.clone(),
+            ) if w1 == w2 && uni.unify(*l1, *l2) && uni.unify(*r1, *r2) => other.flags,
             _ => FlagState::Unknown,
         };
         let df = if self.df == other.df { self.df } else { None };
         let clauses = join_clauses(&self.clauses, &other.clauses, widen);
-        Pred { regs, flags, df, mem, clauses }
+        Pred { regs, flags, df, mem: Shared::new(mem), clauses: Shared::new(clauses) }
     }
 
     /// Evaluate whether a concrete state (symbol environment plus
@@ -312,10 +422,18 @@ struct Unifier {
 impl Unifier {
     /// True if `a` and `b` are equal up to a consistent renaming of
     /// fresh symbols (extending the bijection as a side effect).
-    fn unify(&mut self, a: &Expr, b: &Expr) -> bool {
-        match (a, b) {
-            (Expr::Imm(x), Expr::Imm(y)) => x == y,
-            (Expr::Sym(Sym::Fresh(x)), Expr::Sym(Sym::Fresh(y))) => {
+    fn unify(&mut self, a: Expr, b: Expr) -> bool {
+        // O(1) fast path: identical interned terms with no fresh
+        // symbols unify trivially and leave no bijection obligations.
+        // (Identical terms *with* fresh symbols must still walk, so the
+        // identity mapping is recorded and later pairs stay consistent
+        // with it.)
+        if a == b && !a.has_fresh() {
+            return true;
+        }
+        match (a.kind(), b.kind()) {
+            (ExprKind::Imm(x), ExprKind::Imm(y)) => x == y,
+            (ExprKind::Sym(Sym::Fresh(x)), ExprKind::Sym(Sym::Fresh(y))) => {
                 let (sa, sb) = (Sym::Fresh(*x), Sym::Fresh(*y));
                 match (self.fwd.get(&sa), self.rev.get(&sb)) {
                     (Some(mapped), Some(back)) => *mapped == sb && *back == sa,
@@ -327,14 +445,14 @@ impl Unifier {
                     _ => false,
                 }
             }
-            (Expr::Sym(x), Expr::Sym(y)) => x == y,
-            (Expr::Deref { addr: a1, size: s1 }, Expr::Deref { addr: a2, size: s2 }) => {
-                s1 == s2 && self.unify(a1, a2)
+            (ExprKind::Sym(x), ExprKind::Sym(y)) => x == y,
+            (ExprKind::Deref { addr: a1, size: s1 }, ExprKind::Deref { addr: a2, size: s2 }) => {
+                s1 == s2 && self.unify(*a1, *a2)
             }
-            (Expr::Op { op: o1, args: a1 }, Expr::Op { op: o2, args: a2 }) => {
+            (ExprKind::Op { op: o1, args: a1 }, ExprKind::Op { op: o2, args: a2 }) => {
                 o1 == o2
                     && a1.len() == a2.len()
-                    && a1.iter().zip(a2).all(|(x, y)| self.unify(x, y))
+                    && a1.iter().zip(a2).all(|(x, y)| self.unify(*x, *y))
             }
             _ => false,
         }
@@ -344,7 +462,12 @@ impl Unifier {
 /// Clause-set join: intersection, plus range abstraction (Example 3.4)
 /// for pairs of constant comparisons over the same left-hand side.
 fn join_clauses(a: &BTreeSet<Clause>, b: &BTreeSet<Clause>, widen: bool) -> BTreeSet<Clause> {
-    let mut out: BTreeSet<Clause> = a.intersection(b).cloned().collect();
+    if a.is_empty() || b.is_empty() {
+        // Intersection is empty and range abstraction needs bounds
+        // from *both* sides, so the join is empty.
+        return BTreeSet::new();
+    }
+    let mut out: BTreeSet<Clause> = a.intersection(b).copied().collect();
     if widen {
         return out;
     }
@@ -354,7 +477,7 @@ fn join_clauses(a: &BTreeSet<Clause>, b: &BTreeSet<Clause>, widen: bool) -> BTre
         let mut m: BTreeMap<Expr, (Option<u64>, Option<u64>)> = BTreeMap::new();
         for c in set {
             let Some(v) = c.rhs.as_imm() else { continue };
-            let e = m.entry(c.lhs.clone()).or_insert((None, None));
+            let e = m.entry(c.lhs).or_insert((None, None));
             match c.rel {
                 Rel::Eq => {
                     e.0 = Some(e.0.map_or(v, |x| x.max(v)));
@@ -375,13 +498,13 @@ fn join_clauses(a: &BTreeSet<Clause>, b: &BTreeSet<Clause>, widen: bool) -> BTre
         if let (Some(la), Some(lb)) = (lo_a, lo_b) {
             let lo = la.min(lb);
             if *lo > 0 {
-                out.insert(Clause::new(lhs.clone(), Rel::Ge, Expr::imm(*lo)));
+                out.insert(Clause::new(*lhs, Rel::Ge, Expr::imm(*lo)));
             }
         }
         if let (Some(ha), Some(hb)) = (hi_a, hi_b) {
             let hi = ha.max(hb);
             if *hi < u64::MAX {
-                out.insert(Clause::new(lhs.clone(), Rel::Lt, Expr::imm(hi + 1)));
+                out.insert(Clause::new(*lhs, Rel::Lt, Expr::imm(hi + 1)));
             }
         }
     }
@@ -394,8 +517,9 @@ fn join_clauses(a: &BTreeSet<Clause>, b: &BTreeSet<Clause>, widen: bool) -> BTre
 pub struct SymState {
     /// The predicate.
     pub pred: Pred,
-    /// The memory model.
-    pub model: MemModel,
+    /// The memory model. Copy-on-write: states forked by branching
+    /// share the forest until a step replaces it.
+    pub model: Shared<MemModel>,
 }
 
 impl SymState {
@@ -404,12 +528,15 @@ impl SymState {
         let pred = Pred::function_entry(entry);
         let mut model = MemModel::empty();
         model.trees.push(crate::memmodel::MemTree::leaf(Region::return_address_slot()));
-        SymState { pred, model }
+        SymState { pred, model: Shared::new(model) }
     }
 
     /// The join `σ₀ ⊔ σ₁` (Definition 3.15).
     pub fn join(&self, other: &SymState, widen: bool) -> SymState {
-        SymState { pred: self.pred.join(&other.pred, widen), model: self.model.join(&other.model) }
+        SymState {
+            pred: self.pred.join(&other.pred, widen),
+            model: Shared::new(self.model.join(&other.model)),
+        }
     }
 
     /// `self ⊑ other`: other is at least as abstract (defined as
@@ -422,8 +549,8 @@ impl SymState {
 impl fmt::Display for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut wrote = false;
-        for (r, v) in &self.regs {
-            if *v != Expr::sym(Sym::Init(*r)) && !v.is_bottom() {
+        for (r, v) in self.regs.iter() {
+            if v != Expr::sym(Sym::Init(r)) && !v.is_bottom() {
                 if wrote {
                     write!(f, " ∧ ")?;
                 }

@@ -10,7 +10,7 @@
 use crate::budget::BudgetMeter;
 use crate::diag::{Annotation, Diagnostics, ProofObligation, VerificationError};
 use crate::memmodel::InsBranch;
-use crate::pred::{FlagState, Pred, SymState};
+use crate::pred::{FlagState, Pred, Shared, SymState};
 use hgl_elf::Binary;
 use hgl_expr::{Clause, Expr, Rel, Sym};
 use hgl_solver::{Ctx, Layout, Provenance, Region, RegionRel};
@@ -37,10 +37,14 @@ impl Default for StepConfig {
 pub struct StepCtx<'a> {
     /// The binary being lifted.
     pub binary: &'a Binary,
-    /// Its section layout (for provenance classification).
-    pub layout: Layout,
-    /// Step tunables.
-    pub config: StepConfig,
+    /// Its section layout (for provenance classification). Shared:
+    /// built once per binary by the engine; every step and every
+    /// solver context holds a handle instead of copying section
+    /// tables.
+    pub layout: std::sync::Arc<Layout>,
+    /// Step tunables (borrowed from the lift configuration; one copy
+    /// per lift, not per step).
+    pub config: &'a StepConfig,
     /// Fresh-symbol counter.
     pub fresh: &'a mut u64,
     /// Diagnostics sink.
@@ -63,7 +67,7 @@ impl<'a> StepCtx<'a> {
 
     fn solver_ctx(&self, pred: &Pred) -> Ctx {
         self.meter.count_solver_query();
-        let build = || Ctx::from_clauses(pred.clauses.iter(), self.layout.clone());
+        let build = || Ctx::from_clauses(pred.clauses.iter(), std::sync::Arc::clone(&self.layout));
         let ctx = match self.metrics {
             Some(m) => m.time(crate::metrics::Phase::Solver, build),
             None => build(),
@@ -138,27 +142,27 @@ pub fn addr_expr(pred: &Pred, m: &MemOperand, next: u64) -> Expr {
 /// a fresh symbol so that repeated reads agree.
 fn read_region(ctx: &mut StepCtx<'_>, state: &mut SymState, region: &Region) -> Expr {
     if region.is_unknown() {
-        return Expr::Bottom;
+        return Expr::bottom();
     }
     if let Some(v) = state.pred.mem_value(region) {
-        return v.clone();
+        return *v;
     }
     let sctx = ctx.solver_ctx(&state.pred);
     // Alias or constant-offset enclosure against a recorded region.
     let entries: Vec<(Region, Expr)> =
-        state.pred.mem.iter().map(|(r, v)| (r.clone(), v.clone())).collect();
+        state.pred.mem.iter().map(|(r, v)| (*r, *v)).collect();
     for (r1, v1) in &entries {
         match state.model.relation(&sctx, region, r1).rel {
-            RegionRel::Alias => return v1.clone(),
+            RegionRel::Alias => return *v1,
             RegionRel::Enclosed if region.size <= 8 && r1.size <= 8 => {
                 // Extract bytes at a constant offset.
-                let d = region.linear().diff(&r1.linear());
+                let d = region.linear().diff(r1.linear());
                 if let Some(off) = d.as_constant() {
                     // Odd-sized regions (3, 5, 6, 7 bytes) have no
                     // operand width; fall through to a fresh symbol.
                     if let Some(w) = Width::try_from_bytes(region.size as u8) {
                         if off >= 0 && (off as u64 + region.size) <= r1.size {
-                            let shifted = v1.clone().shr(Expr::imm(8 * off as u64));
+                            let shifted = (*v1).shr(Expr::imm(8 * off as u64));
                             return shifted.trunc(w);
                         }
                     }
@@ -189,7 +193,7 @@ fn read_region(ctx: &mut StepCtx<'_>, state: &mut SymState, region: &Region) -> 
     // Unknown contents: a fresh-but-fixed symbol, memoised.
     let v = ctx.fresh_sym();
     if region.size <= 8 {
-        state.pred.set_mem(region.clone(), v.clone());
+        state.pred.set_mem(*region, v);
     }
     v
 }
@@ -215,14 +219,14 @@ fn write_region(ctx: &mut StepCtx<'_>, state: &mut SymState, region: &Region, va
         match answer.rel {
             RegionRel::Separate => {}
             RegionRel::Alias => {
-                state.pred.set_mem(r1, value.clone());
+                state.pred.set_mem(r1, value);
             }
             _ => state.pred.forget_mem(&r1),
         }
     }
-    let v = if value.node_count() > ctx.config.max_expr_nodes { Expr::Bottom } else { value };
+    let v = if value.node_count() > ctx.config.max_expr_nodes { Expr::bottom() } else { value };
     if region.size <= 8 && !v.is_bottom() {
-        state.pred.set_mem(region.clone(), v);
+        state.pred.set_mem(*region, v);
     }
 }
 
@@ -248,7 +252,7 @@ fn read_operand(
 
 /// Write a value to an operand destination.
 fn write_operand(ctx: &mut StepCtx<'_>, state: &mut SymState, op: &Operand, v: Expr, next: u64) {
-    let v = if v.node_count() > ctx.config.max_expr_nodes { Expr::Bottom } else { v };
+    let v = if v.node_count() > ctx.config.max_expr_nodes { Expr::bottom() } else { v };
     match op {
         Operand::Reg(r) => state.pred.write_reg_ref(*r, v),
         Operand::Mem(m) => {
@@ -267,7 +271,7 @@ fn write_operand(ctx: &mut StepCtx<'_>, state: &mut SymState, op: &Operand, v: E
 /// function (§1).
 fn insert_regions(
     ctx: &mut StepCtx<'_>,
-    state: &SymState,
+    state: SymState,
     instr: &Instr,
 ) -> Result<Vec<SymState>, VerificationError> {
     let next = instr.next_addr();
@@ -300,10 +304,15 @@ fn insert_regions(
         _ => {}
     }
 
-    let mut states = vec![state.clone()];
+    // Ownership threads through: the incoming state is moved into the
+    // working set, and each branching round moves every state into its
+    // *last* branch, cloning only for the extra ones. Instructions
+    // with no memory operand (the common case) and single-branch
+    // inserts therefore copy no state at all.
+    let mut states = vec![state];
     for (region, is_write) in regions {
         let mut out = Vec::new();
-        for s in &states {
+        for s in states {
             let sctx = ctx.solver_ctx(&s.pred);
             // Return-address integrity (§1): an unknown-relation WRITE
             // against the return-address slot rejects the function —
@@ -345,26 +354,33 @@ fn insert_regions(
                 }
             }
             let branches: Vec<InsBranch> =
-                s.model.insert(&sctx, region.clone(), ctx.config.max_models_per_step);
-            for b in branches {
-                let mut ns = s.clone();
-                ns.model = b.model;
+                s.model.insert(&sctx, region, ctx.config.max_models_per_step);
+            let mut branches = branches.into_iter();
+            let last = branches.next_back();
+            let apply = |mut ns: SymState, b: InsBranch, diags: &mut Diagnostics| {
+                ns.model = Shared::new(b.model);
                 for d in &b.destroyed {
                     ns.pred.forget_mem(d);
                 }
                 if let Some((r0, r1)) = &b.assumed_alias {
                     ns.pred
                         .clauses
-                        .insert(Clause::new(r0.addr.clone(), Rel::Eq, r1.addr.clone()));
+                        .insert(Clause::new(r0.addr, Rel::Eq, r1.addr));
                     // The alias makes any recorded value of r1 apply to r0.
                     if let Some(v) = ns.pred.mem_value(r1).cloned() {
-                        ns.pred.set_mem(r0.clone(), v);
+                        ns.pred.set_mem(*r0, v);
                     }
                 }
                 for a in b.assumptions {
-                    ctx.diags.assume(a);
+                    diags.assume(a);
                 }
-                out.push(ns);
+                ns
+            };
+            for b in branches {
+                out.push(apply(s.clone(), b, ctx.diags));
+            }
+            if let Some(b) = last {
+                out.push(apply(s, b, ctx.diags));
             }
         }
         states = out;
@@ -395,7 +411,7 @@ pub fn writes_first_operand(m: Mnemonic) -> bool {
 /// unprovable (the function is then rejected).
 pub fn step(
     ctx: &mut StepCtx<'_>,
-    state: &SymState,
+    state: SymState,
     instr: &Instr,
     entry: u64,
 ) -> Result<Vec<Successor>, VerificationError> {
@@ -468,22 +484,22 @@ fn step_one(
             let a = read_operand(ctx, &mut s, &ops[0], w, next);
             let b = read_operand(ctx, &mut s, &ops[1], w, next);
             let r = match instr.mnemonic {
-                Mnemonic::Add => a.clone().add(b.clone()).trunc(w),
-                Mnemonic::Sub => a.clone().sub(b.clone()).trunc(w),
-                Mnemonic::And => a.clone().and(b.clone()).trunc(w),
-                Mnemonic::Or => a.clone().or(b.clone()).trunc(w),
-                _ => a.clone().xor(b.clone()).trunc(w),
+                Mnemonic::Add => a.add(b).trunc(w),
+                Mnemonic::Sub => a.sub(b).trunc(w),
+                Mnemonic::And => a.and(b).trunc(w),
+                Mnemonic::Or => a.or(b).trunc(w),
+                _ => a.xor(b).trunc(w),
             };
             s.pred.flags = match instr.mnemonic {
                 Mnemonic::Add | Mnemonic::Sub => {
                     if instr.mnemonic == Mnemonic::Sub {
                         FlagState::Cmp { width: w, lhs: a, rhs: b }
                     } else {
-                        FlagState::Result { width: w, value: r.clone() }
+                        FlagState::Result { width: w, value: r }
                     }
                 }
                 Mnemonic::And => FlagState::Test { width: w, lhs: a, rhs: b },
-                _ => FlagState::Result { width: w, value: r.clone() },
+                _ => FlagState::Result { width: w, value: r },
             };
             write_operand(ctx, &mut s, &ops[0], r, next);
             fall!(s);
@@ -511,18 +527,18 @@ fn step_one(
         Mnemonic::Inc | Mnemonic::Dec => {
             let a = read_operand(ctx, &mut s, &ops[0], w, next);
             let r = if instr.mnemonic == Mnemonic::Inc {
-                a.clone().add(Expr::imm(1)).trunc(w)
+                a.add(Expr::imm(1)).trunc(w)
             } else {
-                a.clone().sub(Expr::imm(1)).trunc(w)
+                a.sub(Expr::imm(1)).trunc(w)
             };
             // CF is preserved; the remaining flags come from the result.
-            s.pred.flags = FlagState::Result { width: w, value: r.clone() };
+            s.pred.flags = FlagState::Result { width: w, value: r };
             write_operand(ctx, &mut s, &ops[0], r, next);
             fall!(s);
         }
         Mnemonic::Neg => {
             let a = read_operand(ctx, &mut s, &ops[0], w, next);
-            let r = a.clone().neg().trunc(w);
+            let r = a.neg().trunc(w);
             s.pred.flags = FlagState::Cmp { width: w, lhs: Expr::imm(0), rhs: a };
             write_operand(ctx, &mut s, &ops[0], r, next);
             fall!(s);
@@ -537,15 +553,15 @@ fn step_one(
             let b = read_operand(ctx, &mut s, &ops[1], Width::B1, next);
             let masked = b.and(Expr::imm(if w == Width::B8 { 63 } else { 31 }));
             let r = match instr.mnemonic {
-                Mnemonic::Shl => a.shl(masked.clone()).trunc(w),
-                Mnemonic::Shr => a.shr(masked.clone()).trunc(w),
-                _ => a.sext(w).sar(masked.clone()).trunc(w),
+                Mnemonic::Shl => a.shl(masked).trunc(w),
+                Mnemonic::Shr => a.shr(masked).trunc(w),
+                _ => a.sext(w).sar(masked).trunc(w),
             };
             // A zero shift count leaves the flags untouched, so only a
             // provably non-zero count lets us assert result flags.
             s.pred.flags = match masked.as_imm() {
-                Some(0) => s.pred.flags.clone(),
-                Some(_) => FlagState::Result { width: w, value: r.clone() },
+                Some(0) => s.pred.flags,
+                Some(_) => FlagState::Result { width: w, value: r },
                 None => FlagState::Unknown,
             };
             write_operand(ctx, &mut s, &ops[0], r, next);
@@ -621,7 +637,7 @@ fn step_one(
             let hi = s.pred.reg_ref(RegRef::new(Reg::Rdx, w));
             let lo = s.pred.reg_ref(RegRef::new(Reg::Rax, w));
             let (q, r) = if hi == Expr::imm(0) && instr.mnemonic == Mnemonic::Div {
-                (lo.clone().udiv(d.clone()).trunc(w), lo.urem(d).trunc(w))
+                (lo.udiv(d).trunc(w), lo.urem(d).trunc(w))
             } else {
                 (ctx.fresh_sym(), ctx.fresh_sym())
             };
@@ -719,20 +735,20 @@ fn step_one(
                 op => read_operand(ctx, &mut s, op, Width::B8, next),
             };
             let rsp = s.pred.reg(Reg::Rsp).sub(Expr::imm(8));
-            s.pred.set_reg(Reg::Rsp, rsp.clone());
+            s.pred.set_reg(Reg::Rsp, rsp);
             write_region(ctx, &mut s, &Region::new(rsp, 8), v);
             fall!(s);
         }
         Mnemonic::Pop => {
             let rsp = s.pred.reg(Reg::Rsp);
-            let v = read_region(ctx, &mut s, &Region::new(rsp.clone(), 8));
+            let v = read_region(ctx, &mut s, &Region::new(rsp, 8));
             s.pred.set_reg(Reg::Rsp, rsp.add(Expr::imm(8)));
             write_operand(ctx, &mut s, &ops[0], v, next);
             fall!(s);
         }
         Mnemonic::Leave => {
             let rbp = s.pred.reg(Reg::Rbp);
-            let v = read_region(ctx, &mut s, &Region::new(rbp.clone(), 8));
+            let v = read_region(ctx, &mut s, &Region::new(rbp, 8));
             s.pred.set_reg(Reg::Rsp, rbp.add(Expr::imm(8)));
             s.pred.set_reg(Reg::Rbp, v);
             fall!(s);
@@ -767,7 +783,7 @@ fn step_one(
                 None => {
                     let mut taken = s.clone();
                     if !rcx.is_bottom() {
-                        taken.pred.clauses.insert(Clause::new(rcx.clone(), Rel::Eq, Expr::imm(0)));
+                        taken.pred.clauses.insert(Clause::new(rcx, Rel::Eq, Expr::imm(0)));
                         s.pred.clauses.insert(Clause::new(rcx, Rel::Ne, Expr::imm(0)));
                     }
                     out.push(Successor::At(target, taken));
@@ -786,7 +802,7 @@ fn step_one(
                 }
             };
             let rcx = s.pred.reg(Reg::Rcx).sub(Expr::imm(1));
-            s.pred.set_reg(Reg::Rcx, rcx.clone());
+            s.pred.set_reg(Reg::Rcx, rcx);
             // The loop-taken condition combines rcx≠0 with (for
             // loope/loopne) a flag the abstraction may not know;
             // decide concretely where possible, otherwise cover both.
@@ -1012,7 +1028,7 @@ fn enumerate_targets(
     // fresh/materialised value — look for the producing region in
     // pred.mem and bound its address.
     let candidates: Vec<(Region, Expr)> =
-        s.pred.mem.iter().map(|(r, v)| (r.clone(), v.clone())).collect();
+        s.pred.mem.iter().map(|(r, v)| (*r, *v)).collect();
     for (region, v) in candidates {
         if v != *target {
             continue;
@@ -1096,7 +1112,7 @@ fn resolve_call(
 /// Verify the sanity properties at a return site.
 fn verify_return(s: &SymState, addr: u64, entry: u64, tail: bool) -> Result<(), VerificationError> {
     let rsp0 = Expr::sym(Sym::Init(Reg::Rsp));
-    let expected_rsp = rsp0.clone().add(Expr::imm(8));
+    let expected_rsp = rsp0.add(Expr::imm(8));
     let rsp = s.pred.reg(Reg::Rsp);
     // For a `ret`, the check happens *before* popping, so rsp == rsp0;
     // for a tail transfer the stack is already unwound.
@@ -1105,7 +1121,7 @@ fn verify_return(s: &SymState, addr: u64, entry: u64, tail: bool) -> Result<(), 
         return Err(VerificationError::NonStandardStackRestore { addr, rsp });
     }
     if !tail {
-        let slot = s.pred.mem_value(&Region::return_address_slot()).cloned().unwrap_or(Expr::Bottom);
+        let slot = s.pred.mem_value(&Region::return_address_slot()).copied().unwrap_or_else(Expr::bottom);
         if slot != Expr::sym(Sym::RetSym(entry)) {
             return Err(VerificationError::UnprovableReturnAddress { addr, found: slot });
         }
@@ -1128,7 +1144,7 @@ fn do_return(
     out: &mut Vec<Successor>,
 ) -> Result<(), VerificationError> {
     let rsp = s.pred.reg(Reg::Rsp);
-    let target = read_region(ctx, &mut s, &Region::new(rsp.clone(), 8));
+    let target = read_region(ctx, &mut s, &Region::new(rsp, 8));
     verify_return(&s, instr.addr, entry, false)?;
     if target != Expr::sym(Sym::RetSym(entry)) {
         return Err(VerificationError::UnprovableReturnAddress { addr: instr.addr, found: target });
@@ -1191,7 +1207,7 @@ fn havoc_for_call(ctx: &mut StepCtx<'_>, s: &mut SymState, sctx: &Ctx) {
     // Heap and globals destroyed; the stack frame survives.
     s.pred.retain_mem(|r| sctx.provenance(&r.addr) == Provenance::Stack);
     let keep = |r: &Region| sctx.provenance(&r.addr) == Provenance::Stack;
-    s.model = s.model.retain(&keep);
+    s.model = Shared::new(s.model.retain(&keep));
     // Clauses over heap/global contents would now be stale; keep only
     // those whose symbols are entry values (always fixed).
     s.pred.clauses.retain(|c| {
@@ -1229,8 +1245,8 @@ fn exec_string(ctx: &mut StepCtx<'_>, s: &mut SymState, instr: &Instr, _next: u6
             let base = s.pred.reg(Reg::Rdi);
             let v = s.pred.reg_ref(RegRef::new(Reg::Rax, w));
             for i in 0..n {
-                let region = Region::new(base.clone().add(Expr::imm(i * sz)), sz);
-                write_region(ctx, s, &region, v.clone());
+                let region = Region::new(base.add(Expr::imm(i * sz)), sz);
+                write_region(ctx, s, &region, v);
             }
             s.pred.set_reg(Reg::Rdi, base.add(Expr::imm(n * sz)));
             if instr.rep.is_some() {
@@ -1241,9 +1257,9 @@ fn exec_string(ctx: &mut StepCtx<'_>, s: &mut SymState, instr: &Instr, _next: u6
             let src = s.pred.reg(Reg::Rsi);
             let dst = s.pred.reg(Reg::Rdi);
             for i in 0..n {
-                let sreg = Region::new(src.clone().add(Expr::imm(i * sz)), sz);
+                let sreg = Region::new(src.add(Expr::imm(i * sz)), sz);
                 let v = read_region(ctx, s, &sreg);
-                let dreg = Region::new(dst.clone().add(Expr::imm(i * sz)), sz);
+                let dreg = Region::new(dst.add(Expr::imm(i * sz)), sz);
                 write_region(ctx, s, &dreg, v);
             }
             s.pred.set_reg(Reg::Rsi, src.add(Expr::imm(n * sz)));
@@ -1254,7 +1270,7 @@ fn exec_string(ctx: &mut StepCtx<'_>, s: &mut SymState, instr: &Instr, _next: u6
         }
         (Mnemonic::Lods, Some(1), _) => {
             let src = s.pred.reg(Reg::Rsi);
-            let v = read_region(ctx, s, &Region::new(src.clone(), sz));
+            let v = read_region(ctx, s, &Region::new(src, sz));
             s.pred.write_reg_ref(RegRef::new(Reg::Rax, w), v);
             let delta = if df_clear { src.add(Expr::imm(sz)) } else { src.sub(Expr::imm(sz)) };
             s.pred.set_reg(Reg::Rsi, delta);
@@ -1274,10 +1290,10 @@ fn exec_string(ctx: &mut StepCtx<'_>, s: &mut SymState, instr: &Instr, _next: u6
                 if frame_safe {
                     s.pred.retain_mem(|r| sctx.provenance(&r.addr) == Provenance::Stack);
                     let keep = |r: &Region| sctx.provenance(&r.addr) == Provenance::Stack;
-                    s.model = s.model.retain(&keep);
+                    s.model = Shared::new(s.model.retain(&keep));
                 } else {
                     s.pred.mem.clear();
-                    s.model = crate::memmodel::MemModel::empty();
+                    s.model = Shared::new(crate::memmodel::MemModel::empty());
                 }
             }
             for r in [Reg::Rsi, Reg::Rdi, Reg::Rcx] {
@@ -1296,6 +1312,7 @@ fn exec_string(ctx: &mut StepCtx<'_>, s: &mut SymState, instr: &Instr, _next: u6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hgl_expr::ExprKind;
     use hgl_elf::{Segment, SegmentFlags};
     use hgl_x86::encode;
     use std::collections::BTreeMap;
@@ -1328,15 +1345,15 @@ mod tests {
         let succ = {
             let mut ctx = StepCtx {
                 binary: &bin,
-                layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
-                config: StepConfig::default(),
+                layout: std::sync::Arc::new(Layout { text: bin.text_ranges(), data: bin.data_ranges() }),
+                config: &StepConfig::default(),
                 fresh: &mut fresh,
                 diags: &mut diags,
                 meter: &meter,
                 cache: None,
                 metrics: None,
             };
-            step(&mut ctx, state, instr, BASE).expect("steps")
+            step(&mut ctx, state.clone(), instr, BASE).expect("steps")
         };
         (succ, diags)
     }
@@ -1379,7 +1396,7 @@ mod tests {
         );
         let s1 = only_at(run(&mut load, &s0).0);
         let v = s1.pred.reg(Reg::Rax);
-        assert!(matches!(v, Expr::Sym(Sym::Fresh(_))), "unknown read gives a fresh symbol");
+        assert!(matches!(v.kind(), ExprKind::Sym(Sym::Fresh(_))), "unknown read gives a fresh symbol");
         // Second read of the same region yields the same symbol.
         let mut load2 = Instr::new(
             Mnemonic::Mov,
@@ -1413,7 +1430,7 @@ mod tests {
         );
         let s1 = only_at(run(&mut load, &s0).0);
         assert!(
-            matches!(s1.pred.reg(Reg::Rax), Expr::Sym(Sym::Fresh(_))),
+            matches!(s1.pred.reg(Reg::Rax).kind(), ExprKind::Sym(Sym::Fresh(_))),
             "writable data is not a load-time constant"
         );
     }
@@ -1461,7 +1478,7 @@ mod tests {
         let (succ, diags) = run(&mut call, &s0);
         let s1 = only_at(succ);
         // Volatile registers havocked, frame preserved, globals gone.
-        assert!(matches!(s1.pred.reg(Reg::Rax), Expr::Sym(Sym::Fresh(_))));
+        assert!(matches!(s1.pred.reg(Reg::Rax).kind(), ExprKind::Sym(Sym::Fresh(_))));
         assert_eq!(s1.pred.mem_value(&Region::stack(-8, 8)), Some(&Expr::imm(7)));
         assert_eq!(s1.pred.mem_value(&Region::global(0x60_1000, 8)), None);
         // Obligation names the frame argument and the preserve hull.
@@ -1492,15 +1509,15 @@ mod tests {
         let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
-            layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
-            config: StepConfig::default(),
+            layout: std::sync::Arc::new(Layout { text: bin.text_ranges(), data: bin.data_ranges() }),
+            config: &StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
             cache: None,
             metrics: None,
         };
-        let succ = step(&mut ctx, &s0, &bin_instr, BASE).expect("steps");
+        let succ = step(&mut ctx, s0.clone(), &bin_instr, BASE).expect("steps");
         assert!(succ.is_empty(), "exit terminates the path");
     }
 
@@ -1533,7 +1550,7 @@ mod tests {
     #[test]
     fn unknown_write_destroys_model() {
         let mut s0 = entry_state();
-        s0.pred.set_reg(Reg::Rax, Expr::Bottom);
+        s0.pred.set_reg(Reg::Rax, Expr::bottom());
         let mut store = Instr::new(
             Mnemonic::Mov,
             vec![Operand::Mem(MemOperand::base_disp(Reg::Rax, 0, Width::B8)), Operand::Imm(1)],
@@ -1546,15 +1563,15 @@ mod tests {
         let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
-            layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
-            config: StepConfig::default(),
+            layout: std::sync::Arc::new(Layout { text: bin.text_ranges(), data: bin.data_ranges() }),
+            config: &StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
             cache: None,
             metrics: None,
         };
-        let r = step(&mut ctx, &s0, &store, BASE);
+        let r = step(&mut ctx, s0.clone(), &store, BASE);
         assert!(
             matches!(r, Err(VerificationError::ReturnAddressClobbered { .. })),
             "got {r:?}"
@@ -1571,11 +1588,11 @@ mod tests {
         let s1 = only_at(run(&mut stos, &s0).0);
         let rdi0 = Expr::sym(Sym::Init(Reg::Rdi));
         assert_eq!(
-            s1.pred.mem_value(&Region::new(rdi0.clone(), 8)),
+            s1.pred.mem_value(&Region::new(rdi0, 8)),
             Some(&Expr::imm(0))
         );
         assert_eq!(
-            s1.pred.mem_value(&Region::new(rdi0.clone().add(Expr::imm(8)), 8)),
+            s1.pred.mem_value(&Region::new(rdi0.add(Expr::imm(8)), 8)),
             Some(&Expr::imm(0))
         );
         assert_eq!(s1.pred.reg(Reg::Rcx), Expr::imm(0));
@@ -1592,15 +1609,15 @@ mod tests {
         let meter = crate::budget::BudgetMeter::start(&crate::budget::Budget::unlimited());
         let mut ctx = StepCtx {
             binary: &bin,
-            layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
-            config: StepConfig::default(),
+            layout: std::sync::Arc::new(Layout { text: bin.text_ranges(), data: bin.data_ranges() }),
+            config: &StepConfig::default(),
             fresh: &mut fresh,
             diags: &mut diags,
             meter: &meter,
             cache: None,
             metrics: None,
         };
-        let r = step(&mut ctx, &s0, &jmp, BASE);
+        let r = step(&mut ctx, s0.clone(), &jmp, BASE);
         assert!(matches!(r, Err(VerificationError::JumpOutsideText { .. })));
     }
 

@@ -8,7 +8,7 @@
 //! semantics against machine-learned ground truth (§1, [22, 47]).
 
 use hgl_core::diag::Diagnostics;
-use hgl_core::pred::{FlagState, Pred, SymState};
+use hgl_core::pred::{FlagState, Pred, Shared, SymState};
 use hgl_core::tau::{step, StepConfig, StepCtx, Successor};
 use hgl_core::MemModel;
 use hgl_elf::{Binary, Segment, SegmentFlags};
@@ -68,21 +68,21 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<FlagSetup>
             FlagState::Cmp { width: w, lhs, rhs }
         };
     }
-    let state = SymState { pred, model: MemModel::empty() };
+    let state = SymState { pred, model: Shared::new(MemModel::empty()) };
     let mut fresh = 0u64;
     let mut diags = Diagnostics::default();
     let meter = hgl_core::BudgetMeter::start(&hgl_core::Budget::unlimited());
     let mut ctx = StepCtx {
         binary: &bin,
-        layout: Layout { text: bin.text_ranges(), data: bin.data_ranges() },
-        config: StepConfig::default(),
+        layout: std::sync::Arc::new(Layout { text: bin.text_ranges(), data: bin.data_ranges() }),
+        config: &StepConfig::default(),
         fresh: &mut fresh,
         diags: &mut diags,
         meter: &meter,
         cache: None,
         metrics: None,
     };
-    let successors = match step(&mut ctx, &state, &placed, CODE_BASE) {
+    let successors = match step(&mut ctx, state, &placed, CODE_BASE) {
         Ok(s) => s,
         Err(_) => return, // rejection paths are exercised elsewhere
     };
@@ -130,10 +130,10 @@ fn check(instr: &Instr, regs: &BTreeMap<Reg, u64>, flags_from: Option<FlagSetup>
             _ => continue,
         };
         let mut ok = true;
-        for (r, e) in &s.pred.regs {
+        for (r, e) in s.pred.regs.iter() {
             if let Some(v) = e.as_imm() {
-                if v != m.reg(*r) {
-                    errs.push(format!("{r}: τ says {v:#x}, machine {:#x}", m.reg(*r)));
+                if v != m.reg(r) {
+                    errs.push(format!("{r}: τ says {v:#x}, machine {:#x}", m.reg(r)));
                     ok = false;
                 }
             }

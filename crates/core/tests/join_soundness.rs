@@ -105,13 +105,13 @@ proptest! {
         // overlap).
         let pa = Expr::sym(Sym::Init(Reg::Rdi));
         let pb = Expr::sym(Sym::Init(Reg::Rsi));
-        let ra = Region::new(pa.clone(), 8);
-        let rb = Region::new(pb.clone(), 8);
-        let m0 = MemModel { trees: vec![MemTree::leaf(ra.clone()), MemTree::leaf(rb.clone())] };
+        let ra = Region::new(pa, 8);
+        let rb = Region::new(pb, 8);
+        let m0 = MemModel { trees: vec![MemTree::leaf(ra), MemTree::leaf(rb)] };
         let m1 = if share {
             m0.clone()
         } else {
-            MemModel { trees: vec![MemTree::leaf(ra.clone())] }
+            MemModel { trees: vec![MemTree::leaf(ra)] }
         };
         let j = m0.join(&m1);
         let env = move |s: Sym| match s {
@@ -161,7 +161,7 @@ proptest! {
         let j = s1.join(&s2, false);
         // The join keeps rax == *[rsp0-8] with a single symbol.
         let r = j.pred.reg(Reg::Rax);
-        prop_assert!(matches!(r, Expr::Sym(Sym::Fresh(_))));
+        prop_assert!(matches!(r.kind(), hgl_expr::ExprKind::Sym(Sym::Fresh(_))));
         prop_assert_eq!(j.pred.mem_value(&Region::stack(-8, 8)), Some(&r));
         // And the re-join is a fixpoint.
         prop_assert!(s2.leq(&j));

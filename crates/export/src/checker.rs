@@ -24,7 +24,7 @@
 use hgl_core::{FlagState, SymState};
 use hgl_elf::Binary;
 use hgl_emu::{FillPolicy, Machine, Mem};
-use hgl_expr::{Expr, Rel, Sym};
+use hgl_expr::{Expr, ExprKind, Rel, Sym};
 use hgl_x86::{Cond, Reg, RegRef};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -82,7 +82,7 @@ pub fn propagate_equalities(state: &SymState, env: &mut BTreeMap<Sym, u64>) {
             }
             let nomem = |_: u64, _: u8| None;
             for (a, b) in [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)] {
-                if let Expr::Sym(s) = a {
+                if let ExprKind::Sym(s) = a.kind() {
                     let lookup = |sym: Sym| *env.get(&sym).unwrap_or(&0);
                     if let Some(v) = b.eval(&lookup, &nomem) {
                         if b.syms().iter().all(|sym| env.contains_key(sym)) {
@@ -158,8 +158,8 @@ pub fn draw_env(state: &SymState, rng: &mut SmallRng, binary: &Binary) -> Env {
         }
         // Bounds over truncations of a symbol constrain its low bits.
         let t32 = Expr::sym(*s).trunc(hgl_x86::Width::B4);
-        if let hgl_expr::Expr::Op { .. } = &t32 {
-            if let Some(iv) = ctx.bound_of(&hgl_expr::Atom::Opaque(Box::new(t32))) {
+        if let ExprKind::Op { .. } = t32.kind() {
+            if let Some(iv) = ctx.bound_of(&hgl_expr::Atom::Opaque(t32)) {
                 if iv.hi < 1 << 32 {
                     let low = rng.gen_range(iv.lo..=iv.hi);
                     map.insert(*s, low);
@@ -188,15 +188,15 @@ pub fn build_machine(
     let lookup = |s: Sym| env.get(s);
     // Registers.
     for r in Reg::ALL {
-        let v = match state.pred.regs.get(&r) {
-            Some(e) if !e.is_bottom() => {
-                let nomem = |_: u64, _: u8| None;
-                match e.eval(&lookup, &nomem) {
-                    Some(v) => v,
-                    None => rng.gen(),
-                }
+        let e = state.pred.regs.get(r);
+        let v = if e.is_bottom() {
+            rng.gen()
+        } else {
+            let nomem = |_: u64, _: u8| None;
+            match e.eval(&lookup, &nomem) {
+                Some(v) => v,
+                None => rng.gen(),
             }
-            _ => rng.gen(),
         };
         m.set_reg(RegRef::full(r), v);
     }
@@ -251,15 +251,15 @@ pub fn bind_fresh(state: &SymState, env: &Env, machine: &Machine) -> Env {
     let mut env2 = env.map.clone();
     let mut mem_reader = machine.mem.clone();
     // Bind fresh symbols from register values…
-    for (r, e) in &state.pred.regs {
-        if let Expr::Sym(s @ Sym::Fresh(_)) = e {
-            env2.entry(*s).or_insert_with(|| machine.reg(*r));
+    for (r, e) in state.pred.regs.iter() {
+        if let ExprKind::Sym(s @ Sym::Fresh(_)) = e.kind() {
+            env2.entry(*s).or_insert_with(|| machine.reg(r));
         }
     }
     // …and from memory entries.
     let lookup_partial = |m: &BTreeMap<Sym, u64>, s: Sym| m.get(&s).copied();
     for (region, value) in &state.pred.mem {
-        if let Expr::Sym(s @ Sym::Fresh(_)) = value {
+        if let ExprKind::Sym(s @ Sym::Fresh(_)) = value.kind() {
             if !env2.contains_key(s) && region.size <= 8 {
                 let nomem = |_: u64, _: u8| None;
                 let addr_val = {
@@ -294,12 +294,12 @@ pub fn post_holds(state: &SymState, env: &Env, machine: &Machine) -> Result<(), 
     };
 
     // Registers.
-    for (r, e) in &state.pred.regs {
+    for (r, e) in state.pred.regs.iter() {
         if e.is_bottom() {
             continue;
         }
         if let Some(expected) = e.eval(&lookup, &mem_oracle) {
-            let actual = machine.reg(*r);
+            let actual = machine.reg(r);
             if expected != actual {
                 return Err(format!("{r}: expected {expected:#x}, machine has {actual:#x}"));
             }

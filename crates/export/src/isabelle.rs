@@ -9,7 +9,7 @@
 
 use hgl_core::lift::LiftResult;
 use hgl_core::{SymState, VertexId};
-use hgl_expr::{Expr, OpKind, Sym};
+use hgl_expr::{Expr, ExprKind, OpKind, Sym};
 use hgl_x86::Reg;
 use std::fmt::Write;
 
@@ -26,12 +26,12 @@ fn sym_name(s: Sym) -> String {
 
 /// Render an expression as an Isabelle 64-word term.
 pub fn isa_expr(e: &Expr) -> String {
-    match e {
-        Expr::Imm(v) => format!("({v:#x}::64 word)"),
-        Expr::Sym(s) => sym_name(*s),
-        Expr::Bottom => "undefined".to_string(),
-        Expr::Deref { addr, size } => format!("(mem_read \\<sigma> {} {})", isa_expr(addr), size),
-        Expr::Op { op, args } => {
+    match e.kind() {
+        ExprKind::Imm(v) => format!("({v:#x}::64 word)"),
+        ExprKind::Sym(s) => sym_name(*s),
+        ExprKind::Bottom => "undefined".to_string(),
+        ExprKind::Deref { addr, size } => format!("(mem_read \\<sigma> {} {})", isa_expr(addr), size),
+        ExprKind::Op { op, args } => {
             if args.len() == 1 {
                 let a = isa_expr(&args[0]);
                 match op {
@@ -81,13 +81,13 @@ fn vid_name(v: VertexId) -> String {
 fn invariant_def(name: &str, state: &SymState, out: &mut String) {
     let _ = writeln!(out, "definition P_{name} :: \"state \\<Rightarrow> bool\" where");
     let _ = write!(out, "  \"P_{name} \\<sigma> \\<equiv> True");
-    for (r, v) in &state.pred.regs {
+    for (r, v) in state.pred.regs.iter() {
         if v.is_bottom() {
             continue;
         }
         // Registers equal to their own initial symbols still pin the
         // frame discipline; emit them all for faithfulness.
-        let _ = write!(out, "\n     \\<and> reg \\<sigma> ''{}'' = {}", r.name64(), isa_expr(v));
+        let _ = write!(out, "\n     \\<and> reg \\<sigma> ''{}'' = {}", r.name64(), isa_expr(&v));
     }
     for (region, v) in &state.pred.mem {
         if v.is_bottom() {

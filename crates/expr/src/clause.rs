@@ -65,8 +65,9 @@ impl fmt::Display for Rel {
     }
 }
 
-/// A clause `lhs □ rhs` over constant expressions.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// A clause `lhs □ rhs` over constant expressions. `Copy` now that
+/// expressions are interned handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Clause {
     /// Left-hand side.
     pub lhs: Expr,
@@ -84,7 +85,7 @@ impl Clause {
 
     /// The clause that holds exactly when this one does not.
     pub fn negate(&self) -> Clause {
-        Clause { lhs: self.lhs.clone(), rel: self.rel.negate(), rhs: self.rhs.clone() }
+        Clause { lhs: self.lhs, rel: self.rel.negate(), rhs: self.rhs }
     }
 
     /// Evaluate concretely; `None` if either side contains ⊥ or an

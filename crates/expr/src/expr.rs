@@ -1,8 +1,28 @@
-//! The symbolic expression AST and its simplifying constructors.
+//! The symbolic expression AST, hash-consed into a process-wide arena,
+//! and its simplifying constructors.
+//!
+//! Every distinct term is interned exactly once: [`Expr`] is a `Copy`
+//! handle to an immutable, leaked node, so equality is a pointer
+//! comparison, hashing reads a precomputed structural hash, and
+//! "cloning" a predicate or memory model copies machine words instead
+//! of whole trees. Structural identity and handle identity coincide by
+//! construction (two structurally equal terms intern to the same
+//! node), which is what makes the O(1) fast paths sound.
+//!
+//! Ordering is intentionally *structural* — identical to the `Ord`
+//! that the previous boxed enum derived — because the canonical
+//! `BTreeMap`/`BTreeSet` forms throughout the lifter (predicate
+//! registers, memory regions, linear-form terms) feed serialized
+//! artifacts whose bytes must not depend on interning order or
+//! pointer values.
 
 use crate::{Linear, Sym};
 use hgl_x86::Width;
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Operator kinds. All operate on 64-bit values; narrower instruction
 /// widths are expressed with explicit [`OpKind::Trunc`] /
@@ -38,14 +58,47 @@ pub enum OpKind {
     Bsr,
 }
 
-/// A symbolic expression (the paper's `E`, §3.1).
+/// A symbolic expression (the paper's `E`, §3.1): a `Copy` handle into
+/// the hash-cons arena.
 ///
 /// Constructed through the simplifying methods ([`Expr::add`],
 /// [`Expr::and`], …) which constant-fold and normalise linear pointer
 /// arithmetic, so that equal addresses usually normalise to identical
-/// terms.
+/// terms — and, thanks to interning, to the *same* node.
+#[derive(Clone, Copy)]
+pub struct Expr(&'static Node);
+
+/// One interned expression node. Lives for the whole process; the
+/// arena only ever grows (by the set of *distinct* terms the lifter
+/// builds, which is bounded by the expression-size budgets in the
+/// step function).
+struct Node {
+    kind: ExprKind,
+    /// Structural hash, computed once at interning time. Used for the
+    /// intern table and for `Expr`'s O(1) `Hash` impl.
+    shash: u64,
+    /// AST node count (saturating), computed once at interning time.
+    nodes: u32,
+    /// True if the term contains any [`Sym::Fresh`] symbol — the
+    /// existentially-quantified unknowns the join's unifier must
+    /// rename consistently. Precomputed so joins can O(1)-skip
+    /// unification for identical fresh-free terms.
+    fresh: bool,
+    /// The canonical linear form, computed lazily on first use and
+    /// memoized for the node's (static) lifetime. Region-relation
+    /// queries re-derive the same few addresses' forms constantly;
+    /// interning makes the memoization exact.
+    linear: OnceLock<Linear>,
+}
+
+/// The structure of an interned expression node.
+///
+/// Obtained from a handle with [`Expr::kind`]; the variants mirror the
+/// pre-interning `Expr` enum exactly (including their `Ord`), so
+/// consumers pattern-match on `e.kind()` where they used to match on
+/// `e` directly.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Expr {
+pub enum ExprKind {
     /// A 64-bit immediate.
     Imm(u64),
     /// A symbol (unknown-but-fixed value).
@@ -56,7 +109,7 @@ pub enum Expr {
     /// pointer of §5.3).
     Deref {
         /// Address expression.
-        addr: Box<Expr>,
+        addr: Expr,
         /// Region size in bytes.
         size: u8,
     },
@@ -71,222 +124,556 @@ pub enum Expr {
     Bottom,
 }
 
+const SHARDS: usize = 64;
+
+/// Pass-through hasher for the shard maps: the key *is* the already
+/// well-mixed structural hash, so re-hashing it (SipHash by default)
+/// would only burn cycles on the hottest path in the crate.
+#[derive(Clone, Copy, Default)]
+struct ShashState(u64);
+
+impl Hasher for ShashState {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys reach the shard maps; keep a sound fallback
+        // anyway so the hasher cannot silently degenerate.
+        for &b in bytes {
+            self.0 = mix(self.0 ^ b as u64);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct ShashBuild;
+
+impl std::hash::BuildHasher for ShashBuild {
+    type Hasher = ShashState;
+    fn build_hasher(&self) -> ShashState {
+        ShashState(0)
+    }
+}
+
+/// The process-wide intern table, sharded by structural hash. Buckets
+/// are keyed by `shash` and disambiguated by structural comparison
+/// (which is O(1) per child, children being already interned).
+struct Interner {
+    shards: Vec<Mutex<HashMap<u64, Vec<Expr>, ShashBuild>>>,
+}
+
+fn arena() -> &'static Interner {
+    static ARENA: OnceLock<Interner> = OnceLock::new();
+    ARENA.get_or_init(|| Interner {
+        shards: (0..SHARDS).map(|_| Mutex::new(HashMap::default())).collect(),
+    })
+}
+
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64 finalizer: cheap, and good enough that the shard maps
+/// can use the result verbatim as the bucket key.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// Per-variant seeds keep e.g. `Imm(0)` and `Bottom` apart.
+const SEED_IMM: u64 = 0x7c9a_1111;
+const SEED_SYM: u64 = 0x7c9a_2222;
+const SEED_DEREF: u64 = 0x7c9a_3333;
+const SEED_OP: u64 = 0x7c9a_4444;
+const SEED_BOTTOM: u64 = 0x7c9a_5555;
+
+#[inline]
+fn sym_code(s: Sym) -> u64 {
+    let (tag, payload): (u64, u64) = match s {
+        Sym::Init(r) => (1, r as u64),
+        Sym::RetAddr => (2, 0),
+        Sym::RetSym(a) => (3, a),
+        Sym::Fresh(id) => (4, id),
+        Sym::Global(a) => (5, a),
+    };
+    tag.wrapping_mul(PHI) ^ payload
+}
+
+#[inline]
+fn op_code(op: OpKind) -> u64 {
+    let (tag, w): (u64, u32) = match op {
+        OpKind::Add => (0, 0),
+        OpKind::Sub => (1, 0),
+        OpKind::Mul => (2, 0),
+        OpKind::UDiv => (3, 0),
+        OpKind::URem => (4, 0),
+        OpKind::SDiv => (5, 0),
+        OpKind::SRem => (6, 0),
+        OpKind::And => (7, 0),
+        OpKind::Or => (8, 0),
+        OpKind::Xor => (9, 0),
+        OpKind::Not => (10, 0),
+        OpKind::Neg => (11, 0),
+        OpKind::Shl => (12, 0),
+        OpKind::Shr => (13, 0),
+        OpKind::Sar => (14, 0),
+        OpKind::Rol(w) => (15, w.bits()),
+        OpKind::Ror(w) => (16, w.bits()),
+        OpKind::Trunc(w) => (17, w.bits()),
+        OpKind::SExt(w) => (18, w.bits()),
+        OpKind::Popcnt => (19, 0),
+        OpKind::Tzcnt => (20, 0),
+        OpKind::Bsf => (21, 0),
+        OpKind::Bsr => (22, 0),
+    };
+    tag | ((w as u64) << 8)
+}
+
+// The shash of a node is computable both from an assembled `ExprKind`
+// (`structural_hash`) and directly from constructor arguments (the
+// `shash_*` functions below), so the probing fast paths need not
+// allocate a candidate node just to hash it. Both routes MUST agree —
+// `structural_hash` is therefore defined by dispatch onto the same
+// `shash_*` helpers.
+
+#[inline]
+fn shash_imm(v: u64) -> u64 {
+    mix(SEED_IMM ^ v.wrapping_mul(PHI))
+}
+
+#[inline]
+fn shash_sym(s: Sym) -> u64 {
+    mix(SEED_SYM ^ sym_code(s))
+}
+
+#[inline]
+fn shash_deref(addr: Expr, size: u8) -> u64 {
+    mix(SEED_DEREF ^ addr.0.shash.wrapping_mul(PHI) ^ (size as u64))
+}
+
+#[inline]
+fn shash_op<I: IntoIterator<Item = u64>>(op: OpKind, children: I) -> u64 {
+    let mut h = SEED_OP ^ op_code(op).wrapping_mul(PHI);
+    let mut len = 0u64;
+    for c in children {
+        h = mix(h ^ c);
+        len += 1;
+    }
+    mix(h ^ len)
+}
+
+/// Deterministic-within-process structural hash: children contribute
+/// their precomputed `shash`, so equal structure always yields an
+/// equal hash regardless of interning order.
+fn structural_hash(kind: &ExprKind) -> u64 {
+    match kind {
+        ExprKind::Imm(v) => shash_imm(*v),
+        ExprKind::Sym(s) => shash_sym(*s),
+        ExprKind::Deref { addr, size } => shash_deref(*addr, *size),
+        ExprKind::Op { op, args } => shash_op(*op, args.iter().map(|a| a.0.shash)),
+        ExprKind::Bottom => mix(SEED_BOTTOM),
+    }
+}
+
+/// Publish a freshly built node under `shash`. The caller holds the
+/// shard lock and has already established the node is absent.
+fn publish(bucket: &mut Vec<Expr>, kind: ExprKind, shash: u64) -> Expr {
+    let (nodes, fresh) = match &kind {
+        ExprKind::Imm(_) | ExprKind::Bottom => (1u32, false),
+        ExprKind::Sym(s) => (1, matches!(s, Sym::Fresh(_))),
+        ExprKind::Deref { addr, .. } => (addr.0.nodes.saturating_add(1), addr.0.fresh),
+        ExprKind::Op { args, .. } => (
+            args.iter().fold(1u32, |n, a| n.saturating_add(a.0.nodes)),
+            args.iter().any(|a| a.0.fresh),
+        ),
+    };
+    let e = Expr(Box::leak(Box::new(Node { kind, shash, nodes, fresh, linear: OnceLock::new() })));
+    bucket.push(e);
+    e
+}
+
+/// Lock the shard owning `shash` and return its bucket.
+///
+/// A panicking thread cannot leave the table inconsistent (nodes are
+/// published only after being fully built), so a poisoned lock is
+/// still a valid table — recover it rather than cascading the panic
+/// into every other lifting session.
+fn shard_bucket(shash: u64) -> impl std::ops::DerefMut<Target = HashMap<u64, Vec<Expr>, ShashBuild>>
+{
+    arena().shards[(shash as usize) & (SHARDS - 1)].lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn intern(kind: ExprKind) -> Expr {
+    let shash = structural_hash(&kind);
+    let mut map = shard_bucket(shash);
+    let bucket = map.entry(shash).or_default();
+    if let Some(&e) = bucket.iter().find(|e| e.0.kind == kind) {
+        return e;
+    }
+    publish(bucket, kind, shash)
+}
+
+/// Intern `*[addr, size]` without assembling a candidate kind first.
+fn intern_deref(addr: Expr, size: u8) -> Expr {
+    let shash = shash_deref(addr, size);
+    let mut map = shard_bucket(shash);
+    let bucket = map.entry(shash).or_default();
+    if let Some(&e) = bucket.iter().find(|e| {
+        matches!(&e.0.kind, ExprKind::Deref { addr: a, size: s } if *a == addr && *s == size)
+    }) {
+        return e;
+    }
+    publish(bucket, ExprKind::Deref { addr, size }, shash)
+}
+
+/// Intern a unary application; the args `Vec` is only allocated on an
+/// arena miss.
+fn intern_op1(op: OpKind, a: Expr) -> Expr {
+    let shash = shash_op(op, [a.0.shash]);
+    let mut map = shard_bucket(shash);
+    let bucket = map.entry(shash).or_default();
+    if let Some(&e) = bucket.iter().find(|e| {
+        matches!(&e.0.kind, ExprKind::Op { op: o, args } if *o == op && args.len() == 1 && args[0] == a)
+    }) {
+        return e;
+    }
+    publish(bucket, ExprKind::Op { op, args: vec![a] }, shash)
+}
+
+/// Intern a binary application; the args `Vec` is only allocated on an
+/// arena miss.
+fn intern_op2(op: OpKind, a: Expr, b: Expr) -> Expr {
+    let shash = shash_op(op, [a.0.shash, b.0.shash]);
+    let mut map = shard_bucket(shash);
+    let bucket = map.entry(shash).or_default();
+    if let Some(&e) = bucket.iter().find(|e| {
+        matches!(&e.0.kind, ExprKind::Op { op: o, args }
+            if *o == op && args.len() == 2 && args[0] == a && args[1] == b)
+    }) {
+        return e;
+    }
+    publish(bucket, ExprKind::Op { op, args: vec![a, b] }, shash)
+}
+
+/// Number of distinct interned nodes, across all shards. Diagnostic
+/// only (arena growth is the working-set of distinct terms).
+pub fn interned_node_count() -> usize {
+    arena()
+        .shards
+        .iter()
+        .map(|s| {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .values()
+                .map(Vec::len)
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        // Interning is canonical: structural equality ⇔ same node.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.shash);
+    }
+}
+
+impl PartialOrd for Expr {
+    fn partial_cmp(&self, other: &Expr) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Expr {
+    fn cmp(&self, other: &Expr) -> Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            return Ordering::Equal;
+        }
+        // Structural, matching the old derived order (Imm < Sym <
+        // Deref < Op < Bottom, lexicographic within a variant);
+        // recursion through child `Expr`s re-enters this fast path.
+        self.0.kind.cmp(&other.0.kind)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.kind.fmt(f)
+    }
+}
+
 // The builder methods below intentionally take `self` by value and return
 // a normalised `Expr`; they are constructors, not `std::ops` overloads.
 #[allow(clippy::should_implement_trait)]
 impl Expr {
     /// An immediate.
     pub fn imm(v: u64) -> Expr {
-        Expr::Imm(v)
+        intern(ExprKind::Imm(v))
     }
 
     /// A symbol.
     pub fn sym(s: Sym) -> Expr {
-        Expr::Sym(s)
+        intern(ExprKind::Sym(s))
     }
 
     /// The unknown expression ⊥.
     pub fn bottom() -> Expr {
-        Expr::Bottom
+        static BOTTOM: OnceLock<Expr> = OnceLock::new();
+        *BOTTOM.get_or_init(|| intern(ExprKind::Bottom))
     }
 
     /// A symbolic memory read `*[addr, size]`.
     pub fn read(addr: Expr, size: u8) -> Expr {
         if addr.is_bottom() {
-            return Expr::Bottom;
+            return Expr::bottom();
         }
-        Expr::Deref { addr: Box::new(addr), size }
+        intern_deref(addr, size)
+    }
+
+    /// Intern a deref node verbatim, with no ⊥ short-circuit. Replay
+    /// path for the store codec, which must reconstruct persisted
+    /// terms byte-exactly.
+    pub fn deref_raw(addr: Expr, size: u8) -> Expr {
+        intern_deref(addr, size)
+    }
+
+    /// Intern an operator application verbatim, with **no**
+    /// simplification or constant folding. Used where the exact node
+    /// shape is the contract: [`Linear::to_expr`]'s canonical sums and
+    /// the store codec's replay of persisted terms.
+    pub fn op_raw(op: OpKind, args: Vec<Expr>) -> Expr {
+        match args.len() {
+            1 => intern_op1(op, args[0]),
+            2 => intern_op2(op, args[0], args[1]),
+            _ => intern(ExprKind::Op { op, args }),
+        }
+    }
+
+    /// Arity-1 [`Expr::op_raw`]: interns `op(a)` without allocating
+    /// the argument vector unless the term is new to the arena.
+    pub fn op1_raw(op: OpKind, a: Expr) -> Expr {
+        intern_op1(op, a)
+    }
+
+    /// Arity-2 [`Expr::op_raw`]: interns `op(a, b)` without allocating
+    /// the argument vector unless the term is new to the arena.
+    pub fn op2_raw(op: OpKind, a: Expr, b: Expr) -> Expr {
+        intern_op2(op, a, b)
+    }
+
+    /// The interned structure of this expression.
+    pub fn kind(&self) -> &'static ExprKind {
+        &self.0.kind
+    }
+
+    /// The canonical linear form of this expression, memoized per
+    /// interned node ([`Linear::of_expr`] is pure, so the cache is
+    /// exact). Region-relation queries and the solver memo key lean on
+    /// this: the same few address expressions are re-queried constantly.
+    pub fn linear_form(&self) -> &'static Linear {
+        self.0.linear.get_or_init(|| Linear::of_expr(self))
     }
 
     /// True if this is ⊥.
     pub fn is_bottom(&self) -> bool {
-        matches!(self, Expr::Bottom)
+        matches!(self.0.kind, ExprKind::Bottom)
     }
 
     /// The immediate value, if this expression is a constant.
     pub fn as_imm(&self) -> Option<u64> {
-        match self {
-            Expr::Imm(v) => Some(*v),
+        match self.0.kind {
+            ExprKind::Imm(v) => Some(v),
             _ => None,
         }
     }
 
-    fn binop(op: OpKind, a: Expr, b: Expr) -> Expr {
-        Expr::Op { op, args: vec![a, b] }
-    }
-
-    fn unop(op: OpKind, a: Expr) -> Expr {
-        Expr::Op { op, args: vec![a] }
-    }
-
     /// Addition with linear normalisation.
     pub fn add(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_add(*b)),
-            (_, Expr::Imm(0)) => return self,
-            (Expr::Imm(0), _) => return rhs,
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => return Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => return Expr::imm(a.wrapping_add(*b)),
+            (_, ExprKind::Imm(0)) => return self,
+            (ExprKind::Imm(0), _) => return rhs,
             _ => {}
         }
-        Linear::of_expr(&Expr::binop(OpKind::Add, self, rhs)).to_expr()
+        Linear::of_sum(self, 1, rhs, 1).to_expr()
     }
 
     /// Subtraction with linear normalisation.
     pub fn sub(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_sub(*b)),
-            (_, Expr::Imm(0)) => return self,
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => return Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => return Expr::imm(a.wrapping_sub(*b)),
+            (_, ExprKind::Imm(0)) => return self,
             _ => {}
         }
         if self == rhs {
-            return Expr::Imm(0);
+            return Expr::imm(0);
         }
-        Linear::of_expr(&Expr::binop(OpKind::Sub, self, rhs)).to_expr()
+        Linear::of_sum(self, 1, rhs, -1).to_expr()
     }
 
     /// Multiplication with linear normalisation (constant scaling).
     pub fn mul(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => return Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => return Expr::Imm(a.wrapping_mul(*b)),
-            (_, Expr::Imm(1)) => return self,
-            (Expr::Imm(1), _) => return rhs,
-            (_, Expr::Imm(0)) | (Expr::Imm(0), _) => return Expr::Imm(0),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => return Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => return Expr::imm(a.wrapping_mul(*b)),
+            (_, ExprKind::Imm(1)) => return self,
+            (ExprKind::Imm(1), _) => return rhs,
+            (_, ExprKind::Imm(0)) | (ExprKind::Imm(0), _) => return Expr::imm(0),
             _ => {}
         }
-        if self.as_imm().is_some() || rhs.as_imm().is_some() {
-            Linear::of_expr(&Expr::binop(OpKind::Mul, self, rhs)).to_expr()
+        if let Some(c) = self.as_imm() {
+            Linear::of_scaled(rhs, c as i64).to_expr()
+        } else if let Some(c) = rhs.as_imm() {
+            Linear::of_scaled(self, c as i64).to_expr()
         } else {
-            Expr::binop(OpKind::Mul, self, rhs)
+            intern_op2(OpKind::Mul, self, rhs)
         }
     }
 
     /// Two's-complement negation.
     pub fn neg(self) -> Expr {
-        match &self {
-            Expr::Bottom => Expr::Bottom,
-            Expr::Imm(a) => Expr::Imm(a.wrapping_neg()),
-            _ => Linear::of_expr(&Expr::unop(OpKind::Neg, self)).to_expr(),
+        match self.kind() {
+            ExprKind::Bottom => Expr::bottom(),
+            ExprKind::Imm(a) => Expr::imm(a.wrapping_neg()),
+            _ => Linear::of_scaled(self, -1).to_expr(),
         }
     }
 
     /// Bitwise and.
     pub fn and(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a & b),
-            (_, Expr::Imm(0)) | (Expr::Imm(0), _) => Expr::Imm(0),
-            (_, Expr::Imm(u64::MAX)) => self,
-            (Expr::Imm(u64::MAX), _) => rhs,
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => Expr::imm(a & b),
+            (_, ExprKind::Imm(0)) | (ExprKind::Imm(0), _) => Expr::imm(0),
+            (_, ExprKind::Imm(u64::MAX)) => self,
+            (ExprKind::Imm(u64::MAX), _) => rhs,
             _ if self == rhs => self,
-            _ => Expr::binop(OpKind::And, self, rhs),
+            _ => intern_op2(OpKind::And, self, rhs),
         }
     }
 
     /// Bitwise or.
     pub fn or(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a | b),
-            (_, Expr::Imm(0)) => self,
-            (Expr::Imm(0), _) => rhs,
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => Expr::imm(a | b),
+            (_, ExprKind::Imm(0)) => self,
+            (ExprKind::Imm(0), _) => rhs,
             _ if self == rhs => self,
-            _ => Expr::binop(OpKind::Or, self, rhs),
+            _ => intern_op2(OpKind::Or, self, rhs),
         }
     }
 
     /// Bitwise exclusive or.
     pub fn xor(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) => Expr::Imm(a ^ b),
-            (_, Expr::Imm(0)) => self,
-            (Expr::Imm(0), _) => rhs,
-            _ if self == rhs => Expr::Imm(0),
-            _ => Expr::binop(OpKind::Xor, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) => Expr::imm(a ^ b),
+            (_, ExprKind::Imm(0)) => self,
+            (ExprKind::Imm(0), _) => rhs,
+            _ if self == rhs => Expr::imm(0),
+            _ => intern_op2(OpKind::Xor, self, rhs),
         }
     }
 
     /// Bitwise not.
     pub fn not(self) -> Expr {
-        match &self {
-            Expr::Bottom => Expr::Bottom,
-            Expr::Imm(a) => Expr::Imm(!a),
-            _ => Expr::unop(OpKind::Not, self),
+        match self.kind() {
+            ExprKind::Bottom => Expr::bottom(),
+            ExprKind::Imm(a) => Expr::imm(!a),
+            _ => intern_op1(OpKind::Not, self),
         }
     }
 
     /// Left shift. Constant shifts become multiplications so that
     /// scaled jump-table indexing (`shl rax, 3`) stays linear.
     pub fn shl(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (_, Expr::Imm(c)) if *c < 64 => self.mul(Expr::Imm(1u64 << c)),
-            (_, Expr::Imm(_)) => Expr::Imm(0),
-            _ => Expr::binop(OpKind::Shl, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (_, ExprKind::Imm(c)) if *c < 64 => self.mul(Expr::imm(1u64 << c)),
+            (_, ExprKind::Imm(_)) => Expr::imm(0),
+            _ => intern_op2(OpKind::Shl, self, rhs),
         }
     }
 
     /// Logical right shift.
     pub fn shr(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(c)) if *c < 64 => Expr::Imm(a >> c),
-            (_, Expr::Imm(c)) if *c >= 64 => Expr::Imm(0),
-            (_, Expr::Imm(0)) => self,
-            _ => Expr::binop(OpKind::Shr, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(c)) if *c < 64 => Expr::imm(a >> c),
+            (_, ExprKind::Imm(c)) if *c >= 64 => Expr::imm(0),
+            (_, ExprKind::Imm(0)) => self,
+            _ => intern_op2(OpKind::Shr, self, rhs),
         }
     }
 
     /// Arithmetic right shift.
     pub fn sar(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(c)) if *c < 64 => Expr::Imm(((*a as i64) >> c) as u64),
-            (_, Expr::Imm(0)) => self,
-            _ => Expr::binop(OpKind::Sar, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(c)) if *c < 64 => {
+                Expr::imm(((*a as i64) >> c) as u64)
+            }
+            (_, ExprKind::Imm(0)) => self,
+            _ => intern_op2(OpKind::Sar, self, rhs),
         }
     }
 
     /// Unsigned division.
     pub fn udiv(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 => Expr::Imm(a / b),
-            (_, Expr::Imm(1)) => self,
-            _ => Expr::binop(OpKind::UDiv, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) if *b != 0 => Expr::imm(a / b),
+            (_, ExprKind::Imm(1)) => self,
+            _ => intern_op2(OpKind::UDiv, self, rhs),
         }
     }
 
     /// Unsigned remainder.
     pub fn urem(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 => Expr::Imm(a % b),
-            _ => Expr::binop(OpKind::URem, self, rhs),
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b)) if *b != 0 => Expr::imm(a % b),
+            _ => intern_op2(OpKind::URem, self, rhs),
         }
     }
 
     /// Signed division.
     pub fn sdiv(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) => {
-                Expr::Imm((*a as i64).wrapping_div(*b as i64) as u64)
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b))
+                if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) =>
+            {
+                Expr::imm((*a as i64).wrapping_div(*b as i64) as u64)
             }
-            _ => Expr::binop(OpKind::SDiv, self, rhs),
+            _ => intern_op2(OpKind::SDiv, self, rhs),
         }
     }
 
     /// Signed remainder.
     pub fn srem(self, rhs: Expr) -> Expr {
-        match (&self, &rhs) {
-            (Expr::Bottom, _) | (_, Expr::Bottom) => Expr::Bottom,
-            (Expr::Imm(a), Expr::Imm(b)) if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) => {
-                Expr::Imm((*a as i64).wrapping_rem(*b as i64) as u64)
+        match (self.kind(), rhs.kind()) {
+            (ExprKind::Bottom, _) | (_, ExprKind::Bottom) => Expr::bottom(),
+            (ExprKind::Imm(a), ExprKind::Imm(b))
+                if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) =>
+            {
+                Expr::imm((*a as i64).wrapping_rem(*b as i64) as u64)
             }
-            _ => Expr::binop(OpKind::SRem, self, rhs),
+            _ => intern_op2(OpKind::SRem, self, rhs),
         }
     }
 
@@ -295,13 +682,13 @@ impl Expr {
         if w == Width::B8 {
             return self;
         }
-        match &self {
-            Expr::Bottom => Expr::Bottom,
-            Expr::Imm(a) => Expr::Imm(w.trunc(*a)),
-            Expr::Op { op: OpKind::Trunc(w2), args } if *w2 <= w => {
-                Expr::unop(OpKind::Trunc(*w2), args[0].clone())
-            }
-            _ => Expr::unop(OpKind::Trunc(w), self),
+        match self.kind() {
+            ExprKind::Bottom => Expr::bottom(),
+            ExprKind::Imm(a) => Expr::imm(w.trunc(*a)),
+            // trunc_w(trunc_w2(x)) with w2 ≤ w is trunc_w2(x), i.e.
+            // exactly this node.
+            ExprKind::Op { op: OpKind::Trunc(w2), .. } if *w2 <= w => self,
+            _ => intern_op1(OpKind::Trunc(w), self),
         }
     }
 
@@ -310,36 +697,39 @@ impl Expr {
         if w == Width::B8 {
             return self;
         }
-        match &self {
-            Expr::Bottom => Expr::Bottom,
-            Expr::Imm(a) => Expr::Imm(w.sext(*a)),
-            _ => Expr::unop(OpKind::SExt(w), self),
+        match self.kind() {
+            ExprKind::Bottom => Expr::bottom(),
+            ExprKind::Imm(a) => Expr::imm(w.sext(*a)),
+            _ => intern_op1(OpKind::SExt(w), self),
         }
     }
 
     /// Apply a unary operator with constant folding.
     pub fn apply_un(op: OpKind, a: Expr) -> Expr {
         if a.is_bottom() {
-            return Expr::Bottom;
+            return Expr::bottom();
         }
         match (op, a.as_imm()) {
-            (OpKind::Popcnt, Some(v)) => Expr::Imm(v.count_ones() as u64),
-            (OpKind::Tzcnt, Some(v)) => Expr::Imm(v.trailing_zeros() as u64),
+            (OpKind::Popcnt, Some(v)) => Expr::imm(v.count_ones() as u64),
+            (OpKind::Tzcnt, Some(v)) => Expr::imm(v.trailing_zeros() as u64),
             (OpKind::Not, _) => a.not(),
             (OpKind::Neg, _) => a.neg(),
             (OpKind::Trunc(w), _) => a.trunc(w),
             (OpKind::SExt(w), _) => a.sext(w),
-            _ => Expr::unop(op, a),
+            _ => intern_op1(op, a),
         }
     }
 
-    /// Number of AST nodes, used to bound expression growth.
+    /// Number of AST nodes, used to bound expression growth. O(1):
+    /// precomputed when the node was interned.
     pub fn node_count(&self) -> usize {
-        match self {
-            Expr::Imm(_) | Expr::Sym(_) | Expr::Bottom => 1,
-            Expr::Deref { addr, .. } => 1 + addr.node_count(),
-            Expr::Op { args, .. } => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
-        }
+        self.0.nodes as usize
+    }
+
+    /// True if the term contains any [`Sym::Fresh`] symbol. O(1):
+    /// precomputed when the node was interned.
+    pub fn has_fresh(&self) -> bool {
+        self.0.fresh
     }
 
     /// All symbols occurring in the expression.
@@ -352,20 +742,20 @@ impl Expr {
     }
 
     fn collect_syms(&self, out: &mut Vec<Sym>) {
-        match self {
-            Expr::Sym(s) => out.push(*s),
-            Expr::Deref { addr, .. } => addr.collect_syms(out),
-            Expr::Op { args, .. } => {
+        match self.kind() {
+            ExprKind::Sym(s) => out.push(*s),
+            ExprKind::Deref { addr, .. } => addr.collect_syms(out),
+            ExprKind::Op { args, .. } => {
                 for a in args {
                     a.collect_syms(out);
                 }
             }
-            Expr::Imm(_) | Expr::Bottom => {}
+            ExprKind::Imm(_) | ExprKind::Bottom => {}
         }
     }
 
     /// Concretely evaluate against a symbol environment and a memory
-    /// oracle for [`Expr::Deref`] nodes.
+    /// oracle for [`ExprKind::Deref`] nodes.
     ///
     /// Returns `None` for ⊥ or when `mem` cannot resolve a read.
     pub fn eval<F, M>(&self, env: &F, mem: &M) -> Option<u64>
@@ -373,15 +763,15 @@ impl Expr {
         F: Fn(Sym) -> u64,
         M: Fn(u64, u8) -> Option<u64>,
     {
-        match self {
-            Expr::Imm(v) => Some(*v),
-            Expr::Sym(s) => Some(env(*s)),
-            Expr::Bottom => None,
-            Expr::Deref { addr, size } => {
+        match self.kind() {
+            ExprKind::Imm(v) => Some(*v),
+            ExprKind::Sym(s) => Some(env(*s)),
+            ExprKind::Bottom => None,
+            ExprKind::Deref { addr, size } => {
                 let a = addr.eval(env, mem)?;
                 mem(a, *size)
             }
-            Expr::Op { op, args } => {
+            ExprKind::Op { op, args } => {
                 let a = args[0].eval(env, mem)?;
                 if args.len() == 1 {
                     return Some(match op {
@@ -445,20 +835,20 @@ impl Expr {
 
 impl From<u64> for Expr {
     fn from(v: u64) -> Expr {
-        Expr::Imm(v)
+        Expr::imm(v)
     }
 }
 
 impl From<Sym> for Expr {
     fn from(s: Sym) -> Expr {
-        Expr::Sym(s)
+        Expr::sym(s)
     }
 }
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Imm(v) => {
+        match self.kind() {
+            ExprKind::Imm(v) => {
                 if *v < 10 {
                     write!(f, "{v}")
                 } else if (*v as i64) < 0 && (*v as i64) > -0x1_0000_0000 {
@@ -467,10 +857,10 @@ impl fmt::Display for Expr {
                     write!(f, "{v:#x}")
                 }
             }
-            Expr::Sym(s) => write!(f, "{s}"),
-            Expr::Bottom => write!(f, "⊥"),
-            Expr::Deref { addr, size } => write!(f, "*[{addr}, {size}]"),
-            Expr::Op { op, args } => {
+            ExprKind::Sym(s) => write!(f, "{s}"),
+            ExprKind::Bottom => write!(f, "⊥"),
+            ExprKind::Deref { addr, size } => write!(f, "*[{addr}, {size}]"),
+            ExprKind::Op { op, args } => {
                 if args.len() == 1 {
                     let name = match op {
                         OpKind::Not => "~",
@@ -618,8 +1008,36 @@ mod tests {
     #[test]
     fn division_by_zero_not_folded() {
         let e = Expr::imm(4).udiv(Expr::imm(0));
-        assert!(matches!(e, Expr::Op { .. }));
+        assert!(matches!(e.kind(), ExprKind::Op { .. }));
         let nomem = |_: u64, _: u8| None;
         assert_eq!(e.eval(&|_| 0, &nomem), None);
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        // Structurally equal terms intern to the same node: equality
+        // is pointer identity, and building a term twice allocates
+        // nothing new.
+        let a = rdi0().add(Expr::imm(8)).mul(rsi0());
+        let b = rdi0().add(Expr::imm(8)).mul(rsi0());
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.kind(), b.kind()));
+    }
+
+    #[test]
+    fn ord_matches_variant_order() {
+        // Imm < Sym < Deref < Op < Bottom, lexicographic within —
+        // canonical BTreeMap orders (and thus serialized artifact
+        // bytes) depend on this exact order.
+        let imm = Expr::imm(3);
+        let sym = rdi0();
+        let deref = Expr::read(rdi0(), 8);
+        let op = rdi0().mul(rsi0());
+        let bot = Expr::bottom();
+        let mut v = vec![bot, op, deref, sym, imm];
+        v.sort();
+        assert_eq!(v, vec![imm, sym, deref, op, bot]);
+        assert!(Expr::imm(2) < Expr::imm(3));
+        assert!(Expr::sym(Sym::Init(Reg::Rax)) < Expr::sym(Sym::RetAddr));
     }
 }

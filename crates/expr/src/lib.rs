@@ -22,13 +22,20 @@
 //!   used by the Step-2 validator to test Hoare triples on random
 //!   concrete states.
 //!
+//! Expressions are **hash-consed**: every distinct term is interned
+//! once in a process-wide arena and [`Expr`] is a `Copy` handle to the
+//! interned node, so equality is a pointer comparison, hashing is
+//! O(1), and copying predicates or memory models copies machine words
+//! instead of trees. Pattern-match through [`Expr::kind`].
+//!
 //! ```
 //! use hgl_expr::{Expr, Sym};
 //! use hgl_x86::Reg;
 //!
-//! // (rdi0 + 8) + 8  simplifies to  rdi0 + 16
+//! // (rdi0 + 8) + 8  simplifies to  rdi0 + 16 — and interns to the
+//! // very same node, so equality is pointer identity.
 //! let rdi0 = Expr::sym(Sym::Init(Reg::Rdi));
-//! let e = rdi0.clone().add(Expr::imm(8)).add(Expr::imm(8));
+//! let e = rdi0.add(Expr::imm(8)).add(Expr::imm(8));
 //! assert_eq!(e, rdi0.add(Expr::imm(16)));
 //! ```
 
@@ -46,7 +53,7 @@ mod sym;
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 pub use clause::{Clause, Rel};
-pub use expr::{Expr, OpKind};
+pub use expr::{interned_node_count, Expr, ExprKind, OpKind};
 pub use interval::Interval;
 pub use linear::{Atom, Linear};
 pub use sym::Sym;

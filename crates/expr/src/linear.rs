@@ -7,25 +7,25 @@
 //! atoms*, which keeps the translation total (and merely less precise,
 //! never unsound).
 
-use crate::{Expr, OpKind, Sym};
+use crate::{Expr, ExprKind, OpKind, Sym};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A term of a linear form: a symbol or an opaque non-linear
-/// subexpression.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// subexpression. `Copy` now that expressions are interned handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Atom {
     /// A symbol.
     Sym(Sym),
     /// An opaque (non-linear) subexpression treated as a unit.
-    Opaque(Box<Expr>),
+    Opaque(Expr),
 }
 
 impl Atom {
-    fn to_expr(&self) -> Expr {
+    fn to_expr(self) -> Expr {
         match self {
-            Atom::Sym(s) => Expr::Sym(*s),
-            Atom::Opaque(e) => (**e).clone(),
+            Atom::Sym(s) => Expr::sym(s),
+            Atom::Opaque(e) => e,
         }
     }
 }
@@ -85,43 +85,65 @@ impl Linear {
     /// non-linear parts become opaque atoms.
     pub fn of_expr(e: &Expr) -> Linear {
         let mut lin = Linear::zero();
-        lin.accumulate(e, 1);
+        lin.accumulate(*e, 1);
         lin
     }
 
-    fn accumulate(&mut self, e: &Expr, scale: i64) {
-        match e {
-            Expr::Imm(v) => self.offset = self.offset.wrapping_add((*v as i64).wrapping_mul(scale)),
-            Expr::Sym(s) => self.add_term(Atom::Sym(*s), scale),
-            Expr::Bottom => self.has_bottom = true,
-            Expr::Op { op: OpKind::Add, args } if args.len() == 2 => {
-                self.accumulate(&args[0], scale);
-                self.accumulate(&args[1], scale);
+    /// The linear form of `ca·a + cb·b`, without materialising the
+    /// intermediate sum node. This is the entry point the smart
+    /// constructors use: interning a transient `a + b` term only to
+    /// normalise it away would grow the arena for nothing.
+    pub fn of_sum(a: Expr, ca: i64, b: Expr, cb: i64) -> Linear {
+        let mut lin = Linear::zero();
+        lin.accumulate(a, ca);
+        lin.accumulate(b, cb);
+        lin
+    }
+
+    /// The linear form of `c·e`, without materialising a product node.
+    pub fn of_scaled(e: Expr, c: i64) -> Linear {
+        let mut lin = Linear::zero();
+        lin.accumulate(e, c);
+        lin
+    }
+
+    fn accumulate(&mut self, e: Expr, scale: i64) {
+        match e.kind() {
+            ExprKind::Imm(v) => {
+                self.offset = self.offset.wrapping_add((*v as i64).wrapping_mul(scale))
             }
-            Expr::Op { op: OpKind::Sub, args } if args.len() == 2 => {
-                self.accumulate(&args[0], scale);
-                self.accumulate(&args[1], scale.wrapping_neg());
+            ExprKind::Sym(s) => self.add_term(Atom::Sym(*s), scale),
+            ExprKind::Bottom => self.has_bottom = true,
+            ExprKind::Op { op: OpKind::Add, args } if args.len() == 2 => {
+                self.accumulate(args[0], scale);
+                self.accumulate(args[1], scale);
             }
-            Expr::Op { op: OpKind::Neg, args } if args.len() == 1 => {
-                self.accumulate(&args[0], scale.wrapping_neg());
+            ExprKind::Op { op: OpKind::Sub, args } if args.len() == 2 => {
+                self.accumulate(args[0], scale);
+                self.accumulate(args[1], scale.wrapping_neg());
             }
-            Expr::Op { op: OpKind::Mul, args } if args.len() == 2 => {
+            ExprKind::Op { op: OpKind::Neg, args } if args.len() == 1 => {
+                self.accumulate(args[0], scale.wrapping_neg());
+            }
+            ExprKind::Op { op: OpKind::Mul, args } if args.len() == 2 => {
                 match (args[0].as_imm(), args[1].as_imm()) {
-                    (Some(c), _) => self.accumulate(&args[1], scale.wrapping_mul(c as i64)),
-                    (_, Some(c)) => self.accumulate(&args[0], scale.wrapping_mul(c as i64)),
-                    _ => self.add_term(Atom::Opaque(Box::new(e.clone())), scale),
+                    (Some(c), _) => self.accumulate(args[1], scale.wrapping_mul(c as i64)),
+                    (_, Some(c)) => self.accumulate(args[0], scale.wrapping_mul(c as i64)),
+                    _ => self.add_term(Atom::Opaque(e), scale),
                 }
             }
-            other => self.add_term(Atom::Opaque(Box::new(other.clone())), scale),
+            _ => self.add_term(Atom::Opaque(e), scale),
         }
     }
 
     /// Reconstruct a canonical expression: terms in atom order,
     /// constant last. Inverse of [`Linear::of_expr`] up to
-    /// normalisation.
+    /// normalisation. Built through the raw interning constructors —
+    /// the node shape here *is* the canonical form, so no further
+    /// simplification may run.
     pub fn to_expr(&self) -> Expr {
         if self.has_bottom {
-            return Expr::Bottom;
+            return Expr::bottom();
         }
         let mut acc: Option<Expr> = None;
         for (atom, &coeff) in &self.terms {
@@ -129,17 +151,17 @@ impl Linear {
             let term = if coeff == 1 {
                 base
             } else {
-                Expr::Op { op: OpKind::Mul, args: vec![base, Expr::Imm(coeff as u64)] }
+                Expr::op2_raw(OpKind::Mul, base, Expr::imm(coeff as u64))
             };
             acc = Some(match acc {
                 None => term,
-                Some(prev) => Expr::Op { op: OpKind::Add, args: vec![prev, term] },
+                Some(prev) => Expr::op2_raw(OpKind::Add, prev, term),
             });
         }
         match acc {
-            None => Expr::Imm(self.offset as u64),
+            None => Expr::imm(self.offset as u64),
             Some(e) if self.offset == 0 => e,
-            Some(e) => Expr::Op { op: OpKind::Add, args: vec![e, Expr::Imm(self.offset as u64)] },
+            Some(e) => Expr::op2_raw(OpKind::Add, e, Expr::imm(self.offset as u64)),
         }
     }
 
@@ -149,7 +171,7 @@ impl Linear {
         out.has_bottom |= other.has_bottom;
         out.offset = out.offset.wrapping_sub(other.offset);
         for (a, c) in &other.terms {
-            out.add_term(a.clone(), c.wrapping_neg());
+            out.add_term(*a, c.wrapping_neg());
         }
         out
     }
@@ -229,7 +251,7 @@ mod tests {
 
     #[test]
     fn bottom_tracked() {
-        let e = Expr::Op { op: OpKind::Add, args: vec![Expr::Bottom, Expr::Imm(1)] };
+        let e = Expr::op_raw(OpKind::Add, vec![Expr::bottom(), Expr::imm(1)]);
         let lin = Linear::of_expr(&e);
         assert!(lin.has_bottom);
         assert!(lin.to_expr().is_bottom());
@@ -242,5 +264,20 @@ mod tests {
         let e = sym(Reg::Rax).neg().add(sym(Reg::Rax).neg());
         let lin = Linear::of_expr(&e);
         assert_eq!(lin.terms.values().copied().collect::<Vec<_>>(), vec![-2]);
+    }
+
+    #[test]
+    fn of_sum_matches_materialised_sum() {
+        // of_sum is the smart constructors' transient-free path; it
+        // must agree with accumulating an explicit sum node.
+        let a = sym(Reg::Rdi).add(Expr::imm(8));
+        let b = sym(Reg::Rsi).mul(Expr::imm(4));
+        let direct = Linear::of_sum(a, 1, b, -1);
+        let via_node = Linear::of_expr(&Expr::op_raw(OpKind::Sub, vec![a, b]));
+        assert_eq!(direct, via_node);
+        assert_eq!(Linear::of_scaled(a, -3), Linear::of_expr(&Expr::op_raw(
+            OpKind::Mul,
+            vec![a, Expr::imm((-3i64) as u64)],
+        )));
     }
 }

@@ -1,0 +1,808 @@
+//! Differential proptest: the hash-consed arena [`Expr`] must be
+//! observationally identical to the boxed tree representation it
+//! replaced. The `boxed` module below is the pre-arena implementation
+//! (smart constructors, linear normalisation, evaluator) ported
+//! verbatim as a reference; random construction recipes are driven
+//! through both and every observable — structure, evaluation, total
+//! order, node counts, symbol sets — must agree. On top of that, the
+//! arena's defining property is checked directly: structural equality
+//! coincides with id (pointer) equality, and interning a term twice
+//! yields the same id.
+
+use hgl_expr::{Expr, ExprKind, OpKind, Sym};
+use hgl_x86::{Reg, Width};
+use proptest::prelude::*;
+use std::hash::{Hash, Hasher};
+
+/// The pre-arena expression representation, ported as an executable
+/// reference: boxed trees with structural equality and the same
+/// simplifying constructors, including the `Linear` normalisation the
+/// real crate now performs arena-side.
+mod boxed {
+    use hgl_expr::{OpKind, Sym};
+    use hgl_x86::Width;
+    use std::collections::BTreeMap;
+
+    /// The old `Expr`: an owned tree with `Box`/`Vec` children.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub enum BExpr {
+        Imm(u64),
+        Sym(Sym),
+        Deref { addr: Box<BExpr>, size: u8 },
+        Op { op: OpKind, args: Vec<BExpr> },
+        Bottom,
+    }
+
+    impl BExpr {
+        pub fn imm(v: u64) -> BExpr {
+            BExpr::Imm(v)
+        }
+
+        pub fn sym(s: Sym) -> BExpr {
+            BExpr::Sym(s)
+        }
+
+        pub fn bottom() -> BExpr {
+            BExpr::Bottom
+        }
+
+        pub fn read(addr: BExpr, size: u8) -> BExpr {
+            if addr.is_bottom() {
+                return BExpr::Bottom;
+            }
+            BExpr::Deref { addr: Box::new(addr), size }
+        }
+
+        pub fn is_bottom(&self) -> bool {
+            matches!(self, BExpr::Bottom)
+        }
+
+        pub fn as_imm(&self) -> Option<u64> {
+            match self {
+                BExpr::Imm(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        fn binop(op: OpKind, a: BExpr, b: BExpr) -> BExpr {
+            BExpr::Op { op, args: vec![a, b] }
+        }
+
+        fn unop(op: OpKind, a: BExpr) -> BExpr {
+            BExpr::Op { op, args: vec![a] }
+        }
+
+        pub fn add(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => return BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => return BExpr::Imm(a.wrapping_add(*b)),
+                (_, BExpr::Imm(0)) => return self,
+                (BExpr::Imm(0), _) => return rhs,
+                _ => {}
+            }
+            BLinear::of_expr(&BExpr::binop(OpKind::Add, self, rhs)).to_expr()
+        }
+
+        pub fn sub(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => return BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => return BExpr::Imm(a.wrapping_sub(*b)),
+                (_, BExpr::Imm(0)) => return self,
+                _ => {}
+            }
+            if self == rhs {
+                return BExpr::Imm(0);
+            }
+            BLinear::of_expr(&BExpr::binop(OpKind::Sub, self, rhs)).to_expr()
+        }
+
+        pub fn mul(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => return BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => return BExpr::Imm(a.wrapping_mul(*b)),
+                (_, BExpr::Imm(1)) => return self,
+                (BExpr::Imm(1), _) => return rhs,
+                (_, BExpr::Imm(0)) | (BExpr::Imm(0), _) => return BExpr::Imm(0),
+                _ => {}
+            }
+            if self.as_imm().is_some() || rhs.as_imm().is_some() {
+                BLinear::of_expr(&BExpr::binop(OpKind::Mul, self, rhs)).to_expr()
+            } else {
+                BExpr::binop(OpKind::Mul, self, rhs)
+            }
+        }
+
+        pub fn neg(self) -> BExpr {
+            match &self {
+                BExpr::Bottom => BExpr::Bottom,
+                BExpr::Imm(a) => BExpr::Imm(a.wrapping_neg()),
+                _ => BLinear::of_expr(&BExpr::unop(OpKind::Neg, self)).to_expr(),
+            }
+        }
+
+        pub fn and(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => BExpr::Imm(a & b),
+                (_, BExpr::Imm(0)) | (BExpr::Imm(0), _) => BExpr::Imm(0),
+                (_, BExpr::Imm(u64::MAX)) => self,
+                (BExpr::Imm(u64::MAX), _) => rhs,
+                _ if self == rhs => self,
+                _ => BExpr::binop(OpKind::And, self, rhs),
+            }
+        }
+
+        pub fn or(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => BExpr::Imm(a | b),
+                (_, BExpr::Imm(0)) => self,
+                (BExpr::Imm(0), _) => rhs,
+                _ if self == rhs => self,
+                _ => BExpr::binop(OpKind::Or, self, rhs),
+            }
+        }
+
+        pub fn xor(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) => BExpr::Imm(a ^ b),
+                (_, BExpr::Imm(0)) => self,
+                (BExpr::Imm(0), _) => rhs,
+                _ if self == rhs => BExpr::Imm(0),
+                _ => BExpr::binop(OpKind::Xor, self, rhs),
+            }
+        }
+
+        pub fn not(self) -> BExpr {
+            match &self {
+                BExpr::Bottom => BExpr::Bottom,
+                BExpr::Imm(a) => BExpr::Imm(!a),
+                _ => BExpr::unop(OpKind::Not, self),
+            }
+        }
+
+        pub fn shl(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (_, BExpr::Imm(c)) if *c < 64 => self.mul(BExpr::Imm(1u64 << c)),
+                (_, BExpr::Imm(_)) => BExpr::Imm(0),
+                _ => BExpr::binop(OpKind::Shl, self, rhs),
+            }
+        }
+
+        pub fn shr(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(c)) if *c < 64 => BExpr::Imm(a >> c),
+                (_, BExpr::Imm(c)) if *c >= 64 => BExpr::Imm(0),
+                (_, BExpr::Imm(0)) => self,
+                _ => BExpr::binop(OpKind::Shr, self, rhs),
+            }
+        }
+
+        pub fn sar(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(c)) if *c < 64 => {
+                    BExpr::Imm(((*a as i64) >> c) as u64)
+                }
+                (_, BExpr::Imm(0)) => self,
+                _ => BExpr::binop(OpKind::Sar, self, rhs),
+            }
+        }
+
+        pub fn udiv(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) if *b != 0 => BExpr::Imm(a / b),
+                (_, BExpr::Imm(1)) => self,
+                _ => BExpr::binop(OpKind::UDiv, self, rhs),
+            }
+        }
+
+        pub fn urem(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b)) if *b != 0 => BExpr::Imm(a % b),
+                _ => BExpr::binop(OpKind::URem, self, rhs),
+            }
+        }
+
+        pub fn sdiv(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b))
+                    if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) =>
+                {
+                    BExpr::Imm((*a as i64).wrapping_div(*b as i64) as u64)
+                }
+                _ => BExpr::binop(OpKind::SDiv, self, rhs),
+            }
+        }
+
+        pub fn srem(self, rhs: BExpr) -> BExpr {
+            match (&self, &rhs) {
+                (BExpr::Bottom, _) | (_, BExpr::Bottom) => BExpr::Bottom,
+                (BExpr::Imm(a), BExpr::Imm(b))
+                    if *b != 0 && !(*a == i64::MIN as u64 && *b == u64::MAX) =>
+                {
+                    BExpr::Imm((*a as i64).wrapping_rem(*b as i64) as u64)
+                }
+                _ => BExpr::binop(OpKind::SRem, self, rhs),
+            }
+        }
+
+        pub fn trunc(self, w: Width) -> BExpr {
+            if w == Width::B8 {
+                return self;
+            }
+            match &self {
+                BExpr::Bottom => BExpr::Bottom,
+                BExpr::Imm(a) => BExpr::Imm(w.trunc(*a)),
+                BExpr::Op { op: OpKind::Trunc(w2), args } if *w2 <= w => {
+                    BExpr::unop(OpKind::Trunc(*w2), args[0].clone())
+                }
+                _ => BExpr::unop(OpKind::Trunc(w), self),
+            }
+        }
+
+        pub fn sext(self, w: Width) -> BExpr {
+            if w == Width::B8 {
+                return self;
+            }
+            match &self {
+                BExpr::Bottom => BExpr::Bottom,
+                BExpr::Imm(a) => BExpr::Imm(w.sext(*a)),
+                _ => BExpr::unop(OpKind::SExt(w), self),
+            }
+        }
+
+        pub fn apply_un(op: OpKind, a: BExpr) -> BExpr {
+            if a.is_bottom() {
+                return BExpr::Bottom;
+            }
+            match (op, a.as_imm()) {
+                (OpKind::Popcnt, Some(v)) => BExpr::Imm(v.count_ones() as u64),
+                (OpKind::Tzcnt, Some(v)) => BExpr::Imm(v.trailing_zeros() as u64),
+                (OpKind::Not, _) => a.not(),
+                (OpKind::Neg, _) => a.neg(),
+                (OpKind::Trunc(w), _) => a.trunc(w),
+                (OpKind::SExt(w), _) => a.sext(w),
+                _ => BExpr::unop(op, a),
+            }
+        }
+
+        pub fn node_count(&self) -> usize {
+            match self {
+                BExpr::Imm(_) | BExpr::Sym(_) | BExpr::Bottom => 1,
+                BExpr::Deref { addr, .. } => 1 + addr.node_count(),
+                BExpr::Op { args, .. } => 1 + args.iter().map(BExpr::node_count).sum::<usize>(),
+            }
+        }
+
+        pub fn syms(&self) -> Vec<Sym> {
+            let mut out = Vec::new();
+            self.collect_syms(&mut out);
+            out.sort();
+            out.dedup();
+            out
+        }
+
+        fn collect_syms(&self, out: &mut Vec<Sym>) {
+            match self {
+                BExpr::Sym(s) => out.push(*s),
+                BExpr::Deref { addr, .. } => addr.collect_syms(out),
+                BExpr::Op { args, .. } => {
+                    for a in args {
+                        a.collect_syms(out);
+                    }
+                }
+                BExpr::Imm(_) | BExpr::Bottom => {}
+            }
+        }
+
+        pub fn eval<F, M>(&self, env: &F, mem: &M) -> Option<u64>
+        where
+            F: Fn(Sym) -> u64,
+            M: Fn(u64, u8) -> Option<u64>,
+        {
+            match self {
+                BExpr::Imm(v) => Some(*v),
+                BExpr::Sym(s) => Some(env(*s)),
+                BExpr::Bottom => None,
+                BExpr::Deref { addr, size } => {
+                    let a = addr.eval(env, mem)?;
+                    mem(a, *size)
+                }
+                BExpr::Op { op, args } => {
+                    let a = args[0].eval(env, mem)?;
+                    if args.len() == 1 {
+                        return Some(match op {
+                            OpKind::Not => !a,
+                            OpKind::Neg => a.wrapping_neg(),
+                            OpKind::Trunc(w) => w.trunc(a),
+                            OpKind::SExt(w) => w.sext(w.trunc(a)),
+                            OpKind::Popcnt => a.count_ones() as u64,
+                            OpKind::Tzcnt => a.trailing_zeros() as u64,
+                            OpKind::Bsf => {
+                                if a == 0 {
+                                    return None;
+                                }
+                                a.trailing_zeros() as u64
+                            }
+                            OpKind::Bsr => {
+                                if a == 0 {
+                                    return None;
+                                }
+                                (63 - a.leading_zeros()) as u64
+                            }
+                            _ => return None,
+                        });
+                    }
+                    let b = args[1].eval(env, mem)?;
+                    Some(match op {
+                        OpKind::Add => a.wrapping_add(b),
+                        OpKind::Sub => a.wrapping_sub(b),
+                        OpKind::Mul => a.wrapping_mul(b),
+                        OpKind::UDiv => a.checked_div(b)?,
+                        OpKind::URem => a.checked_rem(b)?,
+                        OpKind::SDiv => (a as i64).checked_div(b as i64)? as u64,
+                        OpKind::SRem => (a as i64).checked_rem(b as i64)? as u64,
+                        OpKind::And => a & b,
+                        OpKind::Or => a | b,
+                        OpKind::Xor => a ^ b,
+                        OpKind::Shl => a.checked_shl(b as u32).unwrap_or(0),
+                        OpKind::Shr => a.checked_shr(b as u32).unwrap_or(0),
+                        OpKind::Sar => {
+                            let sh = (b as u32).min(63);
+                            ((a as i64) >> sh) as u64
+                        }
+                        OpKind::Rol(w) => {
+                            let bits = w.bits();
+                            let v = w.trunc(a);
+                            let s = (b as u32) % bits;
+                            w.trunc(v << s | v >> ((bits - s) % bits))
+                        }
+                        OpKind::Ror(w) => {
+                            let bits = w.bits();
+                            let v = w.trunc(a);
+                            let s = (b as u32) % bits;
+                            w.trunc(v >> s | v << ((bits - s) % bits))
+                        }
+                        _ => return None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The old `Linear`: Σ cᵢ·atomᵢ + k over boxed atoms, used by the
+    /// reference constructors exactly as the old `Expr` used the real
+    /// `Linear`.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub enum BAtom {
+        Sym(Sym),
+        Opaque(Box<BExpr>),
+    }
+
+    impl BAtom {
+        fn to_expr(&self) -> BExpr {
+            match self {
+                BAtom::Sym(s) => BExpr::Sym(*s),
+                BAtom::Opaque(e) => (**e).clone(),
+            }
+        }
+    }
+
+    pub struct BLinear {
+        pub terms: BTreeMap<BAtom, i64>,
+        pub offset: i64,
+        pub has_bottom: bool,
+    }
+
+    impl BLinear {
+        fn zero() -> BLinear {
+            BLinear { terms: BTreeMap::new(), offset: 0, has_bottom: false }
+        }
+
+        fn add_term(&mut self, a: BAtom, c: i64) {
+            use std::collections::btree_map::Entry;
+            match self.terms.entry(a) {
+                Entry::Vacant(v) => {
+                    if c != 0 {
+                        v.insert(c);
+                    }
+                }
+                Entry::Occupied(mut o) => {
+                    let n = o.get().wrapping_add(c);
+                    if n == 0 {
+                        o.remove();
+                    } else {
+                        *o.get_mut() = n;
+                    }
+                }
+            }
+        }
+
+        pub fn of_expr(e: &BExpr) -> BLinear {
+            let mut lin = BLinear::zero();
+            lin.accumulate(e, 1);
+            lin
+        }
+
+        fn accumulate(&mut self, e: &BExpr, scale: i64) {
+            match e {
+                BExpr::Imm(v) => {
+                    self.offset = self.offset.wrapping_add((*v as i64).wrapping_mul(scale))
+                }
+                BExpr::Sym(s) => self.add_term(BAtom::Sym(*s), scale),
+                BExpr::Bottom => self.has_bottom = true,
+                BExpr::Op { op: OpKind::Add, args } if args.len() == 2 => {
+                    self.accumulate(&args[0], scale);
+                    self.accumulate(&args[1], scale);
+                }
+                BExpr::Op { op: OpKind::Sub, args } if args.len() == 2 => {
+                    self.accumulate(&args[0], scale);
+                    self.accumulate(&args[1], scale.wrapping_neg());
+                }
+                BExpr::Op { op: OpKind::Neg, args } if args.len() == 1 => {
+                    self.accumulate(&args[0], scale.wrapping_neg());
+                }
+                BExpr::Op { op: OpKind::Mul, args } if args.len() == 2 => {
+                    match (args[0].as_imm(), args[1].as_imm()) {
+                        (Some(c), _) => self.accumulate(&args[1], scale.wrapping_mul(c as i64)),
+                        (_, Some(c)) => self.accumulate(&args[0], scale.wrapping_mul(c as i64)),
+                        _ => self.add_term(BAtom::Opaque(Box::new(e.clone())), scale),
+                    }
+                }
+                other => self.add_term(BAtom::Opaque(Box::new(other.clone())), scale),
+            }
+        }
+
+        pub fn to_expr(&self) -> BExpr {
+            if self.has_bottom {
+                return BExpr::Bottom;
+            }
+            let mut acc: Option<BExpr> = None;
+            for (atom, &coeff) in &self.terms {
+                let base = atom.to_expr();
+                let term = if coeff == 1 {
+                    base
+                } else {
+                    BExpr::Op { op: OpKind::Mul, args: vec![base, BExpr::Imm(coeff as u64)] }
+                };
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => BExpr::Op { op: OpKind::Add, args: vec![prev, term] },
+                });
+            }
+            match acc {
+                None => BExpr::Imm(self.offset as u64),
+                Some(e) if self.offset == 0 => e,
+                Some(e) => {
+                    BExpr::Op { op: OpKind::Add, args: vec![e, BExpr::Imm(self.offset as u64)] }
+                }
+            }
+        }
+    }
+}
+
+use boxed::BExpr;
+
+/// Symbol pool: one of each `Sym` flavour plus a few registers, so
+/// ordering across flavours and `Fresh` handling are both exercised.
+const SYMS: &[Sym] = &[
+    Sym::Init(Reg::Rax),
+    Sym::Init(Reg::Rsp),
+    Sym::Init(Reg::Rdi),
+    Sym::Init(Reg::Rsi),
+    Sym::RetAddr,
+    Sym::RetSym(0x40_1000),
+    Sym::Fresh(7),
+    Sym::Global(0x60_1040),
+];
+
+/// A construction recipe: the same sequence of smart-constructor calls
+/// replayed against both representations.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Imm(u64),
+    Sym(usize),
+    Bottom,
+    Read(Box<Recipe>, u8),
+    Un(UnOp, Box<Recipe>),
+    Bin(BinOp, Box<Recipe>, Box<Recipe>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum UnOp {
+    Neg,
+    Not,
+    Trunc(Width),
+    Sext(Width),
+    Apply(OpKind),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    UDiv,
+    URem,
+    SDiv,
+    SRem,
+}
+
+fn build_arena(r: &Recipe) -> Expr {
+    match r {
+        Recipe::Imm(v) => Expr::imm(*v),
+        Recipe::Sym(i) => Expr::sym(SYMS[*i]),
+        Recipe::Bottom => Expr::bottom(),
+        Recipe::Read(a, s) => Expr::read(build_arena(a), *s),
+        Recipe::Un(op, a) => {
+            let a = build_arena(a);
+            match op {
+                UnOp::Neg => a.neg(),
+                UnOp::Not => a.not(),
+                UnOp::Trunc(w) => a.trunc(*w),
+                UnOp::Sext(w) => a.sext(*w),
+                UnOp::Apply(k) => Expr::apply_un(*k, a),
+            }
+        }
+        Recipe::Bin(op, a, b) => {
+            let a = build_arena(a);
+            let b = build_arena(b);
+            match op {
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.sub(b),
+                BinOp::Mul => a.mul(b),
+                BinOp::And => a.and(b),
+                BinOp::Or => a.or(b),
+                BinOp::Xor => a.xor(b),
+                BinOp::Shl => a.shl(b),
+                BinOp::Shr => a.shr(b),
+                BinOp::Sar => a.sar(b),
+                BinOp::UDiv => a.udiv(b),
+                BinOp::URem => a.urem(b),
+                BinOp::SDiv => a.sdiv(b),
+                BinOp::SRem => a.srem(b),
+            }
+        }
+    }
+}
+
+fn build_boxed(r: &Recipe) -> BExpr {
+    match r {
+        Recipe::Imm(v) => BExpr::imm(*v),
+        Recipe::Sym(i) => BExpr::sym(SYMS[*i]),
+        Recipe::Bottom => BExpr::bottom(),
+        Recipe::Read(a, s) => BExpr::read(build_boxed(a), *s),
+        Recipe::Un(op, a) => {
+            let a = build_boxed(a);
+            match op {
+                UnOp::Neg => a.neg(),
+                UnOp::Not => a.not(),
+                UnOp::Trunc(w) => a.trunc(*w),
+                UnOp::Sext(w) => a.sext(*w),
+                UnOp::Apply(k) => BExpr::apply_un(*k, a),
+            }
+        }
+        Recipe::Bin(op, a, b) => {
+            let a = build_boxed(a);
+            let b = build_boxed(b);
+            match op {
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.sub(b),
+                BinOp::Mul => a.mul(b),
+                BinOp::And => a.and(b),
+                BinOp::Or => a.or(b),
+                BinOp::Xor => a.xor(b),
+                BinOp::Shl => a.shl(b),
+                BinOp::Shr => a.shr(b),
+                BinOp::Sar => a.sar(b),
+                BinOp::UDiv => a.udiv(b),
+                BinOp::URem => a.urem(b),
+                BinOp::SDiv => a.sdiv(b),
+                BinOp::SRem => a.srem(b),
+            }
+        }
+    }
+}
+
+/// Unintern: expand an arena handle into the boxed tree it denotes.
+fn to_boxed(e: Expr) -> BExpr {
+    match e.kind() {
+        ExprKind::Imm(v) => BExpr::Imm(*v),
+        ExprKind::Sym(s) => BExpr::Sym(*s),
+        ExprKind::Bottom => BExpr::Bottom,
+        ExprKind::Deref { addr, size } => {
+            BExpr::Deref { addr: Box::new(to_boxed(*addr)), size: *size }
+        }
+        ExprKind::Op { op, args } => {
+            BExpr::Op { op: *op, args: args.iter().map(|a| to_boxed(*a)).collect() }
+        }
+    }
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_un() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Neg),
+        Just(UnOp::Not),
+        arb_width().prop_map(UnOp::Trunc),
+        arb_width().prop_map(UnOp::Sext),
+        prop_oneof![
+            Just(OpKind::Popcnt),
+            Just(OpKind::Tzcnt),
+            Just(OpKind::Bsf),
+            Just(OpKind::Bsr),
+        ]
+        .prop_map(UnOp::Apply),
+    ]
+}
+
+fn arb_bin() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Sar),
+        Just(BinOp::UDiv),
+        Just(BinOp::URem),
+        Just(BinOp::SDiv),
+        Just(BinOp::SRem),
+    ]
+}
+
+/// Immediates biased towards the constants the simplifier special-cases
+/// (identity/absorbing elements, shift bounds, sign boundaries).
+fn arb_imm() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => any::<u64>(),
+        1 => Just(0u64),
+        1 => Just(1u64),
+        1 => Just(3u64),
+        1 => Just(8u64),
+        1 => Just(0x28u64),
+        1 => Just(63u64),
+        1 => Just(64u64),
+        1 => Just(u64::MAX),
+        1 => Just(1u64 << 63),
+    ]
+}
+
+fn arb_recipe() -> BoxedStrategy<Recipe> {
+    let leaf = prop_oneof![
+        4 => arb_imm().prop_map(Recipe::Imm),
+        4 => (0usize..SYMS.len()).prop_map(Recipe::Sym),
+        1 => Just(Recipe::Bottom),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            6 => (arb_bin(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Recipe::Bin(op, Box::new(a), Box::new(b))),
+            3 => (arb_un(), inner.clone()).prop_map(|(op, a)| Recipe::Un(op, Box::new(a))),
+            1 => (inner, prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])
+                .prop_map(|(a, s)| Recipe::Read(Box::new(a), s)),
+        ]
+    })
+}
+
+/// Deterministic symbol environment derived from a proptest seed.
+fn env_of(seed: u64) -> impl Fn(Sym) -> u64 {
+    move |s: Sym| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seed.hash(&mut h);
+        s.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Deterministic memory oracle; periodically unresolvable so the
+/// `None` propagation paths are exercised too.
+fn mem_of(seed: u64) -> impl Fn(u64, u8) -> Option<u64> {
+    move |addr: u64, size: u8| {
+        let v = addr
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(seed)
+            .wrapping_add(size as u64);
+        (!v.is_multiple_of(5)).then_some(v)
+    }
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Replaying a recipe through the arena yields exactly the tree the
+    /// boxed constructors built: interning changes representation, not
+    /// normalisation.
+    #[test]
+    fn construction_agrees(r in arb_recipe()) {
+        let arena = build_arena(&r);
+        let reference = build_boxed(&r);
+        prop_assert_eq!(to_boxed(arena), reference);
+    }
+
+    /// Concrete evaluation agrees under random environments and memory
+    /// oracles, `None` results included.
+    #[test]
+    fn eval_agrees(r in arb_recipe(), seed: u64) {
+        let arena = build_arena(&r);
+        let reference = build_boxed(&r);
+        let env = env_of(seed);
+        let mem = mem_of(seed);
+        prop_assert_eq!(arena.eval(&env, &mem), reference.eval(&env, &mem));
+    }
+
+    /// Derived observations (node counts, symbol sets, display) agree.
+    #[test]
+    fn observations_agree(r in arb_recipe()) {
+        let arena = build_arena(&r);
+        let reference = build_boxed(&r);
+        prop_assert_eq!(arena.node_count(), reference.node_count());
+        prop_assert_eq!(arena.syms(), reference.syms());
+        prop_assert_eq!(arena.is_bottom(), reference.is_bottom());
+        prop_assert_eq!(arena.as_imm(), reference.as_imm());
+    }
+
+    /// Structural equality ⇔ id equality, and the total order used for
+    /// canonical BTree forms matches the old structural order.
+    #[test]
+    fn equality_is_identity(a in arb_recipe(), b in arb_recipe()) {
+        let ea = build_arena(&a);
+        let eb = build_arena(&b);
+        let structural_eq = to_boxed(ea) == to_boxed(eb);
+        prop_assert_eq!(ea == eb, structural_eq);
+        prop_assert_eq!(std::ptr::eq(ea.kind(), eb.kind()), structural_eq);
+        prop_assert_eq!(ea.cmp(&eb), to_boxed(ea).cmp(&to_boxed(eb)));
+        if ea == eb {
+            prop_assert_eq!(hash_of(&ea), hash_of(&eb));
+        }
+    }
+
+    /// Interning the same term twice yields the same id: the handles
+    /// point at the very same arena node.
+    #[test]
+    fn interning_is_idempotent(r in arb_recipe()) {
+        let first = build_arena(&r);
+        let second = build_arena(&r);
+        prop_assert!(std::ptr::eq(first.kind(), second.kind()));
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(hash_of(&first), hash_of(&second));
+    }
+}
+
+/// Pinned smoke case: the doc-comment example interned twice is the
+/// same node, and `==` on distinct terms is false.
+#[test]
+fn intern_twice_same_id_pinned() {
+    let a = Expr::sym(Sym::Init(Reg::Rdi)).add(Expr::imm(8)).add(Expr::imm(8));
+    let b = Expr::sym(Sym::Init(Reg::Rdi)).add(Expr::imm(16));
+    assert!(std::ptr::eq(a.kind(), b.kind()), "equal terms intern to the same node");
+    assert_eq!(a, b);
+    let c = Expr::sym(Sym::Init(Reg::Rdi)).add(Expr::imm(24));
+    assert_ne!(a, c);
+    assert!(!std::ptr::eq(a.kind(), c.kind()));
+}

@@ -60,7 +60,7 @@ proptest! {
         let env = env_from(&vals);
         let nomem = |_: u64, _: u8| None;
         if let (Some(va), Some(vb)) = (a.eval(&env, &nomem), b.eval(&env, &nomem)) {
-            let sum = a.clone().add(b.clone());
+            let sum = a.add(b);
             if let Some(vs) = sum.eval(&env, &nomem) {
                 prop_assert_eq!(vs, va.wrapping_add(vb), "a={} b={} sum={}", a, b, sum);
             }
@@ -72,7 +72,7 @@ proptest! {
         let env = env_from(&vals);
         let nomem = |_: u64, _: u8| None;
         if let (Some(va), Some(vb)) = (a.eval(&env, &nomem), b.eval(&env, &nomem)) {
-            let d = a.clone().sub(b.clone());
+            let d = a.sub(b);
             if let Some(vd) = d.eval(&env, &nomem) {
                 prop_assert_eq!(vd, va.wrapping_sub(vb));
             }
@@ -112,7 +112,7 @@ proptest! {
     fn trunc_sext_machine_semantics(v in any::<u64>(), w in prop_oneof![Just(Width::B1), Just(Width::B2), Just(Width::B4)]) {
         let nomem = |_: u64, _: u8| None;
         let e = Expr::imm(v);
-        prop_assert_eq!(e.clone().trunc(w).eval(&|_| 0, &nomem), Some(w.trunc(v)));
+        prop_assert_eq!(e.trunc(w).eval(&|_| 0, &nomem), Some(w.trunc(v)));
         prop_assert_eq!(e.sext(w).eval(&|_| 0, &nomem), Some(w.sext(w.trunc(v))));
     }
 
@@ -145,7 +145,7 @@ proptest! {
             e = e.add(s.mul(Expr::imm(*c)));
         }
         // Re-adding zero and re-normalising is idempotent.
-        let e2 = e.clone().add(Expr::imm(0));
+        let e2 = e.add(Expr::imm(0));
         prop_assert_eq!(&e, &e2);
         prop_assert!(e.node_count() <= 4 * coeffs.len() + 2);
     }

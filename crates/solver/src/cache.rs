@@ -61,7 +61,7 @@ struct RegionKey {
 impl RegionKey {
     fn of(r: &Region, lin: &Linear) -> RegionKey {
         RegionKey {
-            terms: lin.terms.iter().map(|(a, c)| (a.clone(), *c)).collect(),
+            terms: lin.terms.iter().map(|(a, c)| (*a, *c)).collect(),
             offset: lin.offset,
             has_bottom: lin.has_bottom,
             size: r.size,
@@ -71,13 +71,29 @@ impl RegionKey {
 
 /// A fully canonicalized query: both regions plus the bounds of every
 /// atom either region mentions.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct QueryKey {
     r0: RegionKey,
     r1: RegionKey,
     /// `(atom, bound)` for each mentioned atom with a context bound,
     /// in the canonical (sorted) order the linear forms iterate in.
     bounds: Vec<(Atom, Interval)>,
+    /// Structural hash of the three fields above, computed once at
+    /// construction. A key is hashed at least twice (shard selection,
+    /// then the shard map) and often three times (lookup then insert on
+    /// a miss); caching the digest makes the later passes a single
+    /// `u64` write.
+    hash: u64,
+}
+
+/// Hashing delegates to the precomputed digest. `PartialEq` stays
+/// structural over the payload fields, which the `HashMap` contract
+/// requires; equal payloads produce equal digests because the digest
+/// is a pure function of the payload.
+impl Hash for QueryKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.hash.hash(state);
+    }
 }
 
 impl QueryKey {
@@ -89,17 +105,22 @@ impl QueryKey {
         for atom in l0.terms.keys().chain(l1.terms.keys()) {
             if let Some(b) = ctx.bound_of(atom) {
                 if !bounds.iter().any(|(a, _)| a == atom) {
-                    bounds.push((atom.clone(), b));
+                    bounds.push((*atom, b));
                 }
             }
         }
-        QueryKey { r0: RegionKey::of(r0, &l0), r1: RegionKey::of(r1, &l1), bounds }
+        let r0 = RegionKey::of(r0, l0);
+        let r1 = RegionKey::of(r1, l1);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        r0.hash(&mut h);
+        r1.hash(&mut h);
+        bounds.hash(&mut h);
+        let hash = h.finish();
+        QueryKey { r0, r1, bounds, hash }
     }
 
     fn shard(&self) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+        (self.hash as usize) % SHARDS
     }
 }
 
@@ -114,8 +135,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
-    /// Total wall time spent inside `decide` (hits and misses), in
-    /// nanoseconds. Feeds the metrics layer's solver phase.
+    /// Total wall time spent *computing* verdicts (cache misses only),
+    /// in nanoseconds. Hits are not clocked — at the observed >90% hit
+    /// rates the two `Instant::now` calls per hit cost more than the
+    /// lookup they would measure. Feeds the metrics layer's solver
+    /// phase, which therefore reports decision-procedure time.
     pub query_nanos: u64,
 }
 
@@ -284,7 +308,7 @@ mod tests {
         // share a verdict: the bound is what makes the table access
         // separate from the cell past it.
         let rax = Expr::sym(Sym::Init(Reg::Rax));
-        let entry = Region::new(Expr::imm(0x1000).add(rax.clone().mul(Expr::imm(8))), 8);
+        let entry = Region::new(Expr::imm(0x1000).add(rax.mul(Expr::imm(8))), 8);
         let past = Region::global(0x1000 + 0xc3 * 8, 8);
         let free = Ctx::new();
         let c = Clause::new(rax, Rel::Lt, Expr::imm(0xc3));

@@ -48,8 +48,10 @@ pub enum Provenance {
 #[derive(Debug, Clone, Default)]
 pub struct Ctx {
     bounds: BTreeMap<Atom, Interval>,
-    /// Binary layout for constant-address classification.
-    pub layout: Layout,
+    /// Binary layout for constant-address classification. Shared: one
+    /// `Layout` is built per binary and every per-query context holds
+    /// a handle, so constructing a `Ctx` never copies section tables.
+    pub layout: std::sync::Arc<Layout>,
     /// Set when mined bounds are contradictory: the clause set is
     /// unsatisfiable and the state vacuous.
     unsat: bool,
@@ -74,11 +76,18 @@ impl Ctx {
 
     /// Build a context from predicate clauses, mining interval bounds
     /// for single-atom left-hand sides compared against constants.
-    pub fn from_clauses<'a, I>(clauses: I, layout: Layout) -> Ctx
+    ///
+    /// Accepts either an owned [`Layout`] (interned into a fresh `Arc`,
+    /// convenient in tests) or an `Arc<Layout>` handle (the hot path:
+    /// the engine builds the layout once per binary and every solver
+    /// query shares it).
+    pub fn from_clauses<'a, I, L>(clauses: I, layout: L) -> Ctx
     where
         I: IntoIterator<Item = &'a Clause>,
+        L: Into<std::sync::Arc<Layout>>,
     {
-        let mut ctx = Ctx { bounds: BTreeMap::new(), layout, unsat: false, cache: None };
+        let mut ctx =
+            Ctx { bounds: BTreeMap::new(), layout: layout.into(), unsat: false, cache: None };
         for c in clauses {
             ctx.add_clause(c);
         }
@@ -98,9 +107,9 @@ impl Ctx {
         // Only `1·atom + k □ imm` forms produce bounds.
         let Some((atom, k)) = lin.single_atom() else { return };
         if k == 0 {
-            self.constrain(atom.clone(), c.rel, rhs);
+            self.constrain(*atom, c.rel, rhs);
         } else if c.rel == Rel::Eq {
-            self.constrain(atom.clone(), Rel::Eq, rhs.wrapping_sub(k as u64));
+            self.constrain(*atom, Rel::Eq, rhs.wrapping_sub(k as u64));
         }
     }
 

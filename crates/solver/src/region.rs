@@ -19,8 +19,9 @@ pub fn rsp0_displacement(lin: &Linear) -> Option<i64> {
 }
 
 /// A memory region: a symbolic address expression and a byte size
-/// (the `E × N` of the paper's expression grammar).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// (the `E × N` of the paper's expression grammar). `Copy` now that
+/// addresses are interned handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Region {
     /// Start address (a constant expression).
     pub addr: Expr,
@@ -55,9 +56,10 @@ impl Region {
         Region { addr: Expr::imm(addr), size }
     }
 
-    /// The linear form of the start address.
-    pub fn linear(&self) -> Linear {
-        Linear::of_expr(&self.addr)
+    /// The linear form of the start address (memoized per interned
+    /// address node — see [`Expr::linear_form`]).
+    pub fn linear(&self) -> &'static Linear {
+        self.addr.linear_form()
     }
 
     /// The displacement `k` when this region's address is exactly
@@ -70,7 +72,7 @@ impl Region {
     /// constructor's `unsigned_abs` and the wrapping linear-form
     /// arithmetic agree on the round trip).
     pub fn displacement_from_rsp0(&self) -> Option<i64> {
-        rsp0_displacement(&self.linear())
+        rsp0_displacement(self.linear())
     }
 
     /// True if the address contains ⊥.
@@ -107,7 +109,7 @@ mod tests {
             assert_eq!(Region::stack(off, 8).displacement_from_rsp0(), Some(off), "offset {off}");
         }
         assert_eq!(Region::global(0x601000, 8).displacement_from_rsp0(), None);
-        assert_eq!(Region::new(Expr::Bottom, 8).displacement_from_rsp0(), None);
+        assert_eq!(Region::new(Expr::bottom(), 8).displacement_from_rsp0(), None);
         // Multi-term stack addresses have no single displacement.
         let multi = Region::new(
             Expr::sym(Sym::Init(Reg::Rsp)).add(Expr::sym(Sym::Init(Reg::Rax))),

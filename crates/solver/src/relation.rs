@@ -107,18 +107,20 @@ pub fn decide(ctx: &Ctx, r0: &Region, r1: &Region) -> Answer {
     let Some(cache) = &ctx.cache else {
         return decide_uncached(ctx, r0, r1);
     };
-    let started = std::time::Instant::now();
     let key = crate::QueryKey::of(ctx, r0, r1);
-    let answer = match cache.get(&key) {
+    match cache.get(&key) {
         Some(hit) => hit,
         None => {
+            // Only misses are timed: the decision procedure is where
+            // solver time goes, and clocking every hit costs more than
+            // the hit itself on the lifting hot path.
+            let started = std::time::Instant::now();
             let computed = decide_uncached(ctx, r0, r1);
+            cache.add_query_nanos(started.elapsed().as_nanos() as u64);
             cache.insert(key, computed.clone());
             computed
         }
-    };
-    cache.add_query_nanos(started.elapsed().as_nanos() as u64);
-    answer
+    }
 }
 
 /// The memo-free decision procedure; `decide` delegates here on a
@@ -134,7 +136,7 @@ fn decide_uncached(ctx: &Ctx, r0: &Region, r1: &Region) -> Answer {
 
     let l0 = r0.linear();
     let l1 = r1.linear();
-    let diff = l0.diff(&l1);
+    let diff = l0.diff(l1);
 
     // Arithmetic path: the difference of the two addresses has a known
     // signed range.
@@ -172,7 +174,7 @@ fn decide_uncached(ctx: &Ctx, r0: &Region, r1: &Region) -> Answer {
     // (recorded) assumption.
     let p0 = ctx.provenance(&r0.addr);
     let p1 = ctx.provenance(&r1.addr);
-    let assume = |kind| Answer::assumed(RegionRel::Separate, Assumption::new(kind, r0.clone(), r1.clone()));
+    let assume = |kind| Answer::assumed(RegionRel::Separate, Assumption::new(kind, *r0, *r1));
     match (p0, p1) {
         (Provenance::Stack, Provenance::Global) | (Provenance::Global, Provenance::Stack) => {
             assume(AssumptionKind::StackVsGlobal)

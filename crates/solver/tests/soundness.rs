@@ -117,7 +117,7 @@ proptest! {
         let clause = Clause::new(Expr::sym(s), Rel::Eq, Expr::imm(point));
         let ctx = Ctx::from_clauses([&clause], Layout::default());
         let base = Expr::imm(0x9000);
-        let r0 = Region::new(base.clone().add(Expr::sym(s)), n);
+        let r0 = Region::new(base.add(Expr::sym(s)), n);
         let r1 = Region::new(base.add(Expr::imm(point).add(Expr::imm(off as u64))), n);
         let ans = decide(&ctx, &r0, &r1);
         prop_assume!(ans.assumptions.is_empty());

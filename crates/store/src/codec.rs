@@ -21,10 +21,10 @@ use hgl_core::budget::BudgetDim;
 use hgl_core::diag::{Annotation, ProofObligation, VerificationError};
 use hgl_core::graph::{HoareGraph, VertexId};
 use hgl_core::lift::{FnLift, RejectReason};
-use hgl_core::pred::{FlagState, Pred, SymState};
+use hgl_core::pred::{FlagState, Pred, RegFile, Shared, SymState};
 use hgl_core::{MemModel, MemTree};
 use hgl_elf::Binary;
-use hgl_expr::{Clause, Expr, OpKind, Rel, Sym};
+use hgl_expr::{Clause, Expr, ExprKind, OpKind, Rel, Sym};
 use hgl_solver::{Assumption, AssumptionKind, Region};
 use hgl_x86::{decode, Reg, Width};
 use std::collections::{BTreeMap, BTreeSet};
@@ -314,21 +314,21 @@ fn get_op(r: &mut Reader<'_>) -> R<OpKind> {
 }
 
 fn put_expr(w: &mut Writer, e: &Expr) {
-    match e {
-        Expr::Imm(v) => {
+    match e.kind() {
+        ExprKind::Imm(v) => {
             w.u8(0);
             w.u64(*v);
         }
-        Expr::Sym(s) => {
+        ExprKind::Sym(s) => {
             w.u8(1);
             put_sym(w, s);
         }
-        Expr::Deref { addr, size } => {
+        ExprKind::Deref { addr, size } => {
             w.u8(2);
             w.u8(*size);
             put_expr(w, addr);
         }
-        Expr::Op { op, args } => {
+        ExprKind::Op { op, args } => {
             w.u8(3);
             put_op(w, op);
             w.len(args.len());
@@ -336,7 +336,7 @@ fn put_expr(w: &mut Writer, e: &Expr) {
                 put_expr(w, a);
             }
         }
-        Expr::Bottom => w.u8(4),
+        ExprKind::Bottom => w.u8(4),
     }
 }
 
@@ -345,22 +345,33 @@ fn get_expr(r: &mut Reader<'_>, depth: u32) -> R<Expr> {
         return r.fail("expression nesting too deep");
     }
     Ok(match r.u8()? {
-        0 => Expr::Imm(r.u64()?),
-        1 => Expr::Sym(get_sym(r)?),
+        0 => Expr::imm(r.u64()?),
+        1 => Expr::sym(get_sym(r)?),
         2 => {
             let size = r.u8()?;
-            Expr::Deref { addr: Box::new(get_expr(r, depth + 1)?), size }
+            // Raw constructor: persisted terms must replay byte-exactly,
+            // with no simplification applied on the way back in.
+            Expr::deref_raw(get_expr(r, depth + 1)?, size)
         }
         3 => {
             let op = get_op(r)?;
-            let n = r.len(1)?;
-            let mut args = Vec::with_capacity(n);
-            for _ in 0..n {
-                args.push(get_expr(r, depth + 1)?);
+            match r.len(1)? {
+                1 => Expr::op1_raw(op, get_expr(r, depth + 1)?),
+                2 => {
+                    let a = get_expr(r, depth + 1)?;
+                    let b = get_expr(r, depth + 1)?;
+                    Expr::op2_raw(op, a, b)
+                }
+                n => {
+                    let mut args = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        args.push(get_expr(r, depth + 1)?);
+                    }
+                    Expr::op_raw(op, args)
+                }
             }
-            Expr::Op { op, args }
         }
-        4 => Expr::Bottom,
+        4 => Expr::bottom(),
         _ => return r.fail("expression tag"),
     })
 }
@@ -485,9 +496,9 @@ fn get_model(r: &mut Reader<'_>, depth: u32) -> R<MemModel> {
 
 fn put_state(w: &mut Writer, s: &SymState) {
     w.len(s.pred.regs.len());
-    for (reg, e) in &s.pred.regs {
-        put_reg(w, *reg);
-        put_expr(w, e);
+    for (reg, e) in s.pred.regs.iter() {
+        put_reg(w, reg);
+        put_expr(w, &e);
     }
     put_flags(w, &s.pred.flags);
     match s.pred.df {
@@ -508,10 +519,10 @@ fn put_state(w: &mut Writer, s: &SymState) {
 }
 
 fn get_state(r: &mut Reader<'_>) -> R<SymState> {
-    let mut regs = BTreeMap::new();
+    let mut regs = RegFile::all_bottom();
     for _ in 0..r.len(2)? {
         let reg = get_reg(r)?;
-        regs.insert(reg, get_expr(r, 0)?);
+        regs.set(reg, get_expr(r, 0)?);
     }
     let flags = get_flags(r)?;
     let df = match r.u8()? {
@@ -530,7 +541,10 @@ fn get_state(r: &mut Reader<'_>) -> R<SymState> {
         clauses.insert(get_clause(r)?);
     }
     let model = get_model(r, 0)?;
-    Ok(SymState { pred: Pred { regs, flags, df, mem, clauses }, model })
+    Ok(SymState {
+        pred: Pred { regs, flags, df, mem: Shared::new(mem), clauses: Shared::new(clauses) },
+        model: Shared::new(model),
+    })
 }
 
 fn put_vid(w: &mut Writer, v: VertexId) {

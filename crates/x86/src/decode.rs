@@ -230,11 +230,31 @@ fn resize(op: Operand, w: Width, rex_present: bool) -> Operand {
 /// ```
 pub fn decode(bytes: &[u8], addr: u64) -> Result<Instr, DecodeError> {
     let mut cur = Cursor { bytes, pos: 0 };
-    let mut pfx = Prefixes { rex: Rex::default(), opsize: false, f2: false, f3: false };
+    let pfx = parse_prefixes(&mut cur)?;
+    let opcode = cur.u8()?;
+    let instr = table::decode_opcode(&mut cur, &pfx, opcode, addr)?;
+    finish(instr, &cur, &pfx, addr)
+}
 
-    // Prefix loop. REX must be the final prefix before the opcode.
-    let opcode = loop {
-        let b = cur.u8()?;
+/// Decode via the legacy match-ladder decoder (the pre-table
+/// implementation, kept verbatim). Exists only so the differential
+/// suite can fuzz the table-driven path against it; the two must agree
+/// byte-for-byte on every input, including errors.
+#[cfg(any(test, feature = "reference-decoder"))]
+pub fn decode_reference(bytes: &[u8], addr: u64) -> Result<Instr, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let pfx = parse_prefixes(&mut cur)?;
+    let opcode = cur.u8()?;
+    let instr = reference::decode_opcode(&mut cur, &pfx, opcode, addr)?;
+    finish(instr, &cur, &pfx, addr)
+}
+
+/// The shared prefix loop. REX must be the final prefix before the
+/// opcode; the next cursor byte after this returns is the opcode.
+fn parse_prefixes(cur: &mut Cursor<'_>) -> Result<Prefixes, DecodeError> {
+    let mut pfx = Prefixes { rex: Rex::default(), opsize: false, f2: false, f3: false };
+    loop {
+        let b = *cur.bytes.get(cur.pos).ok_or(DecodeError::Truncated)?;
         match b {
             0x66 => pfx.opsize = true,
             0xf2 => pfx.f2 = true,
@@ -250,16 +270,20 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Instr, DecodeError> {
                     x: b & 2 != 0,
                     b: b & 1 != 0,
                 };
-                break cur.u8()?;
+                cur.pos += 1;
+                return Ok(pfx);
             }
-            _ => break b,
+            _ => return Ok(pfx),
         }
+        cur.pos += 1;
         if cur.pos > 14 {
             return Err(DecodeError::TooLong);
         }
-    };
+    }
+}
 
-    let mut instr = decode_opcode(&mut cur, &pfx, opcode, addr)?;
+/// Shared epilogue: length bookkeeping and `rep` attachment.
+fn finish(mut instr: Instr, cur: &Cursor<'_>, pfx: &Prefixes, addr: u64) -> Result<Instr, DecodeError> {
     if cur.pos > 15 {
         return Err(DecodeError::TooLong);
     }
@@ -303,397 +327,1008 @@ const SHIFT_GRP: [Option<Mnemonic>; 8] = [
     Some(Mnemonic::Sar),
 ];
 
-fn decode_opcode(
-    cur: &mut Cursor<'_>,
-    pfx: &Prefixes,
-    opcode: u8,
-    addr: u64,
-) -> Result<Instr, DecodeError> {
-    let w = pfx.width();
-    let mk = |m, ops, width| Instr::new(m, ops, width);
+/// The pre-table match-ladder decoder, kept verbatim as the
+/// differential-testing reference. Never compiled into release
+/// builds unless the `reference-decoder` feature is enabled.
+#[cfg(any(test, feature = "reference-decoder"))]
+mod reference {
+    use super::*;
 
-    match opcode {
-        // ALU block 0x00-0x3f: add/or/adc/sbb/and/sub/xor/cmp.
-        0x00..=0x3f if opcode & 7 <= 5 => {
-            let m = GRP1[(opcode >> 3) as usize & 7];
-            match opcode & 7 {
-                0 => {
-                    let mr = parse_modrm(cur, pfx, Width::B1)?;
-                    Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present))], Width::B1))
+    pub(super) fn decode_opcode(
+        cur: &mut Cursor<'_>,
+        pfx: &Prefixes,
+        opcode: u8,
+        addr: u64,
+    ) -> Result<Instr, DecodeError> {
+        let w = pfx.width();
+        let mk = |m, ops, width| Instr::new(m, ops, width);
+
+        match opcode {
+            // ALU block 0x00-0x3f: add/or/adc/sbb/and/sub/xor/cmp.
+            0x00..=0x3f if opcode & 7 <= 5 => {
+                let m = GRP1[(opcode >> 3) as usize & 7];
+                match opcode & 7 {
+                    0 => {
+                        let mr = parse_modrm(cur, pfx, Width::B1)?;
+                        Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present))], Width::B1))
+                    }
+                    1 => {
+                        let mr = parse_modrm(cur, pfx, w)?;
+                        Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
+                    }
+                    2 => {
+                        let mr = parse_modrm(cur, pfx, Width::B1)?;
+                        Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present)), mr.rm], Width::B1))
+                    }
+                    3 => {
+                        let mr = parse_modrm(cur, pfx, w)?;
+                        Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
+                    }
+                    4 => {
+                        let imm = cur.imm(Width::B1)?;
+                        Ok(mk(m, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
+                    }
+                    5 => {
+                        let imm = cur.imm(w)?;
+                        Ok(mk(m, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
+                    }
+                    _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
                 }
-                1 => {
-                    let mr = parse_modrm(cur, pfx, w)?;
-                    Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
-                }
-                2 => {
-                    let mr = parse_modrm(cur, pfx, Width::B1)?;
-                    Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, Width::B1, pfx.rex.present)), mr.rm], Width::B1))
-                }
-                3 => {
-                    let mr = parse_modrm(cur, pfx, w)?;
-                    Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
-                }
-                4 => {
-                    let imm = cur.imm(Width::B1)?;
-                    Ok(mk(m, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
-                }
-                5 => {
-                    let imm = cur.imm(w)?;
-                    Ok(mk(m, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
-                }
-                _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
             }
-        }
-        0x0f => decode_0f(cur, pfx, addr),
-        0x50..=0x57 => {
-            let r = (opcode - 0x50) | if pfx.rex.b { 8 } else { 0 };
-            Ok(mk(Mnemonic::Push, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
-        }
-        0x58..=0x5f => {
-            let r = (opcode - 0x58) | if pfx.rex.b { 8 } else { 0 };
-            Ok(mk(Mnemonic::Pop, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
-        }
-        0x63 => {
-            let mr = parse_modrm(cur, pfx, Width::B4)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, Width::B8, pfx.rex.present));
-            Ok(mk(Mnemonic::Movsxd, vec![dst, mr.rm], Width::B8))
-        }
-        0x68 => {
-            let imm = cur.imm(Width::B4)?;
-            Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
-        }
-        0x69 | 0x6b => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let imm = if opcode == 0x69 { cur.imm(w)? } else { cur.imm(Width::B1)? };
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            Ok(mk(Mnemonic::Imul, vec![dst, mr.rm, Operand::Imm(imm)], w))
-        }
-        0x6a => {
-            let imm = cur.imm(Width::B1)?;
-            Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
-        }
-        0x70..=0x7f => {
-            let rel = cur.imm(Width::B1)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            Ok(mk(Mnemonic::Jcc(Cond::from_number(opcode & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
-        }
-        0x80 | 0x81 | 0x83 => {
-            let opw = if opcode == 0x80 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            let imm = match opcode {
-                0x80 | 0x83 => cur.imm(Width::B1)?,
-                _ => cur.imm(opw)?,
-            };
-            let m = GRP1[(mr.reg & 7) as usize];
-            Ok(mk(m, vec![mr.rm, Operand::Imm(imm)], opw))
-        }
-        0x84 | 0x85 => {
-            let opw = if opcode == 0x84 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
-        }
-        0x86 | 0x87 => {
-            let opw = if opcode == 0x86 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Xchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
-        }
-        0x88 | 0x89 => {
-            let opw = if opcode == 0x88 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
-        }
-        0x8a | 0x8b => {
-            let opw = if opcode == 0x8a { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present)), mr.rm], opw))
-        }
-        0x8d => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            if !mr.rm.is_mem() {
-                return Err(DecodeError::UnknownOpcode { opcode: vec![opcode] });
+            0x0f => decode_0f(cur, pfx, addr),
+            0x50..=0x57 => {
+                let r = (opcode - 0x50) | if pfx.rex.b { 8 } else { 0 };
+                Ok(mk(Mnemonic::Push, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
             }
-            Ok(mk(Mnemonic::Lea, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
-        }
-        0x8f => {
-            let mr = parse_modrm(cur, pfx, Width::B8)?;
-            if mr.reg & 7 != 0 {
-                return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+            0x58..=0x5f => {
+                let r = (opcode - 0x58) | if pfx.rex.b { 8 } else { 0 };
+                Ok(mk(Mnemonic::Pop, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
             }
-            Ok(mk(Mnemonic::Pop, vec![mr.rm], Width::B8))
-        }
-        0x90 => Ok(mk(Mnemonic::Nop, vec![], Width::B8)),
-        0x91..=0x97 => {
-            let r = (opcode - 0x90) | if pfx.rex.b { 8 } else { 0 };
-            Ok(mk(
-                Mnemonic::Xchg,
-                vec![Operand::reg(Reg::Rax, w), Operand::Reg(reg_ref(r, w, pfx.rex.present))],
-                w,
-            ))
-        }
-        0x98 => Ok(match w {
-            Width::B2 => mk(Mnemonic::Cbw, vec![], Width::B2),
-            Width::B8 => mk(Mnemonic::Cdqe, vec![], Width::B8),
-            _ => mk(Mnemonic::Cwde, vec![], Width::B4),
-        }),
-        0x99 => Ok(match w {
-            Width::B2 => mk(Mnemonic::Cwd, vec![], Width::B2),
-            Width::B8 => mk(Mnemonic::Cqo, vec![], Width::B8),
-            _ => mk(Mnemonic::Cdq, vec![], Width::B4),
-        }),
-        0xa4 => Ok(mk(Mnemonic::Movs, vec![], Width::B1)),
-        0xa5 => Ok(mk(Mnemonic::Movs, vec![], w)),
-        0xa6 => Ok(mk(Mnemonic::Cmps, vec![], Width::B1)),
-        0xa7 => Ok(mk(Mnemonic::Cmps, vec![], w)),
-        0xa8 => {
-            let imm = cur.imm(Width::B1)?;
-            Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
-        }
-        0xa9 => {
-            let imm = cur.imm(w)?;
-            Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
-        }
-        0xaa => Ok(mk(Mnemonic::Stos, vec![], Width::B1)),
-        0xab => Ok(mk(Mnemonic::Stos, vec![], w)),
-        0xac => Ok(mk(Mnemonic::Lods, vec![], Width::B1)),
-        0xad => Ok(mk(Mnemonic::Lods, vec![], w)),
-        0xae => Ok(mk(Mnemonic::Scas, vec![], Width::B1)),
-        0xaf => Ok(mk(Mnemonic::Scas, vec![], w)),
-        0xb0..=0xb7 => {
-            let r = (opcode - 0xb0) | if pfx.rex.b { 8 } else { 0 };
-            let imm = cur.imm(Width::B1)?;
-            Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, Width::B1, pfx.rex.present)), Operand::Imm(imm)], Width::B1))
-        }
-        0xb8..=0xbf => {
-            let r = (opcode - 0xb8) | if pfx.rex.b { 8 } else { 0 };
-            if pfx.rex.w {
-                let imm = cur.u64()? as i64;
-                Ok(mk(Mnemonic::Movabs, vec![Operand::reg64(Reg::from_number(r)), Operand::Imm(imm)], Width::B8))
-            } else {
-                let imm = match w {
-                    Width::B2 => cur.u16()? as i64,
-                    _ => cur.u32()? as i64, // mov r32, imm32 zero-extends
+            0x63 => {
+                let mr = parse_modrm(cur, pfx, Width::B4)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, Width::B8, pfx.rex.present));
+                Ok(mk(Mnemonic::Movsxd, vec![dst, mr.rm], Width::B8))
+            }
+            0x68 => {
+                let imm = cur.imm(Width::B4)?;
+                Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
+            }
+            0x69 | 0x6b => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let imm = if opcode == 0x69 { cur.imm(w)? } else { cur.imm(Width::B1)? };
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                Ok(mk(Mnemonic::Imul, vec![dst, mr.rm, Operand::Imm(imm)], w))
+            }
+            0x6a => {
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
+            }
+            0x70..=0x7f => {
+                let rel = cur.imm(Width::B1)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                Ok(mk(Mnemonic::Jcc(Cond::from_number(opcode & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0x80 | 0x81 | 0x83 => {
+                let opw = if opcode == 0x80 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                let imm = match opcode {
+                    0x80 | 0x83 => cur.imm(Width::B1)?,
+                    _ => cur.imm(opw)?,
                 };
-                Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, w, pfx.rex.present)), Operand::Imm(imm)], w))
+                let m = GRP1[(mr.reg & 7) as usize];
+                Ok(mk(m, vec![mr.rm, Operand::Imm(imm)], opw))
             }
-        }
-        0xc0 | 0xc1 | 0xd0 | 0xd1 | 0xd2 | 0xd3 => {
-            let opw = if opcode & 1 == 0 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            let m = SHIFT_GRP[(mr.reg & 7) as usize]
-                .ok_or(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 })?;
-            let amount = match opcode {
-                0xc0 | 0xc1 => Operand::Imm(cur.imm(Width::B1)? & 0xff),
-                0xd0 | 0xd1 => Operand::Imm(1),
-                _ => Operand::reg(Reg::Rcx, Width::B1),
-            };
-            Ok(mk(m, vec![mr.rm, amount], opw))
-        }
-        0xc2 => {
-            let imm = cur.u16()? as i64;
-            Ok(mk(Mnemonic::Ret, vec![Operand::Imm(imm)], Width::B8))
-        }
-        0xc3 => Ok(mk(Mnemonic::Ret, vec![], Width::B8)),
-        0xc6 | 0xc7 => {
-            let opw = if opcode == 0xc6 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            if mr.reg & 7 != 0 {
-                return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+            0x84 | 0x85 => {
+                let opw = if opcode == 0x84 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
             }
-            let imm = cur.imm(opw)?;
-            Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Imm(imm)], opw))
-        }
-        0xc9 => Ok(mk(Mnemonic::Leave, vec![], Width::B8)),
-        0xcc => Ok(mk(Mnemonic::Int3, vec![], Width::B8)),
-        0xe0..=0xe3 => {
-            let rel = cur.imm(Width::B1)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            let m = match opcode {
-                0xe0 => Mnemonic::Loopne,
-                0xe1 => Mnemonic::Loope,
-                0xe2 => Mnemonic::Loop,
-                _ => Mnemonic::Jrcxz,
-            };
-            Ok(mk(m, vec![Operand::Imm(target as i64)], Width::B8))
-        }
-        0xe8 => {
-            let rel = cur.imm(Width::B4)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            Ok(mk(Mnemonic::Call, vec![Operand::Imm(target as i64)], Width::B8))
-        }
-        0xe9 => {
-            let rel = cur.imm(Width::B4)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
-        }
-        0xeb => {
-            let rel = cur.imm(Width::B1)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
-        }
-        0xf4 => Ok(mk(Mnemonic::Hlt, vec![], Width::B8)),
-        0xf5 => Ok(mk(Mnemonic::Cmc, vec![], Width::B8)),
-        0xf6 | 0xf7 => {
-            let opw = if opcode == 0xf6 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            match mr.reg & 7 {
-                0 | 1 => {
-                    let imm = if opcode == 0xf6 { cur.imm(Width::B1)? } else { cur.imm(opw)? };
-                    Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Imm(imm)], opw))
+            0x86 | 0x87 => {
+                let opw = if opcode == 0x86 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Xchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+            }
+            0x88 | 0x89 => {
+                let opw = if opcode == 0x88 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+            }
+            0x8a | 0x8b => {
+                let opw = if opcode == 0x8a { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present)), mr.rm], opw))
+            }
+            0x8d => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                if !mr.rm.is_mem() {
+                    return Err(DecodeError::UnknownOpcode { opcode: vec![opcode] });
                 }
-                2 => Ok(mk(Mnemonic::Not, vec![mr.rm], opw)),
-                3 => Ok(mk(Mnemonic::Neg, vec![mr.rm], opw)),
-                4 => Ok(mk(Mnemonic::Mul, vec![mr.rm], opw)),
-                5 => Ok(mk(Mnemonic::Imul, vec![mr.rm], opw)),
-                6 => Ok(mk(Mnemonic::Div, vec![mr.rm], opw)),
-                _ => Ok(mk(Mnemonic::Idiv, vec![mr.rm], opw)),
+                Ok(mk(Mnemonic::Lea, vec![Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), mr.rm], w))
             }
-        }
-        0xf8 => Ok(mk(Mnemonic::Clc, vec![], Width::B8)),
-        0xf9 => Ok(mk(Mnemonic::Stc, vec![], Width::B8)),
-        0xfc => Ok(mk(Mnemonic::Cld, vec![], Width::B8)),
-        0xfd => Ok(mk(Mnemonic::Std, vec![], Width::B8)),
-        0xfe => {
-            let mr = parse_modrm(cur, pfx, Width::B1)?;
-            match mr.reg & 7 {
-                0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], Width::B1)),
-                1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], Width::B1)),
-                e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+            0x8f => {
+                let mr = parse_modrm(cur, pfx, Width::B8)?;
+                if mr.reg & 7 != 0 {
+                    return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+                }
+                Ok(mk(Mnemonic::Pop, vec![mr.rm], Width::B8))
             }
-        }
-        0xff => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            match mr.reg & 7 {
-                0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], w)),
-                1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], w)),
-                2 => Ok(mk(Mnemonic::Call, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
-                4 => Ok(mk(Mnemonic::Jmp, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
-                6 => Ok(mk(Mnemonic::Push, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
-                e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+            0x90 => Ok(mk(Mnemonic::Nop, vec![], Width::B8)),
+            0x91..=0x97 => {
+                let r = (opcode - 0x90) | if pfx.rex.b { 8 } else { 0 };
+                Ok(mk(
+                    Mnemonic::Xchg,
+                    vec![Operand::reg(Reg::Rax, w), Operand::Reg(reg_ref(r, w, pfx.rex.present))],
+                    w,
+                ))
             }
+            0x98 => Ok(match w {
+                Width::B2 => mk(Mnemonic::Cbw, vec![], Width::B2),
+                Width::B8 => mk(Mnemonic::Cdqe, vec![], Width::B8),
+                _ => mk(Mnemonic::Cwde, vec![], Width::B4),
+            }),
+            0x99 => Ok(match w {
+                Width::B2 => mk(Mnemonic::Cwd, vec![], Width::B2),
+                Width::B8 => mk(Mnemonic::Cqo, vec![], Width::B8),
+                _ => mk(Mnemonic::Cdq, vec![], Width::B4),
+            }),
+            0xa4 => Ok(mk(Mnemonic::Movs, vec![], Width::B1)),
+            0xa5 => Ok(mk(Mnemonic::Movs, vec![], w)),
+            0xa6 => Ok(mk(Mnemonic::Cmps, vec![], Width::B1)),
+            0xa7 => Ok(mk(Mnemonic::Cmps, vec![], w)),
+            0xa8 => {
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, Width::B1), Operand::Imm(imm)], Width::B1))
+            }
+            0xa9 => {
+                let imm = cur.imm(w)?;
+                Ok(mk(Mnemonic::Test, vec![Operand::reg(Reg::Rax, w), Operand::Imm(imm)], w))
+            }
+            0xaa => Ok(mk(Mnemonic::Stos, vec![], Width::B1)),
+            0xab => Ok(mk(Mnemonic::Stos, vec![], w)),
+            0xac => Ok(mk(Mnemonic::Lods, vec![], Width::B1)),
+            0xad => Ok(mk(Mnemonic::Lods, vec![], w)),
+            0xae => Ok(mk(Mnemonic::Scas, vec![], Width::B1)),
+            0xaf => Ok(mk(Mnemonic::Scas, vec![], w)),
+            0xb0..=0xb7 => {
+                let r = (opcode - 0xb0) | if pfx.rex.b { 8 } else { 0 };
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, Width::B1, pfx.rex.present)), Operand::Imm(imm)], Width::B1))
+            }
+            0xb8..=0xbf => {
+                let r = (opcode - 0xb8) | if pfx.rex.b { 8 } else { 0 };
+                if pfx.rex.w {
+                    let imm = cur.u64()? as i64;
+                    Ok(mk(Mnemonic::Movabs, vec![Operand::reg64(Reg::from_number(r)), Operand::Imm(imm)], Width::B8))
+                } else {
+                    let imm = match w {
+                        Width::B2 => cur.u16()? as i64,
+                        _ => cur.u32()? as i64, // mov r32, imm32 zero-extends
+                    };
+                    Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, w, pfx.rex.present)), Operand::Imm(imm)], w))
+                }
+            }
+            0xc0 | 0xc1 | 0xd0 | 0xd1 | 0xd2 | 0xd3 => {
+                let opw = if opcode & 1 == 0 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                let m = SHIFT_GRP[(mr.reg & 7) as usize]
+                    .ok_or(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 })?;
+                let amount = match opcode {
+                    0xc0 | 0xc1 => Operand::Imm(cur.imm(Width::B1)? & 0xff),
+                    0xd0 | 0xd1 => Operand::Imm(1),
+                    _ => Operand::reg(Reg::Rcx, Width::B1),
+                };
+                Ok(mk(m, vec![mr.rm, amount], opw))
+            }
+            0xc2 => {
+                let imm = cur.u16()? as i64;
+                Ok(mk(Mnemonic::Ret, vec![Operand::Imm(imm)], Width::B8))
+            }
+            0xc3 => Ok(mk(Mnemonic::Ret, vec![], Width::B8)),
+            0xc6 | 0xc7 => {
+                let opw = if opcode == 0xc6 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                if mr.reg & 7 != 0 {
+                    return Err(DecodeError::UnknownExtension { opcode, ext: mr.reg & 7 });
+                }
+                let imm = cur.imm(opw)?;
+                Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Imm(imm)], opw))
+            }
+            0xc9 => Ok(mk(Mnemonic::Leave, vec![], Width::B8)),
+            0xcc => Ok(mk(Mnemonic::Int3, vec![], Width::B8)),
+            0xe0..=0xe3 => {
+                let rel = cur.imm(Width::B1)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                let m = match opcode {
+                    0xe0 => Mnemonic::Loopne,
+                    0xe1 => Mnemonic::Loope,
+                    0xe2 => Mnemonic::Loop,
+                    _ => Mnemonic::Jrcxz,
+                };
+                Ok(mk(m, vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0xe8 => {
+                let rel = cur.imm(Width::B4)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                Ok(mk(Mnemonic::Call, vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0xe9 => {
+                let rel = cur.imm(Width::B4)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0xeb => {
+                let rel = cur.imm(Width::B1)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                Ok(mk(Mnemonic::Jmp, vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0xf4 => Ok(mk(Mnemonic::Hlt, vec![], Width::B8)),
+            0xf5 => Ok(mk(Mnemonic::Cmc, vec![], Width::B8)),
+            0xf6 | 0xf7 => {
+                let opw = if opcode == 0xf6 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                match mr.reg & 7 {
+                    0 | 1 => {
+                        let imm = if opcode == 0xf6 { cur.imm(Width::B1)? } else { cur.imm(opw)? };
+                        Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Imm(imm)], opw))
+                    }
+                    2 => Ok(mk(Mnemonic::Not, vec![mr.rm], opw)),
+                    3 => Ok(mk(Mnemonic::Neg, vec![mr.rm], opw)),
+                    4 => Ok(mk(Mnemonic::Mul, vec![mr.rm], opw)),
+                    5 => Ok(mk(Mnemonic::Imul, vec![mr.rm], opw)),
+                    6 => Ok(mk(Mnemonic::Div, vec![mr.rm], opw)),
+                    _ => Ok(mk(Mnemonic::Idiv, vec![mr.rm], opw)),
+                }
+            }
+            0xf8 => Ok(mk(Mnemonic::Clc, vec![], Width::B8)),
+            0xf9 => Ok(mk(Mnemonic::Stc, vec![], Width::B8)),
+            0xfc => Ok(mk(Mnemonic::Cld, vec![], Width::B8)),
+            0xfd => Ok(mk(Mnemonic::Std, vec![], Width::B8)),
+            0xfe => {
+                let mr = parse_modrm(cur, pfx, Width::B1)?;
+                match mr.reg & 7 {
+                    0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], Width::B1)),
+                    1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], Width::B1)),
+                    e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+                }
+            }
+            0xff => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                match mr.reg & 7 {
+                    0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], w)),
+                    1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], w)),
+                    2 => Ok(mk(Mnemonic::Call, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                    4 => Ok(mk(Mnemonic::Jmp, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                    6 => Ok(mk(Mnemonic::Push, vec![resize(mr.rm, Width::B8, pfx.rex.present)], Width::B8)),
+                    e => Err(DecodeError::UnknownExtension { opcode, ext: e }),
+                }
+            }
+            _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
         }
-        _ => Err(DecodeError::UnknownOpcode { opcode: vec![opcode] }),
+    }
+
+    pub(super) fn decode_0f(cur: &mut Cursor<'_>, pfx: &Prefixes, addr: u64) -> Result<Instr, DecodeError> {
+        let w = pfx.width();
+        let op2 = cur.u8()?;
+        let mk = |m, ops, width| Instr::new(m, ops, width);
+
+        match op2 {
+            0x05 => Ok(mk(Mnemonic::Syscall, vec![], Width::B8)),
+            0x0b => Ok(mk(Mnemonic::Ud2, vec![], Width::B8)),
+            0x1e if pfx.f3 && cur.peek() == Some(0xfa) => {
+                cur.u8()?;
+                Ok(mk(Mnemonic::Endbr64, vec![], Width::B8))
+            }
+            0x1f => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let _ = mr;
+                Ok(mk(Mnemonic::Nop, vec![], w))
+            }
+            0x31 => Ok(mk(Mnemonic::Rdtsc, vec![], Width::B8)),
+            0x40..=0x4f => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                Ok(mk(Mnemonic::Cmovcc(Cond::from_number(op2 & 0xf)), vec![dst, mr.rm], w))
+            }
+            0x80..=0x8f => {
+                let rel = cur.imm(Width::B4)?;
+                let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
+                Ok(mk(Mnemonic::Jcc(Cond::from_number(op2 & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
+            }
+            0x90..=0x9f => {
+                let mr = parse_modrm(cur, pfx, Width::B1)?;
+                Ok(mk(Mnemonic::Setcc(Cond::from_number(op2 & 0xf)), vec![mr.rm], Width::B1))
+            }
+            0xa2 => Ok(mk(Mnemonic::Cpuid, vec![], Width::B8)),
+            0xa3 | 0xab | 0xb3 | 0xbb => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let m = match op2 {
+                    0xa3 => Mnemonic::Bt,
+                    0xab => Mnemonic::Bts,
+                    0xb3 => Mnemonic::Btr,
+                    _ => Mnemonic::Btc,
+                };
+                Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
+            }
+            0xa4 | 0xac => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let imm = cur.imm(Width::B1)?;
+                let m = if op2 == 0xa4 { Mnemonic::Shld } else { Mnemonic::Shrd };
+                Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), Operand::Imm(imm)], w))
+            }
+            0xa5 | 0xad => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let m = if op2 == 0xa5 { Mnemonic::Shld } else { Mnemonic::Shrd };
+                Ok(mk(
+                    m,
+                    vec![
+                        mr.rm,
+                        Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)),
+                        Operand::reg(Reg::Rcx, Width::B1),
+                    ],
+                    w,
+                ))
+            }
+            0xaf => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                Ok(mk(Mnemonic::Imul, vec![dst, mr.rm], w))
+            }
+            0xb0 | 0xb1 => {
+                let opw = if op2 == 0xb0 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Cmpxchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+            }
+            0xb6 | 0xb7 | 0xbe | 0xbf => {
+                let srcw = if op2 & 1 == 0 { Width::B1 } else { Width::B2 };
+                let mr = parse_modrm(cur, pfx, srcw)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                let m = if op2 < 0xbe { Mnemonic::Movzx } else { Mnemonic::Movsx };
+                Ok(mk(m, vec![dst, mr.rm], w))
+            }
+            0xb8 if pfx.f3 => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                Ok(mk(Mnemonic::Popcnt, vec![dst, mr.rm], w))
+            }
+            0xba => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let m = match mr.reg & 7 {
+                    4 => Mnemonic::Bt,
+                    5 => Mnemonic::Bts,
+                    6 => Mnemonic::Btr,
+                    7 => Mnemonic::Btc,
+                    e => return Err(DecodeError::UnknownExtension { opcode: 0xba, ext: e }),
+                };
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(m, vec![mr.rm, Operand::Imm(imm & 0xff)], w))
+            }
+            0xbc => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                let m = if pfx.f3 { Mnemonic::Tzcnt } else { Mnemonic::Bsf };
+                Ok(mk(m, vec![dst, mr.rm], w))
+            }
+            0xbd => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
+                Ok(mk(Mnemonic::Bsr, vec![dst, mr.rm], w))
+            }
+            0xc0 | 0xc1 => {
+                let opw = if op2 == 0xc0 { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(Mnemonic::Xadd, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
+            }
+            0xc8..=0xcf => {
+                // bswap r32/r64.
+                let r = (op2 - 0xc8) | if pfx.rex.b { 8 } else { 0 };
+                let bw = if pfx.rex.w { Width::B8 } else { Width::B4 };
+                Ok(mk(Mnemonic::Bswap, vec![Operand::Reg(reg_ref(r, bw, pfx.rex.present))], bw))
+            }
+            _ => Err(DecodeError::UnknownOpcode { opcode: vec![0x0f, op2] }),
+        }
     }
 }
 
-fn decode_0f(cur: &mut Cursor<'_>, pfx: &Prefixes, addr: u64) -> Result<Instr, DecodeError> {
-    let w = pfx.width();
-    let op2 = cur.u8()?;
-    let mk = |m, ops, width| Instr::new(m, ops, width);
+/// The table-driven decoder: two 256-entry const lookup tables (one
+/// per opcode map) classify every opcode byte into an addressing
+/// [`Form`], and a single generic interpreter executes the form. The
+/// tables are built at compile time; decoding an opcode is one array
+/// index plus one `match` on ~30 forms instead of a walk through a
+/// 90-arm ladder with inline operand logic.
+///
+/// Equivalence with the legacy ladder (`reference`) is enforced by the
+/// exhaustive differential suite in `tests/decode_diff.rs`.
+mod table {
+    use super::*;
 
-    match op2 {
-        0x05 => Ok(mk(Mnemonic::Syscall, vec![], Width::B8)),
-        0x0b => Ok(mk(Mnemonic::Ud2, vec![], Width::B8)),
-        0x1e if pfx.f3 && cur.peek() == Some(0xfa) => {
-            cur.u8()?;
-            Ok(mk(Mnemonic::Endbr64, vec![], Width::B8))
+    /// Operand-width selector, resolved against the decoded prefixes.
+    #[derive(Clone, Copy)]
+    enum Wsel {
+        /// Always one byte.
+        Byte,
+        /// The operand-size-prefix/REX.W-selected width.
+        Oper,
+    }
+
+    impl Wsel {
+        fn resolve(self, pfx: &Prefixes) -> Width {
+            match self {
+                Wsel::Byte => Width::B1,
+                Wsel::Oper => pfx.width(),
+            }
         }
-        0x1f => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let _ = mr;
-            Ok(mk(Mnemonic::Nop, vec![], w))
+    }
+
+    /// Shift-amount source for the 0xC0/0xD0 shift group.
+    #[derive(Clone, Copy)]
+    enum ShiftSrc {
+        Imm8,
+        One,
+        Cl,
+    }
+
+    /// One opcode's decode recipe. Everything data-dependent (widths,
+    /// mnemonics, immediate sizes) is baked into the entry; the
+    /// interpreter supplies only the mechanics.
+    #[derive(Clone, Copy)]
+    enum Form {
+        /// Opcode outside the supported subset.
+        Invalid,
+        /// 0x0F: dispatch into the secondary table.
+        Escape,
+        /// No operands, width B8 (ret/leave/hlt/syscall/...).
+        Fixed(Mnemonic),
+        /// ModRM; operands `[rm, reg]`.
+        ModRmMR(Mnemonic, Wsel),
+        /// ModRM; operands `[reg, rm]`.
+        ModRmRM(Mnemonic, Wsel),
+        /// Accumulator and an immediate: `[al/ax/eax/rax, imm]`.
+        AccImm(Mnemonic, Wsel),
+        /// Group-1 ALU with the mnemonic in ModRM.reg.
+        Grp1 { byte: bool, imm8: bool },
+        /// push r64 with the register in the low opcode bits.
+        PushReg,
+        /// pop r64 with the register in the low opcode bits.
+        PopReg,
+        /// 0x63 movsxd r64, r/m32.
+        Movsxd,
+        /// push imm (B1 or B4 immediate, both push a qword).
+        PushImm { imm8: bool },
+        /// imul r, r/m, imm.
+        ImulImm { imm8: bool },
+        /// Short conditional jump; condition in the low opcode nibble.
+        JccRel8,
+        /// 0x8D lea (memory operand required).
+        Lea,
+        /// 0x8F pop r/m64 (/0 only).
+        PopRm,
+        /// 0x90 nop.
+        Nop,
+        /// 0x91-0x97 xchg acc, reg.
+        XchgAcc,
+        /// 0x98 cbw/cwde/cdqe by operand width.
+        ConvertAcc,
+        /// 0x99 cwd/cdq/cqo by operand width.
+        ConvertDbl,
+        /// String operation (movs/cmps/stos/lods/scas); implicit operands.
+        StringOp(Mnemonic, Wsel),
+        /// 0xB0-0xB7 mov r8, imm8.
+        MovR8Imm,
+        /// 0xB8-0xBF mov r, imm (movabs under REX.W).
+        MovRImm,
+        /// Shift group 0xC0/0xC1/0xD0-0xD3; mnemonic in ModRM.reg.
+        Shift { byte: bool, src: ShiftSrc },
+        /// 0xC2 ret imm16.
+        RetImm,
+        /// 0xC6/0xC7 mov r/m, imm (/0 only).
+        MovMI { byte: bool },
+        /// 0xE0-0xE3 loop/loope/loopne/jrcxz.
+        LoopOp(Mnemonic),
+        /// 0xE8 call rel32.
+        CallRel32,
+        /// 0xE9 jmp rel32.
+        JmpRel32,
+        /// 0xEB jmp rel8.
+        JmpRel8,
+        /// Group 3 (0xF6/0xF7): test/not/neg/mul/imul/div/idiv.
+        Grp3 { byte: bool },
+        /// Group 4 (0xFE): inc/dec r/m8.
+        Grp4,
+        /// Group 5 (0xFF): inc/dec/call/jmp/push r/m.
+        Grp5,
+        /// 0F 1E: endbr64 (requires F3 prefix and a 0xFA suffix byte).
+        Endbr,
+        /// 0F 1F: multi-byte nop (ModRM consumed, no operands).
+        NopModRm,
+        /// 0F 40-4F cmovcc; condition in the low opcode nibble.
+        CmovRM,
+        /// 0F 80-8F near conditional jump.
+        JccRel32,
+        /// 0F 90-9F setcc r/m8.
+        SetccRm,
+        /// 0F A4/AC shld/shrd r/m, r, imm8.
+        ShiftDImm(Mnemonic),
+        /// 0F A5/AD shld/shrd r/m, r, cl.
+        ShiftDCl(Mnemonic),
+        /// 0F B6/B7/BE/BF movzx/movsx.
+        MovExt { sign: bool, src16: bool },
+        /// 0F B8 popcnt (requires F3).
+        PopcntF3,
+        /// 0F BA bt/bts/btr/btc r/m, imm8 (/4-/7).
+        BtGrp,
+        /// 0F BC bsf (tzcnt under F3).
+        BsfTzcnt,
+        /// 0F C8-CF bswap r32/r64.
+        Bswap,
+    }
+
+    /// Primary-map entry for opcode byte `op`. `const`: evaluated once
+    /// at compile time to fill [`PRIMARY`].
+    const fn primary(op: u8) -> Form {
+        match op {
+            0x0f => Form::Escape,
+            // ALU block 0x00-0x3F: add/or/adc/sbb/and/sub/xor/cmp,
+            // six addressing forms each, selected by the low 3 bits.
+            0x00..=0x3f if op & 7 <= 5 => {
+                let m = GRP1[(op >> 3) as usize & 7];
+                match op & 7 {
+                    0 => Form::ModRmMR(m, Wsel::Byte),
+                    1 => Form::ModRmMR(m, Wsel::Oper),
+                    2 => Form::ModRmRM(m, Wsel::Byte),
+                    3 => Form::ModRmRM(m, Wsel::Oper),
+                    4 => Form::AccImm(m, Wsel::Byte),
+                    _ => Form::AccImm(m, Wsel::Oper),
+                }
+            }
+            0x50..=0x57 => Form::PushReg,
+            0x58..=0x5f => Form::PopReg,
+            0x63 => Form::Movsxd,
+            0x68 => Form::PushImm { imm8: false },
+            0x69 => Form::ImulImm { imm8: false },
+            0x6a => Form::PushImm { imm8: true },
+            0x6b => Form::ImulImm { imm8: true },
+            0x70..=0x7f => Form::JccRel8,
+            0x80 => Form::Grp1 { byte: true, imm8: true },
+            0x81 => Form::Grp1 { byte: false, imm8: false },
+            0x83 => Form::Grp1 { byte: false, imm8: true },
+            0x84 => Form::ModRmMR(Mnemonic::Test, Wsel::Byte),
+            0x85 => Form::ModRmMR(Mnemonic::Test, Wsel::Oper),
+            0x86 => Form::ModRmMR(Mnemonic::Xchg, Wsel::Byte),
+            0x87 => Form::ModRmMR(Mnemonic::Xchg, Wsel::Oper),
+            0x88 => Form::ModRmMR(Mnemonic::Mov, Wsel::Byte),
+            0x89 => Form::ModRmMR(Mnemonic::Mov, Wsel::Oper),
+            0x8a => Form::ModRmRM(Mnemonic::Mov, Wsel::Byte),
+            0x8b => Form::ModRmRM(Mnemonic::Mov, Wsel::Oper),
+            0x8d => Form::Lea,
+            0x8f => Form::PopRm,
+            0x90 => Form::Nop,
+            0x91..=0x97 => Form::XchgAcc,
+            0x98 => Form::ConvertAcc,
+            0x99 => Form::ConvertDbl,
+            0xa4 => Form::StringOp(Mnemonic::Movs, Wsel::Byte),
+            0xa5 => Form::StringOp(Mnemonic::Movs, Wsel::Oper),
+            0xa6 => Form::StringOp(Mnemonic::Cmps, Wsel::Byte),
+            0xa7 => Form::StringOp(Mnemonic::Cmps, Wsel::Oper),
+            0xa8 => Form::AccImm(Mnemonic::Test, Wsel::Byte),
+            0xa9 => Form::AccImm(Mnemonic::Test, Wsel::Oper),
+            0xaa => Form::StringOp(Mnemonic::Stos, Wsel::Byte),
+            0xab => Form::StringOp(Mnemonic::Stos, Wsel::Oper),
+            0xac => Form::StringOp(Mnemonic::Lods, Wsel::Byte),
+            0xad => Form::StringOp(Mnemonic::Lods, Wsel::Oper),
+            0xae => Form::StringOp(Mnemonic::Scas, Wsel::Byte),
+            0xaf => Form::StringOp(Mnemonic::Scas, Wsel::Oper),
+            0xb0..=0xb7 => Form::MovR8Imm,
+            0xb8..=0xbf => Form::MovRImm,
+            0xc0 => Form::Shift { byte: true, src: ShiftSrc::Imm8 },
+            0xc1 => Form::Shift { byte: false, src: ShiftSrc::Imm8 },
+            0xc2 => Form::RetImm,
+            0xc3 => Form::Fixed(Mnemonic::Ret),
+            0xc6 => Form::MovMI { byte: true },
+            0xc7 => Form::MovMI { byte: false },
+            0xc9 => Form::Fixed(Mnemonic::Leave),
+            0xcc => Form::Fixed(Mnemonic::Int3),
+            0xd0 => Form::Shift { byte: true, src: ShiftSrc::One },
+            0xd1 => Form::Shift { byte: false, src: ShiftSrc::One },
+            0xd2 => Form::Shift { byte: true, src: ShiftSrc::Cl },
+            0xd3 => Form::Shift { byte: false, src: ShiftSrc::Cl },
+            0xe0 => Form::LoopOp(Mnemonic::Loopne),
+            0xe1 => Form::LoopOp(Mnemonic::Loope),
+            0xe2 => Form::LoopOp(Mnemonic::Loop),
+            0xe3 => Form::LoopOp(Mnemonic::Jrcxz),
+            0xe8 => Form::CallRel32,
+            0xe9 => Form::JmpRel32,
+            0xeb => Form::JmpRel8,
+            0xf4 => Form::Fixed(Mnemonic::Hlt),
+            0xf5 => Form::Fixed(Mnemonic::Cmc),
+            0xf6 => Form::Grp3 { byte: true },
+            0xf7 => Form::Grp3 { byte: false },
+            0xf8 => Form::Fixed(Mnemonic::Clc),
+            0xf9 => Form::Fixed(Mnemonic::Stc),
+            0xfc => Form::Fixed(Mnemonic::Cld),
+            0xfd => Form::Fixed(Mnemonic::Std),
+            0xfe => Form::Grp4,
+            0xff => Form::Grp5,
+            _ => Form::Invalid,
         }
-        0x31 => Ok(mk(Mnemonic::Rdtsc, vec![], Width::B8)),
-        0x40..=0x4f => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            Ok(mk(Mnemonic::Cmovcc(Cond::from_number(op2 & 0xf)), vec![dst, mr.rm], w))
+    }
+
+    /// Secondary-map (0F-escape) entry for opcode byte `op`.
+    const fn secondary(op: u8) -> Form {
+        match op {
+            0x05 => Form::Fixed(Mnemonic::Syscall),
+            0x0b => Form::Fixed(Mnemonic::Ud2),
+            0x1e => Form::Endbr,
+            0x1f => Form::NopModRm,
+            0x31 => Form::Fixed(Mnemonic::Rdtsc),
+            0x40..=0x4f => Form::CmovRM,
+            0x80..=0x8f => Form::JccRel32,
+            0x90..=0x9f => Form::SetccRm,
+            0xa2 => Form::Fixed(Mnemonic::Cpuid),
+            0xa3 => Form::ModRmMR(Mnemonic::Bt, Wsel::Oper),
+            0xa4 => Form::ShiftDImm(Mnemonic::Shld),
+            0xa5 => Form::ShiftDCl(Mnemonic::Shld),
+            0xab => Form::ModRmMR(Mnemonic::Bts, Wsel::Oper),
+            0xac => Form::ShiftDImm(Mnemonic::Shrd),
+            0xad => Form::ShiftDCl(Mnemonic::Shrd),
+            0xaf => Form::ModRmRM(Mnemonic::Imul, Wsel::Oper),
+            0xb0 => Form::ModRmMR(Mnemonic::Cmpxchg, Wsel::Byte),
+            0xb1 => Form::ModRmMR(Mnemonic::Cmpxchg, Wsel::Oper),
+            0xb3 => Form::ModRmMR(Mnemonic::Btr, Wsel::Oper),
+            0xb6 => Form::MovExt { sign: false, src16: false },
+            0xb7 => Form::MovExt { sign: false, src16: true },
+            0xb8 => Form::PopcntF3,
+            0xba => Form::BtGrp,
+            0xbb => Form::ModRmMR(Mnemonic::Btc, Wsel::Oper),
+            0xbc => Form::BsfTzcnt,
+            0xbd => Form::ModRmRM(Mnemonic::Bsr, Wsel::Oper),
+            0xbe => Form::MovExt { sign: true, src16: false },
+            0xbf => Form::MovExt { sign: true, src16: true },
+            0xc0 => Form::ModRmMR(Mnemonic::Xadd, Wsel::Byte),
+            0xc1 => Form::ModRmMR(Mnemonic::Xadd, Wsel::Oper),
+            0xc8..=0xcf => Form::Bswap,
+            _ => Form::Invalid,
         }
-        0x80..=0x8f => {
-            let rel = cur.imm(Width::B4)?;
-            let target = addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64);
-            Ok(mk(Mnemonic::Jcc(Cond::from_number(op2 & 0xf)), vec![Operand::Imm(target as i64)], Width::B8))
+    }
+
+    /// The one-byte opcode map.
+    static PRIMARY: [Form; 256] = {
+        let mut t = [Form::Invalid; 256];
+        let mut i = 0;
+        while i < 256 {
+            t[i] = primary(i as u8);
+            i += 1;
         }
-        0x90..=0x9f => {
-            let mr = parse_modrm(cur, pfx, Width::B1)?;
-            Ok(mk(Mnemonic::Setcc(Cond::from_number(op2 & 0xf)), vec![mr.rm], Width::B1))
+        t
+    };
+
+    /// The 0F-escape opcode map.
+    static SECONDARY: [Form; 256] = {
+        let mut t = [Form::Invalid; 256];
+        let mut i = 0;
+        while i < 256 {
+            t[i] = secondary(i as u8);
+            i += 1;
         }
-        0xa2 => Ok(mk(Mnemonic::Cpuid, vec![], Width::B8)),
-        0xa3 | 0xab | 0xb3 | 0xbb => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let m = match op2 {
-                0xa3 => Mnemonic::Bt,
-                0xab => Mnemonic::Bts,
-                0xb3 => Mnemonic::Btr,
-                _ => Mnemonic::Btc,
-            };
-            Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present))], w))
+        t
+    };
+
+    fn unknown(op: u8, escaped: bool) -> DecodeError {
+        let opcode = if escaped { vec![0x0f, op] } else { vec![op] };
+        DecodeError::UnknownOpcode { opcode }
+    }
+
+    pub(super) fn decode_opcode(
+        cur: &mut Cursor<'_>,
+        pfx: &Prefixes,
+        opcode: u8,
+        addr: u64,
+    ) -> Result<Instr, DecodeError> {
+        exec(PRIMARY[opcode as usize], cur, pfx, opcode, addr, false)
+    }
+
+    /// Resolve a relative displacement already consumed from `cur`
+    /// into an absolute branch target.
+    fn rel_target(cur: &Cursor<'_>, addr: u64, rel: i64) -> Operand {
+        Operand::Imm(addr.wrapping_add(cur.pos as u64).wrapping_add(rel as u64) as i64)
+    }
+
+    /// The generic interpreter: executes one table entry.
+    fn exec(
+        form: Form,
+        cur: &mut Cursor<'_>,
+        pfx: &Prefixes,
+        op: u8,
+        addr: u64,
+        escaped: bool,
+    ) -> Result<Instr, DecodeError> {
+        let w = pfx.width();
+        let rexp = pfx.rex.present;
+        let rexb = if pfx.rex.b { 8 } else { 0 };
+        let mk = Instr::new;
+        match form {
+            Form::Invalid => Err(unknown(op, escaped)),
+            Form::Escape => {
+                let op2 = cur.u8()?;
+                exec(SECONDARY[op2 as usize], cur, pfx, op2, addr, true)
+            }
+            Form::Fixed(m) => Ok(mk(m, vec![], Width::B8)),
+            Form::ModRmMR(m, sel) => {
+                let opw = sel.resolve(pfx);
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, rexp))], opw))
+            }
+            Form::ModRmRM(m, sel) => {
+                let opw = sel.resolve(pfx);
+                let mr = parse_modrm(cur, pfx, opw)?;
+                Ok(mk(m, vec![Operand::Reg(reg_ref(mr.reg, opw, rexp)), mr.rm], opw))
+            }
+            Form::AccImm(m, sel) => {
+                let opw = sel.resolve(pfx);
+                let imm = cur.imm(opw)?;
+                Ok(mk(m, vec![Operand::reg(Reg::Rax, opw), Operand::Imm(imm)], opw))
+            }
+            Form::Grp1 { byte, imm8 } => {
+                let opw = if byte { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                let imm = if imm8 { cur.imm(Width::B1)? } else { cur.imm(opw)? };
+                let m = GRP1[(mr.reg & 7) as usize];
+                Ok(mk(m, vec![mr.rm, Operand::Imm(imm)], opw))
+            }
+            Form::PushReg => {
+                let r = (op & 7) | rexb;
+                Ok(mk(Mnemonic::Push, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
+            }
+            Form::PopReg => {
+                let r = (op & 7) | rexb;
+                Ok(mk(Mnemonic::Pop, vec![Operand::reg64(Reg::from_number(r))], Width::B8))
+            }
+            Form::Movsxd => {
+                let mr = parse_modrm(cur, pfx, Width::B4)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, Width::B8, rexp));
+                Ok(mk(Mnemonic::Movsxd, vec![dst, mr.rm], Width::B8))
+            }
+            Form::PushImm { imm8 } => {
+                let imm = cur.imm(if imm8 { Width::B1 } else { Width::B4 })?;
+                Ok(mk(Mnemonic::Push, vec![Operand::Imm(imm)], Width::B8))
+            }
+            Form::ImulImm { imm8 } => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let imm = if imm8 { cur.imm(Width::B1)? } else { cur.imm(w)? };
+                let dst = Operand::Reg(reg_ref(mr.reg, w, rexp));
+                Ok(mk(Mnemonic::Imul, vec![dst, mr.rm, Operand::Imm(imm)], w))
+            }
+            Form::JccRel8 => {
+                let rel = cur.imm(Width::B1)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(Mnemonic::Jcc(Cond::from_number(op & 0xf)), vec![target], Width::B8))
+            }
+            Form::Lea => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                if !mr.rm.is_mem() {
+                    return Err(unknown(op, escaped));
+                }
+                Ok(mk(Mnemonic::Lea, vec![Operand::Reg(reg_ref(mr.reg, w, rexp)), mr.rm], w))
+            }
+            Form::PopRm => {
+                let mr = parse_modrm(cur, pfx, Width::B8)?;
+                if mr.reg & 7 != 0 {
+                    return Err(DecodeError::UnknownExtension { opcode: op, ext: mr.reg & 7 });
+                }
+                Ok(mk(Mnemonic::Pop, vec![mr.rm], Width::B8))
+            }
+            Form::Nop => Ok(mk(Mnemonic::Nop, vec![], Width::B8)),
+            Form::XchgAcc => {
+                let r = (op & 7) | rexb;
+                Ok(mk(
+                    Mnemonic::Xchg,
+                    vec![Operand::reg(Reg::Rax, w), Operand::Reg(reg_ref(r, w, rexp))],
+                    w,
+                ))
+            }
+            Form::ConvertAcc => Ok(match w {
+                Width::B2 => mk(Mnemonic::Cbw, vec![], Width::B2),
+                Width::B8 => mk(Mnemonic::Cdqe, vec![], Width::B8),
+                _ => mk(Mnemonic::Cwde, vec![], Width::B4),
+            }),
+            Form::ConvertDbl => Ok(match w {
+                Width::B2 => mk(Mnemonic::Cwd, vec![], Width::B2),
+                Width::B8 => mk(Mnemonic::Cqo, vec![], Width::B8),
+                _ => mk(Mnemonic::Cdq, vec![], Width::B4),
+            }),
+            Form::StringOp(m, sel) => Ok(mk(m, vec![], sel.resolve(pfx))),
+            Form::MovR8Imm => {
+                let r = (op & 7) | rexb;
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(
+                    Mnemonic::Mov,
+                    vec![Operand::Reg(reg_ref(r, Width::B1, rexp)), Operand::Imm(imm)],
+                    Width::B1,
+                ))
+            }
+            Form::MovRImm => {
+                let r = (op & 7) | rexb;
+                if pfx.rex.w {
+                    let imm = cur.u64()? as i64;
+                    Ok(mk(
+                        Mnemonic::Movabs,
+                        vec![Operand::reg64(Reg::from_number(r)), Operand::Imm(imm)],
+                        Width::B8,
+                    ))
+                } else {
+                    let imm = match w {
+                        Width::B2 => cur.u16()? as i64,
+                        _ => cur.u32()? as i64, // mov r32, imm32 zero-extends
+                    };
+                    Ok(mk(Mnemonic::Mov, vec![Operand::Reg(reg_ref(r, w, rexp)), Operand::Imm(imm)], w))
+                }
+            }
+            Form::Shift { byte, src } => {
+                let opw = if byte { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                let m = SHIFT_GRP[(mr.reg & 7) as usize]
+                    .ok_or(DecodeError::UnknownExtension { opcode: op, ext: mr.reg & 7 })?;
+                let amount = match src {
+                    ShiftSrc::Imm8 => Operand::Imm(cur.imm(Width::B1)? & 0xff),
+                    ShiftSrc::One => Operand::Imm(1),
+                    ShiftSrc::Cl => Operand::reg(Reg::Rcx, Width::B1),
+                };
+                Ok(mk(m, vec![mr.rm, amount], opw))
+            }
+            Form::RetImm => {
+                let imm = cur.u16()? as i64;
+                Ok(mk(Mnemonic::Ret, vec![Operand::Imm(imm)], Width::B8))
+            }
+            Form::MovMI { byte } => {
+                let opw = if byte { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                if mr.reg & 7 != 0 {
+                    return Err(DecodeError::UnknownExtension { opcode: op, ext: mr.reg & 7 });
+                }
+                let imm = cur.imm(opw)?;
+                Ok(mk(Mnemonic::Mov, vec![mr.rm, Operand::Imm(imm)], opw))
+            }
+            Form::LoopOp(m) => {
+                let rel = cur.imm(Width::B1)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(m, vec![target], Width::B8))
+            }
+            Form::CallRel32 => {
+                let rel = cur.imm(Width::B4)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(Mnemonic::Call, vec![target], Width::B8))
+            }
+            Form::JmpRel32 => {
+                let rel = cur.imm(Width::B4)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(Mnemonic::Jmp, vec![target], Width::B8))
+            }
+            Form::JmpRel8 => {
+                let rel = cur.imm(Width::B1)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(Mnemonic::Jmp, vec![target], Width::B8))
+            }
+            Form::Grp3 { byte } => {
+                let opw = if byte { Width::B1 } else { w };
+                let mr = parse_modrm(cur, pfx, opw)?;
+                match mr.reg & 7 {
+                    0 | 1 => {
+                        let imm = if byte { cur.imm(Width::B1)? } else { cur.imm(opw)? };
+                        Ok(mk(Mnemonic::Test, vec![mr.rm, Operand::Imm(imm)], opw))
+                    }
+                    2 => Ok(mk(Mnemonic::Not, vec![mr.rm], opw)),
+                    3 => Ok(mk(Mnemonic::Neg, vec![mr.rm], opw)),
+                    4 => Ok(mk(Mnemonic::Mul, vec![mr.rm], opw)),
+                    5 => Ok(mk(Mnemonic::Imul, vec![mr.rm], opw)),
+                    6 => Ok(mk(Mnemonic::Div, vec![mr.rm], opw)),
+                    _ => Ok(mk(Mnemonic::Idiv, vec![mr.rm], opw)),
+                }
+            }
+            Form::Grp4 => {
+                let mr = parse_modrm(cur, pfx, Width::B1)?;
+                match mr.reg & 7 {
+                    0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], Width::B1)),
+                    1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], Width::B1)),
+                    e => Err(DecodeError::UnknownExtension { opcode: op, ext: e }),
+                }
+            }
+            Form::Grp5 => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                match mr.reg & 7 {
+                    0 => Ok(mk(Mnemonic::Inc, vec![mr.rm], w)),
+                    1 => Ok(mk(Mnemonic::Dec, vec![mr.rm], w)),
+                    2 => Ok(mk(Mnemonic::Call, vec![resize(mr.rm, Width::B8, rexp)], Width::B8)),
+                    4 => Ok(mk(Mnemonic::Jmp, vec![resize(mr.rm, Width::B8, rexp)], Width::B8)),
+                    6 => Ok(mk(Mnemonic::Push, vec![resize(mr.rm, Width::B8, rexp)], Width::B8)),
+                    e => Err(DecodeError::UnknownExtension { opcode: op, ext: e }),
+                }
+            }
+            Form::Endbr => {
+                if pfx.f3 && cur.peek() == Some(0xfa) {
+                    cur.u8()?;
+                    Ok(mk(Mnemonic::Endbr64, vec![], Width::B8))
+                } else {
+                    Err(unknown(op, escaped))
+                }
+            }
+            Form::NopModRm => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let _ = mr;
+                Ok(mk(Mnemonic::Nop, vec![], w))
+            }
+            Form::CmovRM => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, rexp));
+                Ok(mk(Mnemonic::Cmovcc(Cond::from_number(op & 0xf)), vec![dst, mr.rm], w))
+            }
+            Form::JccRel32 => {
+                let rel = cur.imm(Width::B4)?;
+                let target = rel_target(cur, addr, rel);
+                Ok(mk(Mnemonic::Jcc(Cond::from_number(op & 0xf)), vec![target], Width::B8))
+            }
+            Form::SetccRm => {
+                let mr = parse_modrm(cur, pfx, Width::B1)?;
+                Ok(mk(Mnemonic::Setcc(Cond::from_number(op & 0xf)), vec![mr.rm], Width::B1))
+            }
+            Form::ShiftDImm(m) => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(
+                    m,
+                    vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, rexp)), Operand::Imm(imm)],
+                    w,
+                ))
+            }
+            Form::ShiftDCl(m) => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                Ok(mk(
+                    m,
+                    vec![
+                        mr.rm,
+                        Operand::Reg(reg_ref(mr.reg, w, rexp)),
+                        Operand::reg(Reg::Rcx, Width::B1),
+                    ],
+                    w,
+                ))
+            }
+            Form::MovExt { sign, src16 } => {
+                let srcw = if src16 { Width::B2 } else { Width::B1 };
+                let mr = parse_modrm(cur, pfx, srcw)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, rexp));
+                let m = if sign { Mnemonic::Movsx } else { Mnemonic::Movzx };
+                Ok(mk(m, vec![dst, mr.rm], w))
+            }
+            Form::PopcntF3 => {
+                if !pfx.f3 {
+                    return Err(unknown(op, escaped));
+                }
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, rexp));
+                Ok(mk(Mnemonic::Popcnt, vec![dst, mr.rm], w))
+            }
+            Form::BtGrp => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let m = match mr.reg & 7 {
+                    4 => Mnemonic::Bt,
+                    5 => Mnemonic::Bts,
+                    6 => Mnemonic::Btr,
+                    7 => Mnemonic::Btc,
+                    e => return Err(DecodeError::UnknownExtension { opcode: op, ext: e }),
+                };
+                let imm = cur.imm(Width::B1)?;
+                Ok(mk(m, vec![mr.rm, Operand::Imm(imm & 0xff)], w))
+            }
+            Form::BsfTzcnt => {
+                let mr = parse_modrm(cur, pfx, w)?;
+                let dst = Operand::Reg(reg_ref(mr.reg, w, rexp));
+                let m = if pfx.f3 { Mnemonic::Tzcnt } else { Mnemonic::Bsf };
+                Ok(mk(m, vec![dst, mr.rm], w))
+            }
+            Form::Bswap => {
+                let r = (op & 7) | rexb;
+                let bw = if pfx.rex.w { Width::B8 } else { Width::B4 };
+                Ok(mk(Mnemonic::Bswap, vec![Operand::Reg(reg_ref(r, bw, rexp))], bw))
+            }
         }
-        0xa4 | 0xac => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let imm = cur.imm(Width::B1)?;
-            let m = if op2 == 0xa4 { Mnemonic::Shld } else { Mnemonic::Shrd };
-            Ok(mk(m, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)), Operand::Imm(imm)], w))
-        }
-        0xa5 | 0xad => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let m = if op2 == 0xa5 { Mnemonic::Shld } else { Mnemonic::Shrd };
-            Ok(mk(
-                m,
-                vec![
-                    mr.rm,
-                    Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present)),
-                    Operand::reg(Reg::Rcx, Width::B1),
-                ],
-                w,
-            ))
-        }
-        0xaf => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            Ok(mk(Mnemonic::Imul, vec![dst, mr.rm], w))
-        }
-        0xb0 | 0xb1 => {
-            let opw = if op2 == 0xb0 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Cmpxchg, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
-        }
-        0xb6 | 0xb7 | 0xbe | 0xbf => {
-            let srcw = if op2 & 1 == 0 { Width::B1 } else { Width::B2 };
-            let mr = parse_modrm(cur, pfx, srcw)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            let m = if op2 < 0xbe { Mnemonic::Movzx } else { Mnemonic::Movsx };
-            Ok(mk(m, vec![dst, mr.rm], w))
-        }
-        0xb8 if pfx.f3 => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            Ok(mk(Mnemonic::Popcnt, vec![dst, mr.rm], w))
-        }
-        0xba => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let m = match mr.reg & 7 {
-                4 => Mnemonic::Bt,
-                5 => Mnemonic::Bts,
-                6 => Mnemonic::Btr,
-                7 => Mnemonic::Btc,
-                e => return Err(DecodeError::UnknownExtension { opcode: 0xba, ext: e }),
-            };
-            let imm = cur.imm(Width::B1)?;
-            Ok(mk(m, vec![mr.rm, Operand::Imm(imm & 0xff)], w))
-        }
-        0xbc => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            let m = if pfx.f3 { Mnemonic::Tzcnt } else { Mnemonic::Bsf };
-            Ok(mk(m, vec![dst, mr.rm], w))
-        }
-        0xbd => {
-            let mr = parse_modrm(cur, pfx, w)?;
-            let dst = Operand::Reg(reg_ref(mr.reg, w, pfx.rex.present));
-            Ok(mk(Mnemonic::Bsr, vec![dst, mr.rm], w))
-        }
-        0xc0 | 0xc1 => {
-            let opw = if op2 == 0xc0 { Width::B1 } else { w };
-            let mr = parse_modrm(cur, pfx, opw)?;
-            Ok(mk(Mnemonic::Xadd, vec![mr.rm, Operand::Reg(reg_ref(mr.reg, opw, pfx.rex.present))], opw))
-        }
-        0xc8..=0xcf => {
-            // bswap r32/r64.
-            let r = (op2 - 0xc8) | if pfx.rex.b { 8 } else { 0 };
-            let bw = if pfx.rex.w { Width::B8 } else { Width::B4 };
-            Ok(mk(Mnemonic::Bswap, vec![Operand::Reg(reg_ref(r, bw, pfx.rex.present))], bw))
-        }
-        _ => Err(DecodeError::UnknownOpcode { opcode: vec![0x0f, op2] }),
     }
 }
 

@@ -45,6 +45,8 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 pub use cond::Cond;
 pub use decode::{decode, DecodeError};
+#[cfg(any(test, feature = "reference-decoder"))]
+pub use decode::decode_reference;
 pub use encode::{encode, EncodeError};
 pub use instr::{Instr, RepPrefix};
 pub use mnemonic::Mnemonic;

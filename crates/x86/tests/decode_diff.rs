@@ -1,0 +1,197 @@
+//! Differential fuzz: the table-driven decoder must agree with the
+//! legacy match-ladder decoder (`decode_reference`, compiled in via
+//! the `reference-decoder` feature) on **every** input — identical
+//! instructions on success and identical structured errors on
+//! failure. Together with `roundtrip.rs` this is the proof obligation
+//! for swapping the hot decode path: byte-for-byte equivalence, not
+//! "mostly the same".
+
+use hgl_x86::{decode, decode_reference, encode, Instr, Mnemonic, Operand, Reg, Width};
+use proptest::prelude::*;
+
+const ADDR: u64 = 0x40_1000;
+
+#[track_caller]
+fn assert_agree(bytes: &[u8], addr: u64) {
+    let table = decode(bytes, addr);
+    let ladder = decode_reference(bytes, addr);
+    assert_eq!(table, ladder, "decoders disagree on {bytes:02x?} at {addr:#x}");
+}
+
+/// Deterministic operand fodder: enough bytes after the opcode for the
+/// worst case (ModRM + SIB + disp32 + imm64), with varied bit patterns
+/// so different ModRM modes, SIB encodings, and extensions are hit.
+const TAILS: &[&[u8]] = &[
+    &[0x00; 12],
+    &[0xff; 12],
+    // mod=00 rm=100 (SIB: scaled index + disp32 base=101 path)
+    &[0x04, 0x8d, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22],
+    // mod=00 rm=101 (RIP-relative) then disp32
+    &[0x05, 0x40, 0x30, 0x20, 0x10, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07],
+    // mod=01 rm=011 disp8
+    &[0x5b, 0x7f, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a],
+    // mod=11 (register direct), reg=/2
+    &[0xd1, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06],
+    // mod=11, reg=/7 (exercises group extensions incl. invalid ones)
+    &[0xf8, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80, 0x90, 0xa0, 0xb0],
+    // mod=10 rm=100 (SIB + disp32), index=rsp-none case
+    &[0xa4, 0x24, 0x78, 0x56, 0x34, 0x12, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff],
+    // endbr64 suffix byte after 0f 1e
+    &[0xfa, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa],
+];
+
+/// Prefix combinations covering every width/REX/rep interaction the
+/// decoder distinguishes.
+const PREFIXES: &[&[u8]] = &[
+    &[],
+    &[0x66],
+    &[0x48],       // REX.W
+    &[0x41],       // REX.B
+    &[0x44],       // REX.R
+    &[0x42],       // REX.X
+    &[0x4f],       // REX.WRXB
+    &[0x40],       // bare REX (spl/bpl/sil/dil selection)
+    &[0xf3],
+    &[0xf2],
+    &[0xf3, 0x48],
+    &[0x66, 0x44],
+    &[0xf0, 0x48], // lock (ignored) + REX.W
+    &[0x65, 0x48], // gs segment hint + REX.W
+];
+
+/// Exhaustive sweep of the one-byte opcode map: every opcode × every
+/// prefix combo × every operand tail, on both decoders.
+#[test]
+fn exhaustive_primary_opcode_sweep() {
+    for prefix in PREFIXES {
+        for opcode in 0u16..=0xff {
+            for tail in TAILS {
+                let mut bytes = prefix.to_vec();
+                bytes.push(opcode as u8);
+                bytes.extend_from_slice(tail);
+                assert_agree(&bytes, ADDR);
+            }
+        }
+    }
+}
+
+/// Exhaustive sweep of the 0F-escape map.
+#[test]
+fn exhaustive_secondary_opcode_sweep() {
+    for prefix in PREFIXES {
+        for opcode in 0u16..=0xff {
+            for tail in TAILS {
+                let mut bytes = prefix.to_vec();
+                bytes.push(0x0f);
+                bytes.push(opcode as u8);
+                bytes.extend_from_slice(tail);
+                assert_agree(&bytes, ADDR);
+            }
+        }
+    }
+}
+
+/// Truncation agreement: every prefix of every sweep stem must produce
+/// the same result (usually `Truncated`) from both decoders.
+#[test]
+fn truncation_sweep() {
+    for opcode in 0u16..=0xff {
+        let stem =
+            [0x48, opcode as u8, 0x04, 0x8d, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0];
+        for n in 0..stem.len() {
+            assert_agree(&stem[..n], ADDR);
+        }
+        let stem0f = [0x0f, opcode as u8, 0x94, 0x24, 0x78, 0x56, 0x34, 0x12, 0xaa, 0xbb];
+        for n in 0..stem0f.len() {
+            assert_agree(&stem0f[..n], ADDR);
+        }
+    }
+}
+
+/// Encode→decode round-trip stems stay pinned: known instructions must
+/// keep both their byte encoding and their decode under the new path.
+#[test]
+fn roundtrip_stems_pinned() {
+    let cases: &[(Instr, &[u8])] = &[
+        (
+            Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp)],
+                Width::B8,
+            ),
+            &[0x48, 0x89, 0xe5],
+        ),
+        (
+            Instr::new(
+                Mnemonic::Sub,
+                vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x28)],
+                Width::B8,
+            ),
+            &[0x48, 0x83, 0xec, 0x28],
+        ),
+        (Instr::new(Mnemonic::Ret, vec![], Width::B8), &[0xc3]),
+        (
+            Instr::new(
+                Mnemonic::Movabs,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(0x0807060504030201)],
+                Width::B8,
+            ),
+            &[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8],
+        ),
+        (
+            Instr::new(
+                Mnemonic::Test,
+                vec![Operand::reg(Reg::Rax, Width::B4), Operand::reg(Reg::Rax, Width::B4)],
+                Width::B4,
+            ),
+            &[0x85, 0xc0],
+        ),
+    ];
+    for (instr, want) in cases {
+        let enc = encode(instr).expect("encodes");
+        assert_eq!(&enc, want, "encoding drifted for {instr}");
+        let dec = decode(&enc, ADDR).expect("decodes");
+        let mut expect = instr.clone();
+        expect.addr = ADDR;
+        expect.len = enc.len() as u8;
+        assert_eq!(dec, expect, "round-trip drifted for {instr}");
+        assert_agree(&enc, ADDR);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8192))]
+
+    /// Random byte soup: the decoders agree everywhere, Ok and Err alike.
+    #[test]
+    fn random_bytes_agree(
+        bytes in proptest::collection::vec(any::<u8>(), 0..20),
+        addr in any::<u64>(),
+    ) {
+        let table = decode(&bytes, addr);
+        let ladder = decode_reference(&bytes, addr);
+        prop_assert_eq!(table, ladder);
+    }
+
+    /// Prefix-heavy soup biases the generator into the corners the
+    /// uniform generator rarely reaches (width overrides, REX stacking,
+    /// rep on string ops, TooLong).
+    #[test]
+    fn prefix_heavy_bytes_agree(
+        prefixes in proptest::collection::vec(
+            prop_oneof![
+                Just(0x66u8), Just(0xf2), Just(0xf3), Just(0xf0),
+                Just(0x2e), Just(0x65), 0x40u8..0x50,
+            ],
+            0..18,
+        ),
+        tail in proptest::collection::vec(any::<u8>(), 0..8,),
+        addr in any::<u64>(),
+    ) {
+        let mut bytes = prefixes;
+        bytes.extend(tail);
+        let table = decode(&bytes, addr);
+        let ladder = decode_reference(&bytes, addr);
+        prop_assert_eq!(table, ladder);
+    }
+}

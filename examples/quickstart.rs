@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (vid, v) in &f.graph.vertices {
         println!("{vid}:");
         println!("    {}", v.state.pred);
-        println!("    memory model: {}", v.state.model);
+        println!("    memory model: {}", *v.state.model);
     }
 
     println!("\n=== Sanity properties ===");

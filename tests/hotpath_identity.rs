@@ -1,0 +1,182 @@
+//! Hot-path identity: the arena/table-driven rebuild must not change a
+//! single artifact byte. The study corpus is lifted cold in one `hgl`
+//! process (populating a persistent store), then replayed warm from a
+//! second process: the `hgl-lift-v1` documents must be byte-identical,
+//! the warm run must be all hits, and the store directory itself must
+//! be bit-for-bit untouched by the replay. A reduced trace-oracle
+//! campaign then re-asserts the conformance and coverage floors, so a
+//! decode-table or interning bug that survives the differential suites
+//! still cannot land silently.
+
+use hoare_lift::core::Budget;
+use hoare_lift::corpus::inject::elf_image;
+use hoare_lift::corpus::xen::gen_study_binary;
+use hoare_lift::oracle::{run_campaign, CampaignConfig};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+fn hgl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hgl"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hgl-hotpath-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The same seed family the engine benchmark lifts, so the identity
+/// check covers exactly the binaries whose throughput the hot-path
+/// rebuild is gated on (every third one a library image).
+fn write_corpus(dir: &Path) -> Vec<PathBuf> {
+    (0..8u64)
+        .map(|i| {
+            let bin = gen_study_binary(0x9e37_79b9_7f4a_7c15 ^ i, i % 3 == 2);
+            let path = dir.join(format!("study_{i}.elf"));
+            std::fs::write(&path, elf_image(&bin)).expect("write elf");
+            path
+        })
+        .collect()
+}
+
+/// Byte-level snapshot of every object in the store directory.
+fn snapshot_store(store: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![store.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read store dir") {
+            let entry = entry.expect("dir entry");
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(store)
+                    .expect("store-relative")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).expect("read object"));
+            }
+        }
+    }
+    out
+}
+
+fn run_lift(elf: &Path, store: &Path, extra: &[&str]) -> String {
+    let mut args = vec![
+        "lift",
+        elf.to_str().expect("utf8 path"),
+        "--all",
+        "--json",
+        "--store",
+        store.to_str().expect("utf8 path"),
+    ];
+    args.extend_from_slice(extra);
+    let out = hgl().args(&args).output().expect("hgl lift");
+    assert!(
+        out.status.success(),
+        "hgl lift {} failed:\n{}",
+        elf.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 json")
+}
+
+/// Cold process populates, warm process replays: every lift document
+/// and every store object byte must be identical across the two.
+#[test]
+fn corpus_artifacts_replay_byte_identical_across_processes() {
+    let dir = tmpdir("corpus");
+    let store = dir.join("store");
+    let elfs = write_corpus(&dir);
+
+    let cold: Vec<String> = elfs.iter().map(|e| run_lift(e, &store, &[])).collect();
+    for json in &cold {
+        assert!(json.contains("\"schema\": \"hgl-lift-v1\""), "{json}");
+    }
+    let cold_store = snapshot_store(&store);
+    assert!(!cold_store.is_empty(), "cold pass left no store objects");
+
+    for (elf, cold_json) in elfs.iter().zip(&cold) {
+        let warm = run_lift(elf, &store, &["--metrics"]);
+        assert!(
+            warm.starts_with(cold_json.as_str()),
+            "warm lift of {} is not byte-identical to the cold one",
+            elf.display()
+        );
+        let store_line = warm
+            .lines()
+            .find(|l| l.contains("\"store\": {"))
+            .expect("metrics carries a store block");
+        assert!(store_line.contains("\"misses\": 0"), "not warm: {store_line}");
+        assert!(store_line.contains("\"invalidations\": 0"), "demoted: {store_line}");
+    }
+
+    let warm_store = snapshot_store(&store);
+    assert_eq!(
+        cold_store.keys().collect::<Vec<_>>(),
+        warm_store.keys().collect::<Vec<_>>(),
+        "warm replay changed the store object set"
+    );
+    for (name, bytes) in &cold_store {
+        assert_eq!(
+            bytes,
+            &warm_store[name],
+            "store object {name} was rewritten by the warm replay"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Store-verified replay: every hit is re-derived through the
+/// differential checker and must survive undemoted — the persisted
+/// artifacts really are what the rebuilt hot path computes today.
+#[test]
+fn store_verify_confirms_replayed_artifacts() {
+    let dir = tmpdir("verify");
+    let store = dir.join("store");
+    let elfs = write_corpus(&dir);
+
+    let cold: Vec<String> = elfs.iter().map(|e| run_lift(e, &store, &[])).collect();
+    for (elf, cold_json) in elfs.iter().zip(&cold) {
+        let verified = run_lift(elf, &store, &["--metrics", "--store-verify"]);
+        assert!(
+            verified.starts_with(cold_json.as_str()),
+            "verified replay of {} drifted",
+            elf.display()
+        );
+        let store_line = verified
+            .lines()
+            .find(|l| l.contains("\"store\": {"))
+            .expect("metrics carries a store block");
+        assert!(
+            store_line.contains("\"invalidations\": 0"),
+            "differential checker demoted a replayed artifact: {store_line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Conformance floor re-check on the rebuilt hot path: a reduced
+/// trace-oracle campaign (distinct master seed from the tier-1 run)
+/// must stay violation-free with no skipped programs.
+#[test]
+fn oracle_conformance_floor_holds() {
+    let cfg = CampaignConfig {
+        master_seed: 0x407_7047,
+        programs: 20,
+        entries_per_program: 2,
+        budget: Budget::from_timeout(Duration::from_secs(240)),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    if let Some(f) = &report.failure {
+        panic!("conformance violation (master_seed={:#x}):\n{f}", cfg.master_seed);
+    }
+    assert!(!report.budget_exhausted, "campaign hit its wall-clock budget:\n{report}");
+    assert!(report.programs_run >= 18, "too many programs skipped:\n{report}");
+    assert_eq!(report.traces_run, report.programs_run * cfg.entries_per_program);
+}
