@@ -38,12 +38,21 @@ pub enum Rule {
     StackDepth,
     /// A Hoare-Graph vertex is unreachable from the function entry.
     DeadNode,
+    /// An indirect jump the lifter left unresolved that the value-set
+    /// analysis could not bound either: the function's control flow is
+    /// not statically covered.
+    VsaUnboundedIndirect,
 }
 
 impl Rule {
     /// Every rule, for coverage-floor accounting.
-    pub const ALL: [Rule; 4] =
-        [Rule::CalleeSavedClobber, Rule::RetSlotOverwrite, Rule::StackDepth, Rule::DeadNode];
+    pub const ALL: [Rule; 5] = [
+        Rule::CalleeSavedClobber,
+        Rule::RetSlotOverwrite,
+        Rule::StackDepth,
+        Rule::DeadNode,
+        Rule::VsaUnboundedIndirect,
+    ];
 
     /// The stable kebab-case rule name used in reports and JSON.
     pub fn name(&self) -> &'static str {
@@ -52,6 +61,7 @@ impl Rule {
             Rule::RetSlotOverwrite => "ret-slot-overwrite",
             Rule::StackDepth => "stack-depth",
             Rule::DeadNode => "dead-node",
+            Rule::VsaUnboundedIndirect => "vsa-unbounded-indirect",
         }
     }
 }

@@ -37,13 +37,17 @@ pub mod diag;
 pub mod engine;
 pub mod lints;
 pub mod passes;
+pub mod jumptable;
 pub mod report;
+pub mod vsa;
 pub mod writes;
 
 pub use diag::{Diag, Rule, Severity};
 pub use engine::{fixpoint, Direction, Lattice, Solution, Transfer};
 pub use passes::{CanReachExit, Depth, Reachability, StackDepth};
 pub use report::{analyze, AnalysisConfig, AnalysisReport, FnAnalysis, ANALYSES};
+pub use jumptable::{recover_jump_tables, JumpTableRecovery, UnboundedIndirect, VsaResolver};
+pub use vsa::{StridedInterval, VsaEnv, VsaPass, MAX_CARDINALITY};
 pub use writes::{
     classify_region, classify_writes, ClassifiedWrite, WriteClass, WriteClassMap, WriteTotals,
 };

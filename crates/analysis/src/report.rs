@@ -10,13 +10,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Names of the analyses [`analyze`] runs, in order.
-pub const ANALYSES: [&str; 6] = [
+pub const ANALYSES: [&str; 7] = [
     "write-classification",
     "callee-saved-clobber",
     "ret-slot-overwrite",
     "stack-depth",
     "dead-node",
     "exit-reachability",
+    "vsa-unbounded-indirect",
 ];
 
 /// Knobs for [`analyze`].
@@ -26,11 +27,18 @@ pub struct AnalysisConfig {
     pub max_iterations: usize,
     /// Stack-depth warning threshold in bytes.
     pub stack_depth_limit: u64,
+    /// Jump-table slots the value-set recovery enumerates per jump at
+    /// most.
+    pub max_table_entries: u64,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> AnalysisConfig {
-        AnalysisConfig { max_iterations: 100_000, stack_depth_limit: 1 << 20 }
+        AnalysisConfig {
+            max_iterations: 100_000,
+            stack_depth_limit: 1 << 20,
+            max_table_entries: 1024,
+        }
     }
 }
 
@@ -127,6 +135,18 @@ pub fn analyze(binary: &Binary, lift: &LiftResult, cfg: &AnalysisConfig) -> Anal
         report.diags.extend(depth.diags);
         let reach = lint_reachability(entry, g, cfg.max_iterations);
         report.diags.extend(reach.diags);
+        // Value-set recovery over still-unresolved indirect jumps:
+        // whatever it cannot bound is statically uncovered control
+        // flow, surfaced as `vsa-unbounded-indirect`.
+        let rec = crate::jumptable::recover_jump_tables(
+            binary,
+            entry,
+            g,
+            &f.annotations,
+            cfg.max_iterations,
+            cfg.max_table_entries,
+        );
+        report.diags.extend(rec.diags(entry));
         report.functions.insert(
             entry,
             FnAnalysis {

@@ -215,6 +215,44 @@ pub fn write_region(pred: &Pred, instr: &Instr) -> Option<Region> {
     None
 }
 
+/// Signed displacement bounds of a residue (a linear form minus its
+/// `rsp0` term) under the invariant's mined atom intervals.
+///
+/// Displacements are signed; the solver's intervals are unsigned, so
+/// the old path (`interval_of` + reinterpret both ends as `i64`) broke
+/// down at *both* wrap boundaries: a residue crossing zero (say
+/// `[-0x10, +0x10]`) overflows the unsigned evaluation at `2^64` and
+/// was dropped to `Unresolved`, and a mined bound straddling the `i64`
+/// boundary reinterprets to `lo > hi` and relied on an implicit
+/// comparison to stay sound. This evaluator works in signed space
+/// throughout. Every step is `checked_*`: an overflowing bound means
+/// the machine (mod-`2^64`) displacement set has no contiguous signed
+/// image, and *saturating* the bound instead would clip real wrapped
+/// displacements out of the claim — letting [`ClassifiedWrite::admits`]
+/// refute a write that actually happened. Overflow therefore saturates
+/// the whole claim to `None` (→ `Unresolved`), never a bound.
+fn signed_residue_bounds(ctx: &Ctx, residue: &Linear) -> Option<(i64, i64)> {
+    let (mut lo, mut hi) = (residue.offset, residue.offset);
+    for (atom, &coeff) in &residue.terms {
+        // Negative or zero coefficients never appear in mined address
+        // forms; bail conservatively rather than reorder bounds.
+        if coeff <= 0 {
+            return None;
+        }
+        let b = ctx.bound_of(atom)?;
+        // Reinterpret the unsigned atom bound; `b_lo <= b_hi` fails
+        // exactly when it straddles the i64 boundary (two disjoint
+        // signed rays — no contiguous image).
+        let (b_lo, b_hi) = (b.lo as i64, b.hi as i64);
+        if b_lo > b_hi {
+            return None;
+        }
+        lo = lo.checked_add(b_lo.checked_mul(coeff)?)?;
+        hi = hi.checked_add(b_hi.checked_mul(coeff)?)?;
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
 /// Classify one write region under one invariant.
 pub fn classify_region(ctx: &Ctx, region: &Region) -> WriteClass {
     let lin = region.linear();
@@ -238,13 +276,8 @@ pub fn classify_region(ctx: &Ctx, region: &Region) -> WriteClass {
                 residue.terms.insert(*a, c);
             }
         }
-        if let Some(iv) = ctx.interval_of(&residue.to_expr()) {
-            // Displacements are small signed values; an interval whose
-            // bounds reinterpret cleanly is usable.
-            let (lo, hi) = (iv.lo as i64, iv.hi as i64);
-            if lo <= hi {
-                return WriteClass::StackLocal { lo, hi };
-            }
+        if let Some((lo, hi)) = signed_residue_bounds(ctx, &residue) {
+            return WriteClass::StackLocal { lo, hi };
         }
         return WriteClass::Unresolved;
     }
@@ -379,6 +412,69 @@ mod tests {
         assert_eq!(classify_region(&ctx, &r), WriteClass::StackLocal { lo: 0, hi: 24 });
         // Unbounded index: unresolved.
         let ctx = Ctx::new();
+        assert_eq!(classify_region(&ctx, &r), WriteClass::Unresolved);
+    }
+
+    /// A residue crossing zero (negative frame offset plus an index
+    /// bound reaching past it) classifies to the signed interval. The
+    /// old unsigned evaluation overflowed at `2^64` on exactly this
+    /// shape and dropped it to `Unresolved`.
+    #[test]
+    fn classify_zero_crossing_residue() {
+        use hgl_expr::{Clause, Rel};
+        // rsp0 - 0x20 + rax0*8 with rax0 < 7: displacement in [-0x20, 0x10].
+        let c = Clause::new(Expr::sym(Sym::Init(Reg::Rax)), Rel::Lt, Expr::imm(7));
+        let ctx = Ctx::from_clauses([&c], Layout::default());
+        let r = Region::new(
+            rsp0().add(Expr::sym(Sym::Init(Reg::Rax)).mul(Expr::imm(8))).sub(Expr::imm(0x20)),
+            8,
+        );
+        assert_eq!(classify_region(&ctx, &r), WriteClass::StackLocal { lo: -0x20, hi: 0x10 });
+    }
+
+    /// Displacement overflow at the `i64` boundary: companion to the
+    /// `i64::MIN` edge case in `hgl_solver::region`. A displacement of
+    /// exactly `i64::MIN` round-trips; pushing a bound past either rail
+    /// must collapse the whole claim to `Unresolved` (a clipped bound
+    /// would exclude real wrapped displacements and falsely refute).
+    #[test]
+    fn classify_displacement_i64_boundary() {
+        use hgl_expr::{Clause, Rel};
+        let ctx = Ctx::new();
+        // `-i64::MIN` does not exist in i64; the exact point claim
+        // still classifies without wrapping.
+        assert_eq!(
+            classify_region(&ctx, &Region::stack(i64::MIN, 8)),
+            WriteClass::StackLocal { lo: i64::MIN, hi: i64::MIN }
+        );
+
+        // rsp0 + i64::MAX + rax0 with rax0 < 4: the upper bound walks
+        // off the positive rail — machine displacements wrap negative,
+        // so no contiguous signed claim exists.
+        let c = Clause::new(Expr::sym(Sym::Init(Reg::Rax)), Rel::Lt, Expr::imm(4));
+        let ctx = Ctx::from_clauses([&c], Layout::default());
+        let r = Region::new(
+            rsp0().add(Expr::sym(Sym::Init(Reg::Rax))).add(Expr::imm(i64::MAX as u64)),
+            8,
+        );
+        assert_eq!(classify_region(&ctx, &r), WriteClass::Unresolved);
+
+        // A mined atom bound that straddles the i64 boundary has two
+        // disjoint signed rays for an image: also unresolved.
+        let lo = Clause::new(
+            Expr::sym(Sym::Init(Reg::Rax)),
+            Rel::Ge,
+            Expr::imm(i64::MAX as u64 - 1),
+        );
+        let hi = Clause::new(
+            Expr::sym(Sym::Init(Reg::Rax)),
+            Rel::Lt,
+            Expr::imm(i64::MIN as u64 + 2),
+        );
+        let ctx = Ctx::from_clauses([&lo, &hi], Layout::default());
+        let b = ctx.bound_of(&Atom::Sym(Sym::Init(Reg::Rax))).expect("bound mined");
+        assert!((b.lo as i64) > (b.hi as i64), "bound straddles the boundary: {b:?}");
+        let r = Region::new(rsp0().add(Expr::sym(Sym::Init(Reg::Rax))), 8);
         assert_eq!(classify_region(&ctx, &r), WriteClass::Unresolved);
     }
 

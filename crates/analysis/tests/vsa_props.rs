@@ -1,0 +1,165 @@
+//! Property tests for the [`StridedInterval`] lattice: the join laws
+//! hold *exactly* (the widening cap is part of the join, not an
+//! approximation of it), the order is coherent with the join, every
+//! abstract operation over-approximates its concrete counterpart, and
+//! ascending chains terminate within the cardinality bound.
+
+use hgl_analysis::{Lattice, StridedInterval, MAX_CARDINALITY};
+use proptest::prelude::*;
+
+/// Arbitrary canonical strided intervals, biased toward interesting
+/// shapes: bounds of the lattice, singletons, dense ranges, strided
+/// ranges, and extreme magnitudes.
+fn si() -> impl Strategy<Value = StridedInterval> {
+    prop_oneof![
+        1 => Just(StridedInterval::Bottom),
+        1 => Just(StridedInterval::Top),
+        3 => any::<u64>().prop_map(StridedInterval::point),
+        2 => prop_oneof![Just(0u64), Just(1), Just(7), Just(u64::MAX - 9000), any::<u64>()]
+            .prop_flat_map(|lo| (Just(lo), 0u64..9000))
+            .prop_map(|(lo, span)| StridedInterval::range(lo, lo.saturating_add(span))),
+        3 => (any::<u64>(), 1u64..600, 1u64..1000).prop_map(|(lo, stride, n)| {
+            let lo = lo.min(u64::MAX - 600_000);
+            StridedInterval::strided(stride, lo, lo + stride * n)
+        }),
+    ]
+}
+
+/// A concrete value drawn from an interval, when one exists.
+fn witness(iv: &StridedInterval) -> Option<u64> {
+    match *iv {
+        StridedInterval::Bottom => None,
+        StridedInterval::Top => Some(0x1234_5678_9abc_def0),
+        StridedInterval::Range { lo, .. } => Some(lo),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn join_commutative(a in si(), b in si()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn join_associative(a in si(), b in si(), c in si()) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn join_idempotent(a in si()) {
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn bottom_is_identity_top_absorbs(a in si()) {
+        prop_assert_eq!(StridedInterval::Bottom.join(&a), a);
+        prop_assert_eq!(StridedInterval::Top.join(&a), StridedInterval::Top);
+    }
+
+    /// Ordering coherence: `leq` is the order induced by the join.
+    #[test]
+    fn order_coherent_with_join(a in si(), b in si()) {
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        prop_assert!(StridedInterval::Bottom.leq(&a));
+        prop_assert!(a.leq(&StridedInterval::Top));
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The join over-approximates set union element-wise.
+    #[test]
+    fn join_contains_both_sides(a in si(), b in si()) {
+        let j = a.join(&b);
+        for w in [witness(&a), witness(&b)].into_iter().flatten() {
+            prop_assert!(j.contains(w));
+        }
+        if let Some(vals) = a.enumerate(64) {
+            for v in vals {
+                prop_assert!(j.contains(v));
+            }
+        }
+    }
+
+    /// Abstract arithmetic over-approximates the concrete operation on
+    /// every pair of concrete witnesses.
+    #[test]
+    fn abstract_ops_sound(a in si(), b in si(), k in 0u64..65, m in 0u64..(1 << 20)) {
+        if let (Some(x), Some(y)) = (witness(&a), witness(&b)) {
+            if let Some(s) = x.checked_add(y) {
+                prop_assert!(a.add(&b).contains(s));
+            }
+            if let Some(p) = x.checked_mul(k) {
+                prop_assert!(a.mul_const(k).contains(p));
+            }
+            prop_assert!(a.and_mask(m).contains(x & m));
+            if k < 64 {
+                if let Some(sh) = x.checked_mul(1u64 << k) {
+                    prop_assert!(a.shl_const(k).contains(sh));
+                }
+            }
+        }
+    }
+
+    /// `clamp` is a meet: decreasing, and it never invents values
+    /// outside the requested bounds.
+    #[test]
+    fn clamp_is_decreasing(a in si(), lo in any::<u64>(), span in 0u64..10_000) {
+        let hi = lo.saturating_add(span);
+        let c = a.clamp(Some(lo), Some(hi));
+        prop_assert!(c.leq(&a) || matches!(a, StridedInterval::Top));
+        if let Some(vals) = c.enumerate(MAX_CARDINALITY) {
+            for v in vals {
+                prop_assert!(lo <= v && v <= hi);
+                prop_assert!(a.contains(v));
+            }
+        }
+        // Values of `a` inside the bounds survive the clamp.
+        if let Some(vals) = a.enumerate(64) {
+            for v in vals.into_iter().filter(|v| lo <= *v && *v <= hi) {
+                prop_assert!(c.contains(v));
+            }
+        }
+    }
+
+    /// Widening-chain termination: any ascending chain built by
+    /// joining random (optionally meet-refined) elements takes at most
+    /// `MAX_CARDINALITY + 2` strict steps. This is the termination
+    /// argument of the whole analysis, exercised mechanically.
+    #[test]
+    fn ascending_chains_terminate(
+        seeds in proptest::collection::vec((si(), any::<u64>(), 0u64..50_000, any::<bool>()), 1..40)
+    ) {
+        let mut acc = StridedInterval::Bottom;
+        let mut strict = 0u64;
+        // Replay the seed stream enough times that a chain which kept
+        // growing would blow the bound.
+        for _ in 0..200 {
+            for (iv, lo, span, do_meet) in &seeds {
+                let next = if *do_meet {
+                    iv.clamp(Some(*lo), Some(lo.saturating_add(*span)))
+                } else {
+                    *iv
+                };
+                let j = acc.join(&next);
+                prop_assert!(acc.leq(&j));
+                if j != acc {
+                    strict += 1;
+                    acc = j;
+                }
+            }
+            if acc == StridedInterval::Top {
+                break;
+            }
+        }
+        prop_assert!(
+            strict <= MAX_CARDINALITY + 2,
+            "chain took {} strict steps", strict
+        );
+    }
+}

@@ -552,6 +552,81 @@ impl<'b> Lifter<'b> {
             slots.insert(*addr, s);
         }
     }
+
+    /// Lift the function at `entry`, then run the analyze→re-lift
+    /// refinement fixpoint: ask `resolver` for target sets of any
+    /// indirect jumps the lift left unresolved, merge them into the
+    /// configuration's hint set, and re-lift — until a round proposes
+    /// nothing new or `max_rounds` lifts have run.
+    ///
+    /// Each round is an ordinary [`Lifter::lift_entry`]: it shares
+    /// this session's deadline, budget and solver cache, and because
+    /// the hint set is part of the configuration fingerprint every
+    /// round binds its own cache scope (no stale solver or store
+    /// entries can leak between rounds). The final hint set stays in
+    /// [`Lifter::config`], so a subsequent `lift_entry` reproduces the
+    /// refined result.
+    pub fn lift_entry_refined(
+        &mut self,
+        entry: u64,
+        resolver: &dyn crate::refine::IndirectResolver,
+        max_rounds: usize,
+    ) -> crate::refine::RefinedLift {
+        let mut hints = self.config.step.indirect_hints.clone();
+        let mut result = self.lift_entry(entry);
+        let mut rounds = 1usize;
+        let mut converged = false;
+        loop {
+            let proposed = resolver.resolve(self.binary, &result);
+            if !crate::refine::merge_hints(&mut hints, proposed) {
+                converged = true;
+                break;
+            }
+            if rounds >= max_rounds {
+                break;
+            }
+            self.config.step.indirect_hints = hints.clone();
+            result = self.lift_entry(entry);
+            rounds += 1;
+        }
+        crate::refine::RefinedLift { result, rounds, converged, hints }
+    }
+
+    /// [`Lifter::lift_all`] under the same refinement fixpoint as
+    /// [`Lifter::lift_entry_refined`]: resolve over *all* lifted
+    /// functions, merge, re-lift the binary. Returns the final report
+    /// plus the refinement outcome (whose `result` field is a clone of
+    /// the report's).
+    pub fn lift_all_refined(
+        &mut self,
+        resolver: &dyn crate::refine::IndirectResolver,
+        max_rounds: usize,
+    ) -> (BinaryLiftReport, crate::refine::RefinedLift) {
+        let mut hints = self.config.step.indirect_hints.clone();
+        let mut report = self.lift_all();
+        let mut rounds = 1usize;
+        let mut converged = false;
+        loop {
+            let proposed = resolver.resolve(self.binary, &report.result);
+            if !crate::refine::merge_hints(&mut hints, proposed) {
+                converged = true;
+                break;
+            }
+            if rounds >= max_rounds {
+                break;
+            }
+            self.config.step.indirect_hints = hints.clone();
+            report = self.lift_all();
+            rounds += 1;
+        }
+        let refined = crate::refine::RefinedLift {
+            result: report.result.clone(),
+            rounds,
+            converged,
+            hints,
+        };
+        (report, refined)
+    }
 }
 
 /// One function's engine-side state: its exploration plus a private

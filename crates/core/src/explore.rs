@@ -367,6 +367,9 @@ impl FnExploration {
                 // outcome — record the window so the artifact store can
                 // detect when the bytes change.
                 self.extent.insert((addr, window.len().min(u8::MAX as usize) as u8));
+                if let Some(m) = cx.metrics {
+                    m.count_decode_reject(e.reject_key());
+                }
                 self.rejected =
                     Some(VerificationError::Undecodable { addr, message: e.to_string() });
                 return;

@@ -59,6 +59,17 @@ impl Fingerprint {
         push_u64(&mut bytes, config.step.max_models_per_step as u64);
         push_u64(&mut bytes, config.step.max_jump_table);
         push_u64(&mut bytes, config.step.max_expr_nodes as u64);
+        // Resolved-indirection hints: count, then every (jump, target)
+        // pair in sorted order — a refinement round with different
+        // hints is a different artifact.
+        push_u64(&mut bytes, config.step.indirect_hints.len() as u64);
+        for (addr, targets) in &config.step.indirect_hints {
+            push_u64(&mut bytes, *addr);
+            push_u64(&mut bytes, targets.len() as u64);
+            for t in targets {
+                push_u64(&mut bytes, *t);
+            }
+        }
         // Exploration limits.
         push_u64(&mut bytes, config.limits.max_states as u64);
         push_u32(&mut bytes, config.limits.widen_after);
@@ -159,6 +170,14 @@ mod tests {
             (
                 "step.max_expr_nodes",
                 LiftConfig::default().step(StepConfig { max_expr_nodes: 3, ..StepConfig::default() }),
+            ),
+            (
+                "step.indirect_hints",
+                LiftConfig::default().indirect_hints(
+                    [(0x401000u64, [0x401010u64, 0x401020].into_iter().collect())]
+                        .into_iter()
+                        .collect(),
+                ),
             ),
             (
                 "limits.max_states",

@@ -67,6 +67,7 @@ pub mod lift;
 pub mod memmodel;
 pub mod metrics;
 pub mod pred;
+pub mod refine;
 pub mod store_api;
 pub mod tau;
 
@@ -79,4 +80,5 @@ pub use lift::{FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
 pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use pred::{FlagState, Pred, SymState};
+pub use refine::{IndirectResolver, RefinedLift};
 pub use store_api::{ArtifactStore, StoreStats};

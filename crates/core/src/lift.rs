@@ -98,6 +98,17 @@ impl LiftConfig {
         self.limits = limits;
         self
     }
+
+    /// Replaces the resolved-indirection hint set (jump address →
+    /// target set) consulted when the lifter's own jump-table
+    /// enumeration fails. See [`StepConfig::indirect_hints`].
+    pub fn indirect_hints(
+        mut self,
+        hints: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
+    ) -> LiftConfig {
+        self.step.indirect_hints = hints;
+        self
+    }
 }
 
 /// Why a unit (binary or function) was not lifted.

@@ -19,7 +19,9 @@
 
 use crate::store_api::StoreStats;
 use hgl_solver::CacheStats;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A pipeline phase with its own wall-time and count counters.
@@ -78,6 +80,10 @@ pub struct Metrics {
     functions_lifted: AtomicU64,
     functions_rejected: AtomicU64,
     rounds: AtomicU64,
+    // A mutex, not atomics: decode rejects are rare (one ends the
+    // exploration of its path), so contention is negligible and the
+    // open key space rules out a fixed atomic array.
+    decode_rejects: Mutex<BTreeMap<String, u64>>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -121,6 +127,13 @@ impl Metrics {
         self.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one decode rejection under its histogram bucket (a
+    /// [`hgl_x86::DecodeError::reject_key`] such as `opcode:0f05`).
+    pub fn count_decode_reject(&self, key: String) {
+        let mut map = self.decode_rejects.lock().expect("decode-reject histogram poisoned");
+        *map.entry(key).or_insert(0) += 1;
+    }
+
     /// Freeze the counters. `cache` folds the solver cache's counters
     /// in (its accumulated query time is added to the `solver` phase);
     /// `workers`/`elapsed` describe the run that produced the numbers.
@@ -149,6 +162,11 @@ impl Metrics {
             functions_lifted: self.functions_lifted.load(Ordering::Relaxed),
             functions_rejected: self.functions_rejected.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
+            decode_rejects: self
+                .decode_rejects
+                .lock()
+                .expect("decode-reject histogram poisoned")
+                .clone(),
             cache,
             store: None,
             workers: workers as u64,
@@ -185,6 +203,11 @@ pub struct MetricsSnapshot {
     pub functions_rejected: u64,
     /// Engine rounds run (0 for the legacy single-entry driver).
     pub rounds: u64,
+    /// Histogram of decode rejections, keyed by
+    /// [`hgl_x86::DecodeError::reject_key`] bucket. Empty when every
+    /// fetched window decoded — the common case, and the shape the
+    /// pre-telemetry metrics documents pin.
+    pub decode_rejects: BTreeMap<String, u64>,
     /// Solver-cache counters.
     pub cache: CacheStats,
     /// Persistent artifact-store counters; `None` when the session runs

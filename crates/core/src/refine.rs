@@ -1,0 +1,97 @@
+//! The analyze→re-lift refinement loop.
+//!
+//! A lift can leave indirect jumps unresolved ([`Annotation::
+//! UnresolvedJump`](crate::diag::Annotation)); a static analysis over
+//! the extracted graphs (e.g. the value-set analysis in
+//! `hgl-analysis`) may then bound their targets after the fact. An
+//! [`IndirectResolver`] packages that step, and
+//! [`Lifter::lift_entry_refined`](crate::engine::Lifter::lift_entry_refined)
+//! iterates lift → resolve → merge-hints → re-lift until no new
+//! targets appear (or the round bound trips).
+//!
+//! Soundness: a hint claims "this indirect jump only ever transfers to
+//! these addresses". The lifter re-checks every hinted target against
+//! the executable segments, the hint set is part of the configuration
+//! [`Fingerprint`](crate::fingerprint::Fingerprint) (so store and
+//! solver caches never mix hinted and unhinted artifacts), and the
+//! trace oracle cross-validates every claim dynamically: a concretely
+//! executed indirect target outside the claimed set is a reported
+//! violation, not a silent mislift.
+
+use crate::lift::LiftResult;
+use hgl_elf::Binary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A static analysis that proposes concrete target sets for indirect
+/// jumps the lifter left unresolved.
+pub trait IndirectResolver {
+    /// Map from unresolved indirect-jump address to the complete set
+    /// of targets the analysis proved for it. Jumps the analysis
+    /// cannot bound must be *absent* (an empty set is treated the same
+    /// way). Every returned claim must over-approximate the concrete
+    /// behaviour — an unsound claim will surface as an oracle
+    /// containment violation, not be silently absorbed.
+    fn resolve(&self, binary: &Binary, lift: &LiftResult) -> BTreeMap<u64, BTreeSet<u64>>;
+}
+
+/// The outcome of a refinement fixpoint.
+#[derive(Debug, Clone)]
+pub struct RefinedLift {
+    /// The final lift (under the final hint set).
+    pub result: LiftResult,
+    /// Lift rounds performed (1 = nothing to refine).
+    pub rounds: usize,
+    /// True when the loop reached a fixpoint (a resolve pass proposed
+    /// no new target) within the round bound.
+    pub converged: bool,
+    /// The accumulated hint set the final round was lifted under.
+    pub hints: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl RefinedLift {
+    /// Total targets across all hints.
+    pub fn hinted_targets(&self) -> usize {
+        self.hints.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Merge `proposed` into `hints`; true if anything new appeared.
+pub(crate) fn merge_hints(
+    hints: &mut BTreeMap<u64, BTreeSet<u64>>,
+    proposed: BTreeMap<u64, BTreeSet<u64>>,
+) -> bool {
+    let mut grew = false;
+    for (addr, targets) in proposed {
+        if targets.is_empty() {
+            continue;
+        }
+        let entry = hints.entry(addr).or_default();
+        for t in targets {
+            grew |= entry.insert(t);
+        }
+    }
+    grew
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_detects_growth() {
+        let mut hints = BTreeMap::new();
+        let one: BTreeMap<u64, BTreeSet<u64>> =
+            [(0x10u64, [0x20u64, 0x30].into_iter().collect())].into_iter().collect();
+        assert!(merge_hints(&mut hints, one.clone()));
+        assert!(!merge_hints(&mut hints, one));
+        let more: BTreeMap<u64, BTreeSet<u64>> =
+            [(0x10u64, [0x40u64].into_iter().collect())].into_iter().collect();
+        assert!(merge_hints(&mut hints, more));
+        assert_eq!(hints[&0x10].len(), 3);
+        // Empty proposals are not growth.
+        let empty: BTreeMap<u64, BTreeSet<u64>> =
+            [(0x50u64, BTreeSet::new())].into_iter().collect();
+        assert!(!merge_hints(&mut hints, empty));
+        assert!(!hints.contains_key(&0x50));
+    }
+}

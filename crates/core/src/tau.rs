@@ -25,11 +25,24 @@ pub struct StepConfig {
     pub max_jump_table: u64,
     /// Maximum expression size before degrading to ⊥.
     pub max_expr_nodes: usize,
+    /// Externally resolved indirect-branch targets, keyed by the
+    /// address of the (otherwise unresolvable) indirect jump. Fed back
+    /// by the analyze→re-lift refinement loop (`Lifter::
+    /// lift_entry_refined`); consulted only after the lifter's own
+    /// table enumeration fails, and every hinted target is still
+    /// required to land in executable code. Part of the configuration
+    /// fingerprint, so cached artifacts and solver scopes stay sound.
+    pub indirect_hints: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
 }
 
 impl Default for StepConfig {
     fn default() -> StepConfig {
-        StepConfig { max_models_per_step: 16, max_jump_table: 1024, max_expr_nodes: 256 }
+        StepConfig {
+            max_models_per_step: 16,
+            max_jump_table: 1024,
+            max_expr_nodes: 256,
+            indirect_hints: std::collections::BTreeMap::new(),
+        }
     }
 }
 
@@ -277,8 +290,14 @@ fn insert_regions(
     let next = instr.next_addr();
     let mut regions: Vec<(Region, bool)> = Vec::new(); // (region, is_write)
     // `lea` computes an address without touching memory; its Mem
-    // operand is not an access.
-    let address_only = instr.mnemonic == Mnemonic::Lea;
+    // operand is not an access. An indirect `jmp [mem]` does read, but
+    // the read is terminal: its value only feeds branch resolution,
+    // which re-derives the table from the operand (or falls back to an
+    // annotation). Forking an aliasing model for it would manufacture
+    // an assumed-alias branch against the return-address slot whose
+    // read yields the return symbol — a spurious tail transfer that
+    // rejects the function on an assumption the lifter itself invented.
+    let address_only = matches!(instr.mnemonic, Mnemonic::Lea | Mnemonic::Jmp);
     for (i, op) in instr.operands.iter().enumerate() {
         if address_only {
             continue;
@@ -970,6 +989,19 @@ fn resolve_branch(
         }
         ctx.diags.resolved_indirections += 1;
         return Ok(());
+    }
+    // Externally resolved target set (analyze→re-lift refinement).
+    if let Some(hinted) = ctx.config.indirect_hints.get(&instr.addr) {
+        if !hinted.is_empty() {
+            for &t in hinted {
+                if !ctx.binary.is_code(t) {
+                    return Err(VerificationError::JumpOutsideText { addr: instr.addr, target: t });
+                }
+                out.push(Successor::At(t, s.clone()));
+            }
+            ctx.diags.resolved_indirections += 1;
+            return Ok(());
+        }
     }
     ctx.diags.annotate(Annotation::UnresolvedJump { addr: instr.addr, target });
     Ok(())

@@ -548,3 +548,36 @@ fn aliased_symbols_yield_one_root() {
     assert_eq!(report.result.functions.len(), 1);
     assert!(report.result.functions[&0x401000].reject.is_none());
 }
+
+/// Decode-failure telemetry end to end: lifting a function whose body
+/// hits unimplemented bytes rejects it as `Undecodable` *and* files the
+/// rejection under its `reject_key` bucket in the session metrics, so
+/// the `hgl-metrics-v1` histogram names exactly what the decoder is
+/// missing.
+#[test]
+fn decode_rejects_land_in_the_metrics_histogram() {
+    use hgl_elf::{Binary, Builder, SegmentFlags};
+    // `0f ff` is an unimplemented 0f-escape; the trailing `c3` is never
+    // reached.
+    let elf = Builder::new()
+        .entry(0x401000)
+        .section(".text", 0x401000, vec![0x0f, 0xff, 0xc3], SegmentFlags::RX)
+        .build();
+    let bin = Binary::parse(&elf).expect("parses");
+
+    let lifter = Lifter::new(&bin);
+    let result = lifter.lift_entry(bin.entry);
+    assert!(
+        matches!(result.reject_reason(), Some(RejectReason::DecodeError { .. })),
+        "reject: {:?}",
+        result.reject_reason()
+    );
+
+    let snap = lifter.metrics_snapshot();
+    assert_eq!(snap.decode_rejects.get("opcode:0fff"), Some(&1), "{:?}", snap.decode_rejects);
+
+    // A second lift of the same entry files a second sample — the
+    // histogram accumulates across the session like every other gauge.
+    let _ = lifter.lift_entry(bin.entry);
+    assert_eq!(lifter.metrics_snapshot().decode_rejects.get("opcode:0fff"), Some(&2));
+}

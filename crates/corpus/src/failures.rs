@@ -104,6 +104,23 @@ pub fn ret_slot_overwrite() -> Binary {
     asm.entry("smash").assemble().expect("smash assembles")
 }
 
+/// An indirect jump through a *writable* function-pointer cell: the
+/// lifter annotates it (column B), and the value-set recovery cannot
+/// bound it either — the target is a register whose value came from
+/// mutable memory, so `vsa-unbounded-indirect` fires.
+pub fn vsa_unbounded_indirect() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("wild");
+    asm.data("jptr", vec![0u8; 8]);
+    asm.movabs_label(Reg::Rax, "jptr");
+    asm.mov(
+        Operand::reg64(Reg::Rax),
+        Operand::Mem(MemOperand::base_disp(Reg::Rax, 0, Width::B8)),
+    );
+    asm.ins(ins(Mnemonic::Jmp, vec![Operand::reg64(Reg::Rax)], Width::B8));
+    asm.entry("wild").assemble().expect("wild assembles")
+}
+
 /// The §5.1 induced buffer overflow: no Hoare Graph may be produced.
 pub fn induced_overflow() -> Binary {
     let mut asm = Asm::new();

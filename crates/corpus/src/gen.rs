@@ -56,6 +56,11 @@ pub struct GenOptions {
     pub externals: Vec<String>,
     /// Probability of a bounded jump table per segment.
     pub p_jump_table: f64,
+    /// Probability of a *masked* jump table per segment: the index is
+    /// bounded by `and eax, n-1` instead of a `cmp`/`ja` guard, so the
+    /// lifter's inline bound mining cannot resolve it (column B) and
+    /// only the analyze→re-lift value-set refinement can.
+    pub p_masked_table: f64,
     /// Probability of an indirect callback call per segment (column C).
     pub p_callback: f64,
     /// Probability of an unresolved indirect jump per function
@@ -72,6 +77,7 @@ impl Default for GenOptions {
             callees: Vec::new(),
             externals: vec!["puts".into(), "malloc".into(), "free".into(), "memcpy".into()],
             p_jump_table: 0.08,
+            p_masked_table: 0.0,
             p_callback: 0.05,
             p_wild_jump: 0.02,
             p_param_write: 0.1,
@@ -86,6 +92,9 @@ pub struct FunctionSpec {
     pub name: String,
     /// Jump tables emitted (each is a resolvable indirection).
     pub jump_tables: usize,
+    /// Masked jump tables emitted (unresolvable inline; resolvable by
+    /// value-set refinement).
+    pub masked_tables: usize,
     /// Callback call sites emitted (unresolvable indirect calls).
     pub callbacks: usize,
     /// Wild indirect jumps emitted (unresolvable indirect jumps).
@@ -194,15 +203,20 @@ impl ProgramGen {
             self.gen_jump_table(rng, spec);
             return;
         }
-        if roll < opts.p_jump_table + opts.p_callback {
+        if roll < opts.p_jump_table + opts.p_masked_table {
+            self.gen_masked_jump_table(rng, spec);
+            return;
+        }
+        if roll < opts.p_jump_table + opts.p_masked_table + opts.p_callback {
             self.gen_callback(rng, spec);
             return;
         }
-        if roll < opts.p_jump_table + opts.p_callback + opts.p_param_write {
+        let base = opts.p_jump_table + opts.p_masked_table + opts.p_callback;
+        if roll < base + opts.p_param_write {
             self.gen_param_write(rng);
             return;
         }
-        if roll < opts.p_jump_table + opts.p_callback + opts.p_param_write + opts.p_wild_jump {
+        if roll < base + opts.p_param_write + opts.p_wild_jump {
             // A reachable-but-unlikely error path ending in an
             // unresolvable indirect jump (column B).
             let skip = self.fresh_label("skip");
@@ -388,6 +402,37 @@ impl ProgramGen {
         let case_refs: Vec<&str> = cases.iter().map(String::as_str).collect();
         asm.jump_table(&table, &case_refs);
         spec.jump_tables += 1;
+    }
+
+    fn gen_masked_jump_table(&mut self, rng: &mut SmallRng, spec: &mut FunctionSpec) {
+        // Power-of-two fan-out bounded by masking instead of a cmp/ja
+        // guard: every masked value is a valid index, so there is no
+        // default case and no comparison for the lifter to mine a bound
+        // from. The jump stays unresolved (column B) until the
+        // value-set refinement bounds `rax` to [0, n-1].
+        let n = [2usize, 4, 8][rng.gen_range(0..3usize)];
+        let table = self.fresh_label("mtable");
+        let join = self.fresh_label("mtjoin");
+        let cases: Vec<String> = (0..n).map(|_| self.fresh_label("mcase")).collect();
+        let asm = &mut self.asm;
+        // mov eax, edi ; and eax, n-1 ; jmp [table + rax*8]
+        asm.ins(ins(Mnemonic::Mov, vec![reg32(Reg::Rax), reg32(Reg::Rdi)], Width::B4));
+        asm.ins(ins(Mnemonic::And, vec![reg32(Reg::Rax), Operand::Imm(n as i64 - 1)], Width::B4));
+        let jmp = ins(
+            Mnemonic::Jmp,
+            vec![Operand::Mem(MemOperand::sib(None, Reg::Rax, 8, 0, Width::B8))],
+            Width::B8,
+        );
+        asm.ins_mem_label(jmp, 0, &table);
+        for (i, c) in cases.iter().enumerate() {
+            asm.label(c);
+            asm.ins(ins(Mnemonic::Mov, vec![reg32(Reg::Rax), Operand::Imm(20 + i as i64)], Width::B4));
+            asm.jmp(&join);
+        }
+        asm.label(&join);
+        let case_refs: Vec<&str> = cases.iter().map(String::as_str).collect();
+        asm.jump_table(&table, &case_refs);
+        spec.masked_tables += 1;
     }
 
     fn gen_callback(&mut self, rng: &mut SmallRng, spec: &mut FunctionSpec) {
@@ -590,5 +635,33 @@ mod tests {
         let (a, b, _) = result.indirection_counts();
         assert_eq!(a, spec.jump_tables, "all tables resolved");
         assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn masked_tables_stay_unresolved_inline() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut pg = ProgramGen::new();
+        // One segment: exploration stops at the first unresolved jump,
+        // so a second table would never be reached (or counted).
+        let opts = GenOptions {
+            segments: 1,
+            p_jump_table: 0.0,
+            p_masked_table: 1.0,
+            p_callback: 0.0,
+            p_param_write: 0.0,
+            p_wild_jump: 0.0,
+            ..GenOptions::default()
+        };
+        let spec = pg.gen_function("mt", &mut rng, &opts);
+        assert!(spec.masked_tables > 0);
+        pg.asm.entry("mt");
+        let bin = pg.asm.assemble().expect("assembles");
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
+        assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
+        let (a, b, _) = result.indirection_counts();
+        assert_eq!(a, 0, "no cmp guard for the lifter to mine a bound from");
+        // One annotation per alias case-split of the table read, so
+        // the count is >= the table count, not equal.
+        assert!(b >= spec.masked_tables, "masked tables are column B inline");
     }
 }

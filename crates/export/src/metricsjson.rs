@@ -36,6 +36,16 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
          \"functions_rejected\": {} }},",
         m.states, m.instructions, m.functions_lifted, m.functions_rejected,
     );
+    // Decode-failure telemetry: present only when a fetch actually
+    // failed to decode, so reject-free documents keep the shape (and
+    // bytes) the pre-telemetry goldens pin.
+    if !m.decode_rejects.is_empty() {
+        o.push_str("  \"decode_rejects\": {");
+        for (i, (key, count)) in m.decode_rejects.iter().enumerate() {
+            let _ = write!(o, "{}\"{}\": {}", if i == 0 { " " } else { ", " }, key, count);
+        }
+        o.push_str(" },\n");
+    }
     let c = &m.cache;
     let _ = write!(
         o,
@@ -93,6 +103,30 @@ mod tests {
         assert!(j.contains("{ \"phase\": \"tau\", \"nanos\": 40, \"count\": 1 }"), "{j}");
         assert!(j.contains("\"hit_rate\": 0.0000"), "{j}");
         assert!(!j.contains("\"store\""), "store-less document has no store block: {j}");
+        assert!(
+            !j.contains("\"decode_rejects\""),
+            "reject-free document has no decode_rejects block: {j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    /// Golden-pinned shape of the decode-failure telemetry: buckets
+    /// sorted by key, inline object, pinned byte-for-byte.
+    #[test]
+    fn decode_reject_histogram_shape() {
+        let m = Metrics::new();
+        m.count_decode_reject("opcode:0f05".to_string());
+        m.count_decode_reject("opcode:0f05".to_string());
+        m.count_decode_reject("prefix:67".to_string());
+        m.count_decode_reject("ext:ff/7".to_string());
+        let snap = m.snapshot(None, 1, Duration::from_nanos(10));
+        let j = export_metrics_json(&snap);
+        assert!(
+            j.contains(
+                "  \"decode_rejects\": { \"ext:ff/7\": 1, \"opcode:0f05\": 2, \"prefix:67\": 1 },\n"
+            ),
+            "{j}"
+        );
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

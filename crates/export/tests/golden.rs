@@ -158,6 +158,37 @@ fn lint_json_matches_golden() {
     let report = analyze(&bin, &lifted, &AnalysisConfig::default());
     assert!(!report.diags.is_empty(), "lint binary must produce diagnostics");
     assert_golden("lint.json", &export_lint_json(&report));
+
+    // Unbounded indirect jump: the value-set recovery cannot bound a
+    // target loaded from writable memory, so the
+    // `vsa-unbounded-indirect` warning lands in the diags array.
+    let bin = vsa_lint_binary();
+    let lifted = Lifter::new(&bin).lift_entry(bin.entry);
+    let report = analyze(&bin, &lifted, &AnalysisConfig::default());
+    assert!(
+        report.diags.iter().any(|d| d.rule.name() == "vsa-unbounded-indirect"),
+        "vsa fixture must fire the lint: {report}"
+    );
+    assert_golden("vsa_lint.json", &export_lint_json(&report));
+}
+
+/// The vsa-lint snapshot subject: an indirect jump through a function
+/// pointer in a *writable* cell — unresolvable by any refinement.
+fn vsa_lint_binary() -> hgl_elf::Binary {
+    let mut asm = Asm::new();
+    asm.label("wild");
+    asm.data("jptr", vec![0u8; 8]);
+    asm.movabs_label(Reg::Rax, "jptr");
+    asm.ins(Instr::new(
+        Mnemonic::Mov,
+        vec![
+            Operand::reg64(Reg::Rax),
+            Operand::Mem(MemOperand::base_disp(Reg::Rax, 0, Width::B8)),
+        ],
+        Width::B8,
+    ));
+    asm.ins(Instr::new(Mnemonic::Jmp, vec![Operand::reg64(Reg::Rax)], Width::B8));
+    asm.entry("wild").assemble().expect("vsa lint binary assembles")
 }
 
 #[test]

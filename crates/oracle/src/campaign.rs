@@ -37,6 +37,11 @@ pub struct CampaignConfig {
     /// Cross-validate static write classifications against concrete
     /// writes on every trace.
     pub check_write_classes: bool,
+    /// Run the analyze→re-lift indirect-jump refinement before
+    /// tracing, and cross-validate every refinement claim: a concrete
+    /// indirect jump at a claimed address must land inside the claimed
+    /// target set.
+    pub refine_indirect: bool,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +54,7 @@ impl Default for CampaignConfig {
             budget: Budget::unlimited(),
             inject_drop_jcc_fallthrough: false,
             check_write_classes: true,
+            refine_indirect: false,
         }
     }
 }
@@ -79,6 +85,7 @@ fn profile(index: usize) -> GenOptions {
         callees: Vec::new(),
         externals: vec!["puts".into(), "malloc".into(), "free".into(), "memcpy".into()],
         p_jump_table: 0.1,
+        p_masked_table: 0.0,
         p_callback: 0.0,
         p_wild_jump: 0.0,
         p_param_write: 0.1,
@@ -86,8 +93,9 @@ fn profile(index: usize) -> GenOptions {
     match index % 4 {
         // Plain straight-line/branchy code.
         0 => base,
-        // Jump-table heavy.
-        1 => GenOptions { p_jump_table: 0.5, ..base },
+        // Jump-table heavy, with masked (cmp-less) tables the inline
+        // lift cannot resolve — the refinement campaign's raw material.
+        1 => GenOptions { p_jump_table: 0.35, p_masked_table: 0.15, ..base },
         // Callback (annotated indirect call) heavy.
         2 => GenOptions { p_callback: 0.4, p_jump_table: 0.05, ..base },
         // Mixed, slightly larger.
@@ -197,6 +205,11 @@ pub struct CampaignReport {
     pub steps_total: usize,
     /// Concrete writes checked against static write-class claims.
     pub writes_checked: usize,
+    /// Concrete indirect jumps checked against refinement claims.
+    pub indirect_checked: usize,
+    /// Indirect jumps the refinement resolved across all lifted
+    /// programs (the Table-1 column A contribution of refinement).
+    pub indirections_resolved: usize,
     /// What the campaign exercised.
     pub coverage: Coverage,
     /// The first failure, shrunk — `None` means full conformance.
@@ -211,12 +224,15 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign: {} programs ({} skipped), {} traces, {} steps, {} writes checked{}",
+            "campaign: {} programs ({} skipped), {} traces, {} steps, {} writes checked, \
+             {} indirect jumps checked ({} resolved statically){}",
             self.programs_run,
             self.programs_skipped,
             self.traces_run,
             self.steps_total,
             self.writes_checked,
+            self.indirect_checked,
+            self.indirections_resolved,
             if self.budget_exhausted { " [budget exhausted]" } else { "" }
         )?;
         writeln!(f, "{}", self.coverage)?;
@@ -244,6 +260,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         traces_run: 0,
         steps_total: 0,
         writes_checked: 0,
+        indirect_checked: 0,
+        indirections_resolved: 0,
         coverage: Coverage::default(),
         failure: None,
         floor_missing: Vec::new(),
@@ -265,7 +283,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 continue;
             }
         };
-        let lifted = Lifter::new(&bin).with_config(lift_cfg.clone()).lift_entry(bin.entry);
+        let mut lifter = Lifter::new(&bin).with_config(lift_cfg.clone());
+        let (lifted, claims) = if cfg.refine_indirect {
+            let refined =
+                lifter.lift_entry_refined(bin.entry, &hgl_analysis::VsaResolver::default(), 8);
+            (refined.result, refined.hints)
+        } else {
+            (lifter.lift_entry(bin.entry), Default::default())
+        };
         if let Some(r) = &lifted.binary_reject {
             coverage.record_reject(reject_head(r));
             report.programs_skipped += 1;
@@ -287,10 +312,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             continue;
         }
         report.programs_run += 1;
+        report.indirections_resolved += lifted.indirection_counts().0;
 
         let mut oracle = TraceOracle::new(&bin, &lifted);
         if cfg.check_write_classes {
             oracle = oracle.with_write_classes();
+        }
+        if cfg.refine_indirect {
+            oracle = oracle.with_indirect_claims(claims);
         }
         oracle.max_steps = cfg.max_steps;
         for k in 0..cfg.entries_per_program {
@@ -303,6 +332,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             report.traces_run += 1;
             report.steps_total += outcome.steps;
             report.writes_checked += outcome.writes_checked;
+            report.indirect_checked += outcome.indirect_checked;
             if let Some(v) = outcome.violation {
                 let shrunk = shrink(
                     &prog.asm,

@@ -87,6 +87,9 @@ pub enum ViolationKind {
     /// A concrete memory write landed outside every class the static
     /// write-classification analysis claimed for its instruction.
     WriteClassification,
+    /// An indirect jump the refinement claimed to have resolved landed
+    /// outside its claimed target set.
+    IndirectContainment,
 }
 
 impl fmt::Display for ViolationKind {
@@ -98,6 +101,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::BoundedControlFlow => "bounded-control-flow",
             ViolationKind::CallingConvention => "calling-convention",
             ViolationKind::WriteClassification => "write-classification",
+            ViolationKind::IndirectContainment => "indirect-containment",
         };
         f.write_str(s)
     }
@@ -148,6 +152,9 @@ pub struct TraceOutcome {
     /// Concrete memory writes checked against static write-class
     /// claims (0 when the oracle has no claim index).
     pub writes_checked: usize,
+    /// Concrete indirect jumps checked against refinement claims (0
+    /// when the oracle has no claim set).
+    pub indirect_checked: usize,
 }
 
 /// One per-function checker frame: the callee's symbol environment and
@@ -193,12 +200,17 @@ pub struct TraceOracle<'a> {
     /// writes (built with [`WriteClassMap::build`]). `None` disables
     /// the check.
     pub write_classes: Option<WriteClassMap>,
+    /// Resolved-indirection claims from the analyze→re-lift
+    /// refinement, keyed by jump address: every concrete indirect jump
+    /// at a claimed address must land inside its claimed target set.
+    /// `None` disables the check.
+    pub indirect_claims: Option<std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>>,
 }
 
 impl<'a> TraceOracle<'a> {
     /// A new oracle over a lifted binary.
     pub fn new(binary: &'a Binary, lift: &'a LiftResult) -> TraceOracle<'a> {
-        TraceOracle { binary, lift, max_steps: 20_000, write_classes: None }
+        TraceOracle { binary, lift, max_steps: 20_000, write_classes: None, indirect_claims: None }
     }
 
     /// Enable write-classification cross-validation: every concrete
@@ -206,6 +218,17 @@ impl<'a> TraceOracle<'a> {
     /// is asserted to land inside one of the claimed classes.
     pub fn with_write_classes(mut self) -> TraceOracle<'a> {
         self.write_classes = Some(WriteClassMap::build(self.binary, self.lift));
+        self
+    }
+
+    /// Enable indirect-containment cross-validation: every concrete
+    /// indirect jump at a claimed address must land inside its claimed
+    /// target set (the refutation channel for refinement claims).
+    pub fn with_indirect_claims(
+        mut self,
+        claims: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
+    ) -> TraceOracle<'a> {
+        self.indirect_claims = Some(claims);
         self
     }
 
@@ -389,12 +412,13 @@ impl<'a> TraceOracle<'a> {
         let mut frames: Vec<Frame> = Vec::new();
         let mut steps = 0usize;
         let mut writes_checked = 0usize;
+        let mut indirect_checked = 0usize;
 
         macro_rules! outcome {
             ($stop:expr) => {{
                 let stop = $stop;
                 coverage.record_stop(stop.key());
-                return TraceOutcome { steps, stop, violation: None, writes_checked };
+                return TraceOutcome { steps, stop, violation: None, writes_checked, indirect_checked };
             }};
         }
         macro_rules! violation {
@@ -405,6 +429,7 @@ impl<'a> TraceOracle<'a> {
                     stop: TraceStop::Returned,
                     violation: Some($v),
                     writes_checked,
+                    indirect_checked,
                 };
             }};
         }
@@ -663,6 +688,28 @@ impl<'a> TraceOracle<'a> {
                         _ => EdgeKind::FallThrough,
                     };
                     coverage.record_edge(kind);
+                    // Cross-validate a refinement claim: the concrete
+                    // target of a claimed-resolved indirect jump must
+                    // be in the claimed set.
+                    if let Some(targets) =
+                        self.indirect_claims.as_ref().and_then(|c| c.get(&prev_rip))
+                    {
+                        indirect_checked += 1;
+                        if !targets.contains(&m.rip) {
+                            violation!(Violation {
+                                kind: ViolationKind::IndirectContainment,
+                                step: steps,
+                                rip: prev_rip,
+                                function: frame_entry,
+                                detail: format!(
+                                    "indirect jump landed at {:#x}, outside the {} claimed target(s)",
+                                    m.rip,
+                                    targets.len()
+                                ),
+                                tail: tail.iter().cloned().collect(),
+                            });
+                        }
+                    }
                     let frame = frames.last_mut().expect("frame");
                     let prev = frame.candidates.clone();
                     if let Err(v) = self.advance(frame, &prev, prev_rip, &m, steps, &tail) {

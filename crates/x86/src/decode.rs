@@ -33,6 +33,33 @@ pub enum DecodeError {
     UnsupportedPrefix(u8),
 }
 
+impl DecodeError {
+    /// A stable, low-cardinality histogram key for this rejection —
+    /// the bucket label of the decode-failure telemetry in the
+    /// `hgl-metrics-v1` report. Opcode/extension/prefix bytes are part
+    /// of the key (that's the whole point: *which* instructions the
+    /// subset is missing), but operand detail is not, so the key space
+    /// stays bounded by the 256-entry opcode maps.
+    pub fn reject_key(&self) -> String {
+        use fmt::Write as _;
+        match self {
+            DecodeError::Truncated => "truncated".to_string(),
+            DecodeError::TooLong => "too-long".to_string(),
+            DecodeError::UnknownOpcode { opcode } => {
+                let mut k = String::from("opcode:");
+                for b in opcode {
+                    let _ = write!(k, "{b:02x}");
+                }
+                k
+            }
+            DecodeError::UnknownExtension { opcode, ext } => {
+                format!("ext:{opcode:02x}/{ext}")
+            }
+            DecodeError::UnsupportedPrefix(p) => format!("prefix:{p:02x}"),
+        }
+    }
+}
+
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -1572,5 +1599,24 @@ mod tests {
             Operand::Mem(m) => assert_eq!(m.base, Some(Reg::R13)),
             other => panic!("expected mem, got {other:?}"),
         }
+    }
+
+    /// Reject keys are stable histogram buckets: identity bytes in,
+    /// operand detail out.
+    #[test]
+    fn reject_keys_bucket_by_identity() {
+        assert_eq!(DecodeError::Truncated.reject_key(), "truncated");
+        assert_eq!(DecodeError::TooLong.reject_key(), "too-long");
+        assert_eq!(DecodeError::UnknownOpcode { opcode: vec![0x0f, 0x05] }.reject_key(), "opcode:0f05");
+        assert_eq!(DecodeError::UnknownExtension { opcode: 0xff, ext: 7 }.reject_key(), "ext:ff/7");
+        assert_eq!(DecodeError::UnsupportedPrefix(0x67).reject_key(), "prefix:67");
+
+        // The keys the decoder actually produces for real byte
+        // sequences: an unimplemented 0f-escape and the reserved /7
+        // of group 5.
+        assert_eq!(decode(&[0x0f, 0xff], 0).unwrap_err().reject_key(), "opcode:0fff");
+        assert_eq!(decode(&[0x67, 0x8b, 0x00], 0).unwrap_err().reject_key(), "prefix:67");
+        assert_eq!(decode(&[0xff, 0xf8], 0).unwrap_err().reject_key(), "ext:ff/7");
+        assert_eq!(decode(&[0x48], 0).unwrap_err().reject_key(), "truncated");
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! hgl lift <binary.elf> [--function ADDR | --all] [--workers N]
 //!                       [--timeout SECS] [--json] [--metrics]
+//!                       [--refine-indirect]
 //!                       [--store DIR] [--store-verify]
 //! hgl lint <binary.elf> [--function ADDR] [--json]
 //! hgl export <binary.elf> [--out theory.thy]
@@ -17,6 +18,9 @@
 //! obligations and assumptions; `--all` lifts every discovered
 //! function on the parallel engine instead of one entry's closure;
 //! `--metrics` appends the `hgl-metrics-v1` phase/cache report;
+//! `--refine-indirect` runs the analyze→re-lift refinement fixpoint
+//! (strided-interval VSA recovers jump-table targets, which feed back
+//! into the lift as hints until no new targets appear);
 //! `--store DIR` makes `--all` incremental against a persistent
 //! content-addressed artifact store rooted at DIR, and
 //! `--store-verify` replays every store hit through the executable
@@ -55,6 +59,8 @@ fn usage() -> ExitCode {
     eprintln!("  --workers N       worker threads for --all (default: one per core)");
     eprintln!("  --timeout SECS    lifting wall-clock budget (default 60)");
     eprintln!("  --metrics         append the hgl-metrics-v1 JSON report (phases, solver cache)");
+    eprintln!("  --refine-indirect analyze->re-lift fixpoint: VSA-recovered jump-table targets");
+    eprintln!("                    feed back into the lift until no new targets appear");
     eprintln!("  --store DIR       persistent artifact store for incremental --all re-lifts");
     eprintln!("  --store-verify    replay every store hit through the differential checker");
     eprintln!("  --out FILE        output path for `export`");
@@ -89,11 +95,21 @@ fn parsed_flag<T>(args: &[String], name: &str, parse: impl Fn(&str) -> Option<T>
 }
 
 /// One CLI lift invocation: the result plus the frozen session
-/// metrics, and (in `--all` mode) the discovered roots.
+/// metrics, (in `--all` mode) the discovered roots, and (under
+/// `--refine-indirect`) the refinement-fixpoint outcome.
 struct LiftInvocation {
     result: LiftResult,
     metrics: MetricsSnapshot,
     roots: Option<Vec<u64>>,
+    refined: Option<Refinement>,
+}
+
+/// The refinement outcome the CLI reports: fixpoint shape plus the
+/// final indirect-target claims.
+struct Refinement {
+    rounds: usize,
+    converged: bool,
+    hints: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
 }
 
 fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
@@ -119,18 +135,51 @@ fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
     if let Some(store) = &store {
         lifter = lifter.with_store(store);
     }
+    let refine = args.iter().any(|a| a == "--refine-indirect");
+    let resolver = hgl_analysis::VsaResolver::default();
+    const REFINE_ROUNDS: usize = 8;
     if args.iter().any(|a| a == "--all") {
-        let report = lifter.lift_all();
-        LiftInvocation {
-            result: report.result,
-            metrics: report.metrics,
-            roots: Some(report.roots),
+        if refine {
+            let (report, refined) = lifter.lift_all_refined(&resolver, REFINE_ROUNDS);
+            LiftInvocation {
+                result: report.result,
+                metrics: report.metrics,
+                roots: Some(report.roots),
+                refined: Some(Refinement {
+                    rounds: refined.rounds,
+                    converged: refined.converged,
+                    hints: refined.hints,
+                }),
+            }
+        } else {
+            let report = lifter.lift_all();
+            LiftInvocation {
+                result: report.result,
+                metrics: report.metrics,
+                roots: Some(report.roots),
+                refined: None,
+            }
         }
     } else {
         let entry = parsed_flag(args, "--function", parse_u64).unwrap_or(binary.entry);
-        let result = lifter.lift_entry(entry);
-        let metrics = lifter.metrics_snapshot();
-        LiftInvocation { result, metrics, roots: None }
+        if refine {
+            let refined = lifter.lift_entry_refined(entry, &resolver, REFINE_ROUNDS);
+            let metrics = lifter.metrics_snapshot();
+            LiftInvocation {
+                result: refined.result,
+                metrics,
+                roots: None,
+                refined: Some(Refinement {
+                    rounds: refined.rounds,
+                    converged: refined.converged,
+                    hints: refined.hints,
+                }),
+            }
+        } else {
+            let result = lifter.lift_entry(entry);
+            let metrics = lifter.metrics_snapshot();
+            LiftInvocation { result, metrics, roots: None, refined: None }
+        }
     }
 }
 
@@ -210,6 +259,20 @@ fn main() -> ExitCode {
             );
             let (a, b, c) = result.indirection_counts();
             println!("indirections: {a} resolved, {b} unresolved jumps, {c} unresolved calls");
+            if let Some(r) = &inv.refined {
+                let targets: usize = r.hints.values().map(std::collections::BTreeSet::len).sum();
+                println!(
+                    "refinement: {} round(s), {}, {} indirect site(s) resolved to {} target(s)",
+                    r.rounds,
+                    if r.converged { "converged" } else { "round bound hit" },
+                    r.hints.len(),
+                    targets,
+                );
+                for (site, set) in &r.hints {
+                    let list: Vec<String> = set.iter().map(|t| format!("{t:#x}")).collect();
+                    println!("  {site:#x} -> {{{}}}", list.join(", "));
+                }
+            }
             for (entry, f) in &result.functions {
                 println!("\nfunction {entry:#x}: {} states, {} edges, returns: {}",
                     f.graph.state_count(), f.graph.edges.len(), f.returns);

@@ -174,6 +174,7 @@ fn every_lint_rule_fires_on_a_seeded_fixture() {
         failures::callee_saved_clobber(),
         failures::ret_slot_overwrite(),
         failures::stack_probe(),
+        failures::vsa_unbounded_indirect(),
     ] {
         covered.extend(fired(&analyzed(&bin)));
     }
