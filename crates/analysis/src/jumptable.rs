@@ -16,7 +16,11 @@
 //! lint instead.
 //!
 //! [`VsaResolver`] packages this as an [`IndirectResolver`] for the
-//! analyze→re-lift refinement loop in `hgl-core`.
+//! analyze→re-lift refinement loop in `hgl-core`. Besides resolving
+//! fresh unresolved jumps it *re-validates* every already-hinted jump
+//! on each round's grown graph: a bound that grew re-proposes the
+//! larger set, and a claim that can no longer be proven is demoted so
+//! the loop withdraws the hint (the jump goes back to unresolved).
 
 use crate::diag::{Diag, Rule, Severity};
 use crate::engine::fixpoint;
@@ -25,7 +29,7 @@ use hgl_core::diag::Annotation;
 use hgl_core::graph::HoareGraph;
 use hgl_core::lift::LiftResult;
 use crate::engine::Lattice;
-use hgl_core::refine::IndirectResolver;
+use hgl_core::refine::{IndirectResolver, Resolution};
 use hgl_elf::Binary;
 use hgl_x86::{decode, Mnemonic, Operand, Width};
 use std::collections::{BTreeMap, BTreeSet};
@@ -81,7 +85,6 @@ pub fn recover_jump_tables(
     max_iterations: usize,
     max_entries: u64,
 ) -> JumpTableRecovery {
-    let mut out = JumpTableRecovery::default();
     let jumps: Vec<u64> = annotations
         .iter()
         .filter_map(|a| match a {
@@ -89,11 +92,27 @@ pub fn recover_jump_tables(
             _ => None,
         })
         .collect();
+    recover_jumps(binary, entry, graph, &jumps, max_iterations, max_entries)
+}
+
+/// [`recover_jump_tables`] over an explicit list of jump addresses —
+/// the refinement loop uses this to *re-validate* already-hinted jumps
+/// (which no longer carry an `UnresolvedJump` annotation) on the grown
+/// graph each round, alongside the still-unresolved ones.
+pub fn recover_jumps(
+    binary: &Binary,
+    entry: u64,
+    graph: &HoareGraph,
+    jumps: &[u64],
+    max_iterations: usize,
+    max_entries: u64,
+) -> JumpTableRecovery {
+    let mut out = JumpTableRecovery::default();
     if jumps.is_empty() {
         return out;
     }
     let sol = fixpoint(graph, &VsaPass { graph, entry }, max_iterations);
-    for addr in jumps {
+    for &addr in jumps {
         match resolve_one(binary, graph, &sol.facts, sol.converged, addr, max_entries) {
             Ok(targets) => {
                 out.resolved.insert(addr, targets);
@@ -190,23 +209,57 @@ impl Default for VsaResolver {
 }
 
 impl IndirectResolver for VsaResolver {
-    fn resolve(&self, binary: &Binary, lift: &LiftResult) -> BTreeMap<u64, BTreeSet<u64>> {
-        let mut out = BTreeMap::new();
+    fn resolve(
+        &self,
+        binary: &Binary,
+        lift: &LiftResult,
+        hints: &BTreeMap<u64, BTreeSet<u64>>,
+    ) -> Resolution {
+        let mut out = Resolution::default();
         for (&entry, f) in &lift.functions {
             if !f.is_lifted() {
                 continue;
             }
-            let rec = recover_jump_tables(
-                binary,
-                entry,
-                &f.graph,
-                &f.annotations,
-                self.max_iterations,
-                self.max_entries,
-            );
-            for (addr, targets) in rec.resolved {
-                out.entry(addr).or_insert_with(BTreeSet::new).extend(targets);
+            // The jumps to (re-)analyse on this function's graph: the
+            // still-unresolved ones, plus every hinted jump whose
+            // instruction the graph contains — a hinted jump carries
+            // no annotation anymore, yet paths its own targets opened
+            // may feed index values past the originally proven bound,
+            // so its claim must be re-proven on the *current* graph.
+            let mut jumps: BTreeSet<u64> = f
+                .annotations
+                .iter()
+                .filter_map(|a| match a {
+                    Annotation::UnresolvedJump { addr, .. } => Some(*addr),
+                    _ => None,
+                })
+                .collect();
+            let hinted_here: BTreeSet<u64> = hints
+                .keys()
+                .copied()
+                .filter(|&a| !f.graph.vertices_at(a).is_empty())
+                .collect();
+            jumps.extend(&hinted_here);
+            if jumps.is_empty() {
+                continue;
             }
+            let jumps: Vec<u64> = jumps.into_iter().collect();
+            let rec =
+                recover_jumps(binary, entry, &f.graph, &jumps, self.max_iterations, self.max_entries);
+            for (addr, targets) in rec.resolved {
+                out.resolved.entry(addr).or_insert_with(BTreeSet::new).extend(targets);
+            }
+            for u in rec.unbounded {
+                if hinted_here.contains(&u.addr) {
+                    out.demoted.insert(u.addr);
+                }
+            }
+        }
+        // A claim that failed re-validation in *any* context is
+        // withdrawn everywhere: a success elsewhere cannot vouch for
+        // the paths of the function that refuted it.
+        for addr in out.demoted.clone() {
+            out.resolved.remove(&addr);
         }
         out
     }

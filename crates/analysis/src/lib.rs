@@ -46,7 +46,9 @@ pub use diag::{Diag, Rule, Severity};
 pub use engine::{fixpoint, Direction, Lattice, Solution, Transfer};
 pub use passes::{CanReachExit, Depth, Reachability, StackDepth};
 pub use report::{analyze, AnalysisConfig, AnalysisReport, FnAnalysis, ANALYSES};
-pub use jumptable::{recover_jump_tables, JumpTableRecovery, UnboundedIndirect, VsaResolver};
+pub use jumptable::{
+    recover_jump_tables, recover_jumps, JumpTableRecovery, UnboundedIndirect, VsaResolver,
+};
 pub use vsa::{StridedInterval, VsaEnv, VsaPass, MAX_CARDINALITY};
 pub use writes::{
     classify_region, classify_writes, ClassifiedWrite, WriteClass, WriteClassMap, WriteTotals,

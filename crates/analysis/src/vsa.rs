@@ -350,7 +350,9 @@ pub struct VsaEnv {
     /// 8-byte stack slots keyed by their `rsp0` displacement.
     pub slots: BTreeMap<i64, StridedInterval>,
     /// The live `cmp reg, imm` fact: register, width-masked immediate,
-    /// and compare width. Cleared by any flag-writing instruction.
+    /// and compare width. Cleared by any flag-writing instruction and
+    /// by any write to the compared register (the fact describes the
+    /// value at the `cmp`, not the current one).
     pub last_cmp: Option<(Reg, u64, Width)>,
 }
 
@@ -386,10 +388,24 @@ impl VsaEnv {
         }
     }
 
+    /// Forget the pending compare fact when register `r` is written:
+    /// the fact describes the value `r` held at the `cmp`, and a
+    /// refinement derived from it after an overwrite would clamp the
+    /// *new* value with the *old* comparison — unsoundly (e.g.
+    /// `cmp rax, 5; mov rax, 100; jbe L` concretely reaches `L` with
+    /// `rax == 100`).
+    fn invalidate_cmp(&mut self, r: Reg) {
+        if matches!(self.last_cmp, Some((c, _, _)) if c == r) {
+            self.last_cmp = None;
+        }
+    }
+
     /// Write a register view. 64-bit writes set; 32-bit writes
     /// zero-extend (kept only when the value provably fits); narrower
     /// views preserve unknown upper bits, so the register is dropped.
+    /// Any write invalidates a compare fact about the same register.
     fn write_view(&mut self, rr: RegRef, val: StridedInterval) {
+        self.invalidate_cmp(rr.reg);
         let keep = match (rr.high8, rr.width) {
             (false, Width::B8) => matches!(val, Range { .. }),
             (false, Width::B4) => matches!(val, Range { hi, .. } if hi <= Width::B4.mask()),
@@ -524,10 +540,16 @@ impl VsaPass<'_> {
         v.add_signed(m.disp)
     }
 
-    /// Abstract store through a memory operand.
+    /// Abstract store through a memory operand. Every resolved write
+    /// first clobbers the tracked slots its byte range overlaps (a
+    /// qword store at `+0` kills a stale value tracked at `+4`); only
+    /// an aligned 8-byte store then records the new value.
     fn write_mem(env: &mut VsaEnv, m: &MemOperand, rsp_disp: Option<i64>, val: StridedInterval) {
         match VsaPass::slot_key(m, rsp_disp) {
-            Some(key) if m.size == Width::B8 => env.set_slot(key, val),
+            Some(key) if m.size == Width::B8 => {
+                env.clobber_slots_overlapping(key, 8);
+                env.set_slot(key, val);
+            }
             Some(key) => {
                 env.clobber_slots_overlapping(key, m.size.bytes() as u64);
             }
@@ -544,6 +566,15 @@ impl VsaPass<'_> {
     /// environment.
     fn refine_jcc(env: &mut VsaEnv, cond: Cond, edge: &Edge) -> bool {
         let Some((r, k, w)) = env.last_cmp else { return true };
+        // A `jcc` whose taken target *is* its fallthrough (`jcc +0`)
+        // has a single successor reached under both outcomes: there is
+        // no branch direction to refine on, and classifying the edge
+        // as not-taken would wrongly exclude condition-holds states.
+        if let Some(Operand::Imm(t)) = edge.instr.operands.first() {
+            if *t as u64 == edge.instr.next_addr() {
+                return true;
+            }
+        }
         let taken = match edge.to {
             VertexId::At(a, _) => a != edge.instr.next_addr(),
             VertexId::Exit => return true,
@@ -717,22 +748,33 @@ impl VsaPass<'_> {
             }
             Mnemonic::Jmp | Mnemonic::Nop | Mnemonic::Endbr64 | Mnemonic::Ret => {}
             Mnemonic::Push => {
+                // Push moves rsp, so a pending `cmp rsp, imm` is stale.
+                env.invalidate_cmp(Reg::Rsp);
+                let mut stored = false;
                 if let (Some(s), Some(d)) = (dst, rsp_disp) {
                     let v = VsaPass::value_of(&env, &s, Width::B8, rsp_disp);
                     if let Some(key) = d.checked_sub(8) {
+                        env.clobber_slots_overlapping(key, 8);
                         env.set_slot(key, v);
+                        stored = true;
                     }
-                } else {
+                }
+                if !stored {
                     env.slots.clear();
                 }
             }
             Mnemonic::Pop => {
-                if let Some(Operand::Reg(rr)) = dst {
-                    let v = match rsp_disp {
-                        Some(d) => env.slots.get(&d).copied().unwrap_or(Top),
-                        None => Top,
-                    };
-                    env.write_view(rr, v);
+                env.invalidate_cmp(Reg::Rsp);
+                match dst {
+                    Some(Operand::Reg(rr)) => {
+                        let v = match rsp_disp {
+                            Some(d) => env.slots.get(&d).copied().unwrap_or(Top),
+                            None => Top,
+                        };
+                        env.write_view(rr, v);
+                    }
+                    Some(Operand::Mem(m)) => VsaPass::write_mem(&mut env, &m, rsp_disp, Top),
+                    _ => {}
                 }
             }
             Mnemonic::Call => {
@@ -743,6 +785,8 @@ impl VsaPass<'_> {
                 env.last_cmp = None;
             }
             Mnemonic::Leave => {
+                env.invalidate_cmp(Reg::Rbp);
+                env.invalidate_cmp(Reg::Rsp);
                 env.regs.remove(&Reg::Rbp);
                 env.slots.clear();
             }
@@ -978,6 +1022,132 @@ mod tests {
         // rax == 0x1_0000_0005: refusing to clamp is what keeps the
         // analysis sound here.
         assert_eq!(taken.reg(Reg::Rax), StridedInterval::point(0x1_0000_0005));
+    }
+
+    /// `cmp rax, 5; mov rax, 100; jbe L`: the mov overwrites the
+    /// compared register, so the branch must NOT clamp the new value
+    /// with the old comparison — the taken edge is concretely reached
+    /// with `rax == 100` and must stay reachable.
+    #[test]
+    fn overwriting_compared_register_invalidates_cmp_fact() {
+        let mut g = HoareGraph::new();
+        let s = SymState::function_entry(0x10);
+        for a in [0x10u64, 0x12, 0x14, 0x16, 0x40] {
+            g.add_vertex(VertexId::At(a, 0), s.clone(), true);
+        }
+        g.add_edge(
+            VertexId::At(0x10, 0),
+            VertexId::At(0x12, 0),
+            instr_at(
+                Mnemonic::Cmp,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(5)],
+                Width::B8,
+                0x10,
+            ),
+        );
+        g.add_edge(
+            VertexId::At(0x12, 0),
+            VertexId::At(0x14, 0),
+            instr_at(
+                Mnemonic::Mov,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(100)],
+                Width::B8,
+                0x12,
+            ),
+        );
+        let jcc = instr_at(Mnemonic::Jcc(Cond::Be), vec![Operand::Imm(0x40)], Width::B8, 0x14);
+        g.add_edge(VertexId::At(0x14, 0), VertexId::At(0x40, 0), jcc.clone());
+        g.add_edge(VertexId::At(0x14, 0), VertexId::At(0x16, 0), jcc);
+        let sol = fixpoint(&g, &VsaPass { graph: &g, entry: 0x10 }, 10_000);
+        assert!(sol.converged);
+        // Both edges keep rax == 100; neither is marked unreachable.
+        let taken = sol.fact(VertexId::At(0x40, 0)).unwrap();
+        assert!(taken.reachable, "taken edge wrongly refined to bottom");
+        assert_eq!(taken.reg(Reg::Rax), StridedInterval::point(100));
+        let fall = sol.fact(VertexId::At(0x16, 0)).unwrap();
+        assert!(fall.reachable);
+        assert_eq!(fall.reg(Reg::Rax), StridedInterval::point(100));
+    }
+
+    /// An 8-byte store to a tracked slot must clobber every tracked
+    /// slot whose region overlaps the written range, not just the
+    /// exact key — a stale value at `+4` would otherwise survive a
+    /// qword write at `+0`.
+    #[test]
+    fn qword_store_clobbers_overlapping_slots() {
+        let mut env = VsaEnv::entry();
+        env.slots.insert(0, StridedInterval::point(1));
+        env.slots.insert(4, StridedInterval::point(2));
+        env.slots.insert(-4, StridedInterval::point(3));
+        env.slots.insert(8, StridedInterval::point(4));
+        let m = MemOperand::base_disp(Reg::Rsp, 0, Width::B8);
+        VsaPass::write_mem(&mut env, &m, Some(0), StridedInterval::point(9));
+        // [0, 7] overlaps the regions of slots -4, 0 and 4 but not 8.
+        assert_eq!(env.slots.get(&0), Some(&StridedInterval::point(9)));
+        assert_eq!(env.slots.get(&4), None, "stale overlapping slot survived");
+        assert_eq!(env.slots.get(&-4), None, "stale overlapping slot survived");
+        assert_eq!(env.slots.get(&8), Some(&StridedInterval::point(4)));
+    }
+
+    /// `push` writes 8 bytes at `rsp0 + d - 8`: overlapping tracked
+    /// slots must be clobbered exactly like an explicit qword store.
+    #[test]
+    fn push_clobbers_overlapping_slots() {
+        let mut g = HoareGraph::new();
+        let s = SymState::function_entry(0x10);
+        g.add_vertex(VertexId::At(0x10, 0), s.clone(), true);
+        g.add_vertex(VertexId::At(0x12, 0), s, true);
+        let push = instr_at(Mnemonic::Push, vec![Operand::Imm(7)], Width::B8, 0x10);
+        g.add_edge(VertexId::At(0x10, 0), VertexId::At(0x12, 0), push);
+        let pass = VsaPass { graph: &g, entry: 0x10 };
+        let mut env = VsaEnv::entry();
+        // function_entry pins rsp = rsp0, so the push stores at -8;
+        // a stale tracked value at -4 overlaps it.
+        env.slots.insert(-4, StridedInterval::point(3));
+        let out = pass.transfer(&g.edges[0], &env);
+        assert_eq!(out.slots.get(&-8), Some(&StridedInterval::point(7)));
+        assert_eq!(out.slots.get(&-4), None, "stale overlapping slot survived push");
+    }
+
+    /// A `jcc` whose taken target equals its fallthrough address has a
+    /// single edge reached under both outcomes: refining it with the
+    /// negated condition would wrongly drop condition-holds states.
+    #[test]
+    fn jcc_to_own_fallthrough_is_not_refined() {
+        let mut g = HoareGraph::new();
+        let s = SymState::function_entry(0x10);
+        for a in [0x10u64, 0x12, 0x14, 0x16] {
+            g.add_vertex(VertexId::At(a, 0), s.clone(), true);
+        }
+        g.add_edge(
+            VertexId::At(0x10, 0),
+            VertexId::At(0x12, 0),
+            instr_at(
+                Mnemonic::Mov,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(3)],
+                Width::B8,
+                0x10,
+            ),
+        );
+        g.add_edge(
+            VertexId::At(0x12, 0),
+            VertexId::At(0x14, 0),
+            instr_at(
+                Mnemonic::Cmp,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(5)],
+                Width::B8,
+                0x12,
+            ),
+        );
+        // jcc at 0x14 with len 2: taken target 0x16 == next_addr.
+        let jcc = instr_at(Mnemonic::Jcc(Cond::Be), vec![Operand::Imm(0x16)], Width::B8, 0x14);
+        g.add_edge(VertexId::At(0x14, 0), VertexId::At(0x16, 0), jcc);
+        let sol = fixpoint(&g, &VsaPass { graph: &g, entry: 0x10 }, 10_000);
+        let after = sol.fact(VertexId::At(0x16, 0)).unwrap();
+        // rax == 3 satisfies `be`, so treating the lone edge as
+        // not-taken would have produced bottom here.
+        assert!(after.reachable, "jcc+0 edge wrongly refined away");
+        assert_eq!(after.reg(Reg::Rax), StridedInterval::point(3));
     }
 
     #[test]

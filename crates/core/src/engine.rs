@@ -555,9 +555,19 @@ impl<'b> Lifter<'b> {
 
     /// Lift the function at `entry`, then run the analyze→re-lift
     /// refinement fixpoint: ask `resolver` for target sets of any
-    /// indirect jumps the lift left unresolved, merge them into the
-    /// configuration's hint set, and re-lift — until a round proposes
-    /// nothing new or `max_rounds` lifts have run.
+    /// indirect jumps the lift left unresolved *and* for a re-proof of
+    /// every already-hinted jump on the current (grown) graph, update
+    /// the configuration's hint set, and re-lift — until a round
+    /// changes nothing or `max_rounds` lifts have run.
+    ///
+    /// A re-validated bound that grew merges into the hint; a hinted
+    /// jump the resolver can no longer bound is *demoted*: its hint is
+    /// withdrawn, the address is poisoned against re-admission (so an
+    /// under-approximate claim cannot oscillate back in), and the next
+    /// round reports the jump unresolved again. Hints and the lifter
+    /// configuration are only committed when a re-lift actually runs,
+    /// so [`RefinedLift::hints`] is always the set the returned result
+    /// was lifted under — even on a round-bound trip.
     ///
     /// Each round is an ordinary [`Lifter::lift_entry`]: it shares
     /// this session's deadline, budget and solver cache, and because
@@ -576,27 +586,35 @@ impl<'b> Lifter<'b> {
         let mut result = self.lift_entry(entry);
         let mut rounds = 1usize;
         let mut converged = false;
+        let mut poisoned = BTreeSet::new();
         loop {
-            let proposed = resolver.resolve(self.binary, &result);
-            if !crate::refine::merge_hints(&mut hints, proposed) {
-                converged = true;
-                break;
+            match Lifter::refine_step(self.binary, resolver, &result, &hints, &mut poisoned) {
+                None => {
+                    converged = true;
+                    break;
+                }
+                Some(next) => {
+                    if rounds >= max_rounds {
+                        // `next` stays uncommitted: `result` was
+                        // lifted under `hints`, and that is what we
+                        // report (and leave in the config).
+                        break;
+                    }
+                    hints = next;
+                    self.config.step.indirect_hints = hints.clone();
+                    result = self.lift_entry(entry);
+                    rounds += 1;
+                }
             }
-            if rounds >= max_rounds {
-                break;
-            }
-            self.config.step.indirect_hints = hints.clone();
-            result = self.lift_entry(entry);
-            rounds += 1;
         }
-        crate::refine::RefinedLift { result, rounds, converged, hints }
+        crate::refine::RefinedLift { result, rounds, converged, hints, demoted: poisoned }
     }
 
     /// [`Lifter::lift_all`] under the same refinement fixpoint as
     /// [`Lifter::lift_entry_refined`]: resolve over *all* lifted
-    /// functions, merge, re-lift the binary. Returns the final report
-    /// plus the refinement outcome (whose `result` field is a clone of
-    /// the report's).
+    /// functions, update hints, re-lift the binary. Returns the final
+    /// report plus the refinement outcome (whose `result` field is a
+    /// clone of the report's).
     pub fn lift_all_refined(
         &mut self,
         resolver: &dyn crate::refine::IndirectResolver,
@@ -606,26 +624,61 @@ impl<'b> Lifter<'b> {
         let mut report = self.lift_all();
         let mut rounds = 1usize;
         let mut converged = false;
+        let mut poisoned = BTreeSet::new();
         loop {
-            let proposed = resolver.resolve(self.binary, &report.result);
-            if !crate::refine::merge_hints(&mut hints, proposed) {
-                converged = true;
-                break;
+            match Lifter::refine_step(self.binary, resolver, &report.result, &hints, &mut poisoned)
+            {
+                None => {
+                    converged = true;
+                    break;
+                }
+                Some(next) => {
+                    if rounds >= max_rounds {
+                        break;
+                    }
+                    hints = next;
+                    self.config.step.indirect_hints = hints.clone();
+                    report = self.lift_all();
+                    rounds += 1;
+                }
             }
-            if rounds >= max_rounds {
-                break;
-            }
-            self.config.step.indirect_hints = hints.clone();
-            report = self.lift_all();
-            rounds += 1;
         }
         let refined = crate::refine::RefinedLift {
             result: report.result.clone(),
             rounds,
             converged,
             hints,
+            demoted: poisoned,
         };
         (report, refined)
+    }
+
+    /// One resolve pass of the refinement fixpoint: re-validate the
+    /// current `hints` against `result` and collect new proposals.
+    /// Returns the updated hint set when anything changed — a bound
+    /// grew or a hint was demoted — or `None` at a fixpoint. Demoted
+    /// addresses accumulate in `poisoned` and are never re-admitted,
+    /// so a propose→demote cycle cannot oscillate: every non-fixpoint
+    /// round strictly grows the hint set or the poison set, both of
+    /// which are bounded by the binary.
+    fn refine_step(
+        binary: &Binary,
+        resolver: &dyn crate::refine::IndirectResolver,
+        result: &LiftResult,
+        hints: &BTreeMap<u64, BTreeSet<u64>>,
+        poisoned: &mut BTreeSet<u64>,
+    ) -> Option<BTreeMap<u64, BTreeSet<u64>>> {
+        let res = resolver.resolve(binary, result, hints);
+        let mut next = hints.clone();
+        let mut changed = false;
+        for addr in &res.demoted {
+            changed |= next.remove(addr).is_some();
+            poisoned.insert(*addr);
+        }
+        let mut proposed = res.resolved;
+        proposed.retain(|a, _| !poisoned.contains(a));
+        changed |= crate::refine::merge_hints(&mut next, proposed);
+        changed.then_some(next)
     }
 }
 

@@ -80,5 +80,5 @@ pub use lift::{FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
 pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use pred::{FlagState, Pred, SymState};
-pub use refine::{IndirectResolver, RefinedLift};
+pub use refine::{IndirectResolver, RefinedLift, Resolution};
 pub use store_api::{ArtifactStore, StoreStats};

@@ -6,8 +6,19 @@
 //! `hgl-analysis`) may then bound their targets after the fact. An
 //! [`IndirectResolver`] packages that step, and
 //! [`Lifter::lift_entry_refined`](crate::engine::Lifter::lift_entry_refined)
-//! iterates lift → resolve → merge-hints → re-lift until no new
-//! targets appear (or the round bound trips).
+//! iterates lift → resolve → merge-hints → re-lift until a resolve
+//! pass changes nothing (or the round bound trips).
+//!
+//! Crucially the resolver sees the *current* hint set each round and
+//! re-validates every already-hinted jump against the grown graph: a
+//! hinted jump no longer carries an `UnresolvedJump` annotation, yet
+//! the paths its own targets introduced may feed new index values into
+//! the same dispatch. A re-validation that proves a *larger* target
+//! set grows the hint; one that can no longer bound the jump at all
+//! [`demotes`](Resolution::demoted) it — the hint is withdrawn, the
+//! jump address is poisoned for the rest of the fixpoint (so an
+//! under-approximate claim cannot oscillate back in), and the re-lift
+//! reports the jump unresolved again, which is the sound outcome.
 //!
 //! Soundness: a hint claims "this indirect jump only ever transfers to
 //! these addresses". The lifter re-checks every hinted target against
@@ -22,16 +33,42 @@ use crate::lift::LiftResult;
 use hgl_elf::Binary;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// What one resolve pass concluded about the current lift.
+#[derive(Debug, Clone, Default)]
+pub struct Resolution {
+    /// Complete proven target sets, keyed by indirect-jump address —
+    /// for jumps the lift left unresolved *and* for already-hinted
+    /// jumps re-proven on the current graph (whose set may have grown
+    /// since the hint was first made). Jumps the analysis cannot bound
+    /// must be absent (an empty set is treated the same way).
+    pub resolved: BTreeMap<u64, BTreeSet<u64>>,
+    /// Previously hinted jumps whose claim could **not** be re-proven
+    /// on the current graph (the bound no longer holds, or widened to
+    /// top). The refinement loop withdraws these hints and never
+    /// re-admits them: the jump goes back to unresolved, which is the
+    /// sound report for a claim the analysis cannot sustain.
+    pub demoted: BTreeSet<u64>,
+}
+
 /// A static analysis that proposes concrete target sets for indirect
-/// jumps the lifter left unresolved.
+/// jumps the lifter left unresolved, and re-validates the claims made
+/// in earlier rounds.
 pub trait IndirectResolver {
-    /// Map from unresolved indirect-jump address to the complete set
-    /// of targets the analysis proved for it. Jumps the analysis
-    /// cannot bound must be *absent* (an empty set is treated the same
-    /// way). Every returned claim must over-approximate the concrete
-    /// behaviour — an unsound claim will surface as an oracle
-    /// containment violation, not be silently absorbed.
-    fn resolve(&self, binary: &Binary, lift: &LiftResult) -> BTreeMap<u64, BTreeSet<u64>>;
+    /// Resolve against the current lift. `hints` is the hint set the
+    /// lift ran under: every hinted jump that appears in a lifted
+    /// function must be re-analysed on that function's (possibly
+    /// grown) graph and either re-proven — its full current target
+    /// set returned in [`Resolution::resolved`] — or reported in
+    /// [`Resolution::demoted`]. Every returned claim must
+    /// over-approximate the concrete behaviour — an unsound claim will
+    /// surface as an oracle containment violation, not be silently
+    /// absorbed.
+    fn resolve(
+        &self,
+        binary: &Binary,
+        lift: &LiftResult,
+        hints: &BTreeMap<u64, BTreeSet<u64>>,
+    ) -> Resolution;
 }
 
 /// The outcome of a refinement fixpoint.
@@ -41,11 +78,20 @@ pub struct RefinedLift {
     pub result: LiftResult,
     /// Lift rounds performed (1 = nothing to refine).
     pub rounds: usize,
-    /// True when the loop reached a fixpoint (a resolve pass proposed
-    /// no new target) within the round bound.
+    /// True when the loop reached a fixpoint (a resolve pass neither
+    /// proposed a new target nor demoted a hint) within the round
+    /// bound.
     pub converged: bool,
-    /// The accumulated hint set the final round was lifted under.
+    /// The hint set `result` was lifted under — on the converged path
+    /// this is also the fixpoint set; on a round-bound trip it is the
+    /// last *committed* set (a final proposal that never got its
+    /// re-lift is discarded, so a plain `lift_entry` under the
+    /// lifter's config always reproduces `result`).
     pub hints: BTreeMap<u64, BTreeSet<u64>>,
+    /// Jumps whose hint was withdrawn during refinement because a
+    /// later round's graph no longer supported the claimed bound.
+    /// They are reported unresolved in `result`.
+    pub demoted: BTreeSet<u64>,
 }
 
 impl RefinedLift {

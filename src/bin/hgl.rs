@@ -110,6 +110,9 @@ struct Refinement {
     rounds: usize,
     converged: bool,
     hints: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
+    /// Hinted jumps withdrawn mid-fixpoint (claim failed re-validation
+    /// on a later round's graph); reported unresolved in the result.
+    demoted: std::collections::BTreeSet<u64>,
 }
 
 fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
@@ -149,6 +152,7 @@ fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
                     rounds: refined.rounds,
                     converged: refined.converged,
                     hints: refined.hints,
+                    demoted: refined.demoted,
                 }),
             }
         } else {
@@ -173,6 +177,7 @@ fn do_lift(binary: &Binary, args: &[String]) -> LiftInvocation {
                     rounds: refined.rounds,
                     converged: refined.converged,
                     hints: refined.hints,
+                    demoted: refined.demoted,
                 }),
             }
         } else {
@@ -271,6 +276,14 @@ fn main() -> ExitCode {
                 for (site, set) in &r.hints {
                     let list: Vec<String> = set.iter().map(|t| format!("{t:#x}")).collect();
                     println!("  {site:#x} -> {{{}}}", list.join(", "));
+                }
+                if !r.demoted.is_empty() {
+                    let list: Vec<String> = r.demoted.iter().map(|a| format!("{a:#x}")).collect();
+                    println!(
+                        "  {} claim(s) withdrawn (failed re-validation): {}",
+                        r.demoted.len(),
+                        list.join(", ")
+                    );
                 }
             }
             for (entry, f) in &result.functions {
