@@ -71,8 +71,22 @@ pub fn lint_ret_slot(
     for (id, v, instr) in decoded(binary, graph) {
         let Some(region) = write_region(&v.state.pred, &instr) else { continue };
         let ctx = Ctx::from_clauses(v.state.pred.clauses.iter(), std::sync::Arc::clone(layout));
-        let rel = v.state.model.relation(&ctx, &region, &ra).rel;
-        let (severity, what) = match rel {
+        let ans = v.state.model.relation(&ctx, &region, &ra);
+        let (severity, what) = match ans.rel {
+            // A separation that rests on a provenance *assumption* and
+            // targets a pointer laundered through mutable memory (a
+            // fresh symbol) is not a proof: the pointed-to cell could
+            // hold the return slot's own address at runtime. Surface
+            // it so instrumentation passes can harden exactly here.
+            RegionRel::Separate
+                if !ans.assumptions.is_empty()
+                    && matches!(
+                        ctx.provenance(&region.addr),
+                        hgl_solver::Provenance::Heap(Sym::Fresh(_))
+                    ) =>
+            {
+                (Severity::Warning, "is only assumed separate from")
+            }
             RegionRel::Separate => continue,
             RegionRel::Alias | RegionRel::Enclosed | RegionRel::Encloses | RegionRel::Overlap => {
                 (Severity::Error, "overwrites")

@@ -17,6 +17,9 @@ pub enum AsmError {
     Encode(EncodeError),
     /// No entry label was set.
     NoEntry,
+    /// The sizing fixpoint oscillated: label-address changes kept
+    /// flipping shortest-form encoding choices without settling.
+    LayoutDivergence,
 }
 
 impl fmt::Display for AsmError {
@@ -26,9 +29,15 @@ impl fmt::Display for AsmError {
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
             AsmError::NoEntry => write!(f, "no entry label set"),
+            AsmError::LayoutDivergence => write!(f, "layout sizing did not converge"),
         }
     }
 }
+
+/// Cap on sizing-fixpoint iterations. Real programs settle in two or
+/// three passes; the cap only exists to turn a pathological
+/// imm8/imm32 oscillation into a structured error instead of a hang.
+const MAX_SIZING_PASSES: usize = 64;
 
 impl std::error::Error for AsmError {}
 
@@ -75,6 +84,9 @@ pub struct Asm {
     externals: Vec<String>,
     exports: Vec<(String, String)>,
     entry: Option<String>,
+    /// Overrides [`TEXT_BASE`] when set — used by the rewriter to lay
+    /// out guard stubs past an existing image.
+    base_text: Option<u64>,
 }
 
 impl Asm {
@@ -202,6 +214,14 @@ impl Asm {
         self
     }
 
+    /// Lay the text section out at `base` instead of the default
+    /// [`TEXT_BASE`] — e.g. to append a stub section past an existing
+    /// image without overlapping its segments.
+    pub fn text_base(&mut self, base: u64) -> &mut Asm {
+        self.base_text = Some(base);
+        self
+    }
+
     /// Export `label` as function symbol `name` (for shared-object
     /// style lifting of individual functions).
     pub fn export(&mut self, label: &str, name: &str) -> &mut Asm {
@@ -291,7 +311,20 @@ impl Asm {
     /// Fails on unknown or duplicate labels, missing entry, or
     /// unencodable instructions.
     pub fn assemble(&self) -> Result<Binary, AsmError> {
-        Ok(self.builder()?.to_binary())
+        Ok(self.build_parts()?.0.to_binary())
+    }
+
+    /// Like [`Asm::assemble`], also returning the resolved address of
+    /// every label (text and data). Callers that patch other images —
+    /// the rewriter's guard stubs — need the final layout, not just
+    /// the bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Asm::assemble`].
+    pub fn assemble_with_labels(&self) -> Result<(Binary, BTreeMap<String, u64>), AsmError> {
+        let (b, labels) = self.build_parts()?;
+        Ok((b.to_binary(), labels))
     }
 
     /// Resolve all labels and serialise to an ELF executable image.
@@ -300,39 +333,82 @@ impl Asm {
     ///
     /// Same conditions as [`Asm::assemble`].
     pub fn assemble_elf(&self) -> Result<Vec<u8>, AsmError> {
-        Ok(self.builder()?.build())
+        Ok(self.build_parts()?.0.build())
     }
 
-    fn builder(&self) -> Result<Builder, AsmError> {
+    fn build_parts(&self) -> Result<(Builder, BTreeMap<String, u64>), AsmError> {
+        let text_base = self.base_text.unwrap_or(TEXT_BASE);
         let mut labels: BTreeMap<String, u64> = BTreeMap::new();
         Self::data_addresses(&self.rodata, RODATA_BASE, &mut labels)?;
         Self::data_addresses(&self.data, DATA_BASE, &mut labels)?;
 
-        // Pass 1: sizes with dummy label values.
-        let mut addr = TEXT_BASE;
-        for item in &self.text {
-            match item {
-                TextItem::Label(l) => {
-                    if labels.insert(l.clone(), addr).is_some() {
+        // Duplicate text labels (against each other and the data
+        // labels) are an input defect, independent of layout.
+        {
+            let mut seen = labels.clone();
+            for item in &self.text {
+                if let TextItem::Label(l) = item {
+                    if seen.insert(l.clone(), 0).is_some() {
                         return Err(AsmError::DuplicateLabel(l.clone()));
                     }
                 }
-                TextItem::Ins(i, fixup) => {
-                    let mut sized = i.clone();
-                    sized.addr = addr;
-                    apply_fixup(&mut sized, fixup, &|_| Some(SIZING_DUMMY as u64))
-                        .expect("dummy resolver is total");
-                    let bytes = encode(&sized)?;
-                    addr += bytes.len() as u64;
-                }
             }
         }
-        let text_end = addr;
 
-        // Pass 2: encode with real addresses.
+        // Sizing pass, iterated to a fixpoint. Label addresses feed
+        // shortest-form encoding choices (imm8 vs imm32, disp widths),
+        // and those choices feed instruction sizes, which feed label
+        // addresses. A single dummy-valued pass — the old scheme —
+        // goes stale the moment a real label value admits a shorter
+        // form than the dummy did (deleting text items via
+        // `without_text_items` is the classic trigger: labels move
+        // down, a label-derived immediate shrinks into imm8 range, and
+        // every later label lands mid-instruction). Iterating with the
+        // current estimates until no label moves makes the layout
+        // self-consistent; unseen forward references fall back to
+        // [`SIZING_DUMMY`] on the first pass only.
+        let mut text_labels: BTreeMap<String, u64> = BTreeMap::new();
+        let mut converged = false;
+        for _ in 0..MAX_SIZING_PASSES {
+            let mut next: BTreeMap<String, u64> = BTreeMap::new();
+            let mut addr = text_base;
+            for item in &self.text {
+                match item {
+                    TextItem::Label(l) => {
+                        next.insert(l.clone(), addr);
+                    }
+                    TextItem::Ins(i, fixup) => {
+                        let mut sized = i.clone();
+                        sized.addr = addr;
+                        apply_fixup(&mut sized, fixup, &|l| {
+                            labels
+                                .get(l)
+                                .or_else(|| text_labels.get(l))
+                                .copied()
+                                .or(Some(SIZING_DUMMY as u64))
+                        })?;
+                        let bytes = encode(&sized)?;
+                        addr += bytes.len() as u64;
+                    }
+                }
+            }
+            if next == text_labels {
+                converged = true;
+                break;
+            }
+            text_labels = next;
+        }
+        if !converged {
+            return Err(AsmError::LayoutDivergence);
+        }
+        labels.extend(text_labels);
+
+        // Final pass: encode with the fixpoint addresses. Sizes cannot
+        // change here — the resolver agrees with the one the last
+        // sizing pass used.
         let resolve = |l: &str| labels.get(l).copied();
-        let mut text_bytes = Vec::with_capacity((text_end - TEXT_BASE) as usize);
-        let mut addr = TEXT_BASE;
+        let mut text_bytes = Vec::new();
+        let mut addr = text_base;
         for item in &self.text {
             if let TextItem::Ins(i, fixup) = item {
                 let mut real = i.clone();
@@ -366,7 +442,7 @@ impl Asm {
         let entry_label = self.entry.as_ref().ok_or(AsmError::NoEntry)?;
         let entry = resolve(entry_label).ok_or_else(|| AsmError::UnknownLabel(entry_label.clone()))?;
 
-        let mut b = Builder::new().entry(entry).section(".text", TEXT_BASE, text_bytes, SegmentFlags::RX);
+        let mut b = Builder::new().entry(entry).section(".text", text_base, text_bytes, SegmentFlags::RX);
         if !self.externals.is_empty() {
             // One 8-byte hlt-padded stub per external.
             let stub_bytes: Vec<u8> = self.externals.iter().flat_map(|_| [0xf4u8; 8]).collect();
@@ -385,7 +461,7 @@ impl Asm {
             let a = resolve(label).ok_or_else(|| AsmError::UnknownLabel(label.clone()))?;
             b = b.symbol(a, name);
         }
-        Ok(b)
+        Ok((b, labels))
     }
 }
 
@@ -519,6 +595,102 @@ mod tests {
         let direct = asm.assemble().expect("assembles");
         let parsed = Binary::parse(&asm.assemble_elf().expect("elf")).expect("parses");
         assert_eq!(direct, parsed);
+    }
+
+    /// Regression: deleting text items moves labels, and a moved label
+    /// can shrink a label-derived immediate into imm8 range. The old
+    /// single dummy-valued sizing pass kept the stale imm32-based
+    /// label offsets, so every later branch landed mid-instruction in
+    /// the re-assembled binary. The sizing fixpoint must re-settle the
+    /// layout: assemble, delete, re-assemble, and re-decode cleanly.
+    #[test]
+    fn deletion_resizes_label_immediate_cleanly() {
+        let mut asm = Asm::new();
+        asm.label("f");
+        // cmp rax, (tail - TEXT_BASE - 131): imm32 at the original
+        // layout (tail is ~293 bytes in), imm8 once the padding goes.
+        let cmp = Instr::new(
+            Mnemonic::Cmp,
+            vec![Operand::reg64(Reg::Rax), Operand::Imm(0)],
+            Width::B8,
+        );
+        asm.ins_imm_label_off(cmp, 1, "tail", -(TEXT_BASE as i64) - 131);
+        asm.jcc(Cond::E, "end");
+        // 40 × 7-byte padding instructions, items 3..=42.
+        for _ in 0..40 {
+            asm.ins(Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::reg64(Reg::Rax), Operand::Imm(0x1122_3344)],
+                Width::B8,
+            ));
+        }
+        asm.label("tail");
+        asm.ins(Instr::new(Mnemonic::Nop, vec![], Width::B8));
+        asm.label("end");
+        asm.ret();
+        asm.entry("f");
+
+        let verify = |program: &Asm| {
+            let (bin, labels) = program.assemble_with_labels().expect("assembles");
+            let seg = bin.segments.iter().find(|s| s.vaddr == TEXT_BASE).expect("text segment");
+            // Full linear decode; every byte belongs to an instruction.
+            let mut boundaries = std::collections::BTreeSet::new();
+            let mut branch_targets = Vec::new();
+            let mut off = 0usize;
+            while off < seg.bytes.len() {
+                let addr = TEXT_BASE + off as u64;
+                boundaries.insert(addr);
+                let i = decode(&seg.bytes[off..seg.bytes.len().min(off + 15)], addr)
+                    .unwrap_or_else(|e| panic!("undecodable at {addr:#x}: {e:?}"));
+                if let Some(t) = i.direct_target() {
+                    branch_targets.push((addr, t));
+                }
+                off += i.len as usize;
+            }
+            boundaries.insert(TEXT_BASE + seg.bytes.len() as u64);
+            for (addr, t) in branch_targets {
+                assert!(boundaries.contains(&t), "branch at {addr:#x} targets mid-instruction {t:#x}");
+            }
+            for (l, a) in &labels {
+                if !l.starts_with('f') && *a >= TEXT_BASE {
+                    assert!(boundaries.contains(a), "label `{l}` at {a:#x} off-boundary");
+                }
+            }
+            (bin, labels)
+        };
+
+        let (_, labels) = verify(&asm);
+        // The original layout really does use the imm32 form.
+        assert!(labels["tail"] - TEXT_BASE > 131 + 127, "setup: imm must start out of imm8 range");
+
+        // Delete 35 of the 40 padding instructions and re-assemble.
+        let removed: std::collections::BTreeSet<usize> = (3..38).collect();
+        let shrunk = asm.without_text_items(&removed);
+        let (bin, labels) = verify(&shrunk);
+        // The immediate is now in imm8 range, so the fixpoint must have
+        // shrunk the cmp (7 → 4 bytes) and re-settled every label.
+        assert!((labels["tail"] - TEXT_BASE) as i64 - 131 >= -128);
+        assert!(((labels["tail"] - TEXT_BASE) as i64 - 131) < 128);
+        let cmp = decode(bin.fetch_window(TEXT_BASE).expect("w"), TEXT_BASE).expect("d");
+        assert_eq!(cmp.len, 4, "cmp should use the imm8 form after deletion");
+        let jcc_addr = TEXT_BASE + cmp.len as u64;
+        let jcc = decode(bin.fetch_window(jcc_addr).expect("w"), jcc_addr).expect("d");
+        assert_eq!(jcc.direct_target(), Some(labels["end"]));
+    }
+
+    /// The text-base override relocates the whole text section and
+    /// every text label with it.
+    #[test]
+    fn text_base_override_relocates_labels() {
+        let mut asm = Asm::new();
+        asm.label("stub");
+        asm.ret();
+        asm.entry("stub");
+        asm.text_base(0x71_0000);
+        let (bin, labels) = asm.assemble_with_labels().expect("assembles");
+        assert_eq!(labels["stub"], 0x71_0000);
+        assert_eq!(bin.entry, 0x71_0000);
+        assert!(bin.is_code(0x71_0000));
     }
 
     #[test]

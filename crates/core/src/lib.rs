@@ -78,7 +78,7 @@ pub use fingerprint::{Fingerprint, ARTIFACT_SCHEMA_VERSION};
 pub use graph::{Edge, HoareGraph, Vertex, VertexId};
 pub use lift::{FnLift, LiftConfig, LiftResult, RejectReason};
 pub use memmodel::{MemModel, MemTree};
-pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, Phase, PhaseSnapshot, RewriteStats};
 pub use pred::{FlagState, Pred, SymState};
 pub use refine::{IndirectResolver, RefinedLift, Resolution};
 pub use store_api::{ArtifactStore, StoreStats};

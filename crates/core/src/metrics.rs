@@ -169,10 +169,30 @@ impl Metrics {
                 .clone(),
             cache,
             store: None,
+            rewrite: None,
             workers: workers as u64,
             elapsed_nanos: elapsed.as_nanos() as u64,
         }
     }
+}
+
+/// Counters of one `hgl-rewrite` run, carried in the metrics document
+/// as the `rewrite` block. Defined here (not in `hgl-rewrite`) so the
+/// exporter can serialise it without depending on the rewriter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Functions whose graphs were walked and re-encoded.
+    pub functions: u64,
+    /// Instructions re-encoded through `hgl_x86::encode`.
+    pub instructions_reencoded: u64,
+    /// Image-size delta in bytes (rewritten minus original).
+    pub bytes_delta: i64,
+    /// Shadow-stack guards inserted (0 for identity rewrites).
+    pub guards_inserted: u64,
+    /// Re-lift graph-correspondence verdict, when `--verify` ran.
+    pub verify_relift_ok: Option<bool>,
+    /// Differential trace-oracle verdict, when `--verify` ran.
+    pub verify_traces_ok: Option<bool>,
 }
 
 /// One phase's frozen counters.
@@ -213,6 +233,9 @@ pub struct MetricsSnapshot {
     /// Persistent artifact-store counters; `None` when the session runs
     /// without a store, so store-less metrics documents are unchanged.
     pub store: Option<StoreStats>,
+    /// Rewriting counters; `None` for plain lifts, so pre-rewrite
+    /// metrics documents are unchanged.
+    pub rewrite: Option<RewriteStats>,
     /// Worker threads used.
     pub workers: u64,
     /// End-to-end wall time of the lift, in nanoseconds.

@@ -121,6 +121,52 @@ pub fn vsa_unbounded_indirect() -> Binary {
     asm.entry("wild").assemble().expect("wild assembles")
 }
 
+/// Argument value that steers [`corrupted_return`] onto its
+/// corrupting path.
+pub const CORRUPT_TRIGGER: i64 = 0x2bad;
+
+/// Value the corrupting path writes through the laundered pointer.
+pub const CORRUPT_PAYLOAD: i64 = 0x4141_4141;
+
+/// A function whose return-address integrity rests on an *assumed*
+/// separation: when `edi == CORRUPT_TRIGGER` it writes
+/// `CORRUPT_PAYLOAD` through a pointer loaded from the writable
+/// `cell` in `.data`. The loaded value is a fresh symbol, so the
+/// solver can only separate the write from `[rsp0, 8]` by the
+/// stack-vs-heap provenance assumption — the lifter accepts (with the
+/// assumption recorded) and the `ret-slot-overwrite` lint downgrades
+/// the ret to a warning. Seeding `cell` with the concrete
+/// return-slot address falsifies the assumption at runtime: the
+/// shadow-stack guard must catch exactly this.
+pub fn corrupted_return() -> Binary {
+    let mut asm = Asm::new();
+    asm.label("victim");
+    asm.data("cell", vec![0u8; 8]);
+    asm.ins(ins(Mnemonic::Endbr64, vec![], Width::B8));
+    asm.push(Reg::Rbp);
+    asm.mov(Operand::reg64(Reg::Rbp), Operand::reg64(Reg::Rsp));
+    asm.ins(ins(Mnemonic::Sub, vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x18)], Width::B8));
+    asm.ins(ins(
+        Mnemonic::Cmp,
+        vec![Operand::reg(Reg::Rdi, Width::B4), Operand::Imm(CORRUPT_TRIGGER)],
+        Width::B4,
+    ));
+    asm.jcc(hgl_x86::Cond::Ne, "benign");
+    asm.movabs_label(Reg::Rax, "cell");
+    asm.mov(Operand::reg64(Reg::Rax), mem(Reg::Rax, 0, Width::B8));
+    asm.ins(ins(
+        Mnemonic::Mov,
+        vec![mem(Reg::Rax, 0, Width::B8), Operand::Imm(CORRUPT_PAYLOAD)],
+        Width::B8,
+    ));
+    asm.label("benign");
+    asm.ins(ins(Mnemonic::Mov, vec![Operand::reg(Reg::Rax, Width::B4), Operand::Imm(7)], Width::B4));
+    asm.ins(ins(Mnemonic::Add, vec![Operand::reg64(Reg::Rsp), Operand::Imm(0x18)], Width::B8));
+    asm.pop(Reg::Rbp);
+    asm.ret();
+    asm.entry("victim").assemble().expect("corrupted_return assembles")
+}
+
 /// The §5.1 induced buffer overflow: no Hoare Graph may be produced.
 pub fn induced_overflow() -> Binary {
     let mut asm = Asm::new();
@@ -158,6 +204,21 @@ mod tests {
         let s = ob.to_string();
         assert!(s.contains("memset(RDI := (rsp0 + -0x28))"), "{s}");
         assert!(s.contains("MUST PRESERVE [(rsp0 + -0x8), 16]"), "{s}");
+    }
+
+    #[test]
+    fn corrupted_return_lifts_on_assumed_separation() {
+        let bin = corrupted_return();
+        let result = Lifter::new(&bin).lift_entry(bin.entry);
+        assert!(result.is_lifted(), "reject: {:?}", result.reject_reason());
+        let f = &result.functions[&bin.entry];
+        // The corrupting store is only separated from the return slot
+        // by a provenance assumption — that's the whole point of the
+        // fixture.
+        assert!(
+            !f.assumptions.is_empty(),
+            "expected an assumed separation backing the laundered write"
+        );
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl Mem {
         self.bytes.insert(addr, v);
     }
 
+    /// Iterate every materialised byte in address order. Differential
+    /// validators diff two memories modulo an instrumentation region by
+    /// walking these entries rather than requiring whole-map equality.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.bytes.iter().map(|(a, b)| (*a, *b))
+    }
+
     /// Read `size` bytes little-endian (size ≤ 8).
     pub fn read(&mut self, addr: u64, size: u8) -> u64 {
         let mut v = 0u64;

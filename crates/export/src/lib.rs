@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod correspond;
 pub mod envelope;
 pub mod isabelle;
 pub mod json;
@@ -56,6 +57,7 @@ pub mod metricsjson;
 pub mod validate;
 
 pub use checker::{bind_fresh, build_machine, draw_env, post_holds, Env};
+pub use correspond::{graphs_correspond, CorrespondReport};
 pub use envelope::{ENVELOPE_VERSION, LIFT_SCHEMA, LINT_SCHEMA, METRICS_SCHEMA};
 pub use isabelle::export_theory;
 pub use json::{export_dot, export_json};

@@ -63,7 +63,7 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
     // emitters.
     if let Some(s) = &m.store {
         o.push_str(",\n");
-        let _ = writeln!(
+        let _ = write!(
             o,
             "  \"store\": {{ \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
              \"evictions\": {}, \"inserts\": {}, \"tmp_swept\": {}, \"write_retries\": {}, \
@@ -78,11 +78,35 @@ pub fn export_metrics_json(m: &MetricsSnapshot) -> String {
             s.write_failures,
             s.hit_rate(),
         );
-    } else {
-        o.push('\n');
     }
+    // The rewrite block appears only for `hgl rewrite --metrics` runs,
+    // so lift documents keep their pre-rewrite bytes.
+    if let Some(r) = &m.rewrite {
+        o.push_str(",\n");
+        let _ = write!(
+            o,
+            "  \"rewrite\": {{ \"functions\": {}, \"instructions_reencoded\": {}, \
+             \"bytes_delta\": {}, \"guards_inserted\": {}, \"verify_relift_ok\": {}, \
+             \"verify_traces_ok\": {} }}",
+            r.functions,
+            r.instructions_reencoded,
+            r.bytes_delta,
+            r.guards_inserted,
+            opt_bool(r.verify_relift_ok),
+            opt_bool(r.verify_traces_ok),
+        );
+    }
+    o.push('\n');
     o.push_str("}\n");
     o
+}
+
+fn opt_bool(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "true",
+        Some(false) => "false",
+        None => "null",
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +127,7 @@ mod tests {
         assert!(j.contains("{ \"phase\": \"tau\", \"nanos\": 40, \"count\": 1 }"), "{j}");
         assert!(j.contains("\"hit_rate\": 0.0000"), "{j}");
         assert!(!j.contains("\"store\""), "store-less document has no store block: {j}");
+        assert!(!j.contains("\"rewrite\""), "lift document has no rewrite block: {j}");
         assert!(
             !j.contains("\"decode_rejects\""),
             "reject-free document has no decode_rejects block: {j}"
@@ -153,6 +178,42 @@ mod tests {
             ),
             "{j}"
         );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn rewrite_block_present_when_attached() {
+        let m = Metrics::new();
+        let mut snap = m.snapshot(None, 1, Duration::from_nanos(10));
+        snap.rewrite = Some(hgl_core::RewriteStats {
+            functions: 5,
+            instructions_reencoded: 321,
+            bytes_delta: -8,
+            guards_inserted: 2,
+            verify_relift_ok: Some(true),
+            verify_traces_ok: None,
+        });
+        let j = export_metrics_json(&snap);
+        assert!(
+            j.contains(
+                "\"rewrite\": { \"functions\": 5, \"instructions_reencoded\": 321, \
+                 \"bytes_delta\": -8, \"guards_inserted\": 2, \"verify_relift_ok\": true, \
+                 \"verify_traces_ok\": null }"
+            ),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn store_and_rewrite_blocks_compose() {
+        let m = Metrics::new();
+        let mut snap = m.snapshot(None, 1, Duration::from_nanos(10));
+        snap.store = Some(hgl_core::StoreStats::default());
+        snap.rewrite = Some(hgl_core::RewriteStats::default());
+        let j = export_metrics_json(&snap);
+        assert!(j.contains("\"store\": {"), "{j}");
+        assert!(j.contains("\"rewrite\": {"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod campaign;
 pub mod coverage;
+pub mod differential;
 pub mod shrink;
 pub mod trace;
 
@@ -37,5 +38,9 @@ pub use campaign::{
     SynthProgram,
 };
 pub use coverage::{Coverage, CoverageFloor, EdgeKind};
+pub use differential::{
+    compare_runs, run_differential, run_raw, DiffConfig, DiffDivergence, DiffReport, DiffStop,
+    RunSummary,
+};
 pub use shrink::{shrink, ShrinkResult};
 pub use trace::{EntryState, TraceOracle, TraceOutcome, TraceStop, Violation, ViolationKind};

@@ -1,0 +1,40 @@
+//! Differential-oracle smoke: a small identity and a small guarded
+//! campaign must both find zero divergences, quickly. The full-size
+//! campaigns live in the workspace-level `tests/differential_rewrite.rs`.
+
+use hgl_oracle::{run_differential, DiffConfig};
+
+#[test]
+fn small_identity_campaign_is_equivalent() {
+    let cfg = DiffConfig { programs: 6, entries_per_program: 2, ..DiffConfig::default() };
+    let report = run_differential(&cfg);
+    assert!(report.divergence.is_none(), "identity divergence:\n{report}");
+    assert!(report.programs_run >= 4, "too many skips:\n{report}");
+    assert_eq!(report.guards_inserted, 0, "identity mode must not insert guards");
+}
+
+#[test]
+fn small_guarded_campaign_is_equivalent_modulo_guard_abi() {
+    let cfg = DiffConfig {
+        programs: 6,
+        entries_per_program: 2,
+        guarded: true,
+        ..DiffConfig::default()
+    };
+    let report = run_differential(&cfg);
+    assert!(report.divergence.is_none(), "guarded divergence:\n{report}");
+    assert!(report.programs_run >= 4, "too many skips:\n{report}");
+}
+
+#[test]
+fn identity_relift_correspondence_holds() {
+    let cfg = DiffConfig {
+        programs: 4,
+        entries_per_program: 1,
+        relift_each: true,
+        ..DiffConfig::default()
+    };
+    let report = run_differential(&cfg);
+    assert!(report.divergence.is_none(), "{report}");
+    assert_eq!(report.relifts_ok, report.programs_run);
+}

@@ -1,0 +1,28 @@
+//! Re-emission: serialise a rewritten loaded view to a runnable ELF64.
+
+use hgl_elf::{Binary, Builder};
+
+/// Serialise `bin` back into an ELF64 image. Sections are named by
+/// their permissions (`.textN` / `.dataN` / `.rodataN`) and keep their
+/// original virtual addresses, so the emitted file parses back to the
+/// same loaded view — `hgl_elf::parse(elf_image(b))` round-trips.
+pub fn elf_image(bin: &Binary) -> Vec<u8> {
+    let mut b = Builder::new().entry(bin.entry);
+    for (i, seg) in bin.segments.iter().enumerate() {
+        let name = if seg.flags.x {
+            format!(".text{i}")
+        } else if seg.flags.w {
+            format!(".data{i}")
+        } else {
+            format!(".rodata{i}")
+        };
+        b = b.section(&name, seg.vaddr, seg.bytes.clone(), seg.flags);
+    }
+    for (addr, name) in &bin.externals {
+        b = b.external(*addr, name);
+    }
+    for (addr, name) in &bin.symbols {
+        b = b.symbol(*addr, name);
+    }
+    b.build()
+}

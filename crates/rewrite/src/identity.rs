@@ -1,0 +1,58 @@
+//! Identity recompilation: prove the codec round-trips the image.
+//!
+//! The rewriter's premise is that `encode` is a left inverse of
+//! `decode` on every instruction the lifter explored. This module
+//! checks that premise *per artifact*: every instruction of every
+//! lifted function's Hoare Graph is re-encoded and compared against
+//! the original bytes at its address. Because the identity output
+//! keeps every byte in place, jump tables, RIP-relative data and
+//! unexplored gap bytes stay valid with no relocation argument needed.
+
+use crate::RewriteError;
+use hgl_core::lift::LiftResult;
+use hgl_elf::Binary;
+use hgl_x86::encode;
+
+/// Walk every lifted function's graph in layout order and check that
+/// re-encoding each decoded instruction reproduces the original bytes.
+/// Returns `(functions_checked, instructions_reencoded)`.
+///
+/// # Errors
+///
+/// [`RewriteError::Reencode`] on the first mismatch — an encoder gap
+/// that must be fixed before any rewriting is trustworthy.
+pub fn check_reencode(binary: &Binary, lift: &LiftResult) -> Result<(u64, u64), RewriteError> {
+    let mut functions = 0u64;
+    let mut instructions = 0u64;
+    let mut seen = std::collections::BTreeSet::new();
+    for f in lift.functions.values() {
+        if !f.is_lifted() {
+            continue;
+        }
+        functions += 1;
+        for (addr, instr) in f.graph.instructions() {
+            if !seen.insert(addr) {
+                continue;
+            }
+            let bytes = encode(instr).map_err(|e| RewriteError::Reencode {
+                addr,
+                detail: format!("encoder refused {instr}: {e}"),
+            })?;
+            let original =
+                binary.read(addr, instr.len as u64).ok_or(RewriteError::Reencode {
+                    addr,
+                    detail: "instruction bytes unreadable in image".to_string(),
+                })?;
+            if bytes != original {
+                return Err(RewriteError::Reencode {
+                    addr,
+                    detail: format!(
+                        "{instr}: encoded {bytes:02x?}, image has {original:02x?}"
+                    ),
+                });
+            }
+            instructions += 1;
+        }
+    }
+    Ok((functions, instructions))
+}

@@ -1,0 +1,316 @@
+//! Differential encoder-completeness sweep: `encode(decode(bytes)) ==
+//! bytes` for every instruction byte the corpus generator can put into
+//! an executable segment. Identity recompilation (`hgl-rewrite`)
+//! re-encodes each lifted instruction and splices it back at its
+//! original address, so the encoder must be *total and canonical* on
+//! the generator's emittable set — any instruction that decodes from a
+//! corpus binary but re-encodes differently (or not at all) would make
+//! the identity rewrite diverge from the original image.
+//!
+//! Two directions are covered:
+//!   1. byte-first — linear-sweep decode whole generated study
+//!      binaries, re-encode every instruction, and demand the exact
+//!      original bytes back;
+//!   2. instruction-first — proptest over the emittable operand
+//!      shapes, demanding `encode` is stable under `decode` (the
+//!      canonical-form fixpoint `encode(decode(encode(i))) ==
+//!      encode(i)`).
+
+use hgl_corpus::xen::gen_study_binary;
+use hgl_x86::{decode, encode, Cond, Instr, MemOperand, Mnemonic, Operand, Reg, RegRef, Width};
+use proptest::prelude::*;
+
+/// Linear-sweep every executable segment of `bin`: each decoded
+/// instruction must re-encode to exactly the bytes it was decoded
+/// from.
+fn sweep_binary(bin: &hgl_elf::Binary, what: &str) -> usize {
+    let mut checked = 0usize;
+    for seg in &bin.segments {
+        if !bin.is_code(seg.vaddr) {
+            continue;
+        }
+        let mut off = 0usize;
+        while off < seg.bytes.len() {
+            let addr = seg.vaddr + off as u64;
+            let window = &seg.bytes[off..seg.bytes.len().min(off + 15)];
+            let instr = match decode(window, addr) {
+                Ok(i) => i,
+                Err(e) => panic!("{what}: undecodable bytes {window:02x?} at {addr:#x}: {e:?}"),
+            };
+            let re = encode(&instr)
+                .unwrap_or_else(|e| panic!("{what}: `{instr}` at {addr:#x} unencodable: {e}"));
+            assert_eq!(
+                re,
+                &window[..instr.len as usize],
+                "{what}: `{instr}` at {addr:#x} re-encodes differently",
+            );
+            checked += 1;
+            off += instr.len as usize;
+        }
+    }
+    checked
+}
+
+/// Byte-first sweep over a spread of study binaries (every generator
+/// profile: plain, jump-table, callback-heavy, mixed; binaries and
+/// libraries).
+#[test]
+fn corpus_binaries_reencode_byte_identically() {
+    let mut total = 0usize;
+    for i in 0..12u64 {
+        let bin = gen_study_binary(0x9e37_79b9_7f4a_7c15 ^ (i * 0x3779), i % 3 == 2);
+        total += sweep_binary(&bin, &format!("study binary #{i}"));
+    }
+    assert!(total > 1_500, "sweep too small to be meaningful: {total} instructions");
+}
+
+/// The generator's failure fixtures also feed the rewrite pipeline's
+/// guard-efficacy path; their text must re-encode identically too.
+#[test]
+fn failure_fixtures_reencode_byte_identically() {
+    use hgl_corpus::failures;
+    for (name, bin) in [
+        ("ret2win", failures::ret2win()),
+        ("stack_probe", failures::stack_probe()),
+        ("nonstandard_rsp", failures::nonstandard_rsp()),
+        ("callee_saved_clobber", failures::callee_saved_clobber()),
+        ("ret_slot_overwrite", failures::ret_slot_overwrite()),
+        ("induced_overflow", failures::induced_overflow()),
+        ("vsa_unbounded_indirect", failures::vsa_unbounded_indirect()),
+        ("corrupted_return", failures::corrupted_return()),
+    ] {
+        let n = sweep_binary(&bin, name);
+        assert!(n > 0, "{name}: empty text");
+    }
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_number)
+}
+
+/// Memory operands in the shapes the generator emits: plain base+disp
+/// (stack slots, param writes), SIB with scaled index (lea, jump-table
+/// loads), and RIP-relative / absolute data references.
+fn arb_gen_mem(size: Width) -> impl Strategy<Value = MemOperand> {
+    let disp = prop_oneof![
+        Just(0i64),
+        Just(-1i64),
+        Just(-128i64),
+        Just(-129i64),
+        Just(127i64),
+        Just(128i64),
+        -0x200i64..0x200,
+        Just(0x60_1000i64),
+    ];
+    (arb_reg(), arb_reg().prop_filter("index != rsp", |r| *r != Reg::Rsp), disp, 0u8..6).prop_map(
+        move |(base, index, disp, shape)| match shape {
+            0 => MemOperand::base_disp(base, disp, size),
+            1 => MemOperand::sib(Some(base), index, 8, disp, size),
+            2 => MemOperand::sib(Some(base), index, 1, disp, size),
+            3 => MemOperand::sib(None, index, 4, disp, size),
+            4 => MemOperand::absolute(disp, size),
+            _ => MemOperand::rip_rel(disp, size),
+        },
+    )
+}
+
+/// Instructions drawn from the generator's emittable set — the same
+/// mnemonic stems `hgl_corpus::gen::emittable_mnemonics()` pins, over
+/// the operand shapes the generator and the shadow-stack instrumenter
+/// produce.
+fn arb_emittable() -> impl Strategy<Value = Instr> {
+    let w48 = prop_oneof![Just(Width::B4), Just(Width::B8)];
+    let group1 = (
+        prop_oneof![
+            Just(Mnemonic::Add),
+            Just(Mnemonic::Sub),
+            Just(Mnemonic::Xor),
+            Just(Mnemonic::Cmp),
+        ],
+        w48.clone(),
+    )
+        .prop_flat_map(|(m, w)| {
+            prop_oneof![
+                (arb_reg(), arb_reg()).prop_map(move |(a, b)| Instr::new(
+                    m,
+                    vec![Operand::reg(a, w), Operand::reg(b, w)],
+                    w
+                )),
+                (arb_reg(), -0x200i64..0x200).prop_map(move |(a, v)| Instr::new(
+                    m,
+                    vec![Operand::reg(a, w), Operand::Imm(v)],
+                    w
+                )),
+                (arb_gen_mem(w), arb_reg()).prop_map(move |(mem, r)| Instr::new(
+                    m,
+                    vec![Operand::Mem(mem), Operand::reg(r, w)],
+                    w
+                )),
+                (arb_reg(), arb_gen_mem(w)).prop_map(move |(r, mem)| Instr::new(
+                    m,
+                    vec![Operand::reg(r, w), Operand::Mem(mem)],
+                    w
+                )),
+            ]
+        });
+
+    let mov = w48.clone().prop_flat_map(|w| {
+        prop_oneof![
+            (arb_reg(), arb_reg()).prop_map(move |(a, b)| Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::reg(a, w), Operand::reg(b, w)],
+                w
+            )),
+            (arb_gen_mem(w), arb_reg()).prop_map(move |(mem, r)| Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::Mem(mem), Operand::reg(r, w)],
+                w
+            )),
+            (arb_reg(), arb_gen_mem(w)).prop_map(move |(r, mem)| Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::reg(r, w), Operand::Mem(mem)],
+                w
+            )),
+            (arb_gen_mem(Width::B4), -0x8000i64..0x8000).prop_map(|(mem, v)| Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::Mem(mem), Operand::Imm(v)],
+                Width::B4
+            )),
+            (arb_reg(), 0i64..0x7fff_ffff).prop_map(|(r, v)| Instr::new(
+                Mnemonic::Mov,
+                vec![Operand::reg(r, Width::B4), Operand::Imm(v)],
+                Width::B4
+            )),
+        ]
+    });
+
+    let movabs = (arb_reg(), any::<i64>()).prop_map(|(r, v)| {
+        Instr::new(Mnemonic::Movabs, vec![Operand::reg64(r), Operand::Imm(v)], Width::B8)
+    });
+
+    let imul = (arb_reg(), arb_reg(), prop_oneof![-128i64..128, Just(300i64), Just(-300i64)])
+        .prop_map(|(d, s, v)| {
+            Instr::new(
+                Mnemonic::Imul,
+                vec![Operand::reg64(d), Operand::reg64(s), Operand::Imm(v)],
+                Width::B8,
+            )
+        });
+
+    let shl = (arb_reg(), 1i64..9).prop_map(|(r, v)| {
+        Instr::new(Mnemonic::Shl, vec![Operand::reg64(r), Operand::Imm(v)], Width::B8)
+    });
+
+    let lea = (arb_reg(), arb_gen_mem(Width::B8)).prop_map(|(r, mem)| {
+        Instr::new(Mnemonic::Lea, vec![Operand::reg64(r), Operand::Mem(mem)], Width::B8)
+    });
+
+    let stack = prop_oneof![
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Push, vec![Operand::reg64(r)], Width::B8)),
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Pop, vec![Operand::reg64(r)], Width::B8)),
+    ];
+
+    let branch = (0u64..0x10_0000, 0u8..18).prop_map(|(t, n)| {
+        let mut i = match n {
+            0..=7 => Instr::new(Mnemonic::Jcc(Cond::from_number(n)), vec![Operand::Imm(t as i64)], Width::B8),
+            8 => Instr::new(Mnemonic::Call, vec![Operand::Imm(t as i64)], Width::B8),
+            _ => Instr::new(Mnemonic::Jmp, vec![Operand::Imm(t as i64)], Width::B8),
+        };
+        i.addr = 0x8000;
+        i
+    });
+
+    let indirect = prop_oneof![
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Call, vec![Operand::reg64(r)], Width::B8)),
+        arb_reg().prop_map(|r| Instr::new(Mnemonic::Jmp, vec![Operand::reg64(r)], Width::B8)),
+        arb_gen_mem(Width::B8)
+            .prop_map(|m| Instr::new(Mnemonic::Jmp, vec![Operand::Mem(m)], Width::B8)),
+    ];
+
+    let nullary = prop_oneof![
+        Just(Instr::new(Mnemonic::Ret, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Endbr64, vec![], Width::B8)),
+        Just(Instr::new(Mnemonic::Hlt, vec![], Width::B8)),
+    ];
+
+    prop_oneof![group1, mov, movabs, imul, shl, lea, stack, branch, indirect, nullary]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Canonical-form fixpoint: the encoder's output is stable under a
+    /// decode/re-encode cycle, and the decoded instruction matches the
+    /// input modulo `addr`/`len` bookkeeping.
+    #[test]
+    fn encode_is_canonical_on_emittable_set(instr in arb_emittable()) {
+        let bytes = encode(&instr).expect("emittable instructions encode");
+        prop_assert!(bytes.len() <= 15, "too long: {:02x?}", bytes);
+        let decoded = decode(&bytes, instr.addr).expect("own encodings decode");
+        let mut expected = instr.clone();
+        expected.addr = instr.addr;
+        expected.len = bytes.len() as u8;
+        prop_assert_eq!(&decoded, &expected, "decode drifted for bytes {:02x?}", bytes);
+        let re = encode(&decoded).expect("decoded form re-encodes");
+        prop_assert_eq!(&re, &bytes, "encode not canonical for `{}`", instr);
+    }
+}
+
+/// Explicit regression pins for the encodings with shortest-form
+/// hazards: `[r13+0]` (disp8-0 rule), `[r12]` (SIB escape), imm8/imm32
+/// boundary values, shift-by-one D1 form, and B1 registers 4–7 (REX
+/// forcing). Every case must be byte-stable through decode→encode.
+#[test]
+fn shortest_form_hazards_are_canonical() {
+    let cases: Vec<Instr> = vec![
+        Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rax),
+                Operand::Mem(MemOperand::base_disp(Reg::R13, 0, Width::B8)),
+            ],
+            Width::B8,
+        ),
+        Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rax),
+                Operand::Mem(MemOperand::base_disp(Reg::R12, 0, Width::B8)),
+            ],
+            Width::B8,
+        ),
+        Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::Rcx),
+                Operand::Mem(MemOperand::base_disp(Reg::Rbp, 0, Width::B8)),
+            ],
+            Width::B8,
+        ),
+        Instr::new(Mnemonic::Add, vec![Operand::reg64(Reg::Rax), Operand::Imm(127)], Width::B8),
+        Instr::new(Mnemonic::Add, vec![Operand::reg64(Reg::Rax), Operand::Imm(128)], Width::B8),
+        Instr::new(Mnemonic::Add, vec![Operand::reg64(Reg::Rax), Operand::Imm(-128)], Width::B8),
+        Instr::new(Mnemonic::Add, vec![Operand::reg64(Reg::Rax), Operand::Imm(-129)], Width::B8),
+        Instr::new(Mnemonic::Shl, vec![Operand::reg64(Reg::Rdx), Operand::Imm(1)], Width::B8),
+        Instr::new(Mnemonic::Shl, vec![Operand::reg64(Reg::Rdx), Operand::Imm(2)], Width::B8),
+        Instr::new(
+            Mnemonic::Mov,
+            vec![Operand::Reg(RegRef::new(Reg::Rsi, Width::B1)), Operand::Imm(1)],
+            Width::B1,
+        ),
+        Instr::new(
+            Mnemonic::Mov,
+            vec![
+                Operand::reg64(Reg::R10),
+                Operand::Mem(MemOperand::sib(Some(Reg::Rsp), Reg::R13, 8, -8, Width::B8)),
+            ],
+            Width::B8,
+        ),
+    ];
+    for instr in cases {
+        let bytes = encode(&instr).expect("hazard case encodes");
+        let decoded = decode(&bytes, 0).expect("hazard case decodes");
+        let re = encode(&decoded).expect("hazard case re-encodes");
+        assert_eq!(re, bytes, "`{instr}` not canonical: {bytes:02x?} vs {re:02x?}");
+    }
+}

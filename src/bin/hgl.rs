@@ -12,6 +12,8 @@
 //! hgl cfg <binary.elf> [--function ADDR]     # Graphviz DOT
 //! hgl serve [--listen ADDR] [--workers N] [--queue N]
 //!           [--store DIR] [--max-wall SECS]
+//! hgl rewrite --in <binary.elf> --out <binary.elf>
+//!             [--pass shadow-stack] [--verify] [--metrics]
 //! ```
 //!
 //! `lift` prints the Hoare Graph summary, annotations, proof
@@ -29,6 +31,14 @@
 //! TCP multiplexed onto the engine with one warm solver cache and one
 //! shared store, admission control, per-request deadlines and crash
 //! isolation (see `crates/serve`).
+//! `rewrite` re-emits a lifted binary as a runnable ELF: identity
+//! recompilation by default (every lifted instruction re-encoded and
+//! checked byte-identical), plus opt-in instrumentation passes —
+//! `--pass shadow-stack` plants a shadow-stack guard at every return
+//! the static lints could not prove safe. `--verify` validates the
+//! artifact: re-lift Hoare-Graph correspondence for identity rewrites,
+//! and a seeded original-vs-rewritten differential trace run in both
+//! modes (see `crates/rewrite`).
 //! `lint` runs the static analyses (write classification and
 //! soundness lints) and exits non-zero on any error-severity finding;
 //! `export` writes the Isabelle/HOL theory; `validate` runs the
@@ -54,6 +64,7 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!("usage: hgl <lift|lint|export|validate|disasm|cfg> <binary.elf> [options]");
     eprintln!("       hgl serve [--listen ADDR] [--workers N] [--queue N] [--store DIR] [--max-wall SECS]");
+    eprintln!("       hgl rewrite --in BIN --out BIN [--pass shadow-stack] [--verify] [--metrics]");
     eprintln!("  --function ADDR   lift from a function address (hex ok) instead of the entry point");
     eprintln!("  --all             lift every discovered function (parallel whole-binary engine)");
     eprintln!("  --workers N       worker threads for --all (default: one per core)");
@@ -65,6 +76,8 @@ fn usage() -> ExitCode {
     eprintln!("  --store-verify    replay every store hit through the differential checker");
     eprintln!("  --out FILE        output path for `export`");
     eprintln!("  --samples N       samples per edge for `validate` (default 16)");
+    eprintln!("  --pass NAME       rewrite pass (repeatable); available: shadow-stack");
+    eprintln!("  --verify          validate the rewritten artifact (re-lift + differential traces)");
     ExitCode::from(2)
 }
 
@@ -216,11 +229,169 @@ fn do_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Deterministic seeded entry states for `hgl rewrite --verify`'s
+/// differential trace run (the CLI-sized version of the campaign in
+/// `hgl_oracle::differential`).
+fn verify_entry_states(n: usize) -> Vec<hgl_oracle::EntryState> {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    (0..n as u64)
+        .map(|k| hgl_oracle::EntryState {
+            // Small rdi values first (jump-table cases), then large.
+            rdi: if k < 3 { k } else { 64 + (mix(k) & 0xfff) },
+            scratch: [
+                mix(k ^ 1) & 0xffff,
+                mix(k ^ 2) & 0xffff,
+                mix(k ^ 3) & 0xffff,
+                mix(k ^ 4),
+                mix(k ^ 5) & 0xff,
+                mix(k ^ 6) & 0xff,
+            ],
+        })
+        .collect()
+}
+
+/// `hgl rewrite`: lift, transform, re-emit — refusing rather than
+/// emitting anything it cannot argue is equivalent.
+fn do_rewrite(args: &[String]) -> ExitCode {
+    let (Some(in_path), Some(out_path)) = (flag_value(args, "--in"), flag_value(args, "--out"))
+    else {
+        eprintln!("hgl rewrite: both --in and --out are required");
+        return usage();
+    };
+    let bytes = match std::fs::read(&in_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hgl: cannot read {in_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let binary = match Binary::parse(&bytes) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hgl: cannot parse {in_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pass_names: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--pass")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    let mut passes: Vec<Box<dyn hgl_rewrite::RewritePass>> = Vec::new();
+    for name in &pass_names {
+        match hgl_rewrite::pass::by_name(name) {
+            Some(p) => passes.push(p),
+            None => {
+                eprintln!("hgl rewrite: unknown pass {name:?} (available: shadow-stack)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = Lifter::new(&binary).lift_all();
+    if !report.result.is_lifted() {
+        eprintln!(
+            "hgl rewrite: {in_path} did not lift: {:?}",
+            report.result.reject_reason()
+        );
+        return ExitCode::FAILURE;
+    }
+    let pass_refs: Vec<&dyn hgl_rewrite::RewritePass> =
+        passes.iter().map(std::convert::AsRef::as_ref).collect();
+    let mut out = match hgl_rewrite::rewrite(&binary, &report.result, &pass_refs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hgl rewrite: refused: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    if args.iter().any(|a| a == "--verify") {
+        // Identity artifacts must re-lift to an equivalent graph.
+        if passes.is_empty() {
+            let image = hgl_rewrite::elf_image(&out.binary);
+            let verdict = match Binary::parse(&image) {
+                Ok(reparsed) => hgl_rewrite::verify_relift(&report.result, &reparsed),
+                Err(e) => {
+                    eprintln!("hgl rewrite: emitted ELF does not parse: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            out.stats.verify_relift_ok = Some(verdict.ok());
+            if verdict.ok() {
+                println!(
+                    "verify: re-lift corresponds ({} function(s))",
+                    verdict.report.functions
+                );
+            } else {
+                failed = true;
+                eprintln!("verify: re-lift graph mismatch:");
+                for d in &verdict.report.details {
+                    eprintln!("  {d}");
+                }
+            }
+        }
+        // Both modes: seeded differential traces, original vs
+        // rewritten, compared modulo the guard ABI when instrumented.
+        let guarded = !passes.is_empty();
+        let states = verify_entry_states(16);
+        let mut traces_ok = true;
+        for (k, es) in states.iter().enumerate() {
+            let orig = hgl_oracle::run_raw(&binary, es, None, 20_000);
+            let rw = hgl_oracle::run_raw(&out.binary, es, Some(&out), 20_000);
+            if let Some(detail) = hgl_oracle::compare_runs(&orig, &rw, guarded) {
+                traces_ok = false;
+                failed = true;
+                eprintln!("verify: trace {k} diverges: {detail}");
+            }
+        }
+        out.stats.verify_traces_ok = Some(traces_ok);
+        if traces_ok {
+            println!("verify: {} differential trace(s), zero divergences", states.len());
+        }
+    }
+
+    let image = hgl_rewrite::elf_image(&out.binary);
+    if let Err(e) = std::fs::write(&out_path, &image) {
+        eprintln!("hgl: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out_path}: {} function(s), {} instruction(s) re-encoded, {} guard(s), {} byte(s) added",
+        out.stats.functions,
+        out.stats.instructions_reencoded,
+        out.stats.guards_inserted,
+        out.stats.bytes_delta
+    );
+    if args.iter().any(|a| a == "--metrics") {
+        let mut snapshot = report.metrics;
+        snapshot.rewrite = Some(out.stats);
+        print!("{}", export_metrics_json(&snapshot));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `serve` takes no binary path; dispatch before the path parsing.
     if args.first().map(String::as_str) == Some("serve") {
         return do_serve(&args);
+    }
+    // `rewrite` names its binaries with --in/--out, not positionally.
+    if args.first().map(String::as_str) == Some("rewrite") {
+        return do_rewrite(&args);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();

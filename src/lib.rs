@@ -24,7 +24,10 @@
 //!   coalescing and crash isolation
 //! - [`corpus`]: synthetic evaluation corpora
 //! - [`oracle`]: trace-level conformance oracle (differential
-//!   campaigns of emulator traces replayed against Hoare Graphs)
+//!   campaigns of emulator traces replayed against Hoare Graphs,
+//!   plus original-vs-rewritten differential rewriting campaigns)
+//! - [`rewrite`]: verified rewriting — identity recompilation and
+//!   shadow-stack instrumentation with per-artifact validation
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
 //! for the paper-vs-measured results.
@@ -41,6 +44,7 @@ pub use hgl_emu as emu;
 pub use hgl_export as export;
 pub use hgl_expr as expr;
 pub use hgl_oracle as oracle;
+pub use hgl_rewrite as rewrite;
 pub use hgl_serve as serve;
 pub use hgl_solver as solver;
 pub use hgl_store as store;

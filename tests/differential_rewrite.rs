@@ -1,0 +1,58 @@
+//! Full-scale differential rewriting campaigns (the issue's acceptance
+//! bar): original-vs-rewritten trace equivalence over the synthesized
+//! corpus, ≥200 trace pairs per mode, zero divergences, and per-binary
+//! re-lift correspondence for the identity mode.
+
+use hgl_oracle::{run_differential, DiffConfig};
+
+/// Identity mode: exact equivalence — same normalised traces, same
+/// stop causes, all sixteen final registers, the flags, and the full
+/// memory write-delta. Every program's re-emitted ELF must also
+/// re-lift to a Hoare Graph equivalent to the original lift.
+#[test]
+fn identity_differential_campaign() {
+    let cfg = DiffConfig {
+        programs: 60,
+        entries_per_program: 4,
+        relift_each: true,
+        ..DiffConfig::default()
+    };
+    let report = run_differential(&cfg);
+    assert!(report.divergence.is_none(), "identity divergence:\n{report}");
+    assert!(
+        report.traces_run >= 200,
+        "campaign too small: {} trace pairs\n{report}",
+        report.traces_run
+    );
+    assert_eq!(
+        report.relifts_ok, report.programs_run,
+        "every identity artifact must re-lift to an equivalent graph:\n{report}"
+    );
+    assert_eq!(report.rewrite_refused, 0, "identity rewriting never refuses:\n{report}");
+    assert_eq!(report.guards_inserted, 0);
+}
+
+/// Shadow-stack mode: equivalence modulo the documented guard ABI
+/// (guard-frame steps dropped by normalisation, `r10`/`r11`/flags not
+/// compared, shadow-section writes excluded). Guards must never fire
+/// on these benign traces.
+#[test]
+fn guarded_differential_campaign() {
+    let cfg = DiffConfig {
+        programs: 60,
+        entries_per_program: 4,
+        guarded: true,
+        ..DiffConfig::default()
+    };
+    let report = run_differential(&cfg);
+    assert!(report.divergence.is_none(), "guarded divergence:\n{report}");
+    assert!(
+        report.traces_run >= 200,
+        "campaign too small: {} trace pairs\n{report}",
+        report.traces_run
+    );
+    assert!(
+        report.guards_inserted > 0,
+        "campaign never exercised a guard — the mode is vacuous:\n{report}"
+    );
+}

@@ -1,0 +1,165 @@
+//! `hgl rewrite` end to end, over real files and real processes:
+//! identity round-trips on study-corpus binaries (rewritten ELF loads
+//! to the same view, re-lifts equivalently, and its `hgl lift --json`
+//! document is byte-identical to the original's), and the shadow-stack
+//! pass produces a verified, metrics-reporting artifact.
+
+use hoare_lift::corpus::inject::elf_image;
+use hoare_lift::corpus::xen::gen_study_binary;
+use hoare_lift::elf::Binary;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn hgl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hgl"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hgl-rewrite-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Three study-corpus binaries from the engine-benchmark seed family
+/// (one of them a library image), written out as ELF files.
+fn write_corpus(dir: &Path) -> Vec<PathBuf> {
+    (0..3u64)
+        .map(|i| {
+            let bin = gen_study_binary(0x9e37_79b9_7f4a_7c15 ^ i, i == 2);
+            let path = dir.join(format!("study_{i}.elf"));
+            std::fs::write(&path, elf_image(&bin)).expect("write elf");
+            path
+        })
+        .collect()
+}
+
+fn run_rewrite(input: &Path, output: &Path, extra: &[&str]) -> String {
+    let mut args = vec![
+        "rewrite",
+        "--in",
+        input.to_str().expect("utf8 path"),
+        "--out",
+        output.to_str().expect("utf8 path"),
+    ];
+    args.extend_from_slice(extra);
+    let out = hgl().args(&args).output().expect("hgl rewrite");
+    assert!(
+        out.status.success(),
+        "hgl rewrite {} failed:\nstdout:\n{}\nstderr:\n{}",
+        input.display(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+fn lift_json(elf: &Path) -> String {
+    let out = hgl()
+        .args(["lift", elf.to_str().expect("utf8 path"), "--all", "--json"])
+        .output()
+        .expect("hgl lift");
+    assert!(
+        out.status.success(),
+        "hgl lift {} failed:\n{}",
+        elf.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 json")
+}
+
+/// Identity round-trip on three corpus binaries: `--verify` passes,
+/// the rewritten ELF loads to the same view as the original, and its
+/// whole-binary lift document is byte-identical — the strongest
+/// artifact-level equality the pipeline can state.
+#[test]
+fn identity_roundtrip_on_corpus_binaries() {
+    let dir = tmpdir("identity");
+    for input in write_corpus(&dir) {
+        let output = input.with_extension("rw.elf");
+        let stdout = run_rewrite(&input, &output, &["--verify"]);
+        assert!(
+            stdout.contains("re-lift corresponds"),
+            "no re-lift verification in:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("zero divergences"),
+            "no differential verification in:\n{stdout}"
+        );
+
+        let orig = Binary::parse(&std::fs::read(&input).expect("read in")).expect("parse in");
+        let rw = Binary::parse(&std::fs::read(&output).expect("read out")).expect("parse out");
+        assert_eq!(orig.entry, rw.entry);
+        assert_eq!(orig.segments.len(), rw.segments.len());
+        for (a, b) in orig.segments.iter().zip(rw.segments.iter()) {
+            assert_eq!((a.vaddr, &a.bytes), (b.vaddr, &b.bytes), "segment drifted");
+        }
+
+        assert_eq!(
+            lift_json(&input),
+            lift_json(&output),
+            "lift documents differ for {}",
+            input.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shadow-stack pass through the CLI: verified artifact, rewrite
+/// metrics block present with the verification verdicts filled in.
+#[test]
+fn shadow_stack_pass_with_metrics() {
+    let dir = tmpdir("shadow");
+    let bin = hoare_lift::corpus::failures::corrupted_return();
+    let input = dir.join("victim.elf");
+    std::fs::write(&input, elf_image(&bin)).expect("write elf");
+    let output = dir.join("victim.rw.elf");
+
+    let stdout = run_rewrite(
+        &input,
+        &output,
+        &["--pass", "shadow-stack", "--verify", "--metrics"],
+    );
+    assert!(stdout.contains("zero divergences"), "no differential verification:\n{stdout}");
+    assert!(stdout.contains("1 guard(s)"), "guard count missing:\n{stdout}");
+    let rewrite_line = stdout
+        .lines()
+        .find(|l| l.contains("\"rewrite\": {"))
+        .expect("metrics carries a rewrite block");
+    assert!(rewrite_line.contains("\"guards_inserted\": 1"), "{rewrite_line}");
+    assert!(rewrite_line.contains("\"verify_traces_ok\": true"), "{rewrite_line}");
+
+    // The artifact on disk really carries the new sections.
+    let rw = Binary::parse(&std::fs::read(&output).expect("read out")).expect("parse out");
+    let orig = Binary::parse(&std::fs::read(&input).expect("read in")).expect("parse in");
+    assert_eq!(rw.segments.len(), orig.segments.len() + 2, "shadow + guard sections");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Refusals and usage errors exit non-zero and say why.
+#[test]
+fn unknown_pass_is_a_usage_error() {
+    let dir = tmpdir("usage");
+    let bin = gen_study_binary(0xbad_5eed, false);
+    let input = dir.join("in.elf");
+    std::fs::write(&input, elf_image(&bin)).expect("write elf");
+    let out = hgl()
+        .args([
+            "rewrite",
+            "--in",
+            input.to_str().expect("utf8"),
+            "--out",
+            dir.join("out.elf").to_str().expect("utf8"),
+            "--pass",
+            "no-such-pass",
+        ])
+        .output()
+        .expect("hgl rewrite");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown pass"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
